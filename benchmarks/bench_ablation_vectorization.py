@@ -1,0 +1,32 @@
+"""Python-specific ablation: vectorised vs row-wise result collection.
+
+This has no counterpart in the paper (a C++ implementation does not face the
+choice); it quantifies how much of the optimized HINT^m's throughput in this
+reproduction comes from NumPy's columnar scans versus the index structure
+itself, so readers can separate the two effects when comparing against the
+paper's absolute numbers (see DESIGN.md, "Design choices called out for
+ablation").
+"""
+
+from conftest import BENCH_QUERIES, save_report
+
+from repro.bench.harness import measure_throughput
+from repro.bench.reporting import format_table
+from repro.hint import OptimizedHINTm
+
+
+def test_vectorization_ablation(benchmark, synthetic_default, synthetic_queries, results_dir):
+    queries = synthetic_queries[:BENCH_QUERIES]
+    columnar = OptimizedHINTm(synthetic_default, num_bits=12, columnar=True)
+    rowwise = OptimizedHINTm(synthetic_default, num_bits=12, columnar=False)
+
+    columnar_qps = benchmark(measure_throughput, columnar, queries)
+    rowwise_qps = measure_throughput(rowwise, queries)
+
+    table = format_table(
+        "Ablation -- NumPy columnar scan vs row-wise Python scan (same index structure)",
+        ["variant", "throughput [queries/s]"],
+        [["columnar (numpy)", columnar_qps], ["row-wise (python)", rowwise_qps]],
+    )
+    assert columnar_qps > 0 and rowwise_qps > 0
+    save_report(results_dir, "ablation_vectorization", table)

@@ -1,0 +1,103 @@
+"""Micro-benchmarks of the core per-query operation of every index.
+
+These are not paper figures; they give pytest-benchmark statistically sound
+per-query timings (many rounds of a single query workload) that complement
+the one-shot experiment drivers, and they make regressions in any single
+index visible in isolation.
+"""
+
+import pytest
+
+from conftest import BENCH_QUERIES
+
+from repro.baselines import Grid1D, IntervalTree, NaiveIndex, PeriodIndex, TimelineIndex
+from repro.hint import ComparisonFreeHINT, HINTm, OptimizedHINTm, SubdividedHINTm
+from repro.core.domain import Domain
+from repro.core.interval import IntervalCollection
+
+
+def _run_workload(index, queries):
+    total = 0
+    for query in queries:
+        total += len(index.query(query))
+    return total
+
+
+@pytest.fixture(scope="module")
+def workload(synthetic_default, synthetic_queries):
+    return synthetic_default, synthetic_queries[:BENCH_QUERIES]
+
+
+def test_query_interval_tree(benchmark, workload):
+    data, queries = workload
+    index = IntervalTree.build(data)
+    assert benchmark(_run_workload, index, queries) > 0
+
+
+def test_query_1d_grid(benchmark, workload):
+    data, queries = workload
+    index = Grid1D.build(data, num_partitions=500)
+    assert benchmark(_run_workload, index, queries) > 0
+
+
+def test_query_timeline(benchmark, workload):
+    data, queries = workload
+    index = TimelineIndex.build(data, num_checkpoints=500)
+    assert benchmark(_run_workload, index, queries) > 0
+
+
+def test_query_period_index(benchmark, workload):
+    data, queries = workload
+    index = PeriodIndex.build(data, num_coarse_partitions=100, num_levels=4)
+    assert benchmark(_run_workload, index, queries) > 0
+
+
+def test_query_naive_scan(benchmark, workload):
+    data, queries = workload
+    index = NaiveIndex.build(data)
+    assert benchmark(_run_workload, index, queries) > 0
+
+
+def test_query_hintm_base(benchmark, workload):
+    data, queries = workload
+    index = HINTm.build(data, num_bits=12)
+    assert benchmark(_run_workload, index, queries) > 0
+
+
+def test_query_hintm_subdivided(benchmark, workload):
+    data, queries = workload
+    index = SubdividedHINTm.build(data, num_bits=12)
+    assert benchmark(_run_workload, index, queries) > 0
+
+
+def test_query_hintm_optimized(benchmark, workload):
+    data, queries = workload
+    index = OptimizedHINTm.build(data, num_bits=12)
+    assert benchmark(_run_workload, index, queries) > 0
+
+
+def test_query_comparison_free_hint(benchmark, workload):
+    data, queries = workload
+    domain = Domain.for_collection(data.starts, data.ends, 16)
+    discretised = IntervalCollection(
+        ids=data.ids, starts=domain.map_values(data.starts), ends=domain.map_values(data.ends)
+    )
+    from repro.core.interval import Query
+
+    discrete_queries = [
+        Query(domain.map_value(q.start), domain.map_value(q.end)) for q in queries
+    ]
+    index = ComparisonFreeHINT.build(discretised, num_bits=16)
+    assert benchmark(_run_workload, index, discrete_queries) > 0
+
+
+def test_build_hintm_optimized(benchmark, workload):
+    data, _ = workload
+    index = benchmark(OptimizedHINTm.build, data, num_bits=12)
+    assert len(index) == len(data)
+
+
+def test_build_interval_tree(benchmark, workload):
+    data, _ = workload
+    index = benchmark(IntervalTree.build, data)
+    assert len(index) == len(data)

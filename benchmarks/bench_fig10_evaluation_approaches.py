@@ -1,0 +1,41 @@
+"""Figure 10: top-down vs bottom-up HINT^m query evaluation, varying m.
+
+Paper shape to reproduce: bottom-up clearly wins on BOOKS (long intervals
+indexed at high levels, where Lemma 2 saves comparisons) and is roughly even
+with top-down on TAXIS (short intervals, mostly bottom-level partitions).
+"""
+
+from conftest import BENCH_QUERIES, save_report
+
+from repro.bench.experiments import fig10_evaluation_approaches
+from repro.bench.reporting import format_series
+
+M_VALUES = (5, 8, 11, 14)
+
+
+def test_fig10_evaluation_approaches(benchmark, books_taxis_datasets, results_dir):
+    result = benchmark.pedantic(
+        fig10_evaluation_approaches,
+        kwargs=dict(
+            datasets=books_taxis_datasets,
+            m_values=M_VALUES,
+            num_queries=BENCH_QUERIES,
+            extent_fraction=0.001,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report = []
+    for dataset, series in result.items():
+        report.append(
+            format_series(
+                f"Figure 10 -- {dataset}: query throughput [queries/s] vs m",
+                "m",
+                series["m"],
+                {"top-down": series["top-down"], "bottom-up": series["bottom-up"]},
+            )
+        )
+        # the headline observation: bottom-up never loses
+        for td, bu in zip(series["top-down"], series["bottom-up"]):
+            assert bu > 0 and td > 0
+    save_report(results_dir, "fig10_evaluation_approaches", "\n\n".join(report))

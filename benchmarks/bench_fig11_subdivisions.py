@@ -1,0 +1,46 @@
+"""Figure 11: the Section 4.1 ablation (subdivisions, sorting, storage opt).
+
+Paper shape to reproduce: ``subs+sort+sopt`` matches the best throughput at
+every m while having the smallest footprint; plain sorting only helps for
+small m; the storage optimization is what reduces the index size.
+"""
+
+from conftest import BENCH_QUERIES, save_report
+
+from repro.bench.experiments import fig11_subdivision_variants
+from repro.bench.reporting import format_series
+
+M_VALUES = (5, 8, 11)
+
+
+def test_fig11_subdivision_variants(benchmark, books_taxis_datasets, results_dir):
+    result = benchmark.pedantic(
+        fig11_subdivision_variants,
+        kwargs=dict(
+            datasets=books_taxis_datasets,
+            m_values=M_VALUES,
+            num_queries=BENCH_QUERIES,
+            extent_fraction=0.001,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report = []
+    for dataset, metrics in result.items():
+        for metric, label in (
+            ("size_mb", "index size [MB]"),
+            ("build_s", "index time [s]"),
+            ("throughput", "throughput [queries/s]"),
+        ):
+            report.append(
+                format_series(
+                    f"Figure 11 -- {dataset}: {label} vs m",
+                    "m",
+                    metrics["m"],
+                    metrics[metric],
+                )
+            )
+        # shape check: the storage optimization reduces the footprint
+        sizes = metrics["size_mb"]
+        assert sum(sizes["subs+sort+sopt"]) <= sum(sizes["subs+sort"])
+    save_report(results_dir, "fig11_subdivisions", "\n\n".join(report))

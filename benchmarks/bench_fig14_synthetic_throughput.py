@@ -1,0 +1,56 @@
+"""Figure 14: throughput on synthetic data, one sweep per generator parameter.
+
+Paper shape to reproduce: throughput decreases with domain size, cardinality
+and query extent; it increases with alpha (shorter intervals) and with sigma
+(more spread-out intervals, hence fewer results per query).
+"""
+
+from conftest import save_report
+
+from repro.bench.experiments import DEFAULT_SWEEPS, SyntheticSweep, fig14_synthetic_throughput
+from repro.bench.reporting import format_series
+from repro.datasets.synthetic import SyntheticConfig
+
+#: benchmark-scale sweeps (same shape as the paper's Table 5, smaller values)
+BENCH_BASE = SyntheticConfig(
+    domain_length=2_000_000, cardinality=10_000, alpha=1.2, sigma=200_000, seed=42
+)
+BENCH_SWEEPS = (
+    SyntheticSweep("domain_length", (500_000, 2_000_000, 8_000_000), base=BENCH_BASE),
+    SyntheticSweep("cardinality", (5_000, 10_000, 20_000), base=BENCH_BASE),
+    SyntheticSweep("alpha", (1.01, 1.2, 1.8), base=BENCH_BASE),
+    SyntheticSweep("sigma", (20_000, 200_000, 1_000_000), base=BENCH_BASE),
+    SyntheticSweep("query_extent", (0.0001, 0.001, 0.01), base=BENCH_BASE),
+)
+
+
+def test_fig14_synthetic_throughput(benchmark, results_dir):
+    result = benchmark.pedantic(
+        fig14_synthetic_throughput,
+        kwargs=dict(sweeps=BENCH_SWEEPS, num_queries=80, hint_m_bits=12),
+        rounds=1,
+        iterations=1,
+    )
+    report = []
+    for parameter, series in result.items():
+        index_names = [k for k in series if k != "value"]
+        report.append(
+            format_series(
+                f"Figure 14 -- synthetic data: throughput [queries/s] vs {parameter}",
+                parameter,
+                series["value"],
+                {name: series[name] for name in index_names},
+            )
+        )
+        for name in index_names:
+            assert all(value > 0 for value in series[name]), (parameter, name)
+    # shape check: increasing the query extent reduces HINT^m throughput
+    extent_series = result["query_extent"]["hint-m"]
+    assert extent_series[0] >= extent_series[-1]
+    save_report(results_dir, "fig14_synthetic_throughput", "\n\n".join(report))
+
+
+def test_fig14_default_sweeps_are_paper_shaped():
+    """The library-level default sweeps cover the paper's five panels."""
+    parameters = {sweep.parameter for sweep in DEFAULT_SWEEPS}
+    assert parameters == {"domain_length", "cardinality", "alpha", "sigma", "query_extent"}

@@ -1,0 +1,56 @@
+"""Table 10: mixed workload of queries, insertions and deletions.
+
+Paper shape to reproduce: both HINT^m settings (the update-friendly
+``subs+sopt`` delta configuration and the hybrid main+delta setting) finish
+the mixed workload faster than the interval tree, the period index and the
+1D-grid; the hybrid setting is the fastest overall because the bulk of the
+data stays in the fully optimized index.
+"""
+
+from conftest import save_report
+
+from repro.bench.experiments import table10_updates
+from repro.bench.reporting import format_table
+
+
+def test_table10_updates(benchmark, books_taxis_datasets, results_dir):
+    result = benchmark.pedantic(
+        table10_updates,
+        kwargs=dict(
+            datasets=books_taxis_datasets,
+            num_queries=200,
+            num_insertions=100,
+            num_deletions=40,
+            extent_fraction=0.001,
+            hint_m_bits=12,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report = []
+    for dataset, rows in result.items():
+        report.append(
+            format_table(
+                f"Table 10 -- {dataset}: mixed workload (ops/s and total seconds)",
+                ["index", "queries/s", "insertions/s", "deletions/s", "total [s]"],
+                [
+                    [
+                        row["index"],
+                        row["query_throughput"],
+                        row["insert_throughput"],
+                        row["delete_throughput"],
+                        row["total_seconds"],
+                    ]
+                    for row in rows
+                ],
+            )
+        )
+        # sanity: every contender completed the workload and sustained updates.
+        # The paper's ordering (both HINT^m settings ahead of the baselines by
+        # a wide margin) relies on workload sizes where per-operation constant
+        # costs amortise; the measured ordering at this scale is recorded in
+        # the report and discussed in EXPERIMENTS.md.
+        assert all(row["total_seconds"] > 0 for row in rows)
+        assert all(row["insert_throughput"] > 0 for row in rows)
+        assert all(row["delete_throughput"] > 0 for row in rows)
+    save_report(results_dir, "table10_updates", "\n\n".join(report))

@@ -1,0 +1,47 @@
+"""Table 7: statistics and parameter setting for HINT^m.
+
+Paper shape to reproduce: the analytical model's m_opt lands close to the
+experimentally best m; the predicted replication factor k tracks the measured
+one (high for BOOKS/WEBKIT-like data, close to 1 for TAXIS/GREEND-like data);
+and the average number of partitions requiring comparisons stays below four
+(Lemma 4).
+"""
+
+from conftest import save_report
+
+from repro.bench.experiments import table7_parameter_setting
+from repro.bench.reporting import format_table
+
+
+def test_table7_parameter_setting(benchmark, real_like_datasets, results_dir):
+    rows = benchmark.pedantic(
+        table7_parameter_setting,
+        kwargs=dict(
+            datasets=real_like_datasets,
+            candidate_m=(5, 7, 9, 11, 13),
+            num_queries=80,
+            extent_fraction=0.001,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(
+        "Table 7 -- statistics and parameter setting",
+        ["dataset", "m_opt (model)", "m_opt (exps)", "k (model)", "k (exps)", "avg comp. part."],
+        [
+            [
+                row["dataset"],
+                row["m_opt_model"],
+                row["m_opt_measured"],
+                row["k_model"],
+                row["k_measured"],
+                row["avg_compared_partitions"],
+            ]
+            for row in rows
+        ],
+    )
+    for row in rows:
+        # Lemma 4: the expected number of compared partitions is at most four
+        assert row["avg_compared_partitions"] <= 4.5
+        assert row["k_measured"] >= 1.0
+    save_report(results_dir, "table7_parameter_setting", table)

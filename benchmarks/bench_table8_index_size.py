@@ -1,0 +1,28 @@
+"""Table 8: index size comparison across all indexes and datasets.
+
+Paper shape to reproduce: HINT^m is among the smallest indexes everywhere;
+the comparison-free HINT is considerably larger on short-interval datasets
+(TAXIS/GREEND) because of its many levels; the timeline index pays for its
+checkpoints; the 1D-grid and period index grow with replication on
+long-interval datasets (BOOKS/WEBKIT).
+"""
+
+from conftest import save_report
+
+from repro.bench.experiments import table8_index_sizes
+from repro.bench.reporting import format_table
+
+
+def test_table8_index_sizes(benchmark, real_like_datasets, results_dir):
+    rows = benchmark.pedantic(
+        table8_index_sizes, kwargs=dict(datasets=real_like_datasets), rounds=1, iterations=1
+    )
+    index_names = sorted(rows[0][1])
+    table = format_table(
+        "Table 8 -- index size [MB]",
+        ["dataset", *index_names],
+        [[dataset, *[sizes[name] for name in index_names]] for dataset, sizes in rows],
+    )
+    for _, sizes in rows:
+        assert all(size > 0 for size in sizes.values())
+    save_report(results_dir, "table8_index_size", table)

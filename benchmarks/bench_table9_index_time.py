@@ -1,0 +1,26 @@
+"""Table 9: index construction time comparison.
+
+Paper shape to reproduce: the 1D-grid is the cheapest to build, HINT^m is
+competitive (runner-up on the large datasets), and the timeline index is the
+most expensive because of checkpoint materialisation.
+"""
+
+from conftest import save_report
+
+from repro.bench.experiments import table9_index_times
+from repro.bench.reporting import format_table
+
+
+def test_table9_index_times(benchmark, real_like_datasets, results_dir):
+    rows = benchmark.pedantic(
+        table9_index_times, kwargs=dict(datasets=real_like_datasets), rounds=1, iterations=1
+    )
+    index_names = sorted(rows[0][1])
+    table = format_table(
+        "Table 9 -- index construction time [s]",
+        ["dataset", *index_names],
+        [[dataset, *[times[name] for name in index_names]] for dataset, times in rows],
+    )
+    for _, times in rows:
+        assert all(seconds > 0 for seconds in times.values())
+    save_report(results_dir, "table9_index_time", table)

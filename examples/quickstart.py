@@ -1,0 +1,81 @@
+"""Quickstart: index a small interval collection and run range queries.
+
+Run with::
+
+    python examples/quickstart.py
+
+Covers the essentials of the public API:
+
+* building an :class:`~repro.IntervalCollection`,
+* indexing it with the fully optimized HINT^m,
+* range, stabbing and Allen-relation queries,
+* updates through the hybrid index,
+* choosing the ``m`` parameter with the paper's analytical model.
+"""
+
+from repro import (
+    AllenRelation,
+    DatasetStatistics,
+    HybridHINTm,
+    Interval,
+    IntervalCollection,
+    OptimizedHINTm,
+    Query,
+    estimate_m_opt,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. build a collection: employment periods of a handful of employees
+    #    (the paper's introductory example: "find the employees who were
+    #    employed sometime in [1/1/2021, 2/28/2021]"), days since 2020-01-01
+    # ------------------------------------------------------------------ #
+    employments = IntervalCollection.from_intervals(
+        [
+            Interval(id=1, start=0, end=365),      # full year 2020
+            Interval(id=2, start=100, end=450),    # mid-2020 to early 2021
+            Interval(id=3, start=380, end=720),    # 2021 only
+            Interval(id=4, start=50, end=80),      # short stint in 2020
+            Interval(id=5, start=400, end=420),    # three weeks in 2021
+        ]
+    )
+    print(f"indexed collection: {len(employments)} intervals, span {employments.span()}")
+
+    # ------------------------------------------------------------------ #
+    # 2. index it with HINT^m and answer a range query
+    # ------------------------------------------------------------------ #
+    index = OptimizedHINTm(employments, num_bits=6)
+    january_february_2021 = Query(366, 366 + 58)
+    employed = sorted(index.query(january_february_2021))
+    print(f"employed sometime in Jan-Feb 2021: employees {employed}")
+
+    # stabbing query: who was employed on day 60 of 2020?
+    print(f"employed on day 60: employees {sorted(index.stab(60))}")
+
+    # Allen-relation selection: employments fully contained in 2021
+    year_2021 = Query(366, 730)
+    contained = sorted(index.query_relation(year_2021, AllenRelation.DURING))
+    print(f"employments strictly inside 2021: employees {contained}")
+
+    # ------------------------------------------------------------------ #
+    # 3. updates: the hybrid index absorbs inserts in a delta structure
+    # ------------------------------------------------------------------ #
+    dynamic = HybridHINTm(employments, num_bits=6)
+    dynamic.insert(Interval(id=6, start=500, end=600))
+    dynamic.delete(4)
+    print(
+        "after one insert and one delete, employed in Jan-Feb 2021:",
+        sorted(dynamic.query(january_february_2021)),
+    )
+
+    # ------------------------------------------------------------------ #
+    # 4. pick m for a real workload with the paper's model (Section 3.3)
+    # ------------------------------------------------------------------ #
+    stats = DatasetStatistics.from_collection(employments)
+    m_opt = estimate_m_opt(stats, query_extent=0.001 * stats.domain_length)
+    print(f"model-recommended m for this collection: {m_opt}")
+
+
+if __name__ == "__main__":
+    main()

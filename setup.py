@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment used for this reproduction has no ``wheel`` package,
+so PEP 660 editable installs (which build an editable wheel) fail.  Keeping a
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which works without network access.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,99 @@
+"""HINT: A Hierarchical Index for Intervals in Main Memory -- Python reproduction.
+
+This package reproduces Christodoulou, Bouros and Mamoulis, SIGMOD 2022
+(arXiv:2104.10939): the HINT / HINT^m hierarchical interval indexes, every
+optimization the paper describes, the four baselines it compares against,
+the dataset/query generators of its evaluation, and a benchmark harness that
+regenerates each table and figure.
+
+Quickstart::
+
+    from repro import IntervalCollection, Query, OptimizedHINTm
+
+    data = IntervalCollection.from_pairs([(1, 5), (3, 9), (12, 14)])
+    index = OptimizedHINTm(data, num_bits=4)
+    index.query(Query(4, 12))   # -> ids of intervals overlapping [4, 12]
+"""
+
+from repro.baselines import Grid1D, IntervalTree, NaiveIndex, PeriodIndex, TimelineIndex
+from repro.core import (
+    AllenRelation,
+    Domain,
+    Interval,
+    IntervalCollection,
+    IntervalIndex,
+    Query,
+    QueryStats,
+)
+from repro.datasets import (
+    REAL_DATASET_PROFILES,
+    SyntheticConfig,
+    generate_books_like,
+    generate_greend_like,
+    generate_real_like,
+    generate_synthetic,
+    generate_taxis_like,
+    generate_webkit_like,
+    load_intervals_csv,
+    save_intervals_csv,
+)
+from repro.hint import (
+    ComparisonFreeHINT,
+    CostModel,
+    DatasetStatistics,
+    HINTm,
+    HybridHINTm,
+    OptimizedHINTm,
+    SubdividedHINTm,
+    collect_workload_statistics,
+    estimate_m_opt,
+    replication_factor,
+)
+from repro.queries import (
+    QueryWorkloadConfig,
+    generate_mixed_workload,
+    generate_queries,
+    generate_stabbing_queries,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllenRelation",
+    "ComparisonFreeHINT",
+    "CostModel",
+    "DatasetStatistics",
+    "Domain",
+    "Grid1D",
+    "HINTm",
+    "HybridHINTm",
+    "Interval",
+    "IntervalCollection",
+    "IntervalIndex",
+    "IntervalTree",
+    "NaiveIndex",
+    "OptimizedHINTm",
+    "PeriodIndex",
+    "Query",
+    "QueryStats",
+    "QueryWorkloadConfig",
+    "REAL_DATASET_PROFILES",
+    "SubdividedHINTm",
+    "SyntheticConfig",
+    "TimelineIndex",
+    "collect_workload_statistics",
+    "estimate_m_opt",
+    "generate_books_like",
+    "generate_greend_like",
+    "generate_mixed_workload",
+    "generate_queries",
+    "generate_real_like",
+    "generate_stabbing_queries",
+    "generate_synthetic",
+    "generate_taxis_like",
+    "generate_webkit_like",
+    "load_intervals_csv",
+    "replication_factor",
+    "save_intervals_csv",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Baseline main-memory interval indexes the paper compares against.
+
+* :class:`repro.baselines.naive.NaiveIndex` -- linear scan; ground truth.
+* :class:`repro.baselines.interval_tree.IntervalTree` -- Edelsbrunner's
+  interval tree (Section 2, [16]).
+* :class:`repro.baselines.timeline.TimelineIndex` -- the timeline index of
+  SAP HANA (Section 2, [19]).
+* :class:`repro.baselines.grid1d.Grid1D` -- a uniform 1D-grid with
+  reference-value duplicate elimination (Section 2, [15]).
+* :class:`repro.baselines.period_index.PeriodIndex` -- the (adaptive) period
+  index (Section 2, [4]).
+"""
+
+from repro.baselines.grid1d import Grid1D
+from repro.baselines.interval_tree import IntervalTree
+from repro.baselines.naive import NaiveIndex
+from repro.baselines.period_index import PeriodIndex
+from repro.baselines.timeline import TimelineIndex
+
+__all__ = ["Grid1D", "IntervalTree", "NaiveIndex", "PeriodIndex", "TimelineIndex"]

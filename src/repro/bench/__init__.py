@@ -1,0 +1,20 @@
+"""Benchmark harness: throughput measurement, experiment drivers, reporting."""
+
+from repro.bench.harness import (
+    BenchmarkResult,
+    build_index,
+    measure_index_size,
+    measure_build_time,
+    measure_throughput,
+)
+from repro.bench.reporting import format_series, format_table
+
+__all__ = [
+    "BenchmarkResult",
+    "build_index",
+    "format_series",
+    "format_table",
+    "measure_build_time",
+    "measure_index_size",
+    "measure_throughput",
+]

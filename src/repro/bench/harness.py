@@ -1,0 +1,107 @@
+"""Throughput / size / build-time measurement used by every benchmark.
+
+The paper reports query *throughput* (queries/second over a 10k-query
+workload), index size and index construction time.  This module provides the
+equivalent measurements plus a registry mapping the paper's index names to
+constructors with the parameters used in Section 5 (scaled to this
+reproduction's dataset sizes).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.baselines import Grid1D, IntervalTree, NaiveIndex, PeriodIndex, TimelineIndex
+from repro.core.base import IntervalIndex
+from repro.core.interval import IntervalCollection, Query
+from repro.hint import ComparisonFreeHINT, HINTm, HybridHINTm, OptimizedHINTm, SubdividedHINTm
+
+__all__ = [
+    "BenchmarkResult",
+    "INDEX_BUILDERS",
+    "build_index",
+    "measure_build_time",
+    "measure_index_size",
+    "measure_throughput",
+]
+
+
+#: Paper-comparable index configurations.  Values are callables
+#: ``(collection, **overrides) -> IntervalIndex``.
+INDEX_BUILDERS: Dict[str, Callable[..., IntervalIndex]] = {
+    "interval-tree": lambda c, **kw: IntervalTree.build(c, **kw),
+    "period-index": lambda c, **kw: PeriodIndex.build(c, **kw),
+    "timeline": lambda c, **kw: TimelineIndex.build(c, **kw),
+    "1d-grid": lambda c, **kw: Grid1D.build(c, **kw),
+    "hint": lambda c, **kw: ComparisonFreeHINT.build(c, **kw),
+    "hint-m": lambda c, **kw: HINTm.build(c, **kw),
+    "hint-m-subs": lambda c, **kw: SubdividedHINTm.build(c, **kw),
+    "hint-m-opt": lambda c, **kw: OptimizedHINTm.build(c, **kw),
+    "hint-m-hybrid": lambda c, **kw: HybridHINTm.build(c, **kw),
+    "naive-scan": lambda c, **kw: NaiveIndex.build(c, **kw),
+}
+
+
+@dataclass
+class BenchmarkResult:
+    """One measurement row.
+
+    Attributes:
+        index_name: registry name of the index.
+        throughput: queries per second (0 when not measured).
+        build_seconds: index construction time (0 when not measured).
+        size_bytes: estimated index footprint (0 when not measured).
+        extra: free-form extra columns (e.g. the sweep parameter value).
+    """
+
+    index_name: str
+    throughput: float = 0.0
+    build_seconds: float = 0.0
+    size_bytes: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+def build_index(name: str, collection: IntervalCollection, **overrides) -> IntervalIndex:
+    """Build a registered index over ``collection``."""
+    if name not in INDEX_BUILDERS:
+        raise KeyError(f"unknown index {name!r}; known: {sorted(INDEX_BUILDERS)}")
+    return INDEX_BUILDERS[name](collection, **overrides)
+
+
+def measure_build_time(name: str, collection: IntervalCollection, **overrides) -> BenchmarkResult:
+    """Measure index construction time and size."""
+    t0 = time.perf_counter()
+    index = build_index(name, collection, **overrides)
+    elapsed = time.perf_counter() - t0
+    return BenchmarkResult(
+        index_name=name,
+        build_seconds=elapsed,
+        size_bytes=index.memory_bytes(),
+    )
+
+
+def measure_index_size(index: IntervalIndex) -> int:
+    """Estimated footprint of a built index in bytes."""
+    return index.memory_bytes()
+
+
+def measure_throughput(
+    index: IntervalIndex,
+    queries: Sequence[Query],
+    repeats: int = 1,
+) -> float:
+    """Queries per second over ``queries`` (best of ``repeats`` passes)."""
+    if not queries:
+        return 0.0
+    best = 0.0
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        for query in queries:
+            index.query(query)
+        elapsed = time.perf_counter() - t0
+        if elapsed <= 0:
+            continue
+        best = max(best, len(queries) / elapsed)
+    return best

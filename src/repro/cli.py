@@ -1,0 +1,170 @@
+"""Command-line interface: index a CSV of intervals and run queries against it.
+
+Examples::
+
+    # one range query over a CSV with id,start,end rows
+    python -m repro query data.csv --start 100 --end 200
+
+    # a stabbing query, using the comparison-free HINT on a discrete domain
+    python -m repro query data.csv --stab 150 --index hint
+
+    # dataset statistics and the model-recommended m (Section 3.3)
+    python -m repro stats data.csv
+
+    # generate one of the evaluation datasets for experimentation
+    python -m repro generate books --cardinality 10000 --output books.csv
+
+The CLI is intentionally a thin wrapper over the library; anything beyond
+ad-hoc exploration should use the Python API directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench.harness import INDEX_BUILDERS, build_index
+from repro.core.interval import IntervalCollection, Query
+from repro.datasets.io import load_intervals_csv, save_intervals_csv
+from repro.datasets.real_like import REAL_DATASET_PROFILES, generate_real_like
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic
+from repro.hint.model import DatasetStatistics, estimate_m_opt, replication_factor
+
+__all__ = ["main", "build_parser"]
+
+#: indexes the CLI exposes (a subset of the full registry: the comparison-free
+#: HINT needs a discrete domain, so it is opt-in)
+_DEFAULT_INDEX = "hint-m-opt"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__.splitlines()[0])
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    query = subparsers.add_parser("query", help="run a range or stabbing query over a CSV")
+    query.add_argument("csv", type=Path, help="intervals file (id,start,end or start,end rows)")
+    query.add_argument("--header", action="store_true", help="skip the first CSV row")
+    query.add_argument("--index", choices=sorted(INDEX_BUILDERS), default=_DEFAULT_INDEX)
+    query.add_argument("--num-bits", type=int, default=None,
+                       help="HINT^m m parameter (default: model-estimated)")
+    group = query.add_mutually_exclusive_group(required=True)
+    group.add_argument("--stab", type=int, help="stabbing query point")
+    group.add_argument("--start", type=int, help="range query start (use with --end)")
+    query.add_argument("--end", type=int, help="range query end")
+    query.add_argument("--count-only", action="store_true", help="print only the result count")
+
+    stats = subparsers.add_parser("stats", help="dataset statistics and model-recommended m")
+    stats.add_argument("csv", type=Path)
+    stats.add_argument("--header", action="store_true")
+    stats.add_argument("--query-extent", type=float, default=0.001,
+                       help="query extent (fraction of the domain) for the m_opt model")
+
+    generate = subparsers.add_parser("generate", help="generate an evaluation dataset as CSV")
+    generate.add_argument(
+        "profile",
+        choices=[name.lower() for name in REAL_DATASET_PROFILES] + ["synthetic"],
+        help="which dataset shape to generate",
+    )
+    generate.add_argument("--cardinality", type=int, default=10_000)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--alpha", type=float, default=1.2, help="synthetic only")
+    generate.add_argument("--sigma", type=float, default=10_000.0, help="synthetic only")
+    generate.add_argument("--domain", type=int, default=1_000_000, help="synthetic only")
+    generate.add_argument("--output", type=Path, required=True)
+    return parser
+
+
+def _load(path: Path, has_header: bool) -> IntervalCollection:
+    collection = load_intervals_csv(path, has_header=has_header)
+    if not len(collection):
+        raise SystemExit(f"error: {path} contains no intervals")
+    return collection
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    collection = _load(args.csv, args.header)
+    if args.stab is not None:
+        query = Query.stabbing(args.stab)
+    else:
+        if args.end is None:
+            raise SystemExit("error: --start requires --end")
+        query = Query(args.start, args.end)
+
+    overrides = {}
+    if args.index in {"hint-m", "hint-m-subs", "hint-m-opt", "hint-m-hybrid", "hint"}:
+        num_bits = args.num_bits
+        if num_bits is None:
+            stats = DatasetStatistics.from_collection(collection)
+            num_bits = min(estimate_m_opt(stats, query.extent or 1), 16)
+        overrides["num_bits"] = num_bits
+
+    build_start = time.perf_counter()
+    index = build_index(args.index, collection, **overrides)
+    build_seconds = time.perf_counter() - build_start
+    query_start = time.perf_counter()
+    results = index.query(query)
+    query_seconds = time.perf_counter() - query_start
+
+    print(f"# index={args.index} built in {build_seconds:.3f}s, query in {query_seconds * 1000:.2f}ms")
+    if args.count_only:
+        print(len(results))
+    else:
+        for interval_id in sorted(results):
+            print(interval_id)
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    collection = _load(args.csv, args.header)
+    stats = DatasetStatistics.from_collection(collection)
+    extent = args.query_extent * stats.domain_length
+    m_opt = estimate_m_opt(stats, extent)
+    print(f"cardinality:        {stats.cardinality}")
+    print(f"domain length:      {stats.domain_length}")
+    print(f"domain bits (m'):   {stats.domain_bits}")
+    print(f"mean duration:      {stats.mean_interval_length:.2f}")
+    print(f"mean duration (%):  {100 * stats.mean_interval_length / max(stats.domain_length, 1):.4f}")
+    print(f"model m_opt:        {m_opt}")
+    print(f"predicted k at m_opt: {replication_factor(stats, m_opt):.3f}")
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    if args.profile == "synthetic":
+        collection = generate_synthetic(
+            SyntheticConfig(
+                domain_length=args.domain,
+                cardinality=args.cardinality,
+                alpha=args.alpha,
+                sigma=args.sigma,
+                seed=args.seed,
+            )
+        )
+    else:
+        profile = REAL_DATASET_PROFILES[args.profile.upper()]
+        collection = generate_real_like(profile, cardinality=args.cardinality, seed=args.seed)
+    save_intervals_csv(collection, args.output)
+    print(f"wrote {len(collection)} intervals to {args.output}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "query":
+        return _command_query(args)
+    if args.command == "stats":
+        return _command_stats(args)
+    if args.command == "generate":
+        return _command_generate(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Core data model shared by every index in the HINT reproduction.
+
+This subpackage provides:
+
+* :mod:`repro.core.interval` -- the interval record and overlap predicates,
+* :mod:`repro.core.domain` -- the discrete domain mapping of Section 3.2 and
+  the bit-level helpers used by HINT's hierarchical partitioning,
+* :mod:`repro.core.allen` -- Allen's interval algebra relations (the paper's
+  stated extension for selection queries),
+* :mod:`repro.core.base` -- the abstract query API implemented by every index,
+* :mod:`repro.core.errors` -- exception types.
+"""
+
+from repro.core.allen import AllenRelation, allen_relation, satisfies_relation
+from repro.core.base import IntervalIndex, QueryStats
+from repro.core.domain import Domain, bit_length_for, prefix
+from repro.core.errors import (
+    DomainError,
+    EmptyCollectionError,
+    InvalidIntervalError,
+    InvalidQueryError,
+    ReproError,
+)
+from repro.core.interval import Interval, IntervalCollection, Query, intervals_overlap
+
+__all__ = [
+    "AllenRelation",
+    "Domain",
+    "DomainError",
+    "EmptyCollectionError",
+    "Interval",
+    "IntervalCollection",
+    "IntervalIndex",
+    "InvalidIntervalError",
+    "InvalidQueryError",
+    "Query",
+    "QueryStats",
+    "ReproError",
+    "allen_relation",
+    "bit_length_for",
+    "intervals_overlap",
+    "prefix",
+    "satisfies_relation",
+]

@@ -1,0 +1,176 @@
+"""The common query API implemented by every interval index in the library.
+
+All indexes (HINT, HINT^m and the four baselines) expose the same interface so
+that the benchmark harness, the correctness tests and the examples can treat
+them interchangeably:
+
+* :meth:`IntervalIndex.query` -- ids of all intervals overlapping a range query,
+* :meth:`IntervalIndex.stab` -- ids of all intervals containing a point,
+* :meth:`IntervalIndex.insert` / :meth:`IntervalIndex.delete` -- updates,
+* :meth:`IntervalIndex.memory_bytes` -- an estimate of the index footprint
+  (used by the Table 8 experiment),
+* :meth:`IntervalIndex.query_with_stats` -- instrumented query evaluation that
+  reports how many comparisons/partition accesses were performed (used to
+  validate Lemma 4 and Table 7 without relying on wall-clock time).
+"""
+
+from __future__ import annotations
+
+import abc
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.core.allen import AllenRelation, RANGE_QUERY_RELATIONS, satisfies_relation
+from repro.core.interval import Interval, IntervalCollection, Query
+
+__all__ = ["IntervalIndex", "QueryStats"]
+
+
+@dataclass
+class QueryStats:
+    """Counters collected while evaluating a single query.
+
+    Attributes:
+        results: number of result ids reported.
+        comparisons: number of endpoint comparisons against the query.
+        partitions_accessed: number of partitions (or nodes/cells) visited.
+        partitions_compared: partitions where at least one comparison happened
+            (the quantity Lemma 4 bounds by 4 in expectation for HINT^m).
+        candidates: number of intervals inspected, including non-results.
+    """
+
+    results: int = 0
+    comparisons: int = 0
+    partitions_accessed: int = 0
+    partitions_compared: int = 0
+    candidates: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+class IntervalIndex(abc.ABC):
+    """Abstract base class for all interval indexes."""
+
+    #: human-readable name used in benchmark reports
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    @abc.abstractmethod
+    def build(cls, collection: IntervalCollection, **kwargs) -> "IntervalIndex":
+        """Build an index over ``collection``."""
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def query(self, query: Query) -> List[int]:
+        """Return the ids of all intervals that overlap ``query``.
+
+        The result order is unspecified; no duplicates are returned.
+        """
+
+    def stab(self, point: int) -> List[int]:
+        """Return the ids of all intervals containing ``point``."""
+        return self.query(Query.stabbing(point))
+
+    def query_with_stats(self, query: Query) -> tuple[List[int], QueryStats]:
+        """Instrumented :meth:`query`.
+
+        The default implementation runs the plain query and fills only the
+        ``results`` counter; indexes that support instrumentation override it.
+        """
+        results = self.query(query)
+        return results, QueryStats(results=len(results))
+
+    def query_relation(self, query: Query, relation: AllenRelation) -> List[int]:
+        """Ids of intervals in the given Allen relation with ``query``.
+
+        Relations implying overlap are answered by refining the range query's
+        candidates; BEFORE/AFTER fall back to a scan of the stored intervals
+        (those relations are unbounded and not what HINT targets).
+        """
+        if relation in RANGE_QUERY_RELATIONS:
+            candidate_ids = self.query(query)
+            lookup = self._interval_lookup()
+            return [
+                sid
+                for sid in candidate_ids
+                if satisfies_relation(lookup[sid], query, relation)
+            ]
+        lookup = self._interval_lookup()
+        return [
+            sid
+            for sid, interval in lookup.items()
+            if satisfies_relation(interval, query, relation)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def insert(self, interval: Interval) -> None:
+        """Insert a new interval.  Indexes that do not support single-interval
+        inserts raise ``NotImplementedError``."""
+        raise NotImplementedError(f"{type(self).__name__} does not support insert()")
+
+    def delete(self, interval_id: int) -> bool:
+        """Delete an interval by id (tombstone semantics where applicable).
+
+        Returns True when the id was found.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support delete()")
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of (live) intervals indexed."""
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the index structures in bytes.
+
+        The default walks the instance's attributes with ``sys.getsizeof``;
+        array-backed indexes override this with exact buffer sizes.
+        """
+        return _deep_sizeof(self)
+
+    def _interval_lookup(self) -> Dict[int, Interval]:
+        """Map id -> Interval for every live interval (used by Allen refinement)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not retain full intervals for relation queries"
+        )
+
+
+def _deep_sizeof(obj: object, _seen: set | None = None) -> int:
+    """Best-effort recursive ``sys.getsizeof`` that handles containers and numpy arrays."""
+    import numpy as np
+
+    if _seen is None:
+        _seen = set()
+    obj_id = id(obj)
+    if obj_id in _seen:
+        return 0
+    _seen.add(obj_id)
+
+    if isinstance(obj, np.ndarray):
+        # views share their base's buffer; count only owned data plus the header
+        owned = obj.base is None
+        return (int(obj.nbytes) if owned else 0) + 112
+
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        size += sum(_deep_sizeof(k, _seen) + _deep_sizeof(v, _seen) for k, v in obj.items())
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        size += sum(_deep_sizeof(item, _seen) for item in obj)
+    elif hasattr(obj, "__dict__"):
+        size += _deep_sizeof(vars(obj), _seen)
+    elif hasattr(obj, "__slots__"):
+        size += sum(
+            _deep_sizeof(getattr(obj, slot), _seen)
+            for slot in obj.__slots__
+            if hasattr(obj, slot)
+        )
+    return size

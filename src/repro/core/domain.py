@@ -1,0 +1,161 @@
+"""Discrete domain mapping and bit-level helpers (paper Sections 3.1 and 3.2).
+
+HINT assumes interval endpoints drawn from a discrete domain ``[0, 2^m - 1]``.
+HINT^m generalises to arbitrary domains by linearly rescaling each raw
+endpoint ``x`` to ``f(x) = floor((x - min) / (max - min) * (2^m - 1))`` and
+indexing the *m*-bit images.  The relevant partition at level ``l`` for a
+value ``x`` is the ``l``-bit prefix of ``x``.
+
+:class:`Domain` packages this mapping together with the prefix arithmetic so
+the index code never manipulates raw bits directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import DomainError
+
+__all__ = ["Domain", "prefix", "bit_length_for", "partition_extent"]
+
+
+def prefix(k: int, x: int, m: int) -> int:
+    """Return the ``k``-bit prefix of the ``m``-bit integer ``x``.
+
+    This is the partition offset at level ``k`` for a domain value ``x``
+    (``prefix(k, x)`` in the paper's notation, Table 2).
+    """
+    return x >> (m - k)
+
+
+def bit_length_for(domain_size: int) -> int:
+    """Smallest ``m`` such that ``2^m`` covers ``domain_size`` distinct values."""
+    if domain_size <= 0:
+        raise DomainError(f"domain size must be positive, got {domain_size}")
+    return max(1, int(domain_size - 1).bit_length())
+
+
+def partition_extent(m: int, level: int) -> int:
+    """Number of domain values covered by one partition at ``level`` of an m-level index."""
+    if not 0 <= level <= m:
+        raise DomainError(f"level {level} outside [0, {m}]")
+    return 1 << (m - level)
+
+
+@dataclass(frozen=True)
+class Domain:
+    """The discrete domain ``[0, 2^num_bits - 1]`` used by HINT/HINT^m.
+
+    Attributes:
+        num_bits: the ``m`` parameter -- the index has ``num_bits + 1`` levels.
+        raw_min: smallest raw endpoint observed in the data (``min(x)``).
+        raw_max: largest raw endpoint observed in the data (``max(x)``).
+
+    When ``raw_min == 0`` and ``raw_max == 2^num_bits - 1`` the mapping is the
+    identity (the comparison-free HINT case of Section 3.1).  Otherwise values
+    are linearly rescaled as in Section 3.2.
+    """
+
+    num_bits: int
+    raw_min: int = 0
+    raw_max: int = -1  # sentinel: defaults to 2^num_bits - 1
+
+    def __post_init__(self) -> None:
+        if self.num_bits < 1:
+            raise DomainError(f"num_bits must be >= 1, got {self.num_bits}")
+        if self.raw_max == -1:
+            object.__setattr__(self, "raw_max", (1 << self.num_bits) - 1)
+        if self.raw_max < self.raw_min:
+            raise DomainError(f"raw_max ({self.raw_max}) < raw_min ({self.raw_min})")
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_collection(cls, starts: np.ndarray, ends: np.ndarray, num_bits: int) -> "Domain":
+        """Build the domain for a dataset, as HINT^m does before indexing."""
+        if len(starts) == 0:
+            return cls(num_bits=num_bits, raw_min=0, raw_max=(1 << num_bits) - 1)
+        return cls(num_bits=num_bits, raw_min=int(np.min(starts)), raw_max=int(np.max(ends)))
+
+    @classmethod
+    def identity(cls, num_bits: int) -> "Domain":
+        """The identity domain ``[0, 2^num_bits - 1]`` (no rescaling)."""
+        return cls(num_bits=num_bits)
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of distinct values in the discrete domain (``2^num_bits``)."""
+        return 1 << self.num_bits
+
+    @property
+    def max_value(self) -> int:
+        """Largest discrete value (``2^num_bits - 1``)."""
+        return self.size - 1
+
+    @property
+    def raw_extent(self) -> int:
+        """Length of the raw domain (Λ in the paper's model)."""
+        return self.raw_max - self.raw_min
+
+    @property
+    def is_identity(self) -> bool:
+        """True when mapping raw values to discrete values is the identity."""
+        return self.raw_min == 0 and self.raw_max == self.max_value
+
+    # ------------------------------------------------------------------ #
+    # mapping raw <-> discrete
+    # ------------------------------------------------------------------ #
+    def map_value(self, x: int | float) -> int:
+        """Map a raw endpoint to the discrete domain (the ``f`` of Section 3.2).
+
+        Values outside ``[raw_min, raw_max]`` are clamped; queries may extend
+        beyond the data span, and clamping them to the domain boundary yields
+        exactly the partitions the in-domain part of the query overlaps.
+        """
+        if self.is_identity:
+            value = int(x)
+            return min(max(value, 0), self.max_value)
+        if self.raw_extent == 0:
+            return 0
+        x = min(max(x, self.raw_min), self.raw_max)
+        return int((x - self.raw_min) * self.max_value // self.raw_extent)
+
+    def map_values(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`map_value`."""
+        values = np.asarray(values, dtype=np.int64)
+        if self.is_identity:
+            return np.clip(values, 0, self.max_value)
+        if self.raw_extent == 0:
+            return np.zeros(len(values), dtype=np.int64)
+        clipped = np.clip(values, self.raw_min, self.raw_max)
+        return (clipped - self.raw_min) * self.max_value // self.raw_extent
+
+    # ------------------------------------------------------------------ #
+    # partition arithmetic
+    # ------------------------------------------------------------------ #
+    def prefix(self, level: int, value: int) -> int:
+        """Partition offset at ``level`` that contains the discrete ``value``."""
+        return value >> (self.num_bits - level)
+
+    def partitions_at(self, level: int) -> int:
+        """Number of partitions at ``level`` (``2^level``)."""
+        if not 0 <= level <= self.num_bits:
+            raise DomainError(f"level {level} outside [0, {self.num_bits}]")
+        return 1 << level
+
+    def partition_bounds(self, level: int, offset: int) -> tuple[int, int]:
+        """Discrete ``[first, last]`` values covered by partition ``P[level, offset]``."""
+        width = 1 << (self.num_bits - level)
+        first = offset * width
+        return first, first + width - 1
+
+    def relevant_range(self, level: int, q_start: int, q_end: int) -> tuple[int, int]:
+        """Offsets ``(f, l)`` of the first and last partitions at ``level``
+        overlapping the discrete query ``[q_start, q_end]``."""
+        return self.prefix(level, q_start), self.prefix(level, q_end)

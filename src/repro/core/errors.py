@@ -1,0 +1,21 @@
+"""Exception hierarchy for the HINT reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidIntervalError(ReproError, ValueError):
+    """Raised when an interval has ``end < start`` or non-finite endpoints."""
+
+
+class InvalidQueryError(ReproError, ValueError):
+    """Raised when a query interval is malformed."""
+
+
+class DomainError(ReproError, ValueError):
+    """Raised when a value falls outside the index's discrete domain."""
+
+
+class EmptyCollectionError(ReproError, ValueError):
+    """Raised when an operation requires a non-empty interval collection."""

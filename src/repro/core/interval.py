@@ -1,0 +1,279 @@
+"""Interval records, interval collections and overlap predicates.
+
+The paper models every object ``s`` in the collection ``S`` as a triple
+``<s.id, s.st, s.end>`` where ``[s.st, s.end]`` is a closed interval.  A range
+query ``q = [q.st, q.end]`` retrieves the ids of all intervals that overlap
+``q``, i.e. all ``s`` with ``s.st <= q.end`` and ``q.st <= s.end``.
+
+Endpoints are integers throughout the library.  Real-valued data can be used
+after rescaling/discretisation, exactly as Section 3.1 of the paper suggests;
+:class:`repro.core.domain.Domain` provides the mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import EmptyCollectionError, InvalidIntervalError, InvalidQueryError
+
+__all__ = [
+    "Interval",
+    "Query",
+    "IntervalCollection",
+    "intervals_overlap",
+    "interval_contains",
+    "interval_contains_point",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A closed interval ``[start, end]`` with an object identifier.
+
+    Attributes:
+        id: the object's identifier; used to access any other attribute of
+            the object and to report query results.
+        start: left endpoint (inclusive).
+        end: right endpoint (inclusive).  Must satisfy ``end >= start``.
+    """
+
+    id: int
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise InvalidIntervalError(
+                f"interval {self.id}: end ({self.end}) < start ({self.start})"
+            )
+
+    @property
+    def duration(self) -> int:
+        """Length of the interval (``end - start``); 0 for a point interval."""
+        return self.end - self.start
+
+    def overlaps(self, other: "Interval | Query") -> bool:
+        """Return True iff this interval overlaps ``other`` (closed semantics)."""
+        return self.start <= other.end and other.start <= self.end
+
+    def contains(self, other: "Interval | Query") -> bool:
+        """Return True iff ``other`` lies fully within this interval."""
+        return self.start <= other.start and other.end <= self.end
+
+    def contains_point(self, point: int) -> bool:
+        """Return True iff ``point`` falls inside the closed interval."""
+        return self.start <= point <= self.end
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        """Return ``(id, start, end)``."""
+        return (self.id, self.start, self.end)
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """A range query ``[start, end]``.
+
+    A *stabbing* query (pure-timeslice query) is the special case
+    ``start == end``; :meth:`stabbing` builds one.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise InvalidQueryError(f"query end ({self.end}) < start ({self.start})")
+
+    @classmethod
+    def stabbing(cls, point: int) -> "Query":
+        """Build a stabbing query at ``point``."""
+        return cls(point, point)
+
+    @property
+    def extent(self) -> int:
+        """Length of the query interval."""
+        return self.end - self.start
+
+    @property
+    def is_stabbing(self) -> bool:
+        """True when the query degenerates to a single point."""
+        return self.start == self.end
+
+    def overlaps(self, interval: Interval) -> bool:
+        """Return True iff ``interval`` overlaps this query (closed semantics)."""
+        return interval.start <= self.end and self.start <= interval.end
+
+
+def intervals_overlap(a_start: int, a_end: int, b_start: int, b_end: int) -> bool:
+    """Overlap test on raw endpoints (closed intervals)."""
+    return a_start <= b_end and b_start <= a_end
+
+
+def interval_contains(outer_start: int, outer_end: int, inner_start: int, inner_end: int) -> bool:
+    """Containment test on raw endpoints: ``[inner] ⊆ [outer]``."""
+    return outer_start <= inner_start and inner_end <= outer_end
+
+
+def interval_contains_point(start: int, end: int, point: int) -> bool:
+    """Return True iff ``point`` lies in the closed interval ``[start, end]``."""
+    return start <= point <= end
+
+
+class IntervalCollection:
+    """A collection of intervals stored columnarly.
+
+    The collection is the input unit for every index in the library.  It keeps
+    three parallel NumPy arrays (``ids``, ``starts``, ``ends``) which gives
+
+    * O(1) access to dataset statistics needed by the model of Section 3.3,
+    * cheap columnar iteration for index construction,
+    * a natural fit for the storage-optimized HINT^m variant.
+
+    The collection preserves insertion order and does not deduplicate ids;
+    uniqueness of ids is the caller's responsibility (as in the paper, ids are
+    opaque references back to the full objects).
+    """
+
+    __slots__ = ("ids", "starts", "ends")
+
+    def __init__(
+        self,
+        ids: Sequence[int] | np.ndarray,
+        starts: Sequence[int] | np.ndarray,
+        ends: Sequence[int] | np.ndarray,
+    ) -> None:
+        self.ids = np.asarray(ids, dtype=np.int64)
+        self.starts = np.asarray(starts, dtype=np.int64)
+        self.ends = np.asarray(ends, dtype=np.int64)
+        if not (len(self.ids) == len(self.starts) == len(self.ends)):
+            raise InvalidIntervalError("ids, starts and ends must have equal length")
+        if len(self.ids) and np.any(self.ends < self.starts):
+            bad = int(np.argmax(self.ends < self.starts))
+            raise InvalidIntervalError(
+                f"interval at position {bad} has end < start "
+                f"({self.ends[bad]} < {self.starts[bad]})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_intervals(cls, intervals: Iterable[Interval]) -> "IntervalCollection":
+        """Build a collection from :class:`Interval` records."""
+        materialised = list(intervals)
+        return cls(
+            ids=[s.id for s in materialised],
+            starts=[s.start for s in materialised],
+            ends=[s.end for s in materialised],
+        )
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[Tuple[int, int]], first_id: int = 0
+    ) -> "IntervalCollection":
+        """Build a collection from ``(start, end)`` pairs with sequential ids."""
+        starts: List[int] = []
+        ends: List[int] = []
+        for start, end in pairs:
+            starts.append(start)
+            ends.append(end)
+        ids = list(range(first_id, first_id + len(starts)))
+        return cls(ids=ids, starts=starts, ends=ends)
+
+    @classmethod
+    def empty(cls) -> "IntervalCollection":
+        """An empty collection."""
+        return cls(ids=[], starts=[], ends=[])
+
+    # ------------------------------------------------------------------ #
+    # container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __iter__(self) -> Iterator[Interval]:
+        for i in range(len(self.ids)):
+            yield Interval(int(self.ids[i]), int(self.starts[i]), int(self.ends[i]))
+
+    def __getitem__(self, index: int) -> Interval:
+        return Interval(int(self.ids[index]), int(self.starts[index]), int(self.ends[index]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"IntervalCollection(n={len(self)}, span={self.span()})"
+
+    # ------------------------------------------------------------------ #
+    # statistics used by the analytical model (Section 3.3)
+    # ------------------------------------------------------------------ #
+    def span(self) -> Tuple[int, int]:
+        """Return ``(min start, max end)`` of the collection.
+
+        Raises:
+            EmptyCollectionError: if the collection is empty.
+        """
+        if not len(self):
+            raise EmptyCollectionError("span() of an empty collection")
+        return int(self.starts.min()), int(self.ends.max())
+
+    def domain_length(self) -> int:
+        """Length Λ of the domain spanned by the collection."""
+        lo, hi = self.span()
+        return hi - lo
+
+    def durations(self) -> np.ndarray:
+        """Array of interval durations."""
+        return self.ends - self.starts
+
+    def mean_duration(self) -> float:
+        """Mean interval length λ_s (0.0 for an empty collection)."""
+        if not len(self):
+            return 0.0
+        return float(np.mean(self.durations()))
+
+    def max_duration(self) -> int:
+        """Maximum interval length."""
+        if not len(self):
+            return 0
+        return int(self.durations().max())
+
+    def min_duration(self) -> int:
+        """Minimum interval length."""
+        if not len(self):
+            return 0
+        return int(self.durations().min())
+
+    # ------------------------------------------------------------------ #
+    # manipulation
+    # ------------------------------------------------------------------ #
+    def extend(self, other: "IntervalCollection") -> "IntervalCollection":
+        """Return a new collection that is the concatenation of two collections."""
+        return IntervalCollection(
+            ids=np.concatenate([self.ids, other.ids]),
+            starts=np.concatenate([self.starts, other.starts]),
+            ends=np.concatenate([self.ends, other.ends]),
+        )
+
+    def subset(self, positions: Sequence[int] | np.ndarray) -> "IntervalCollection":
+        """Return a new collection with the rows at ``positions``."""
+        positions = np.asarray(positions, dtype=np.int64)
+        return IntervalCollection(
+            ids=self.ids[positions],
+            starts=self.starts[positions],
+            ends=self.ends[positions],
+        )
+
+    def shuffled(self, seed: Optional[int] = None) -> "IntervalCollection":
+        """Return a randomly permuted copy of the collection."""
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self))
+        return self.subset(order)
+
+    # ------------------------------------------------------------------ #
+    # brute-force query answering (used as ground truth)
+    # ------------------------------------------------------------------ #
+    def query_ids(self, query: Query) -> np.ndarray:
+        """Ids of all intervals overlapping ``query`` via a vectorised scan."""
+        mask = (self.starts <= query.end) & (query.start <= self.ends)
+        return self.ids[mask]

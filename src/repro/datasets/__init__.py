@@ -1,0 +1,35 @@
+"""Dataset generators and I/O.
+
+The paper evaluates on four real datasets (BOOKS, WEBKIT, TAXIS, GREEND) and
+a family of synthetic datasets.  The real datasets are not redistributable,
+so :mod:`repro.datasets.real_like` generates synthetic stand-ins matching the
+characteristics reported in the paper's Table 4, and
+:mod:`repro.datasets.synthetic` implements the Table 5 generator (zipfian
+interval lengths, normally distributed positions).
+"""
+
+from repro.datasets.io import load_intervals_csv, save_intervals_csv
+from repro.datasets.real_like import (
+    REAL_DATASET_PROFILES,
+    DatasetProfile,
+    generate_books_like,
+    generate_greend_like,
+    generate_real_like,
+    generate_taxis_like,
+    generate_webkit_like,
+)
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic
+
+__all__ = [
+    "DatasetProfile",
+    "REAL_DATASET_PROFILES",
+    "SyntheticConfig",
+    "generate_books_like",
+    "generate_greend_like",
+    "generate_real_like",
+    "generate_synthetic",
+    "generate_taxis_like",
+    "generate_webkit_like",
+    "load_intervals_csv",
+    "save_intervals_csv",
+]

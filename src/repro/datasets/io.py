@@ -1,0 +1,67 @@
+"""Loading and saving interval collections.
+
+The paper's datasets ship as plain text files with one ``start end`` pair per
+line; this module reads and writes the equivalent CSV form (``id,start,end``
+or ``start,end``) so users can plug in their own data.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.errors import InvalidIntervalError
+from repro.core.interval import IntervalCollection
+
+__all__ = ["load_intervals_csv", "save_intervals_csv"]
+
+
+def load_intervals_csv(path: Union[str, Path], has_header: bool = False) -> IntervalCollection:
+    """Load a collection from a CSV file.
+
+    Rows may have two columns (``start,end``; ids are assigned sequentially)
+    or three columns (``id,start,end``).
+
+    Raises:
+        InvalidIntervalError: on malformed rows.
+    """
+    path = Path(path)
+    ids: list[int] = []
+    starts: list[int] = []
+    ends: list[int] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        for row_number, row in enumerate(reader):
+            if has_header and row_number == 0:
+                continue
+            if not row:
+                continue
+            try:
+                if len(row) == 2:
+                    ids.append(len(ids))
+                    starts.append(int(row[0]))
+                    ends.append(int(row[1]))
+                elif len(row) >= 3:
+                    ids.append(int(row[0]))
+                    starts.append(int(row[1]))
+                    ends.append(int(row[2]))
+                else:
+                    raise ValueError("expected 2 or 3 columns")
+            except ValueError as exc:
+                raise InvalidIntervalError(
+                    f"{path}:{row_number + 1}: malformed row {row!r}: {exc}"
+                ) from exc
+    return IntervalCollection(ids=ids, starts=starts, ends=ends)
+
+
+def save_intervals_csv(collection: IntervalCollection, path: Union[str, Path]) -> None:
+    """Write a collection as ``id,start,end`` rows."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = np.column_stack([collection.ids, collection.starts, collection.ends])
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerows(data.tolist())

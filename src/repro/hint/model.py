@@ -1,0 +1,200 @@
+"""Analytical cost model for HINT^m (paper Sections 3.2.3 and 3.3).
+
+The model estimates, from simple dataset statistics (cardinality ``n``, mean
+interval length ``lambda_s``, mean query extent ``lambda_q`` and the raw
+domain length ``Lambda``):
+
+* the expected replication factor ``k`` -- the average number of partitions
+  an interval is assigned to (Theorem 1),
+* the expected number of partitions requiring comparisons (Lemma 4: at most
+  four, fewer when the query is shorter than a bottom-level partition),
+* the expected query cost ``C_cmp + C_acc`` for a given ``m`` and, from it,
+  the smallest ``m`` whose cost is within a tolerance of the comparison-free
+  optimum -- the ``m_opt`` rule of Section 3.3,
+* the expected number of query results ``|Q| = n * (lambda_s + lambda_q) /
+  Lambda`` (the selectivity estimate of [28] the paper relies on).
+
+The per-item costs ``beta_cmp`` (one comparison) and ``beta_acc`` (reporting
+one id from a comparison-free partition) are machine-dependent;
+:func:`measure_betas` estimates them with a micro-benchmark so the model can
+be applied to the Python runtime the reproduction executes on.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.interval import IntervalCollection
+
+__all__ = [
+    "CostModel",
+    "DatasetStatistics",
+    "estimate_m_opt",
+    "expected_comparison_partitions",
+    "expected_result_count",
+    "measure_betas",
+    "replication_factor",
+]
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """The statistics the Section 3.3 model needs.
+
+    Attributes:
+        cardinality: number of intervals ``n``.
+        mean_interval_length: ``lambda_s``.
+        domain_length: ``Lambda`` -- length of the raw domain spanned by the data.
+        domain_bits: ``m'`` -- bits needed to represent the raw domain exactly.
+    """
+
+    cardinality: int
+    mean_interval_length: float
+    domain_length: int
+    domain_bits: int
+
+    @classmethod
+    def from_collection(cls, collection: IntervalCollection) -> "DatasetStatistics":
+        """Compute the statistics of a collection."""
+        domain_length = max(1, collection.domain_length())
+        return cls(
+            cardinality=len(collection),
+            mean_interval_length=collection.mean_duration(),
+            domain_length=domain_length,
+            domain_bits=max(1, int(domain_length).bit_length()),
+        )
+
+
+def replication_factor(stats: DatasetStatistics, m: int) -> float:
+    """Expected replication factor ``k`` of HINT^m (Theorem 1).
+
+    ``k = log2(2^(log2(lambda) - m' + m) + 1)``: the number of levels an
+    average interval is assigned to, which is also the average number of
+    partitions per interval because each level receives one partition in
+    expectation (Lemma 3).
+    """
+    lam = max(stats.mean_interval_length, 1.0)
+    exponent = math.log2(lam) - stats.domain_bits + m
+    return max(1.0, math.log2(2.0**exponent + 1.0))
+
+
+def expected_result_count(stats: DatasetStatistics, query_extent: float) -> float:
+    """Expected number of range-query results ``|Q|`` (selectivity model of [28])."""
+    return (
+        stats.cardinality
+        * (stats.mean_interval_length + query_extent)
+        / max(stats.domain_length, 1)
+    )
+
+
+def expected_comparison_partitions(m: int, query_extent: float, domain_length: int) -> float:
+    """Expected number of partitions requiring comparisons (Lemma 4).
+
+    For long queries the expectation converges to ``2 + 1 + 0.5 + ... = 4``.
+    When the query is shorter than a bottom-level partition the first and last
+    relevant partitions often coincide, so the expectation is reduced
+    accordingly (never below 1).
+    """
+    partition_extent = max(domain_length, 1) / float(1 << m)
+    if query_extent >= partition_extent:
+        return 4.0
+    # probability that the query spans two bottom-level partitions
+    p_two = query_extent / partition_extent
+    bottom = 1.0 + p_two
+    # each level above halves the chance that a boundary partition still
+    # requires comparisons
+    upper = sum(p_two * (0.5**i) for i in range(1, m + 1))
+    return min(4.0, bottom + upper)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """The query-cost model of Section 3.3.
+
+    Attributes:
+        stats: dataset statistics.
+        beta_cmp: cost of one endpoint comparison (seconds).
+        beta_acc: cost of accessing/reporting one comparison-free result (seconds).
+    """
+
+    stats: DatasetStatistics
+    beta_cmp: float = 2.0e-8
+    beta_acc: float = 1.0e-8
+
+    def comparison_cost(self, m: int) -> float:
+        """``C_cmp``: comparisons dominated by two bottom-level partitions."""
+        per_partition = self.stats.cardinality / float(1 << m)
+        return self.beta_cmp * 2.0 * per_partition
+
+    def access_cost(self, m: int, query_extent: float) -> float:
+        """``C_acc``: results reported from comparison-free partitions."""
+        expected_results = expected_result_count(self.stats, query_extent)
+        comparison_results = 2.0 * self.stats.cardinality / float(1 << m)
+        return self.beta_acc * max(0.0, expected_results - comparison_results)
+
+    def query_cost(self, m: int, query_extent: float) -> float:
+        """Total expected evaluation cost ``C_cmp + C_acc`` for one query."""
+        return self.comparison_cost(m) + self.access_cost(m, query_extent)
+
+    def space_cost(self, m: int) -> float:
+        """Expected stored entries (``n * k``), a proxy for the index footprint."""
+        return self.stats.cardinality * replication_factor(self.stats, m)
+
+
+def estimate_m_opt(
+    stats: DatasetStatistics,
+    query_extent: float,
+    beta_cmp: float = 2.0e-8,
+    beta_acc: float = 1.0e-8,
+    tolerance: float = 0.03,
+    max_m: Optional[int] = None,
+) -> int:
+    """The ``m_opt`` rule of Section 3.3.
+
+    Sweeps ``m`` from 1 to the comparison-free maximum ``m'`` and returns the
+    smallest ``m`` whose expected cost is within ``tolerance`` (3% by default,
+    the figure used in the paper's Table 7) of the ``m = m'`` cost.
+    """
+    model = CostModel(stats=stats, beta_cmp=beta_cmp, beta_acc=beta_acc)
+    upper = stats.domain_bits if max_m is None else min(max_m, stats.domain_bits)
+    upper = max(1, upper)
+    best_cost = model.query_cost(upper, query_extent)
+    threshold = best_cost * (1.0 + tolerance)
+    for m in range(1, upper + 1):
+        if model.query_cost(m, query_extent) <= threshold:
+            return m
+    return upper
+
+
+def measure_betas(sample_size: int = 200_000, repeats: int = 3) -> Tuple[float, float]:
+    """Micro-benchmark ``beta_cmp`` and ``beta_acc`` on the current machine.
+
+    ``beta_cmp`` is measured as the per-item cost of a vectorised endpoint
+    comparison plus masked extraction; ``beta_acc`` as the per-item cost of
+    slicing ids out of a contiguous array -- the two inner loops of the
+    optimized HINT^m.
+    """
+    rng = np.random.default_rng(7)
+    starts = rng.integers(0, 1 << 30, sample_size)
+    ends = starts + rng.integers(0, 1 << 20, sample_size)
+    ids = np.arange(sample_size, dtype=np.int64)
+
+    best_cmp = math.inf
+    best_acc = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        mask = (starts <= (1 << 29)) & ((1 << 28) <= ends)
+        _ = ids[mask]
+        t1 = time.perf_counter()
+        best_cmp = min(best_cmp, (t1 - t0) / sample_size)
+
+        t0 = time.perf_counter()
+        _ = ids[: sample_size // 2].tolist()
+        t1 = time.perf_counter()
+        best_acc = min(best_acc, (t1 - t0) / (sample_size // 2))
+    return best_cmp, best_acc

@@ -1,0 +1,103 @@
+"""Hierarchical partition assignment (paper Algorithm 1) and related helpers.
+
+HINT defines, over the discrete domain ``[0, 2^m - 1]``, a hierarchy of
+``m + 1`` levels where level ``l`` consists of ``2^l`` partitions
+``P[l,0] .. P[l,2^l - 1]``.  Every interval is assigned to the smallest set of
+partitions that collectively cover it -- at most two partitions per level.
+
+The assignment walks the levels bottom-up keeping two cursors ``a`` and ``b``
+(initially the interval's endpoints): if the last bit of ``a`` is 1 the
+partition ``P[l,a]`` is taken and ``a`` advances; if the last bit of ``b`` is
+0 the partition ``P[l,b]`` is taken and ``b`` retreats; then both cursors drop
+their last bit and the procedure moves one level up, stopping as soon as
+``a > b``.
+
+Each interval is an *original* in exactly one of its partitions -- the one
+whose offset equals the prefix of the interval's start point at that level --
+and a *replica* everywhere else.  This split is what lets HINT report results
+without producing duplicates (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+__all__ = [
+    "PartitionAssignment",
+    "partition_assignments",
+    "relevant_offsets",
+    "covered_range",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionAssignment:
+    """One partition an interval is assigned to.
+
+    Attributes:
+        level: index level (0 = root, ``m`` = finest).
+        offset: partition offset within the level (``0 .. 2^level - 1``).
+        is_original: True when the interval *starts* inside this partition
+            (it belongs to the originals division ``P^O``), False when it is a
+            replica (``P^R``).
+    """
+
+    level: int
+    offset: int
+    is_original: bool
+
+
+def partition_assignments(m: int, start: int, end: int) -> List[PartitionAssignment]:
+    """Run Algorithm 1: partitions covering ``[start, end]`` in a ``m``-level HINT.
+
+    Args:
+        m: number of bits of the discrete domain (levels are ``0..m``).
+        start: discrete start point, in ``[0, 2^m - 1]``.
+        end: discrete end point, ``start <= end < 2^m``.
+
+    Returns:
+        The at-most ``2(m+1)`` partition assignments, ordered bottom-up.
+    """
+    if start > end:
+        raise ValueError(f"start ({start}) > end ({end})")
+    if start < 0 or end >= (1 << m):
+        raise ValueError(f"interval [{start}, {end}] outside domain [0, {(1 << m) - 1}]")
+    assignments: List[PartitionAssignment] = []
+    a = start
+    b = end
+    level = m
+    while level >= 0 and a <= b:
+        start_prefix = start >> (m - level)
+        if a & 1:
+            assignments.append(PartitionAssignment(level, a, a == start_prefix))
+            a += 1
+        if not (b & 1):
+            assignments.append(PartitionAssignment(level, b, b == start_prefix))
+            b -= 1
+        a >>= 1
+        b >>= 1
+        level -= 1
+    return assignments
+
+
+def relevant_offsets(m: int, level: int, q_start: int, q_end: int) -> Tuple[int, int]:
+    """Offsets ``(f, l)`` of the first/last partitions at ``level`` overlapping the query.
+
+    These are the ``level``-bit prefixes of the discrete query endpoints
+    (Section 3.1.1).
+    """
+    shift = m - level
+    return q_start >> shift, q_end >> shift
+
+
+def covered_range(m: int, level: int, offset: int) -> Tuple[int, int]:
+    """Discrete ``[first, last]`` domain values covered by partition ``P[level, offset]``."""
+    width = 1 << (m - level)
+    first = offset * width
+    return first, first + width - 1
+
+
+def iter_levels_bottom_up(m: int) -> Iterator[int]:
+    """Levels in the order Algorithm 3 visits them (``m`` down to 0)."""
+    return iter(range(m, -1, -1))

@@ -1,0 +1,71 @@
+"""Instrumentation helpers used to validate the paper's analysis empirically.
+
+The paper's Table 7 reports, per dataset, the replication factor ``k`` (both
+as predicted by Theorem 1 and as measured on the built index) and the average
+number of partitions for which comparisons were conducted (bounded by 4 in
+expectation, Lemma 4).  These helpers compute the measured side over a query
+workload without relying on wall-clock time, which keeps the validation
+meaningful even though this reproduction runs on an interpreter rather than
+the paper's C++/-O3 testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Iterable, List, Sequence
+
+from repro.core.base import IntervalIndex, QueryStats
+from repro.core.interval import Query
+
+__all__ = ["WorkloadStatistics", "collect_workload_statistics"]
+
+
+@dataclass(frozen=True)
+class WorkloadStatistics:
+    """Aggregated :class:`repro.core.base.QueryStats` over a workload.
+
+    Attributes:
+        queries: number of queries executed.
+        avg_results: mean result-set size.
+        avg_comparisons: mean number of endpoint comparisons per query.
+        avg_partitions_accessed: mean partitions (or nodes/cells) visited.
+        avg_partitions_compared: mean partitions requiring comparisons
+            (the Lemma 4 quantity for HINT^m).
+        avg_candidates: mean intervals inspected per query.
+        false_hit_ratio: fraction of inspected intervals that were not results.
+    """
+
+    queries: int
+    avg_results: float
+    avg_comparisons: float
+    avg_partitions_accessed: float
+    avg_partitions_compared: float
+    avg_candidates: float
+    false_hit_ratio: float
+
+
+def collect_workload_statistics(
+    index: IntervalIndex, queries: Sequence[Query]
+) -> WorkloadStatistics:
+    """Run ``queries`` through ``index.query_with_stats`` and aggregate the counters."""
+    if not queries:
+        raise ValueError("workload must contain at least one query")
+    stats_list: List[QueryStats] = []
+    for query in queries:
+        _, stats = index.query_with_stats(query)
+        stats_list.append(stats)
+    total_candidates = sum(s.candidates for s in stats_list)
+    total_results = sum(s.results for s in stats_list)
+    false_hits = 0.0
+    if total_candidates > 0:
+        false_hits = max(0.0, (total_candidates - total_results) / total_candidates)
+    return WorkloadStatistics(
+        queries=len(stats_list),
+        avg_results=mean(s.results for s in stats_list),
+        avg_comparisons=mean(s.comparisons for s in stats_list),
+        avg_partitions_accessed=mean(s.partitions_accessed for s in stats_list),
+        avg_partitions_compared=mean(s.partitions_compared for s in stats_list),
+        avg_candidates=mean(s.candidates for s in stats_list),
+        false_hit_ratio=false_hits,
+    )

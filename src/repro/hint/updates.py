@@ -1,0 +1,165 @@
+"""Update handling for HINT^m (paper Sections 3.4 and 4.4).
+
+The fully optimized HINT^m is query-optimized and static, so mixed workloads
+use the paper's *hybrid* setting:
+
+* a **main index** (:class:`repro.hint.optimized.OptimizedHINTm`) holding the
+  bulk of the data, rebuilt periodically in batches,
+* a **delta index** (:class:`repro.hint.subdivided.SubdividedHINTm`, the
+  update-friendly ``subs+sopt`` configuration without sorted subdivisions)
+  that absorbs the latest insertions one by one,
+* **tombstones** for deletions, applied to whichever of the two indexes holds
+  the deleted interval.
+
+Every query probes both indexes and concatenates the results (the two are
+disjoint by construction).  :meth:`HybridHINTm.rebuild` merges the delta into
+a freshly built main index, which is what a periodic batch update does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.base import IntervalIndex, QueryStats
+from repro.core.domain import Domain
+from repro.core.interval import Interval, IntervalCollection, Query
+from repro.hint.optimized import OptimizedHINTm
+from repro.hint.subdivided import SubdividedHINTm
+
+__all__ = ["HybridHINTm"]
+
+
+class HybridHINTm(IntervalIndex):
+    """Hybrid HINT^m: optimized main index plus an update-friendly delta.
+
+    Args:
+        collection: the initially indexed intervals (go to the main index).
+        num_bits: the ``m`` parameter used by both component indexes.
+        rebuild_threshold: when the delta grows beyond this fraction of the
+            main index, :meth:`insert` triggers an automatic :meth:`rebuild`.
+            Set to ``None`` to disable automatic rebuilds.
+    """
+
+    name = "hint-m-hybrid"
+
+    def __init__(
+        self,
+        collection: IntervalCollection,
+        num_bits: int = 10,
+        rebuild_threshold: Optional[float] = None,
+    ) -> None:
+        self._m = num_bits
+        self._rebuild_threshold = rebuild_threshold
+        # share one domain so both component indexes agree on partition bounds
+        self._domain = Domain.for_collection(collection.starts, collection.ends, num_bits)
+        self._main = OptimizedHINTm(collection, num_bits=num_bits, domain=self._domain)
+        self._delta = SubdividedHINTm(
+            IntervalCollection.empty(),
+            num_bits=num_bits,
+            sort_subdivisions=False,
+            storage_optimization=True,
+            domain=self._domain,
+        )
+        self._rebuilds = 0
+
+    @classmethod
+    def build(
+        cls, collection: IntervalCollection, num_bits: int = 10, **kwargs
+    ) -> "HybridHINTm":
+        return cls(collection, num_bits=num_bits, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_bits(self) -> int:
+        """The ``m`` parameter."""
+        return self._m
+
+    @property
+    def main_index(self) -> OptimizedHINTm:
+        """The optimized, periodically rebuilt component."""
+        return self._main
+
+    @property
+    def delta_index(self) -> SubdividedHINTm:
+        """The update-friendly component absorbing recent insertions."""
+        return self._delta
+
+    @property
+    def delta_size(self) -> int:
+        """Number of live intervals currently in the delta index."""
+        return len(self._delta)
+
+    @property
+    def rebuilds(self) -> int:
+        """How many times the main index has been rebuilt."""
+        return self._rebuilds
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def insert(self, interval: Interval) -> None:
+        """Insert into the delta index; optionally trigger a batch rebuild."""
+        self._delta.insert(interval)
+        if (
+            self._rebuild_threshold is not None
+            and len(self._main) > 0
+            and len(self._delta) >= self._rebuild_threshold * len(self._main)
+        ):
+            self.rebuild()
+
+    def delete(self, interval_id: int) -> bool:
+        """Delete from whichever component holds the interval (tombstones)."""
+        if self._delta.delete(interval_id):
+            return True
+        return self._main.delete(interval_id)
+
+    def rebuild(self) -> None:
+        """Merge the delta into a freshly built main index (batch update)."""
+        live: List[Interval] = list(self._main._interval_lookup().values())
+        live.extend(self._delta._interval_lookup().values())
+        collection = IntervalCollection.from_intervals(live)
+        self._domain = Domain.for_collection(collection.starts, collection.ends, self._m)
+        self._main = OptimizedHINTm(collection, num_bits=self._m, domain=self._domain)
+        self._delta = SubdividedHINTm(
+            IntervalCollection.empty(),
+            num_bits=self._m,
+            sort_subdivisions=False,
+            storage_optimization=True,
+            domain=self._domain,
+        )
+        self._rebuilds += 1
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query(self, query: Query) -> List[int]:
+        results = self._main.query(query)
+        if len(self._delta):
+            results.extend(self._delta.query(query))
+        return results
+
+    def query_with_stats(self, query: Query) -> tuple[List[int], QueryStats]:
+        results, stats = self._main.query_with_stats(query)
+        if len(self._delta):
+            delta_results, delta_stats = self._delta.query_with_stats(query)
+            results.extend(delta_results)
+            stats.comparisons += delta_stats.comparisons
+            stats.partitions_accessed += delta_stats.partitions_accessed
+            stats.partitions_compared += delta_stats.partitions_compared
+            stats.candidates += delta_stats.candidates
+        stats.results = len(results)
+        return results, stats
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._main) + len(self._delta)
+
+    def memory_bytes(self) -> int:
+        return self._main.memory_bytes() + self._delta.memory_bytes()
+
+    def _interval_lookup(self) -> Dict[int, Interval]:
+        lookup = self._main._interval_lookup()
+        lookup.update(self._delta._interval_lookup())
+        return lookup

@@ -1,0 +1,13 @@
+"""Query and workload generators (paper Section 5.1 and 5.4)."""
+
+from repro.queries.generator import QueryWorkloadConfig, generate_queries, generate_stabbing_queries
+from repro.queries.workload import MixedWorkload, Operation, generate_mixed_workload
+
+__all__ = [
+    "MixedWorkload",
+    "Operation",
+    "QueryWorkloadConfig",
+    "generate_mixed_workload",
+    "generate_queries",
+    "generate_stabbing_queries",
+]

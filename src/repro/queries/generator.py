@@ -1,0 +1,74 @@
+"""Range / stabbing query workload generation (paper Section 5.1).
+
+The paper runs 10k random range queries per measurement.  Query extents are a
+fixed percentage of the domain size (0.01% .. 1%, default 0.1%); query
+positions are uniform over the domain for the real datasets and follow the
+data distribution for the synthetic ones.  Stabbing queries are range queries
+of zero extent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Literal, Optional, Sequence
+
+import numpy as np
+
+from repro.core.interval import IntervalCollection, Query
+
+__all__ = ["QueryWorkloadConfig", "generate_queries", "generate_stabbing_queries"]
+
+
+@dataclass(frozen=True)
+class QueryWorkloadConfig:
+    """Parameters of a range-query workload.
+
+    Attributes:
+        count: number of queries (the paper uses 10k).
+        extent_fraction: query extent as a fraction of the domain length
+            (the paper's default is 0.001, i.e. 0.1%).  0 yields stabbing
+            queries.
+        placement: ``"uniform"`` draws query start positions uniformly over
+            the domain; ``"data"`` draws them from the positions of the data
+            intervals (the paper does this for the synthetic datasets).
+        seed: RNG seed.
+    """
+
+    count: int = 1000
+    extent_fraction: float = 0.001
+    placement: Literal["uniform", "data"] = "uniform"
+    seed: int = 123
+
+
+def generate_queries(
+    collection: IntervalCollection, config: QueryWorkloadConfig = QueryWorkloadConfig()
+) -> List[Query]:
+    """Generate a range-query workload over the span of ``collection``."""
+    if config.count <= 0:
+        return []
+    if not len(collection):
+        return [Query(0, 0) for _ in range(config.count)]
+    lo, hi = collection.span()
+    domain_length = max(1, hi - lo)
+    extent = int(round(config.extent_fraction * domain_length))
+    rng = np.random.default_rng(config.seed)
+    if config.placement == "data":
+        positions = rng.choice(collection.starts, size=config.count, replace=True)
+    else:
+        positions = rng.integers(lo, hi + 1, size=config.count)
+    queries: List[Query] = []
+    for position in positions:
+        start = int(position)
+        end = min(start + extent, hi)
+        if end < start:
+            end = start
+        queries.append(Query(start, end))
+    return queries
+
+
+def generate_stabbing_queries(
+    collection: IntervalCollection, count: int = 1000, seed: int = 123
+) -> List[Query]:
+    """Generate a stabbing-query workload (range queries of zero extent)."""
+    config = QueryWorkloadConfig(count=count, extent_fraction=0.0, seed=seed)
+    return generate_queries(collection, config)

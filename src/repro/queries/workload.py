@@ -1,0 +1,98 @@
+"""Mixed query / insert / delete workloads (paper Section 5.4, Table 10).
+
+The paper's update experiment indexes the first 90% of a dataset offline and
+then runs a mixed workload of 10k range queries (0.1% extent), 5k insertions
+of intervals drawn from the remaining 10%, and 1k deletions of random indexed
+intervals.  :func:`generate_mixed_workload` reproduces that recipe at a
+configurable scale.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.interval import Interval, IntervalCollection, Query
+from repro.queries.generator import QueryWorkloadConfig, generate_queries
+
+__all__ = ["Operation", "MixedWorkload", "generate_mixed_workload"]
+
+
+class Operation(enum.Enum):
+    """Kinds of operations a mixed workload contains."""
+
+    QUERY = "query"
+    INSERT = "insert"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class MixedWorkload:
+    """A pre-loaded collection plus a shuffled stream of operations.
+
+    Attributes:
+        preload: intervals to index before running the workload (the 90%).
+        operations: sequence of ``(Operation, payload)`` pairs where the
+            payload is a :class:`Query`, an :class:`Interval` to insert, or an
+            interval id to delete.
+    """
+
+    preload: IntervalCollection
+    operations: Tuple[Tuple[Operation, Union[Query, Interval, int]], ...]
+
+    @property
+    def counts(self) -> dict:
+        """Number of operations per kind."""
+        result = {op: 0 for op in Operation}
+        for op, _ in self.operations:
+            result[op] += 1
+        return result
+
+
+def generate_mixed_workload(
+    collection: IntervalCollection,
+    num_queries: int = 1000,
+    num_insertions: int = 500,
+    num_deletions: int = 100,
+    query_extent_fraction: float = 0.001,
+    preload_fraction: float = 0.9,
+    shuffle: bool = True,
+    seed: int = 99,
+) -> MixedWorkload:
+    """Build a Table 10-style mixed workload from ``collection``.
+
+    The first ``preload_fraction`` of the (shuffled) collection becomes the
+    preload; insertions are drawn from the remainder; deletions pick random
+    ids from the preload.
+    """
+    rng = np.random.default_rng(seed)
+    shuffled = collection.shuffled(seed=seed)
+    split = int(len(shuffled) * preload_fraction)
+    preload = shuffled.subset(np.arange(split))
+    remainder = shuffled.subset(np.arange(split, len(shuffled)))
+
+    queries = generate_queries(
+        preload,
+        QueryWorkloadConfig(
+            count=num_queries, extent_fraction=query_extent_fraction, seed=seed
+        ),
+    )
+    operations: List[Tuple[Operation, Union[Query, Interval, int]]] = [
+        (Operation.QUERY, q) for q in queries
+    ]
+
+    num_insertions = min(num_insertions, len(remainder))
+    for position in range(num_insertions):
+        operations.append((Operation.INSERT, remainder[position]))
+
+    if len(preload):
+        delete_ids = rng.choice(preload.ids, size=min(num_deletions, len(preload)), replace=False)
+        operations.extend((Operation.DELETE, int(sid)) for sid in delete_ids)
+
+    if shuffle:
+        order = rng.permutation(len(operations))
+        operations = [operations[i] for i in order]
+    return MixedWorkload(preload=preload, operations=tuple(operations))

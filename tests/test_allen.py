@@ -1,0 +1,159 @@
+"""Unit and property tests for Allen's interval algebra (repro.core.allen)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allen import (
+    RANGE_QUERY_RELATIONS,
+    AllenRelation,
+    allen_relation,
+    filter_by_relation,
+    satisfies_relation,
+)
+from repro.core.interval import Interval, Query
+
+
+def make(a, b, c, d):
+    return Interval(0, a, b), Query(c, d)
+
+
+class TestIndividualRelations:
+    def test_before(self):
+        s, q = make(1, 3, 5, 9)
+        assert allen_relation(s, q) is AllenRelation.BEFORE
+
+    def test_meets(self):
+        s, q = make(1, 5, 5, 9)
+        assert allen_relation(s, q) is AllenRelation.MEETS
+
+    def test_overlaps(self):
+        s, q = make(1, 6, 5, 9)
+        assert allen_relation(s, q) is AllenRelation.OVERLAPS
+
+    def test_starts(self):
+        s, q = make(5, 7, 5, 9)
+        assert allen_relation(s, q) is AllenRelation.STARTS
+
+    def test_during(self):
+        s, q = make(6, 8, 5, 9)
+        assert allen_relation(s, q) is AllenRelation.DURING
+
+    def test_finishes(self):
+        s, q = make(7, 9, 5, 9)
+        assert allen_relation(s, q) is AllenRelation.FINISHES
+
+    def test_equals(self):
+        s, q = make(5, 9, 5, 9)
+        assert allen_relation(s, q) is AllenRelation.EQUALS
+
+    def test_finished_by(self):
+        s, q = make(3, 9, 5, 9)
+        assert allen_relation(s, q) is AllenRelation.FINISHED_BY
+
+    def test_contains(self):
+        s, q = make(3, 11, 5, 9)
+        assert allen_relation(s, q) is AllenRelation.CONTAINS
+
+    def test_started_by(self):
+        s, q = make(5, 11, 5, 9)
+        assert allen_relation(s, q) is AllenRelation.STARTED_BY
+
+    def test_overlapped_by(self):
+        s, q = make(7, 11, 5, 9)
+        assert allen_relation(s, q) is AllenRelation.OVERLAPPED_BY
+
+    def test_met_by(self):
+        s, q = make(9, 11, 5, 9)
+        assert allen_relation(s, q) is AllenRelation.MET_BY
+
+    def test_after(self):
+        s, q = make(10, 12, 5, 9)
+        assert allen_relation(s, q) is AllenRelation.AFTER
+
+
+class TestDegenerateIntervals:
+    def test_point_interval_starts(self):
+        s, q = make(5, 5, 5, 9)
+        assert allen_relation(s, q) is AllenRelation.STARTS
+
+    def test_point_interval_finishes(self):
+        s, q = make(9, 9, 5, 9)
+        assert allen_relation(s, q) is AllenRelation.FINISHES
+
+    def test_point_query_started_by(self):
+        s, q = make(5, 9, 5, 5)
+        assert allen_relation(s, q) is AllenRelation.STARTED_BY
+
+    def test_point_query_finished_by(self):
+        s, q = make(2, 5, 5, 5)
+        assert allen_relation(s, q) is AllenRelation.FINISHED_BY
+
+    def test_point_equals_point(self):
+        s, q = make(5, 5, 5, 5)
+        assert allen_relation(s, q) is AllenRelation.EQUALS
+
+
+class TestRelationSets:
+    def test_range_query_relations_exclude_disjoint(self):
+        assert AllenRelation.BEFORE not in RANGE_QUERY_RELATIONS
+        assert AllenRelation.AFTER not in RANGE_QUERY_RELATIONS
+        assert len(RANGE_QUERY_RELATIONS) == 11
+
+    def test_overlap_iff_relation_in_range_set(self):
+        q = Query(5, 9)
+        for a in range(0, 13):
+            for b in range(a, 13):
+                s = Interval(0, a, b)
+                relation = allen_relation(s, q)
+                assert (relation in RANGE_QUERY_RELATIONS) == s.overlaps(q)
+
+    def test_filter_by_relation(self):
+        q = Query(5, 10)
+        intervals = [Interval(i, i, i + 3) for i in range(0, 12)]
+        during = filter_by_relation(intervals, q, AllenRelation.DURING)
+        assert [s.id for s in during] == [6]
+        before = filter_by_relation(intervals, q, AllenRelation.BEFORE)
+        assert all(s.end < q.start for s in before)
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    a=st.integers(0, 30),
+    length_s=st.integers(0, 30),
+    c=st.integers(0, 30),
+    length_q=st.integers(0, 30),
+)
+def test_relations_are_exhaustive_and_mutually_exclusive(a, length_s, c, length_q):
+    """Exactly one Allen relation holds for any pair of (possibly point) intervals."""
+    s = Interval(0, a, a + length_s)
+    q = Query(c, c + length_q)
+    matches = [r for r in AllenRelation if satisfies_relation(s, q, r)]
+    assert len(matches) == 1
+    assert allen_relation(s, q) is matches[0]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    a=st.integers(0, 30),
+    length_s=st.integers(1, 30),
+    c=st.integers(0, 30),
+    length_q=st.integers(1, 30),
+)
+def test_inverse_relations_for_proper_intervals(a, length_s, c, length_q):
+    """Swapping the roles of interval and query yields the inverse relation."""
+    inverse = {
+        AllenRelation.BEFORE: AllenRelation.AFTER,
+        AllenRelation.MEETS: AllenRelation.MET_BY,
+        AllenRelation.OVERLAPS: AllenRelation.OVERLAPPED_BY,
+        AllenRelation.STARTS: AllenRelation.STARTED_BY,
+        AllenRelation.DURING: AllenRelation.CONTAINS,
+        AllenRelation.FINISHES: AllenRelation.FINISHED_BY,
+        AllenRelation.EQUALS: AllenRelation.EQUALS,
+    }
+    inverse.update({v: k for k, v in list(inverse.items())})
+    s = Interval(0, a, a + length_s)
+    q = Query(c, c + length_q)
+    forward = allen_relation(s, q)
+    backward = allen_relation(Interval(0, q.start, q.end), Query(s.start, s.end))
+    assert inverse[forward] is backward

@@ -1,0 +1,81 @@
+"""Tests for Allen-relation selection queries served through the indexes.
+
+The paper lists Allen-algebra selections as the natural extension of range
+queries (Section 1 and the conclusions); the library answers them by refining
+the range-query candidates of any index.
+"""
+
+import pytest
+
+from repro.baselines.naive import NaiveIndex
+from repro.core.allen import AllenRelation, satisfies_relation
+from repro.core.interval import Query
+from repro.hint import OptimizedHINTm, SubdividedHINTm
+
+
+def oracle_relation(collection, query, relation):
+    return sorted(
+        s.id for s in collection if satisfies_relation(s, query, relation)
+    )
+
+
+@pytest.mark.parametrize(
+    "relation",
+    [
+        AllenRelation.DURING,
+        AllenRelation.CONTAINS,
+        AllenRelation.OVERLAPS,
+        AllenRelation.OVERLAPPED_BY,
+        AllenRelation.STARTS,
+        AllenRelation.FINISHES,
+        AllenRelation.EQUALS,
+        AllenRelation.MEETS,
+        AllenRelation.MET_BY,
+    ],
+)
+def test_overlap_relations_match_oracle(synthetic_collection, relation):
+    index = OptimizedHINTm(synthetic_collection, num_bits=9)
+    lo, hi = synthetic_collection.span()
+    span = hi - lo
+    for i in range(5):
+        start = lo + i * span // 5
+        query = Query(start, min(hi, start + span // 20))
+        assert sorted(index.query_relation(query, relation)) == oracle_relation(
+            synthetic_collection, query, relation
+        )
+
+
+@pytest.mark.parametrize("relation", [AllenRelation.BEFORE, AllenRelation.AFTER])
+def test_disjoint_relations_fall_back_to_scan(synthetic_collection, relation):
+    index = SubdividedHINTm(synthetic_collection, num_bits=8)
+    lo, hi = synthetic_collection.span()
+    query = Query(lo + (hi - lo) // 2, lo + (hi - lo) // 2 + 100)
+    assert sorted(index.query_relation(query, relation)) == oracle_relation(
+        synthetic_collection, query, relation
+    )
+
+
+def test_relation_results_subset_of_range_results(synthetic_collection):
+    index = OptimizedHINTm(synthetic_collection, num_bits=9)
+    lo, hi = synthetic_collection.span()
+    query = Query(lo + (hi - lo) // 3, lo + (hi - lo) // 2)
+    range_results = set(index.query(query))
+    for relation in (AllenRelation.DURING, AllenRelation.CONTAINS, AllenRelation.OVERLAPS):
+        assert set(index.query_relation(query, relation)) <= range_results
+
+
+def test_relations_partition_the_range_results(synthetic_collection):
+    """Each range-query result satisfies exactly one overlapping relation."""
+    from repro.core.allen import RANGE_QUERY_RELATIONS
+
+    index = OptimizedHINTm(synthetic_collection, num_bits=9)
+    naive = NaiveIndex.build(synthetic_collection)
+    lo, hi = synthetic_collection.span()
+    query = Query(lo + (hi - lo) // 4, lo + (hi - lo) // 3)
+    range_results = sorted(index.query(query))
+    assert range_results == sorted(naive.query(query))
+    per_relation = [
+        index.query_relation(query, relation) for relation in RANGE_QUERY_RELATIONS
+    ]
+    flattened = sorted(sid for results in per_relation for sid in results)
+    assert flattened == range_results

@@ -1,0 +1,118 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.interval import Query
+from repro.datasets.io import load_intervals_csv, save_intervals_csv
+
+
+@pytest.fixture()
+def csv_path(tmp_path, tiny_collection):
+    path = tmp_path / "intervals.csv"
+    save_intervals_csv(tiny_collection, path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_requires_target(self, csv_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", str(csv_path)])
+
+    def test_known_indexes_listed(self):
+        parser = build_parser()
+        args = parser.parse_args(["query", "x.csv", "--stab", "3", "--index", "interval-tree"])
+        assert args.index == "interval-tree"
+
+
+class TestQueryCommand:
+    def test_range_query_prints_sorted_ids(self, csv_path, capsys, tiny_collection):
+        assert main(["query", str(csv_path), "--start", "4", "--end", "9"]) == 0
+        output = capsys.readouterr().out.splitlines()
+        ids = [int(line) for line in output if not line.startswith("#")]
+        expected = sorted(tiny_collection.query_ids(Query(4, 9)).tolist())
+        assert ids == expected
+
+    def test_stab_query(self, csv_path, capsys):
+        assert main(["query", str(csv_path), "--stab", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "#" in output
+
+    def test_count_only(self, csv_path, capsys):
+        assert main(["query", str(csv_path), "--start", "0", "--end", "15", "--count-only"]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if not l.startswith("#")]
+        assert lines == ["8"]
+
+    def test_alternative_index(self, csv_path, capsys):
+        assert main(
+            ["query", str(csv_path), "--start", "4", "--end", "9", "--index", "1d-grid"]
+        ) == 0
+        baseline = [
+            l for l in capsys.readouterr().out.splitlines() if not l.startswith("#")
+        ]
+        assert main(["query", str(csv_path), "--start", "4", "--end", "9"]) == 0
+        hint = [l for l in capsys.readouterr().out.splitlines() if not l.startswith("#")]
+        assert baseline == hint
+
+    def test_missing_end_rejected(self, csv_path):
+        with pytest.raises(SystemExit):
+            main(["query", str(csv_path), "--start", "4"])
+
+    def test_empty_csv_rejected(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(SystemExit):
+            main(["query", str(empty), "--stab", "1"])
+
+
+class TestStatsCommand:
+    def test_stats_output(self, csv_path, capsys):
+        assert main(["stats", str(csv_path)]) == 0
+        output = capsys.readouterr().out
+        assert "cardinality:" in output
+        assert "model m_opt:" in output
+        assert "predicted k" in output
+
+
+class TestGenerateCommand:
+    def test_generate_books(self, tmp_path, capsys):
+        output = tmp_path / "books.csv"
+        assert main(["generate", "books", "--cardinality", "200", "--output", str(output)]) == 0
+        generated = load_intervals_csv(output)
+        assert len(generated) == 200
+
+    def test_generate_synthetic(self, tmp_path):
+        output = tmp_path / "syn.csv"
+        assert (
+            main(
+                [
+                    "generate",
+                    "synthetic",
+                    "--cardinality",
+                    "150",
+                    "--domain",
+                    "10000",
+                    "--output",
+                    str(output),
+                ]
+            )
+            == 0
+        )
+        generated = load_intervals_csv(output)
+        assert len(generated) == 150
+        assert generated.ends.max() < 10000
+
+    def test_roundtrip_query_on_generated_data(self, tmp_path, capsys):
+        output = tmp_path / "taxis.csv"
+        main(["generate", "taxis", "--cardinality", "300", "--output", str(output)])
+        capsys.readouterr()
+        assert (
+            main(["query", str(output), "--start", "0", "--end", str(10**9), "--count-only"])
+            == 0
+        )
+        lines = [l for l in capsys.readouterr().out.splitlines() if not l.startswith("#")]
+        assert int(lines[0]) >= 0

@@ -1,0 +1,111 @@
+"""Unit tests for the dataset generators (repro.datasets)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.real_like import (
+    REAL_DATASET_PROFILES,
+    generate_books_like,
+    generate_greend_like,
+    generate_real_like,
+    generate_taxis_like,
+    generate_webkit_like,
+)
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic
+
+
+class TestSyntheticGenerator:
+    def test_cardinality_and_bounds(self):
+        config = SyntheticConfig(domain_length=10_000, cardinality=1_000, seed=3)
+        data = generate_synthetic(config)
+        assert len(data) == 1_000
+        assert data.starts.min() >= 0
+        assert data.ends.max() < 10_000
+        assert np.all(data.ends >= data.starts)
+
+    def test_deterministic_for_seed(self):
+        config = SyntheticConfig(domain_length=5_000, cardinality=500, seed=11)
+        a = generate_synthetic(config)
+        b = generate_synthetic(config)
+        assert np.array_equal(a.starts, b.starts)
+        assert np.array_equal(a.ends, b.ends)
+
+    def test_different_seeds_differ(self):
+        a = generate_synthetic(SyntheticConfig(cardinality=500, seed=1))
+        b = generate_synthetic(SyntheticConfig(cardinality=500, seed=2))
+        assert not np.array_equal(a.starts, b.starts)
+
+    def test_alpha_controls_interval_length(self):
+        """Table 5 / Figure 14: larger alpha means shorter intervals."""
+        long_cfg = SyntheticConfig(domain_length=100_000, cardinality=3_000, alpha=1.01, seed=5)
+        short_cfg = SyntheticConfig(domain_length=100_000, cardinality=3_000, alpha=1.8, seed=5)
+        assert generate_synthetic(long_cfg).mean_duration() > generate_synthetic(
+            short_cfg
+        ).mean_duration()
+
+    def test_sigma_controls_spread(self):
+        """Larger sigma spreads the interval positions over the domain."""
+        narrow = generate_synthetic(
+            SyntheticConfig(domain_length=1_000_000, cardinality=3_000, sigma=1_000, seed=5)
+        )
+        wide = generate_synthetic(
+            SyntheticConfig(domain_length=1_000_000, cardinality=3_000, sigma=200_000, seed=5)
+        )
+        assert np.std(wide.starts) > np.std(narrow.starts)
+
+    def test_zero_cardinality(self):
+        assert len(generate_synthetic(SyntheticConfig(cardinality=0))) == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generate_synthetic(SyntheticConfig(alpha=0.9))
+        with pytest.raises(ValueError):
+            generate_synthetic(SyntheticConfig(domain_length=1))
+
+    def test_scaled_from_paper(self):
+        scaled = SyntheticConfig().scaled_from_paper()
+        assert scaled.domain_length == 128_000_000
+        assert scaled.cardinality == 100_000_000
+
+
+class TestRealLikeGenerators:
+    def test_profiles_present(self):
+        assert set(REAL_DATASET_PROFILES) == {"BOOKS", "WEBKIT", "TAXIS", "GREEND"}
+
+    @pytest.mark.parametrize("name", ["BOOKS", "WEBKIT", "TAXIS", "GREEND"])
+    def test_generated_data_within_domain(self, name):
+        profile = REAL_DATASET_PROFILES[name]
+        data = generate_real_like(profile, cardinality=2_000, seed=1)
+        assert len(data) == 2_000
+        assert data.starts.min() >= 0
+        assert data.ends.max() < profile.domain_length
+        assert np.all(data.ends >= data.starts)
+
+    @pytest.mark.parametrize("name", ["BOOKS", "WEBKIT", "TAXIS", "GREEND"])
+    def test_mean_duration_matches_profile_order_of_magnitude(self, name):
+        profile = REAL_DATASET_PROFILES[name]
+        data = generate_real_like(profile, cardinality=5_000, seed=2)
+        target = max(1.0, profile.mean_duration_fraction * profile.domain_length)
+        measured = max(1.0, data.mean_duration())
+        ratio = measured / target
+        assert 0.2 <= ratio <= 5.0
+
+    def test_books_intervals_long_taxis_intervals_short(self):
+        """Table 4's key contrast: BOOKS has long intervals, TAXIS tiny ones."""
+        books = generate_books_like(cardinality=2_000, seed=3)
+        taxis = generate_taxis_like(cardinality=2_000, seed=3)
+        books_fraction = books.mean_duration() / books.domain_length()
+        taxis_fraction = taxis.mean_duration() / taxis.domain_length()
+        assert books_fraction > 100 * taxis_fraction
+
+    def test_convenience_wrappers(self):
+        assert len(generate_webkit_like(cardinality=100)) == 100
+        assert len(generate_greend_like(cardinality=100)) == 100
+
+    def test_deterministic_for_seed(self):
+        a = generate_books_like(cardinality=500, seed=9)
+        b = generate_books_like(cardinality=500, seed=9)
+        assert np.array_equal(a.starts, b.starts)
+
+    def test_zero_cardinality(self):
+        assert len(generate_books_like(cardinality=0)) == 0

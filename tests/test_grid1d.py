@@ -1,0 +1,89 @@
+"""Unit tests for the 1D-grid baseline (reference-value dedup included)."""
+
+import pytest
+
+from repro.baselines.grid1d import Grid1D
+from repro.baselines.naive import NaiveIndex
+from repro.core.interval import Interval, IntervalCollection, Query
+
+
+class TestGridStructure:
+    def test_invalid_partitions(self, tiny_collection):
+        with pytest.raises(ValueError):
+            Grid1D(tiny_collection, num_partitions=0)
+
+    def test_replication_factor_grows_with_long_intervals(self):
+        short = IntervalCollection.from_pairs([(i * 10, i * 10 + 1) for i in range(100)])
+        long = IntervalCollection.from_pairs([(0, 999)] * 100)
+        grid_short = Grid1D(short, num_partitions=50)
+        grid_long = Grid1D(long, num_partitions=50)
+        assert grid_long.replication_factor > grid_short.replication_factor
+        assert grid_short.replication_factor >= 1.0
+
+    def test_memory_grows_with_replication(self):
+        base = IntervalCollection.from_pairs([(i, i + 1) for i in range(0, 1000, 10)])
+        wide = IntervalCollection.from_pairs([(0, 999)] * 100)
+        assert Grid1D(wide, num_partitions=100).memory_bytes() > Grid1D(
+            base, num_partitions=100
+        ).memory_bytes()
+
+    def test_cell_bounds_partition_domain(self, synthetic_collection):
+        grid = Grid1D(synthetic_collection, num_partitions=37)
+        previous_end = None
+        for cell in range(grid.num_partitions):
+            lo, hi = grid.cell_bounds(cell)
+            assert hi >= lo
+            if previous_end is not None:
+                assert lo == previous_end + 1
+            previous_end = hi
+
+    def test_empty_collection(self):
+        grid = Grid1D(IntervalCollection.empty(), num_partitions=10)
+        assert len(grid) == 0
+        assert grid.query(Query(0, 5)) == []
+
+
+class TestGridQueries:
+    @pytest.mark.parametrize("num_partitions", [1, 3, 16, 200])
+    def test_matches_naive_for_various_resolutions(
+        self, synthetic_collection, synthetic_queries, num_partitions
+    ):
+        grid = Grid1D(synthetic_collection, num_partitions=num_partitions)
+        naive = NaiveIndex.build(synthetic_collection)
+        for q in synthetic_queries[:50]:
+            assert sorted(grid.query(q)) == sorted(naive.query(q))
+
+    def test_no_duplicates_from_replication(self):
+        # every interval spans every cell: without the reference value each
+        # would be reported once per overlapped cell
+        data = IntervalCollection.from_pairs([(0, 999)] * 50)
+        grid = Grid1D(data, num_partitions=10)
+        results = grid.query(Query(100, 900))
+        assert len(results) == len(set(results)) == 50
+
+    def test_query_beyond_grid_boundaries(self, tiny_collection):
+        grid = Grid1D(tiny_collection, num_partitions=4)
+        naive = NaiveIndex.build(tiny_collection)
+        assert sorted(grid.query(Query(-100, 100))) == sorted(naive.query(Query(-100, 100)))
+        assert sorted(grid.query(Query(-5, 2))) == sorted(naive.query(Query(-5, 2)))
+
+    def test_stats_track_boundary_comparisons(self, synthetic_collection):
+        grid = Grid1D(synthetic_collection, num_partitions=64)
+        lo, hi = synthetic_collection.span()
+        _, stats = grid.query_with_stats(Query(lo + 10, lo + (hi - lo) // 4))
+        assert stats.partitions_accessed >= 1
+        assert stats.comparisons >= 0
+
+
+class TestGridUpdates:
+    def test_insert(self, tiny_collection):
+        grid = Grid1D(tiny_collection, num_partitions=4)
+        grid.insert(Interval(70, 2, 3))
+        assert 70 in grid.query(Query(3, 3))
+
+    def test_delete(self, tiny_collection):
+        grid = Grid1D(tiny_collection, num_partitions=4)
+        assert grid.delete(1) is True
+        assert 1 not in grid.query(Query(0, 15))
+        assert grid.delete(1) is False
+        assert grid.delete(404) is False

@@ -1,0 +1,158 @@
+"""Unit tests for the base HINT^m (paper Section 3.2)."""
+
+import pytest
+
+from repro.baselines.naive import NaiveIndex
+from repro.core.domain import Domain
+from repro.core.errors import DomainError
+from repro.core.interval import Interval, IntervalCollection, Query
+from repro.hint.hintm import HINTm
+
+
+class TestConstruction:
+    def test_invalid_bits(self, synthetic_collection):
+        with pytest.raises(DomainError):
+            HINTm(synthetic_collection, num_bits=0)
+
+    def test_invalid_strategy(self, synthetic_collection):
+        with pytest.raises(ValueError):
+            HINTm(synthetic_collection, num_bits=5, evaluation="sideways")
+
+    def test_mismatched_domain(self, synthetic_collection):
+        with pytest.raises(DomainError):
+            HINTm(synthetic_collection, num_bits=5, domain=Domain.identity(8))
+
+    def test_basic_properties(self, synthetic_collection):
+        index = HINTm(synthetic_collection, num_bits=8)
+        assert index.num_bits == 8
+        assert index.num_levels == 9
+        assert index.evaluation == "bottom_up"
+        assert len(index) == len(synthetic_collection)
+
+    def test_replication_factor_bounds(self, synthetic_collection):
+        index = HINTm(synthetic_collection, num_bits=8)
+        assert 1.0 <= index.replication_factor <= 2 * (index.num_bits + 1)
+
+    def test_level_occupancy_sums_to_assignments(self, synthetic_collection):
+        index = HINTm(synthetic_collection, num_bits=8)
+        total = sum(index.level_occupancy())
+        assert total == pytest.approx(index.replication_factor * len(index))
+
+    def test_long_intervals_reach_high_levels(self, books_like_collection):
+        index = HINTm(books_like_collection, num_bits=8)
+        occupancy = index.level_occupancy()
+        # BOOKS-like data has intervals spanning a large fraction of the
+        # domain, so upper levels must hold data
+        assert sum(occupancy[:5]) > 0
+
+    def test_short_intervals_stay_at_bottom(self, taxis_like_collection):
+        index = HINTm(taxis_like_collection, num_bits=8)
+        occupancy = index.level_occupancy()
+        assert occupancy[-1] > 0.8 * sum(occupancy)
+
+
+class TestQueryCorrectness:
+    @pytest.mark.parametrize("evaluation", ["bottom_up", "top_down"])
+    @pytest.mark.parametrize("num_bits", [4, 8, 12])
+    def test_matches_naive(
+        self, synthetic_collection, synthetic_queries, evaluation, num_bits
+    ):
+        index = HINTm(synthetic_collection, num_bits=num_bits, evaluation=evaluation)
+        naive = NaiveIndex.build(synthetic_collection)
+        for q in synthetic_queries[:60]:
+            assert sorted(index.query(q)) == sorted(naive.query(q)), (evaluation, num_bits, q)
+
+    @pytest.mark.parametrize("evaluation", ["bottom_up", "top_down"])
+    def test_books_like(self, books_like_collection, evaluation):
+        index = HINTm(books_like_collection, num_bits=9, evaluation=evaluation)
+        naive = NaiveIndex.build(books_like_collection)
+        lo, hi = books_like_collection.span()
+        span = hi - lo
+        for fraction in (0.0, 0.001, 0.01, 0.1, 0.5):
+            q = Query(lo + span // 3, lo + span // 3 + int(span * fraction))
+            assert sorted(index.query(q)) == sorted(naive.query(q))
+
+    def test_no_duplicates(self, synthetic_collection, synthetic_queries):
+        index = HINTm(synthetic_collection, num_bits=8)
+        for q in synthetic_queries[:40]:
+            results = index.query(q)
+            assert len(results) == len(set(results))
+
+    def test_both_strategies_agree(self, synthetic_collection, synthetic_queries):
+        bottom_up = HINTm(synthetic_collection, num_bits=9, evaluation="bottom_up")
+        top_down = HINTm(synthetic_collection, num_bits=9, evaluation="top_down")
+        for q in synthetic_queries[:60]:
+            assert sorted(bottom_up.query(q)) == sorted(top_down.query(q))
+
+    def test_query_outside_domain(self, synthetic_collection):
+        index = HINTm(synthetic_collection, num_bits=8)
+        lo, hi = synthetic_collection.span()
+        assert index.query(Query(hi + 100, hi + 200)) == []
+        assert index.query(Query(lo - 200, lo - 100)) == []
+
+    def test_query_covering_everything(self, synthetic_collection):
+        index = HINTm(synthetic_collection, num_bits=8)
+        lo, hi = synthetic_collection.span()
+        assert len(index.query(Query(lo, hi))) == len(synthetic_collection)
+
+
+class TestLemma2Flags:
+    def test_bottom_up_compares_fewer_partitions_than_top_down(
+        self, books_like_collection
+    ):
+        """Lemma 2: the bottom-up evaluation prunes boundary comparisons."""
+        bottom_up = HINTm(books_like_collection, num_bits=10, evaluation="bottom_up")
+        top_down = HINTm(books_like_collection, num_bits=10, evaluation="top_down")
+        lo, hi = books_like_collection.span()
+        span = hi - lo
+        total_bu = total_td = 0
+        for i in range(25):
+            q = Query(lo + i * span // 30, lo + i * span // 30 + span // 100)
+            _, stats_bu = bottom_up.query_with_stats(q)
+            _, stats_td = top_down.query_with_stats(q)
+            total_bu += stats_bu.partitions_compared
+            total_td += stats_td.partitions_compared
+        assert total_bu <= total_td
+
+    def test_expected_compared_partitions_close_to_lemma4(self, synthetic_collection):
+        """Lemma 4: about four partitions require comparisons per query."""
+        index = HINTm(synthetic_collection, num_bits=10)
+        lo, hi = synthetic_collection.span()
+        span = hi - lo
+        compared = []
+        for i in range(50):
+            start = lo + (i * 131) % span
+            q = Query(start, min(hi, start + span // 50))
+            _, stats = index.query_with_stats(q)
+            compared.append(stats.partitions_compared)
+        assert sum(compared) / len(compared) <= 5.0
+
+
+class TestUpdates:
+    def test_insert(self, synthetic_collection):
+        index = HINTm(synthetic_collection, num_bits=8)
+        lo, hi = synthetic_collection.span()
+        index.insert(Interval(999_999, lo + 5, lo + 50))
+        assert 999_999 in index.query(Query(lo + 10, lo + 20))
+
+    def test_delete(self, synthetic_collection):
+        index = HINTm(synthetic_collection, num_bits=8)
+        victim = int(synthetic_collection.ids[10])
+        assert index.delete(victim) is True
+        lo, hi = synthetic_collection.span()
+        assert victim not in index.query(Query(lo, hi))
+        assert index.delete(victim) is False
+
+    def test_insert_outside_initial_span_is_clamped_but_correct(
+        self, synthetic_collection
+    ):
+        index = HINTm(synthetic_collection, num_bits=8)
+        naive = NaiveIndex.build(synthetic_collection)
+        lo, hi = synthetic_collection.span()
+        outlier = Interval(777_777, hi + 1000, hi + 2000)
+        index.insert(outlier)
+        naive.insert(outlier)
+        assert sorted(index.query(Query(hi + 1500, hi + 1600))) == sorted(
+            naive.query(Query(hi + 1500, hi + 1600))
+        )
+        assert sorted(index.query(Query(lo, hi))) == sorted(naive.query(Query(lo, hi)))

@@ -1,0 +1,168 @@
+"""Unit tests for the interval data model (repro.core.interval)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import EmptyCollectionError, InvalidIntervalError, InvalidQueryError
+from repro.core.interval import (
+    Interval,
+    IntervalCollection,
+    Query,
+    interval_contains,
+    interval_contains_point,
+    intervals_overlap,
+)
+
+
+class TestInterval:
+    def test_basic_fields(self):
+        s = Interval(7, 3, 9)
+        assert s.id == 7
+        assert s.start == 3
+        assert s.end == 9
+
+    def test_duration(self):
+        assert Interval(0, 3, 9).duration == 6
+        assert Interval(0, 4, 4).duration == 0
+
+    def test_invalid_interval_raises(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(0, 5, 4)
+
+    def test_point_interval_allowed(self):
+        assert Interval(0, 5, 5).duration == 0
+
+    def test_overlaps_symmetric_cases(self):
+        a = Interval(0, 2, 6)
+        assert a.overlaps(Interval(1, 6, 9))      # touching at the end
+        assert a.overlaps(Interval(1, 0, 2))      # touching at the start
+        assert a.overlaps(Interval(1, 3, 4))      # contained
+        assert a.overlaps(Interval(1, 0, 10))     # containing
+        assert not a.overlaps(Interval(1, 7, 9))
+        assert not a.overlaps(Interval(1, 0, 1))
+
+    def test_contains(self):
+        outer = Interval(0, 2, 10)
+        assert outer.contains(Interval(1, 2, 10))
+        assert outer.contains(Interval(1, 4, 6))
+        assert not outer.contains(Interval(1, 1, 5))
+        assert not outer.contains(Interval(1, 5, 11))
+
+    def test_contains_point(self):
+        s = Interval(0, 2, 4)
+        assert s.contains_point(2)
+        assert s.contains_point(4)
+        assert not s.contains_point(5)
+        assert not s.contains_point(1)
+
+    def test_as_tuple(self):
+        assert Interval(3, 1, 2).as_tuple() == (3, 1, 2)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Interval(0, 1, 2).start = 5  # type: ignore[misc]
+
+
+class TestQuery:
+    def test_stabbing_constructor(self):
+        q = Query.stabbing(42)
+        assert q.start == q.end == 42
+        assert q.is_stabbing
+        assert q.extent == 0
+
+    def test_invalid_query(self):
+        with pytest.raises(InvalidQueryError):
+            Query(5, 4)
+
+    def test_extent(self):
+        assert Query(2, 10).extent == 8
+
+    def test_overlaps_interval(self):
+        q = Query(5, 10)
+        assert q.overlaps(Interval(0, 10, 12))
+        assert q.overlaps(Interval(0, 1, 5))
+        assert not q.overlaps(Interval(0, 11, 12))
+        assert not q.overlaps(Interval(0, 1, 4))
+
+
+class TestRawPredicates:
+    def test_intervals_overlap(self):
+        assert intervals_overlap(1, 5, 5, 9)
+        assert intervals_overlap(5, 9, 1, 5)
+        assert not intervals_overlap(1, 4, 5, 9)
+
+    def test_interval_contains(self):
+        assert interval_contains(0, 10, 3, 7)
+        assert not interval_contains(3, 7, 0, 10)
+
+    def test_interval_contains_point(self):
+        assert interval_contains_point(3, 7, 3)
+        assert interval_contains_point(3, 7, 7)
+        assert not interval_contains_point(3, 7, 8)
+
+
+class TestIntervalCollection:
+    def test_from_intervals_roundtrip(self, tiny_collection):
+        materialised = list(tiny_collection)
+        rebuilt = IntervalCollection.from_intervals(materialised)
+        assert list(rebuilt.ids) == list(tiny_collection.ids)
+        assert list(rebuilt.starts) == list(tiny_collection.starts)
+        assert list(rebuilt.ends) == list(tiny_collection.ends)
+
+    def test_from_pairs_assigns_sequential_ids(self):
+        collection = IntervalCollection.from_pairs([(1, 2), (5, 9)], first_id=10)
+        assert list(collection.ids) == [10, 11]
+        assert collection[1] == Interval(11, 5, 9)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(InvalidIntervalError):
+            IntervalCollection(ids=[1], starts=[1, 2], ends=[3, 4])
+
+    def test_end_before_start_raises(self):
+        with pytest.raises(InvalidIntervalError):
+            IntervalCollection(ids=[0], starts=[5], ends=[4])
+
+    def test_empty(self):
+        empty = IntervalCollection.empty()
+        assert len(empty) == 0
+        assert empty.mean_duration() == 0.0
+        with pytest.raises(EmptyCollectionError):
+            empty.span()
+
+    def test_span_and_domain_length(self, tiny_collection):
+        assert tiny_collection.span() == (0, 15)
+        assert tiny_collection.domain_length() == 15
+
+    def test_duration_statistics(self, tiny_collection):
+        durations = tiny_collection.durations()
+        assert durations.min() == tiny_collection.min_duration() == 0
+        assert durations.max() == tiny_collection.max_duration() == 15
+        assert tiny_collection.mean_duration() == pytest.approx(float(np.mean(durations)))
+
+    def test_getitem_and_iter(self, tiny_collection):
+        assert tiny_collection[0] == Interval(0, 5, 9)
+        assert len(list(tiny_collection)) == len(tiny_collection)
+
+    def test_extend(self, tiny_collection):
+        other = IntervalCollection.from_pairs([(100, 200)], first_id=50)
+        merged = tiny_collection.extend(other)
+        assert len(merged) == len(tiny_collection) + 1
+        assert merged[len(tiny_collection)] == Interval(50, 100, 200)
+
+    def test_subset(self, tiny_collection):
+        subset = tiny_collection.subset([0, 2])
+        assert len(subset) == 2
+        assert subset[1] == Interval(2, 3, 3)
+
+    def test_shuffled_preserves_multiset(self, tiny_collection):
+        shuffled = tiny_collection.shuffled(seed=1)
+        assert sorted(shuffled.ids.tolist()) == sorted(tiny_collection.ids.tolist())
+        assert len(shuffled) == len(tiny_collection)
+
+    def test_query_ids_matches_manual_scan(self, tiny_collection):
+        q = Query(4, 9)
+        expected = sorted(s.id for s in tiny_collection if s.overlaps(q))
+        assert sorted(tiny_collection.query_ids(q).tolist()) == expected
+
+    def test_query_ids_empty_result(self, tiny_collection):
+        assert tiny_collection.query_ids(Query(100, 200)).size == 0

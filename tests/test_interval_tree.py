@@ -1,0 +1,106 @@
+"""Unit tests for the Edelsbrunner interval tree baseline."""
+
+import pytest
+
+from repro.baselines.interval_tree import IntervalTree
+from repro.baselines.naive import NaiveIndex
+from repro.core.interval import Interval, IntervalCollection, Query
+from repro.queries.generator import QueryWorkloadConfig, generate_queries
+
+
+class TestIntervalTreeStructure:
+    def test_len(self, synthetic_collection):
+        tree = IntervalTree.build(synthetic_collection)
+        assert len(tree) == len(synthetic_collection)
+
+    def test_node_count_linear_in_size(self, synthetic_collection):
+        # intermediate nodes on a root-to-storage path may be empty, so the
+        # node count can slightly exceed n, but it stays linear
+        tree = IntervalTree.build(synthetic_collection)
+        assert 1 <= tree.node_count() <= 2 * len(synthetic_collection) + 1
+
+    def test_height_is_logarithmic(self, synthetic_collection):
+        tree = IntervalTree.build(synthetic_collection)
+        lo, hi = synthetic_collection.span()
+        # height bounded by the bits of the domain (the split is by centre)
+        assert tree.height() <= (hi - lo).bit_length() + 2
+
+    def test_memory_bytes_positive(self, tiny_collection):
+        assert IntervalTree.build(tiny_collection).memory_bytes() > 0
+
+    def test_empty_collection(self):
+        tree = IntervalTree.build(IntervalCollection.empty())
+        assert len(tree) == 0
+        assert tree.query(Query(0, 100)) == []
+
+
+class TestIntervalTreeQueries:
+    def test_matches_naive_on_workload(self, synthetic_collection, synthetic_queries):
+        tree = IntervalTree.build(synthetic_collection)
+        naive = NaiveIndex.build(synthetic_collection)
+        for q in synthetic_queries[:80]:
+            assert sorted(tree.query(q)) == sorted(naive.query(q))
+
+    def test_stabbing_query(self, tiny_collection):
+        tree = IntervalTree.build(tiny_collection)
+        naive = NaiveIndex.build(tiny_collection)
+        for point in range(0, 16):
+            assert sorted(tree.stab(point)) == sorted(naive.stab(point))
+
+    def test_no_duplicates(self, synthetic_collection, synthetic_queries):
+        tree = IntervalTree.build(synthetic_collection)
+        for q in synthetic_queries[:40]:
+            results = tree.query(q)
+            assert len(results) == len(set(results))
+
+    def test_stats_counts_comparisons(self, synthetic_collection):
+        tree = IntervalTree.build(synthetic_collection)
+        lo, hi = synthetic_collection.span()
+        _, stats = tree.query_with_stats(Query(lo, (lo + hi) // 2))
+        assert stats.partitions_accessed >= 1
+        assert stats.results >= 0
+
+
+class TestIntervalTreeUpdates:
+    def test_insert_then_query(self, tiny_collection):
+        tree = IntervalTree.build(tiny_collection)
+        tree.insert(Interval(50, 6, 7))
+        assert 50 in tree.query(Query(7, 7))
+        assert len(tree) == len(tiny_collection) + 1
+
+    def test_insert_outside_root_span_uses_overflow(self, tiny_collection):
+        tree = IntervalTree.build(tiny_collection)
+        tree.insert(Interval(60, 1000, 1500))
+        assert 60 in tree.query(Query(1200, 1300))
+        assert 60 not in tree.query(Query(0, 100))
+
+    def test_delete_existing(self, tiny_collection):
+        tree = IntervalTree.build(tiny_collection)
+        assert tree.delete(0) is True
+        assert 0 not in tree.query(Query(5, 9))
+        assert tree.delete(0) is False
+
+    def test_delete_missing(self, tiny_collection):
+        tree = IntervalTree.build(tiny_collection)
+        assert tree.delete(999) is False
+
+    def test_delete_overflow_interval(self, tiny_collection):
+        tree = IntervalTree.build(tiny_collection)
+        tree.insert(Interval(61, 2000, 2100))
+        assert tree.delete(61) is True
+        assert tree.query(Query(2000, 2100)) == []
+
+    def test_mixed_updates_match_naive(self, synthetic_collection):
+        tree = IntervalTree.build(synthetic_collection)
+        naive = NaiveIndex.build(synthetic_collection)
+        new = [Interval(1_000_000 + i, 100 * i, 100 * i + 500) for i in range(30)]
+        for interval in new:
+            tree.insert(interval)
+            naive.insert(interval)
+        for sid in list(synthetic_collection.ids[:20]):
+            assert tree.delete(int(sid)) == naive.delete(int(sid))
+        queries = generate_queries(
+            synthetic_collection, QueryWorkloadConfig(count=30, extent_fraction=0.05, seed=9)
+        )
+        for q in queries:
+            assert sorted(tree.query(q)) == sorted(naive.query(q))

@@ -1,0 +1,51 @@
+"""Unit tests for CSV interval I/O (repro.datasets.io)."""
+
+import pytest
+
+from repro.core.errors import InvalidIntervalError
+from repro.datasets.io import load_intervals_csv, save_intervals_csv
+
+
+class TestCsvRoundtrip:
+    def test_save_and_load(self, tmp_path, tiny_collection):
+        path = tmp_path / "intervals.csv"
+        save_intervals_csv(tiny_collection, path)
+        loaded = load_intervals_csv(path)
+        assert list(loaded.ids) == list(tiny_collection.ids)
+        assert list(loaded.starts) == list(tiny_collection.starts)
+        assert list(loaded.ends) == list(tiny_collection.ends)
+
+    def test_two_column_format(self, tmp_path):
+        path = tmp_path / "pairs.csv"
+        path.write_text("10,20\n30,40\n")
+        loaded = load_intervals_csv(path)
+        assert list(loaded.ids) == [0, 1]
+        assert list(loaded.starts) == [10, 30]
+
+    def test_header_skipped(self, tmp_path):
+        path = tmp_path / "with_header.csv"
+        path.write_text("id,start,end\n5,1,2\n")
+        loaded = load_intervals_csv(path, has_header=True)
+        assert list(loaded.ids) == [5]
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "blanks.csv"
+        path.write_text("1,2,3\n\n4,5,6\n")
+        assert len(load_intervals_csv(path)) == 2
+
+    def test_malformed_row_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,notanumber,3\n")
+        with pytest.raises(InvalidIntervalError):
+            load_intervals_csv(path)
+
+    def test_single_column_raises(self, tmp_path):
+        path = tmp_path / "bad2.csv"
+        path.write_text("42\n")
+        with pytest.raises(InvalidIntervalError):
+            load_intervals_csv(path)
+
+    def test_save_creates_parent_directories(self, tmp_path, tiny_collection):
+        path = tmp_path / "nested" / "dir" / "intervals.csv"
+        save_intervals_csv(tiny_collection, path)
+        assert path.exists()

@@ -1,0 +1,52 @@
+"""Unit tests for the naive linear-scan oracle (repro.baselines.naive)."""
+
+from repro.baselines.naive import NaiveIndex
+from repro.core.interval import Interval, Query
+
+
+class TestNaiveIndex:
+    def test_query_matches_collection_scan(self, tiny_collection):
+        index = NaiveIndex.build(tiny_collection)
+        q = Query(4, 9)
+        expected = sorted(tiny_collection.query_ids(q).tolist())
+        assert sorted(index.query(q)) == expected
+
+    def test_stab(self, tiny_collection):
+        index = NaiveIndex.build(tiny_collection)
+        assert sorted(index.stab(3)) == sorted(
+            s.id for s in tiny_collection if s.contains_point(3)
+        )
+
+    def test_len(self, tiny_collection):
+        index = NaiveIndex.build(tiny_collection)
+        assert len(index) == len(tiny_collection)
+
+    def test_insert_and_query(self, tiny_collection):
+        index = NaiveIndex.build(tiny_collection)
+        index.insert(Interval(99, 100, 110))
+        assert 99 in index.query(Query(105, 106))
+        assert len(index) == len(tiny_collection) + 1
+
+    def test_delete(self, tiny_collection):
+        index = NaiveIndex.build(tiny_collection)
+        assert index.delete(1) is True
+        assert 1 not in index.query(Query(0, 15))
+        assert index.delete(1) is False  # already deleted
+        assert index.delete(12345) is False  # never existed
+        assert len(index) == len(tiny_collection) - 1
+
+    def test_query_with_stats_counts_results(self, tiny_collection):
+        index = NaiveIndex.build(tiny_collection)
+        results, stats = index.query_with_stats(Query(0, 15))
+        assert stats.results == len(results) == len(tiny_collection)
+        assert stats.candidates == len(tiny_collection)
+
+    def test_memory_bytes_positive(self, tiny_collection):
+        assert NaiveIndex.build(tiny_collection).memory_bytes() > 0
+
+    def test_interval_lookup_excludes_deleted(self, tiny_collection):
+        index = NaiveIndex.build(tiny_collection)
+        index.delete(0)
+        lookup = index._interval_lookup()
+        assert 0 not in lookup
+        assert lookup[3] == Interval(3, 10, 12)

@@ -1,0 +1,143 @@
+"""Unit and property tests for Algorithm 1 (repro.hint.partitioning)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hint.partitioning import (
+    covered_range,
+    iter_levels_bottom_up,
+    partition_assignments,
+    relevant_offsets,
+)
+
+
+class TestPaperExamples:
+    def test_interval_5_9_matches_figure_5(self):
+        """[5, 9] in the 4-bit domain goes to P(4,5), P(3,3), P(3,4)."""
+        assignments = partition_assignments(4, 5, 9)
+        as_set = {(a.level, a.offset) for a in assignments}
+        assert as_set == {(4, 5), (3, 3), (3, 4)}
+
+    def test_interval_5_9_original_partition(self):
+        """[5, 9] is an original only in P(4,5) (where its start lies)."""
+        assignments = partition_assignments(4, 5, 9)
+        originals = [(a.level, a.offset) for a in assignments if a.is_original]
+        assert originals == [(4, 5)]
+
+    def test_point_interval_single_partition(self):
+        assignments = partition_assignments(4, 5, 5)
+        assert len(assignments) == 1
+        assert (assignments[0].level, assignments[0].offset) == (4, 5)
+        assert assignments[0].is_original
+
+    def test_full_domain_interval_goes_to_root(self):
+        assignments = partition_assignments(4, 0, 15)
+        assert {(a.level, a.offset) for a in assignments} == {(0, 0)}
+        assert assignments[0].is_original
+
+    def test_left_aligned_interval(self):
+        # [4, 5] is exactly one level-3 partition
+        assignments = partition_assignments(4, 4, 5)
+        assert {(a.level, a.offset) for a in assignments} == {(3, 2)}
+        assert assignments[0].is_original
+
+    def test_interval_4_6(self):
+        # [4, 6] = [4,5] + [6]: original where the start lies (level 3, offset 2)
+        assignments = partition_assignments(4, 4, 6)
+        as_set = {(a.level, a.offset, a.is_original) for a in assignments}
+        assert as_set == {(4, 6, False), (3, 2, True)}
+
+
+class TestValidation:
+    def test_reversed_interval_raises(self):
+        with pytest.raises(ValueError):
+            partition_assignments(4, 9, 5)
+
+    def test_out_of_domain_raises(self):
+        with pytest.raises(ValueError):
+            partition_assignments(4, 0, 16)
+        with pytest.raises(ValueError):
+            partition_assignments(4, -1, 3)
+
+
+class TestHelpers:
+    def test_relevant_offsets(self):
+        assert relevant_offsets(4, 4, 5, 9) == (5, 9)
+        assert relevant_offsets(4, 3, 5, 9) == (2, 4)
+        assert relevant_offsets(4, 0, 5, 9) == (0, 0)
+
+    def test_covered_range(self):
+        assert covered_range(4, 4, 5) == (5, 5)
+        assert covered_range(4, 3, 4) == (8, 9)
+        assert covered_range(4, 0, 0) == (0, 15)
+
+    def test_iter_levels_bottom_up(self):
+        assert list(iter_levels_bottom_up(3)) == [3, 2, 1, 0]
+
+
+def _covered_values(m, assignments):
+    values = set()
+    for a in assignments:
+        lo, hi = covered_range(m, a.level, a.offset)
+        values.update(range(lo, hi + 1))
+    return values
+
+
+@settings(max_examples=400, deadline=None)
+@given(data=st.data(), m=st.integers(1, 10))
+def test_assignment_invariants(data, m):
+    """Algorithm 1 invariants from Section 3.1:
+
+    * at most two partitions per level,
+    * the assigned partitions exactly tile the interval (no gaps, no spill),
+    * the partitions are pairwise disjoint,
+    * exactly one assignment is the original and it contains the start point.
+    """
+    max_value = (1 << m) - 1
+    start = data.draw(st.integers(0, max_value))
+    end = data.draw(st.integers(start, max_value))
+    assignments = partition_assignments(m, start, end)
+
+    per_level: dict[int, int] = {}
+    for a in assignments:
+        per_level[a.level] = per_level.get(a.level, 0) + 1
+    assert all(count <= 2 for count in per_level.values())
+
+    covered = _covered_values(m, assignments)
+    assert covered == set(range(start, end + 1))
+
+    total_covered = sum(
+        covered_range(m, a.level, a.offset)[1] - covered_range(m, a.level, a.offset)[0] + 1
+        for a in assignments
+    )
+    assert total_covered == len(covered)  # disjointness
+
+    originals = [a for a in assignments if a.is_original]
+    assert len(originals) == 1
+    lo, hi = covered_range(m, originals[0].level, originals[0].offset)
+    assert lo <= start <= hi
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.data(), m=st.integers(1, 10))
+def test_assignment_count_bound(data, m):
+    """No interval is assigned to more than 2(m+1) partitions."""
+    max_value = (1 << m) - 1
+    start = data.draw(st.integers(0, max_value))
+    end = data.draw(st.integers(start, max_value))
+    assignments = partition_assignments(m, start, end)
+    assert len(assignments) <= 2 * (m + 1)
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.data())
+def test_original_is_partition_of_start_prefix(data):
+    """The original partition's offset equals the start point's prefix at that level."""
+    m = 8
+    max_value = (1 << m) - 1
+    start = data.draw(st.integers(0, max_value))
+    end = data.draw(st.integers(start, max_value))
+    for a in partition_assignments(m, start, end):
+        expected_original = (start >> (m - a.level)) == a.offset
+        assert a.is_original == expected_original

@@ -1,0 +1,78 @@
+"""Unit tests for the period index baseline (range + duration queries)."""
+
+import pytest
+
+from repro.baselines.naive import NaiveIndex
+from repro.baselines.period_index import PeriodIndex
+from repro.core.interval import Interval, IntervalCollection, Query
+
+
+class TestPeriodIndexStructure:
+    def test_invalid_parameters(self, tiny_collection):
+        with pytest.raises(ValueError):
+            PeriodIndex(tiny_collection, num_coarse_partitions=0)
+        with pytest.raises(ValueError):
+            PeriodIndex(tiny_collection, num_levels=0)
+
+    def test_replication_factor_bounded_for_short_intervals(self):
+        short = IntervalCollection.from_pairs([(i * 100, i * 100 + 2) for i in range(200)])
+        index = PeriodIndex(short, num_coarse_partitions=10, num_levels=4)
+        # short intervals go to fine levels, at most a couple of divisions each
+        assert index.replication_factor <= 3.0
+
+    def test_long_intervals_assigned_to_coarse_levels(self):
+        data = IntervalCollection.from_pairs([(0, 10_000)] * 20 + [(5, 6)] * 20)
+        index = PeriodIndex(data, num_coarse_partitions=4, num_levels=3)
+        assert len(index) == 40
+
+    def test_empty_collection(self):
+        index = PeriodIndex(IntervalCollection.empty())
+        assert len(index) == 0
+        assert index.query(Query(0, 10)) == []
+
+
+class TestPeriodIndexQueries:
+    @pytest.mark.parametrize(
+        "coarse,levels", [(1, 1), (5, 3), (20, 4), (50, 2)]
+    )
+    def test_matches_naive(self, synthetic_collection, synthetic_queries, coarse, levels):
+        index = PeriodIndex(
+            synthetic_collection, num_coarse_partitions=coarse, num_levels=levels
+        )
+        naive = NaiveIndex.build(synthetic_collection)
+        for q in synthetic_queries[:40]:
+            assert sorted(index.query(q)) == sorted(naive.query(q))
+
+    def test_no_duplicates_across_coarse_partitions(self):
+        # intervals crossing coarse-partition boundaries must be reported once
+        data = IntervalCollection.from_pairs([(i * 7, i * 7 + 300) for i in range(100)])
+        index = PeriodIndex(data, num_coarse_partitions=8, num_levels=3)
+        results = index.query(Query(0, 1000))
+        assert len(results) == len(set(results))
+
+    def test_duration_query_filters_short_intervals(self):
+        data = IntervalCollection.from_intervals(
+            [Interval(0, 0, 5), Interval(1, 0, 100), Interval(2, 2, 300), Interval(3, 10, 11)]
+        )
+        index = PeriodIndex(data, num_coarse_partitions=2, num_levels=3)
+        results = index.query_with_duration(Query(0, 50), min_duration=50)
+        assert sorted(results) == [1, 2]
+
+    def test_duration_query_zero_equals_range_query(self, synthetic_collection):
+        index = PeriodIndex(synthetic_collection, num_coarse_partitions=10, num_levels=3)
+        lo, hi = synthetic_collection.span()
+        q = Query(lo, lo + (hi - lo) // 10)
+        assert sorted(index.query_with_duration(q, 0)) == sorted(index.query(q))
+
+
+class TestPeriodIndexUpdates:
+    def test_insert(self, tiny_collection):
+        index = PeriodIndex(tiny_collection, num_coarse_partitions=4, num_levels=2)
+        index.insert(Interval(90, 1, 2))
+        assert 90 in index.query(Query(1, 1))
+
+    def test_delete(self, tiny_collection):
+        index = PeriodIndex(tiny_collection, num_coarse_partitions=4, num_levels=2)
+        assert index.delete(1) is True
+        assert 1 not in index.query(Query(0, 15))
+        assert index.delete(404) is False

@@ -1,0 +1,113 @@
+"""Unit tests for query and workload generators (repro.queries)."""
+
+import numpy as np
+import pytest
+
+from repro.core.interval import Interval, IntervalCollection
+from repro.queries.generator import (
+    QueryWorkloadConfig,
+    generate_queries,
+    generate_stabbing_queries,
+)
+from repro.queries.workload import Operation, generate_mixed_workload
+
+
+class TestQueryGenerator:
+    def test_count_and_extent(self, synthetic_collection):
+        queries = generate_queries(
+            synthetic_collection, QueryWorkloadConfig(count=50, extent_fraction=0.01, seed=1)
+        )
+        assert len(queries) == 50
+        lo, hi = synthetic_collection.span()
+        expected_extent = round(0.01 * (hi - lo))
+        for q in queries:
+            assert lo <= q.start <= hi
+            assert q.end <= hi
+            assert q.extent <= expected_extent
+
+    def test_queries_within_domain(self, synthetic_collection):
+        queries = generate_queries(
+            synthetic_collection, QueryWorkloadConfig(count=30, extent_fraction=0.5, seed=2)
+        )
+        lo, hi = synthetic_collection.span()
+        assert all(lo <= q.start and q.end <= hi for q in queries)
+
+    def test_stabbing_queries(self, synthetic_collection):
+        queries = generate_stabbing_queries(synthetic_collection, count=25, seed=3)
+        assert len(queries) == 25
+        assert all(q.is_stabbing for q in queries)
+
+    def test_data_placement_follows_data(self):
+        """With placement="data", query starts coincide with interval starts."""
+        data = IntervalCollection.from_pairs([(100 + i, 110 + i) for i in range(50)])
+        queries = generate_queries(
+            data, QueryWorkloadConfig(count=40, extent_fraction=0.0, placement="data", seed=4)
+        )
+        starts = set(data.starts.tolist())
+        assert all(q.start in starts for q in queries)
+
+    def test_deterministic(self, synthetic_collection):
+        config = QueryWorkloadConfig(count=20, extent_fraction=0.02, seed=55)
+        a = generate_queries(synthetic_collection, config)
+        b = generate_queries(synthetic_collection, config)
+        assert a == b
+
+    def test_zero_count(self, synthetic_collection):
+        assert generate_queries(synthetic_collection, QueryWorkloadConfig(count=0)) == []
+
+    def test_empty_collection(self):
+        queries = generate_queries(IntervalCollection.empty(), QueryWorkloadConfig(count=5))
+        assert len(queries) == 5
+
+
+class TestMixedWorkload:
+    def test_counts(self, synthetic_collection):
+        workload = generate_mixed_workload(
+            synthetic_collection,
+            num_queries=40,
+            num_insertions=30,
+            num_deletions=10,
+            seed=6,
+        )
+        counts = workload.counts
+        assert counts[Operation.QUERY] == 40
+        assert counts[Operation.INSERT] == 30
+        assert counts[Operation.DELETE] == 10
+
+    def test_preload_fraction(self, synthetic_collection):
+        workload = generate_mixed_workload(synthetic_collection, preload_fraction=0.9, seed=6)
+        assert len(workload.preload) == int(0.9 * len(synthetic_collection))
+
+    def test_insertions_come_from_held_out_data(self, synthetic_collection):
+        workload = generate_mixed_workload(
+            synthetic_collection, num_insertions=50, num_queries=5, num_deletions=5, seed=7
+        )
+        preload_ids = set(workload.preload.ids.tolist())
+        inserted = [p for op, p in workload.operations if op is Operation.INSERT]
+        assert all(isinstance(p, Interval) for p in inserted)
+        assert all(p.id not in preload_ids for p in inserted)
+
+    def test_deletions_target_preloaded_ids(self, synthetic_collection):
+        workload = generate_mixed_workload(
+            synthetic_collection, num_queries=5, num_insertions=5, num_deletions=20, seed=8
+        )
+        preload_ids = set(workload.preload.ids.tolist())
+        deleted = [p for op, p in workload.operations if op is Operation.DELETE]
+        assert all(p in preload_ids for p in deleted)
+        assert len(set(deleted)) == len(deleted)
+
+    def test_insertions_capped_by_held_out_size(self, synthetic_collection):
+        workload = generate_mixed_workload(
+            synthetic_collection,
+            num_insertions=10 ** 6,
+            num_queries=1,
+            num_deletions=1,
+            seed=9,
+        )
+        held_out = len(synthetic_collection) - len(workload.preload)
+        assert workload.counts[Operation.INSERT] == held_out
+
+    def test_deterministic(self, synthetic_collection):
+        a = generate_mixed_workload(synthetic_collection, seed=10)
+        b = generate_mixed_workload(synthetic_collection, seed=10)
+        assert [op for op, _ in a.operations] == [op for op, _ in b.operations]

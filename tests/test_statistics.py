@@ -1,0 +1,47 @@
+"""Unit tests for workload instrumentation (repro.hint.statistics)."""
+
+import pytest
+
+from repro.baselines.naive import NaiveIndex
+from repro.hint.optimized import OptimizedHINTm
+from repro.hint.statistics import collect_workload_statistics
+from repro.queries.generator import QueryWorkloadConfig, generate_queries
+
+
+class TestCollectWorkloadStatistics:
+    def test_empty_workload_rejected(self, synthetic_collection):
+        index = NaiveIndex.build(synthetic_collection)
+        with pytest.raises(ValueError):
+            collect_workload_statistics(index, [])
+
+    def test_basic_aggregation(self, synthetic_collection, synthetic_queries):
+        index = OptimizedHINTm(synthetic_collection, num_bits=9)
+        stats = collect_workload_statistics(index, synthetic_queries[:50])
+        assert stats.queries == 50
+        assert stats.avg_results >= 0
+        assert stats.avg_partitions_accessed >= 0
+        assert 0.0 <= stats.false_hit_ratio <= 1.0
+
+    def test_lemma4_partitions_compared(self, synthetic_collection):
+        """Table 7's "avg. comp. part." row: about four for HINT^m."""
+        index = OptimizedHINTm(synthetic_collection, num_bits=10)
+        queries = generate_queries(
+            synthetic_collection,
+            QueryWorkloadConfig(count=100, extent_fraction=0.01, placement="data", seed=3),
+        )
+        stats = collect_workload_statistics(index, queries)
+        assert stats.avg_partitions_compared <= 5.0
+
+    def test_hint_has_lower_false_hits_than_naive(self, synthetic_collection):
+        """HINT inspects far fewer non-result intervals than a scan."""
+        queries = generate_queries(
+            synthetic_collection, QueryWorkloadConfig(count=40, extent_fraction=0.01, seed=9)
+        )
+        hint_stats = collect_workload_statistics(
+            OptimizedHINTm(synthetic_collection, num_bits=9), queries
+        )
+        naive_stats = collect_workload_statistics(
+            NaiveIndex.build(synthetic_collection), queries
+        )
+        assert hint_stats.avg_candidates < naive_stats.avg_candidates
+        assert hint_stats.false_hit_ratio <= naive_stats.false_hit_ratio

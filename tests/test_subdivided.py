@@ -1,0 +1,180 @@
+"""Unit tests for SubdividedHINTm (paper Section 4.1)."""
+
+import pytest
+
+from repro.baselines.naive import NaiveIndex
+from repro.core.domain import Domain
+from repro.core.errors import DomainError
+from repro.core.interval import Interval, IntervalCollection, Query
+from repro.hint.subdivided import SubdividedHINTm
+
+ALL_VARIANTS = [
+    pytest.param(False, False, id="base-subs"),
+    pytest.param(True, False, id="subs+sort"),
+    pytest.param(False, True, id="subs+sopt"),
+    pytest.param(True, True, id="subs+sort+sopt"),
+]
+
+
+class TestConstruction:
+    def test_invalid_bits(self, synthetic_collection):
+        with pytest.raises(DomainError):
+            SubdividedHINTm(synthetic_collection, num_bits=0)
+
+    def test_mismatched_domain(self, synthetic_collection):
+        with pytest.raises(DomainError):
+            SubdividedHINTm(synthetic_collection, num_bits=5, domain=Domain.identity(9))
+
+    def test_flags_exposed(self, synthetic_collection):
+        index = SubdividedHINTm(
+            synthetic_collection, num_bits=6, sort_subdivisions=False, storage_optimization=True
+        )
+        assert index.sort_subdivisions is False
+        assert index.storage_optimization is True
+        assert index.num_levels == 7
+
+    def test_replication_factor(self, synthetic_collection):
+        index = SubdividedHINTm(synthetic_collection, num_bits=8)
+        assert 1.0 <= index.replication_factor <= 2 * 9
+
+    def test_subdivision_placement(self):
+        """Originals/replicas end-inside/end-after placement for the paper's [5, 9]."""
+        data = IntervalCollection.from_intervals([Interval(0, 5, 9)])
+        index = SubdividedHINTm(data, num_bits=4, domain=Domain.identity(4))
+        # original at P(4,5): the interval ends after that unit partition
+        partition = index._levels[4][5]
+        assert partition.o_aft.ids == [0]
+        # replica at P(3,3) = [6,7]: ends after it
+        assert index._levels[3][3].r_aft.ids == [0]
+        # replica at P(3,4) = [8,9]: ends inside it
+        assert index._levels[3][4].r_in.ids == [0]
+
+
+class TestStorageOptimization:
+    def test_sopt_reduces_memory(self, books_like_collection):
+        """Section 4.1.2: dropping unneeded endpoint columns shrinks the index."""
+        full = SubdividedHINTm(
+            books_like_collection, num_bits=8, storage_optimization=False
+        )
+        optimized = SubdividedHINTm(
+            books_like_collection, num_bits=8, storage_optimization=True
+        )
+        assert optimized.memory_bytes() < full.memory_bytes()
+
+    def test_sopt_never_stores_unneeded_columns(self, synthetic_collection):
+        index = SubdividedHINTm(synthetic_collection, num_bits=8, storage_optimization=True)
+        for level in index._levels:
+            for partition in level.values():
+                assert partition.o_aft.ends == []
+                assert partition.r_in.starts == []
+                assert partition.r_aft.starts == []
+                assert partition.r_aft.ends == []
+
+
+class TestQueryCorrectness:
+    @pytest.mark.parametrize("sort_flag,sopt_flag", ALL_VARIANTS)
+    def test_matches_naive(
+        self, synthetic_collection, synthetic_queries, sort_flag, sopt_flag
+    ):
+        index = SubdividedHINTm(
+            synthetic_collection,
+            num_bits=8,
+            sort_subdivisions=sort_flag,
+            storage_optimization=sopt_flag,
+        )
+        naive = NaiveIndex.build(synthetic_collection)
+        for q in synthetic_queries[:60]:
+            assert sorted(index.query(q)) == sorted(naive.query(q))
+
+    @pytest.mark.parametrize("sort_flag,sopt_flag", ALL_VARIANTS)
+    def test_matches_naive_on_long_intervals(
+        self, books_like_collection, sort_flag, sopt_flag
+    ):
+        index = SubdividedHINTm(
+            books_like_collection,
+            num_bits=7,
+            sort_subdivisions=sort_flag,
+            storage_optimization=sopt_flag,
+        )
+        naive = NaiveIndex.build(books_like_collection)
+        lo, hi = books_like_collection.span()
+        span = hi - lo
+        for i in range(20):
+            start = lo + i * span // 20
+            q = Query(start, min(hi, start + span // 200))
+            assert sorted(index.query(q)) == sorted(naive.query(q))
+
+    def test_no_duplicates(self, synthetic_collection, synthetic_queries):
+        index = SubdividedHINTm(synthetic_collection, num_bits=8)
+        for q in synthetic_queries[:30]:
+            results = index.query(q)
+            assert len(results) == len(set(results))
+
+    def test_all_variants_agree(self, taxis_like_collection):
+        variants = [
+            SubdividedHINTm(
+                taxis_like_collection, num_bits=9, sort_subdivisions=s, storage_optimization=o
+            )
+            for s, o in [(False, False), (True, False), (False, True), (True, True)]
+        ]
+        lo, hi = taxis_like_collection.span()
+        span = hi - lo
+        for i in range(15):
+            q = Query(lo + i * span // 15, lo + i * span // 15 + span // 300)
+            reference = sorted(variants[0].query(q))
+            for variant in variants[1:]:
+                assert sorted(variant.query(q)) == reference
+
+
+class TestSorting:
+    def test_sorting_reduces_comparisons(self, books_like_collection):
+        """Section 4.1.1: sorted subdivisions allow early termination."""
+        unsorted_index = SubdividedHINTm(
+            books_like_collection, num_bits=5, sort_subdivisions=False
+        )
+        sorted_index = SubdividedHINTm(
+            books_like_collection, num_bits=5, sort_subdivisions=True
+        )
+        lo, hi = books_like_collection.span()
+        span = hi - lo
+        total_unsorted = total_sorted = 0
+        for i in range(20):
+            q = Query(lo + i * span // 25, lo + i * span // 25 + span // 100)
+            _, stats_u = unsorted_index.query_with_stats(q)
+            _, stats_s = sorted_index.query_with_stats(q)
+            total_unsorted += stats_u.comparisons
+            total_sorted += stats_s.comparisons
+        assert total_sorted < total_unsorted
+
+    def test_insert_after_build_triggers_resort(self, synthetic_collection):
+        index = SubdividedHINTm(synthetic_collection, num_bits=8, sort_subdivisions=True)
+        naive = NaiveIndex.build(synthetic_collection)
+        lo, hi = synthetic_collection.span()
+        new = Interval(5_000_000, lo + 100, lo + 500)
+        index.insert(new)
+        naive.insert(new)
+        q = Query(lo + 50, lo + 1000)
+        assert sorted(index.query(q)) == sorted(naive.query(q))
+
+
+class TestUpdates:
+    def test_delete(self, synthetic_collection):
+        index = SubdividedHINTm(synthetic_collection, num_bits=8)
+        victim = int(synthetic_collection.ids[5])
+        assert index.delete(victim) is True
+        lo, hi = synthetic_collection.span()
+        assert victim not in index.query(Query(lo, hi))
+        assert index.delete(victim) is False
+
+    def test_insert_many_then_match_naive(self, synthetic_collection):
+        index = SubdividedHINTm(synthetic_collection, num_bits=8)
+        naive = NaiveIndex.build(synthetic_collection)
+        lo, hi = synthetic_collection.span()
+        step = (hi - lo) // 50
+        for i in range(40):
+            interval = Interval(9_000_000 + i, lo + i * step, lo + i * step + 2 * step)
+            index.insert(interval)
+            naive.insert(interval)
+        for i in range(0, 50, 5):
+            q = Query(lo + i * step, lo + (i + 3) * step)
+            assert sorted(index.query(q)) == sorted(naive.query(q))

@@ -1,0 +1,87 @@
+"""Unit tests for the timeline index baseline."""
+
+import pytest
+
+from repro.baselines.naive import NaiveIndex
+from repro.baselines.timeline import TimelineIndex
+from repro.core.interval import Interval, IntervalCollection, Query
+
+
+class TestTimelineStructure:
+    def test_invalid_checkpoints(self, tiny_collection):
+        with pytest.raises(ValueError):
+            TimelineIndex(tiny_collection, num_checkpoints=0)
+
+    def test_checkpoint_count_close_to_requested(self, synthetic_collection):
+        index = TimelineIndex(synthetic_collection, num_checkpoints=25)
+        assert 1 <= index.num_checkpoints <= 26 + 1
+
+    def test_memory_includes_checkpoints(self, synthetic_collection):
+        few = TimelineIndex(synthetic_collection, num_checkpoints=2)
+        many = TimelineIndex(synthetic_collection, num_checkpoints=200)
+        assert many.memory_bytes() > few.memory_bytes()
+
+    def test_empty_collection(self):
+        index = TimelineIndex(IntervalCollection.empty(), num_checkpoints=5)
+        assert len(index) == 0
+        assert index.query(Query(0, 10)) == []
+
+
+class TestTimelineQueries:
+    @pytest.mark.parametrize("num_checkpoints", [1, 7, 60])
+    def test_matches_naive(self, synthetic_collection, synthetic_queries, num_checkpoints):
+        index = TimelineIndex(synthetic_collection, num_checkpoints=num_checkpoints)
+        naive = NaiveIndex.build(synthetic_collection)
+        for q in synthetic_queries[:50]:
+            assert sorted(index.query(q)) == sorted(naive.query(q))
+
+    def test_stabbing_matches_active_set(self, tiny_collection):
+        index = TimelineIndex(tiny_collection, num_checkpoints=4)
+        naive = NaiveIndex.build(tiny_collection)
+        for point in range(0, 16):
+            assert sorted(index.active_at(point)) == sorted(naive.stab(point))
+
+    def test_interval_ending_at_query_start_is_reported(self):
+        data = IntervalCollection.from_intervals([Interval(0, 1, 5)])
+        index = TimelineIndex(data, num_checkpoints=3)
+        assert index.query(Query(5, 9)) == [0]
+
+    def test_interval_starting_at_query_end_is_reported(self):
+        data = IntervalCollection.from_intervals([Interval(0, 9, 12)])
+        index = TimelineIndex(data, num_checkpoints=3)
+        assert index.query(Query(5, 9)) == [0]
+
+    def test_no_duplicates(self, synthetic_collection, synthetic_queries):
+        index = TimelineIndex(synthetic_collection, num_checkpoints=30)
+        for q in synthetic_queries[:30]:
+            results = index.query(q)
+            assert len(results) == len(set(results))
+
+
+class TestTimelineUpdates:
+    def test_insert_visible_after_lazy_rebuild(self, tiny_collection):
+        index = TimelineIndex(tiny_collection, num_checkpoints=4)
+        index.insert(Interval(80, 2, 4))
+        assert 80 in index.query(Query(3, 3))
+        assert len(index) == len(tiny_collection) + 1
+
+    def test_delete(self, tiny_collection):
+        index = TimelineIndex(tiny_collection, num_checkpoints=4)
+        assert index.delete(1) is True
+        assert 1 not in index.query(Query(0, 15))
+        assert index.delete(1) is False
+
+    def test_mixed_updates_match_naive(self, synthetic_collection):
+        index = TimelineIndex(synthetic_collection, num_checkpoints=20)
+        naive = NaiveIndex.build(synthetic_collection)
+        lo, hi = synthetic_collection.span()
+        step = max(1, (hi - lo) // 40)
+        for i in range(20):
+            interval = Interval(2_000_000 + i, lo + i * step, lo + i * step + 3 * step)
+            index.insert(interval)
+            naive.insert(interval)
+        for sid in list(synthetic_collection.ids[:10]):
+            assert index.delete(int(sid)) == naive.delete(int(sid))
+        for i in range(0, 40, 3):
+            q = Query(lo + i * step, lo + (i + 2) * step)
+            assert sorted(index.query(q)) == sorted(naive.query(q))

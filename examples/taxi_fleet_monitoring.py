@@ -6,23 +6,18 @@ short intervals, heavily clustered by time of day.  Short intervals live at
 the bottom level of HINT^m, which is exactly the regime where the index's
 comparison-free middle partitions and sparse per-level storage pay off.
 
+Written against the unified engine API: backends come from the registry,
+dispatcher questions go through the fluent builder (counting without
+materialising ids), and the throughput comparison drives every backend
+through one batched entry point.
+
 Run with::
 
     python examples/taxi_fleet_monitoring.py
 """
 
-import time
-
-from repro import (
-    Grid1D,
-    IntervalTree,
-    OptimizedHINTm,
-    Query,
-    QueryWorkloadConfig,
-    generate_queries,
-    generate_taxis_like,
-)
-from repro.hint import DatasetStatistics, collect_workload_statistics, estimate_m_opt
+from repro import IntervalStore, QueryWorkloadConfig, generate_queries, generate_taxis_like
+from repro.hint import collect_workload_statistics
 
 SECONDS_PER_HOUR = 3600
 SECONDS_PER_DAY = 24 * SECONDS_PER_HOUR
@@ -40,39 +35,43 @@ def main() -> None:
     )
 
     # ------------------------------------------------------------------ #
-    # 2. choose m with the model, build the index
+    # 2. open a store; the registry auto-tunes m with the paper's model
     # ------------------------------------------------------------------ #
-    stats = DatasetStatistics.from_collection(trips)
-    m = min(estimate_m_opt(stats, query_extent=2 * SECONDS_PER_HOUR), 16)
-    index = OptimizedHINTm(trips, num_bits=m)
-    print(f"HINT^m built with m={m}; replication factor {index.replication_factor:.3f}")
+    store = IntervalStore.open(trips, query_extent=2 * SECONDS_PER_HOUR)
+    index = store.index
+    print(
+        f"{store!r} built with m={index.num_bits}; "
+        f"replication factor {index.replication_factor:.3f}"
+    )
 
     # ------------------------------------------------------------------ #
-    # 3. dispatcher-style question: trips active in a two-hour window on day 62
+    # 3. dispatcher-style questions: a two-hour window on day 62
     # ------------------------------------------------------------------ #
     window_start = 62 * SECONDS_PER_DAY + 15 * SECONDS_PER_HOUR
-    window = Query(window_start, window_start + 2 * SECONDS_PER_HOUR)
-    active = index.query(window)
-    print(f"taxis active in the window: {len(active):,}")
+    window = store.query().overlapping(window_start, window_start + 2 * SECONDS_PER_HOUR)
+    # count() never materialises the id list -- the per-level fast path sums
+    # partition runs instead
+    print(f"taxis active in the window: {window.count():,}")
+    print(f"any taxi active at 03:00 on day 100? "
+          f"{store.query().stabbing(100 * SECONDS_PER_DAY + 3 * SECONDS_PER_HOUR).exists()}")
 
     # ------------------------------------------------------------------ #
-    # 4. throughput comparison against two baselines on a realistic workload
+    # 4. throughput comparison across backends on a realistic workload,
+    #    every contender driven through the same batch entry point
     # ------------------------------------------------------------------ #
     workload = generate_queries(
         trips, QueryWorkloadConfig(count=300, extent_fraction=0.001, seed=3)
     )
     contenders = {
-        "hint-m (optimized)": index,
-        "interval tree": IntervalTree.build(trips),
-        "1d-grid (500 cells)": Grid1D.build(trips, num_partitions=500),
+        "hintm_opt (auto-m)": store,
+        "interval_tree": IntervalStore.open(trips, backend="interval_tree"),
+        "grid1d (500 cells)": IntervalStore.open(trips, backend="grid1d", num_partitions=500),
     }
     for name, contender in contenders.items():
-        start = time.perf_counter()
-        matched = sum(len(contender.query(q)) for q in workload)
-        elapsed = time.perf_counter() - start
+        batch = contender.run_batch(workload)
         print(
-            f"{name:>22}: {len(workload) / elapsed:8,.0f} queries/s "
-            f"({matched:,} results, {elapsed * 1000:.0f} ms total)"
+            f"{name:>22}: {batch.queries_per_second:8,.0f} queries/s "
+            f"({batch.total_results:,} results, {batch.seconds * 1000:.0f} ms total)"
         )
 
     # ------------------------------------------------------------------ #

@@ -1,11 +1,26 @@
-"""Setuptools shim.
+"""Setuptools configuration.
 
 The offline environment used for this reproduction has no ``wheel`` package,
 so PEP 660 editable installs (which build an editable wheel) fail.  Keeping a
 ``setup.py`` lets ``pip install -e .`` fall back to the legacy
 ``setup.py develop`` path, which works without network access.
+
+The ``src/`` layout must be declared explicitly here: a bare ``setup()``
+finds no packages and installs nothing.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-hint",
+    version="1.0.0",
+    description=(
+        "Reproduction of HINT: A Hierarchical Index for Intervals in Main "
+        "Memory (Christodoulou, Bouros, Mamoulis, SIGMOD 2022)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

@@ -6,7 +6,15 @@ optimization the paper describes, the four baselines it compares against,
 the dataset/query generators of its evaluation, and a benchmark harness that
 regenerates each table and figure.
 
-Quickstart::
+Quickstart (the unified engine API)::
+
+    from repro import IntervalStore
+
+    store = IntervalStore.from_pairs([(1, 5), (3, 9), (12, 14)])
+    store.query().overlapping(4, 12).ids()    # -> ids overlapping [4, 12]
+    store.query().stabbing(4).count()         # count without materialising ids
+
+The index classes remain available for direct use::
 
     from repro import IntervalCollection, Query, OptimizedHINTm
 
@@ -24,6 +32,23 @@ from repro.core import (
     IntervalIndex,
     Query,
     QueryStats,
+    ReproError,
+    UnknownBackendError,
+    UnsupportedQueryError,
+)
+from repro.engine import (
+    BackendSpec,
+    BatchResult,
+    IntervalStore,
+    QueryBuilder,
+    ResultSet,
+    available_backends,
+    backend_specs,
+    create_index,
+    execute_batch,
+    get_backend,
+    register_backend,
+    resolve_backend,
 )
 from repro.datasets import (
     REAL_DATASET_PROFILES,
@@ -60,6 +85,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AllenRelation",
+    "BackendSpec",
+    "BatchResult",
     "ComparisonFreeHINT",
     "CostModel",
     "DatasetStatistics",
@@ -70,18 +97,31 @@ __all__ = [
     "Interval",
     "IntervalCollection",
     "IntervalIndex",
+    "IntervalStore",
     "IntervalTree",
     "NaiveIndex",
     "OptimizedHINTm",
     "PeriodIndex",
     "Query",
+    "QueryBuilder",
     "QueryStats",
     "QueryWorkloadConfig",
     "REAL_DATASET_PROFILES",
+    "ReproError",
+    "ResultSet",
     "SubdividedHINTm",
     "SyntheticConfig",
     "TimelineIndex",
+    "UnknownBackendError",
+    "UnsupportedQueryError",
+    "available_backends",
+    "backend_specs",
     "collect_workload_statistics",
+    "create_index",
+    "execute_batch",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
     "estimate_m_opt",
     "generate_books_like",
     "generate_greend_like",

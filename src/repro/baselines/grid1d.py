@@ -12,14 +12,21 @@ comparisons.  Because an interval may be reported in several partitions, the
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.base import IntervalIndex, QueryStats
 from repro.core.interval import Interval, IntervalCollection, Query
+from repro.engine.registry import register_backend
 
 __all__ = ["Grid1D"]
 
 
+@register_backend(
+    "grid1d",
+    aliases=("1d-grid",),
+    description="uniform 1D-grid with reference-value duplicate elimination",
+    paper_section="Section 2 [15]",
+)
 class Grid1D(IntervalIndex):
     """A uniform one-dimensional grid over the data span.
 
@@ -111,29 +118,53 @@ class Grid1D(IntervalIndex):
     def query_with_stats(self, query: Query) -> tuple[List[int], QueryStats]:
         return self._query(query)
 
+    def query_count(self, query: Query) -> int:
+        """Count results without materialising the id list."""
+        count = 0
+        for _ in self._iter_results(query):
+            count += 1
+        return count
+
+    def query_exists(self, query: Query) -> bool:
+        for _ in self._iter_results(query):
+            return True
+        return False
+
     def _query(self, query: Query) -> tuple[List[int], QueryStats]:
-        results: List[int] = []
         stats = QueryStats()
+        results = list(self._iter_results(query, stats))
+        stats.results = len(results)
+        return results, stats
+
+    def _iter_results(self, query: Query, stats: Optional[QueryStats] = None):
+        """The single encoding of the grid traversal: yields each result id
+        once (reference-value dedup included), optionally filling ``stats``.
+
+        :meth:`query`/:meth:`query_with_stats` materialise the stream;
+        :meth:`query_count`/:meth:`query_exists` only consume it.
+        """
         tombstones = self._tombstones
         grid_max = self._lo + self._p * self._width - 1
         first = self._cell_of(query.start)
         last = self._cell_of(query.end)
         for cell in range(first, last + 1):
             entries = self._cells[cell]
-            stats.partitions_accessed += 1
+            if stats is not None:
+                stats.partitions_accessed += 1
             if not entries:
                 continue
             cell_lo, cell_hi = self.cell_bounds(cell)
-            contained = query.start <= cell_lo and cell_hi <= query.end
-            boundary = not contained
-            if boundary:
+            boundary = not (query.start <= cell_lo and cell_hi <= query.end)
+            if boundary and stats is not None:
                 stats.partitions_compared += 1
             for start, end, sid in entries:
-                stats.candidates += 1
+                if stats is not None:
+                    stats.candidates += 1
                 if sid in tombstones:
                     continue
                 if boundary:
-                    stats.comparisons += 2
+                    if stats is not None:
+                        stats.comparisons += 2
                     if not (start <= query.end and query.start <= end):
                         continue
                 # reference-value duplicate elimination: report s only in the
@@ -142,11 +173,10 @@ class Grid1D(IntervalIndex):
                 # queries protrude beyond the grid's build-time span.
                 reference = max(start, query.start)
                 reference = min(max(reference, self._lo), grid_max)
-                stats.comparisons += 1
+                if stats is not None:
+                    stats.comparisons += 1
                 if cell_lo <= reference <= cell_hi:
-                    results.append(sid)
-        stats.results = len(results)
-        return results, stats
+                    yield sid
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 
 from repro.core.base import IntervalIndex, QueryStats
 from repro.core.interval import Interval, IntervalCollection, Query
+from repro.engine.registry import register_backend
 
 __all__ = ["IntervalTree"]
 
@@ -42,6 +43,12 @@ class _Node:
         self.right: Optional["_Node"] = None
 
 
+@register_backend(
+    "interval_tree",
+    aliases=("interval-tree",),
+    description="Edelsbrunner's centered interval tree",
+    paper_section="Section 2 [16]",
+)
 class IntervalTree(IntervalIndex):
     """Binary interval tree over the data span."""
 

@@ -13,10 +13,17 @@ import numpy as np
 
 from repro.core.base import IntervalIndex, QueryStats
 from repro.core.interval import Interval, IntervalCollection, Query
+from repro.engine.registry import register_backend
 
 __all__ = ["NaiveIndex"]
 
 
+@register_backend(
+    "naive",
+    aliases=("naive-scan",),
+    description="vectorised linear scan; the correctness oracle",
+    paper_section="--",
+)
 class NaiveIndex(IntervalIndex):
     """Answers queries by scanning three parallel NumPy columns."""
 
@@ -36,6 +43,14 @@ class NaiveIndex(IntervalIndex):
     def query(self, query: Query) -> List[int]:
         mask = self._live & (self._starts <= query.end) & (query.start <= self._ends)
         return self._ids[mask].tolist()
+
+    def query_count(self, query: Query) -> int:
+        mask = self._live & (self._starts <= query.end) & (query.start <= self._ends)
+        return int(np.count_nonzero(mask))
+
+    def query_exists(self, query: Query) -> bool:
+        mask = self._live & (self._starts <= query.end) & (query.start <= self._ends)
+        return bool(mask.any())
 
     def query_with_stats(self, query: Query) -> tuple[List[int], QueryStats]:
         results = self.query(query)

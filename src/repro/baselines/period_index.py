@@ -22,6 +22,7 @@ from typing import Dict, List
 
 from repro.core.base import IntervalIndex, QueryStats
 from repro.core.interval import Interval, IntervalCollection, Query
+from repro.engine.registry import register_backend
 
 __all__ = ["PeriodIndex"]
 
@@ -72,6 +73,12 @@ class _CoarsePartition:
         return first, min(first + width - 1, self.hi)
 
 
+@register_backend(
+    "period",
+    aliases=("period-index",),
+    description="the (adaptive) period index: coarse partitions with duration levels",
+    paper_section="Section 2 [4]",
+)
 class PeriodIndex(IntervalIndex):
     """Period index with uniform coarse partitions and duration levels.
 

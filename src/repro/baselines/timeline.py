@@ -28,10 +28,16 @@ from typing import Dict, List
 
 from repro.core.base import IntervalIndex, QueryStats
 from repro.core.interval import Interval, IntervalCollection, Query
+from repro.engine.registry import register_backend
 
 __all__ = ["TimelineIndex"]
 
 
+@register_backend(
+    "timeline",
+    description="SAP HANA's timeline index (checkpointed event list)",
+    paper_section="Section 2 [19]",
+)
 class TimelineIndex(IntervalIndex):
     """Timeline index with periodic checkpoints.
 

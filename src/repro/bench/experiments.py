@@ -17,10 +17,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.baselines import Grid1D, IntervalTree, PeriodIndex, TimelineIndex
 from repro.bench.harness import measure_throughput
 from repro.core.base import IntervalIndex
 from repro.core.interval import IntervalCollection, Query
+from repro.engine.registry import create_index
 from repro.datasets.real_like import REAL_DATASET_PROFILES, generate_real_like
 from repro.datasets.synthetic import SyntheticConfig, generate_synthetic
 from repro.hint import (
@@ -97,16 +97,13 @@ def _query_workload(
 def _build_competitors(
     collection: IntervalCollection, overrides: Optional[Mapping[str, dict]] = None
 ) -> Dict[str, IntervalIndex]:
-    """Build the four baselines with their default (or overridden) parameters."""
+    """Build the four baselines through the engine registry."""
     config = {name: dict(params) for name, params in COMPETITOR_CONFIGS.items()}
     if overrides:
         for name, params in overrides.items():
             config.setdefault(name, {}).update(params)
     return {
-        "interval-tree": IntervalTree.build(collection, **config["interval-tree"]),
-        "period-index": PeriodIndex.build(collection, **config["period-index"]),
-        "timeline": TimelineIndex.build(collection, **config["timeline"]),
-        "1d-grid": Grid1D.build(collection, **config["1d-grid"]),
+        name: create_index(name, collection, **params) for name, params in config.items()
     }
 
 
@@ -364,10 +361,8 @@ def table9_index_times(
 ) -> List[Tuple[str, Dict[str, float]]]:
     """Rows ``(dataset, {index: build seconds})``."""
     competitor_builders = {
-        "interval-tree": lambda c: IntervalTree.build(c, **COMPETITOR_CONFIGS["interval-tree"]),
-        "period-index": lambda c: PeriodIndex.build(c, **COMPETITOR_CONFIGS["period-index"]),
-        "timeline": lambda c: TimelineIndex.build(c, **COMPETITOR_CONFIGS["timeline"]),
-        "1d-grid": lambda c: Grid1D.build(c, **COMPETITOR_CONFIGS["1d-grid"]),
+        name: (lambda c, _name=name: create_index(_name, c, **COMPETITOR_CONFIGS[_name]))
+        for name in COMPETITOR_CONFIGS
     }
     rows = []
     for name, collection in datasets.items():
@@ -525,9 +520,13 @@ def table10_updates(
             seed=99,
         )
         contenders: Dict[str, IntervalIndex] = {
-            "interval-tree": IntervalTree.build(workload.preload),
-            "period-index": PeriodIndex.build(workload.preload, **COMPETITOR_CONFIGS["period-index"]),
-            "1d-grid": Grid1D.build(workload.preload, **COMPETITOR_CONFIGS["1d-grid"]),
+            "interval-tree": create_index("interval-tree", workload.preload),
+            "period-index": create_index(
+                "period-index", workload.preload, **COMPETITOR_CONFIGS["period-index"]
+            ),
+            "1d-grid": create_index(
+                "1d-grid", workload.preload, **COMPETITOR_CONFIGS["1d-grid"]
+            ),
             "subs+sopt hint-m": SubdividedHINTm(
                 workload.preload,
                 num_bits=hint_m_bits,

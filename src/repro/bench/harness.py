@@ -9,14 +9,14 @@ reproduction's dataset sizes).
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, Sequence
 
-from repro.baselines import Grid1D, IntervalTree, NaiveIndex, PeriodIndex, TimelineIndex
 from repro.core.base import IntervalIndex
 from repro.core.interval import IntervalCollection, Query
-from repro.hint import ComparisonFreeHINT, HINTm, HybridHINTm, OptimizedHINTm, SubdividedHINTm
+from repro.engine.registry import backend_specs, create_index
 
 __all__ = [
     "BenchmarkResult",
@@ -28,19 +28,12 @@ __all__ = [
 ]
 
 
-#: Paper-comparable index configurations.  Values are callables
-#: ``(collection, **overrides) -> IntervalIndex``.
+#: Paper-comparable index builders, keyed by the paper's index names.  Kept
+#: as a thin shim over :mod:`repro.engine.registry` for backwards
+#: compatibility; new code should call :func:`repro.engine.create_index`.
 INDEX_BUILDERS: Dict[str, Callable[..., IntervalIndex]] = {
-    "interval-tree": lambda c, **kw: IntervalTree.build(c, **kw),
-    "period-index": lambda c, **kw: PeriodIndex.build(c, **kw),
-    "timeline": lambda c, **kw: TimelineIndex.build(c, **kw),
-    "1d-grid": lambda c, **kw: Grid1D.build(c, **kw),
-    "hint": lambda c, **kw: ComparisonFreeHINT.build(c, **kw),
-    "hint-m": lambda c, **kw: HINTm.build(c, **kw),
-    "hint-m-subs": lambda c, **kw: SubdividedHINTm.build(c, **kw),
-    "hint-m-opt": lambda c, **kw: OptimizedHINTm.build(c, **kw),
-    "hint-m-hybrid": lambda c, **kw: HybridHINTm.build(c, **kw),
-    "naive-scan": lambda c, **kw: NaiveIndex.build(c, **kw),
+    spec.legacy_name: functools.partial(create_index, spec.name)
+    for spec in backend_specs()
 }
 
 
@@ -64,10 +57,13 @@ class BenchmarkResult:
 
 
 def build_index(name: str, collection: IntervalCollection, **overrides) -> IntervalIndex:
-    """Build a registered index over ``collection``."""
-    if name not in INDEX_BUILDERS:
-        raise KeyError(f"unknown index {name!r}; known: {sorted(INDEX_BUILDERS)}")
-    return INDEX_BUILDERS[name](collection, **overrides)
+    """Build a registered index over ``collection``.
+
+    Accepts both the paper's legacy names (``"hint-m-opt"``) and the engine
+    registry's canonical names (``"hintm_opt"``); unknown names raise
+    :class:`repro.core.errors.UnknownBackendError` (a ``KeyError``).
+    """
+    return create_index(name, collection, **overrides)
 
 
 def measure_build_time(name: str, collection: IntervalCollection, **overrides) -> BenchmarkResult:
@@ -92,16 +88,21 @@ def measure_throughput(
     queries: Sequence[Query],
     repeats: int = 1,
 ) -> float:
-    """Queries per second over ``queries`` (best of ``repeats`` passes)."""
-    if not queries:
+    """Queries per second over ``queries`` (best of ``repeats`` passes).
+
+    Drives the engine's batch entry point
+    (:meth:`repro.core.base.IntervalIndex.query_batch`), so backends with a
+    genuinely batched evaluation are measured through it.
+    """
+    workload = list(queries)
+    if not workload:
         return 0.0
     best = 0.0
     for _ in range(max(1, repeats)):
         t0 = time.perf_counter()
-        for query in queries:
-            index.query(query)
+        index.query_batch(workload)
         elapsed = time.perf_counter() - t0
         if elapsed <= 0:
             continue
-        best = max(best, len(queries) / elapsed)
+        best = max(best, len(workload) / elapsed)
     return best

@@ -6,7 +6,13 @@ Examples::
     python -m repro query data.csv --start 100 --end 200
 
     # a stabbing query, using the comparison-free HINT on a discrete domain
-    python -m repro query data.csv --stab 150 --index hint
+    python -m repro query data.csv --stab 150 --index hint_cf
+
+    # run a whole query workload (start,end rows) through batch execution
+    python -m repro batch data.csv queries.csv --count-only
+
+    # the available backends (engine registry)
+    python -m repro list-backends
 
     # dataset statistics and the model-recommended m (Section 3.3)
     python -m repro stats data.csv
@@ -14,8 +20,9 @@ Examples::
     # generate one of the evaluation datasets for experimentation
     python -m repro generate books --cardinality 10000 --output books.csv
 
-The CLI is intentionally a thin wrapper over the library; anything beyond
-ad-hoc exploration should use the Python API directly.
+The CLI is intentionally a thin wrapper over the library's
+:class:`repro.engine.IntervalStore`; anything beyond ad-hoc exploration
+should use the Python API directly.
 """
 
 from __future__ import annotations
@@ -26,18 +33,16 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
-from repro.bench.harness import INDEX_BUILDERS, build_index
 from repro.core.interval import IntervalCollection, Query
 from repro.datasets.io import load_intervals_csv, save_intervals_csv
 from repro.datasets.real_like import REAL_DATASET_PROFILES, generate_real_like
 from repro.datasets.synthetic import SyntheticConfig, generate_synthetic
+from repro.engine import IntervalStore, available_backends, backend_specs, get_spec
 from repro.hint.model import DatasetStatistics, estimate_m_opt, replication_factor
 
 __all__ = ["main", "build_parser"]
 
-#: indexes the CLI exposes (a subset of the full registry: the comparison-free
-#: HINT needs a discrete domain, so it is opt-in)
-_DEFAULT_INDEX = "hint-m-opt"
+_DEFAULT_INDEX = "hintm_opt"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,17 +50,37 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__.splitlines()[0])
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    #: --index accepts every canonical registry name plus the legacy aliases
+    index_choices = available_backends(include_aliases=True)
+
     query = subparsers.add_parser("query", help="run a range or stabbing query over a CSV")
     query.add_argument("csv", type=Path, help="intervals file (id,start,end or start,end rows)")
     query.add_argument("--header", action="store_true", help="skip the first CSV row")
-    query.add_argument("--index", choices=sorted(INDEX_BUILDERS), default=_DEFAULT_INDEX)
+    query.add_argument("--index", choices=index_choices, default=_DEFAULT_INDEX,
+                       metavar="BACKEND",
+                       help="backend name from `repro list-backends` (default: %(default)s)")
     query.add_argument("--num-bits", type=int, default=None,
                        help="HINT^m m parameter (default: model-estimated)")
     group = query.add_mutually_exclusive_group(required=True)
     group.add_argument("--stab", type=int, help="stabbing query point")
     group.add_argument("--start", type=int, help="range query start (use with --end)")
     query.add_argument("--end", type=int, help="range query end")
-    query.add_argument("--count-only", action="store_true", help="print only the result count")
+    query.add_argument("--count-only", action="store_true",
+                       help="print only the result count (uses the counting fast path)")
+
+    batch = subparsers.add_parser(
+        "batch", help="run a workload of range queries through batch execution"
+    )
+    batch.add_argument("csv", type=Path, help="intervals file")
+    batch.add_argument("queries", type=Path, help="CSV of start,end rows (one query per row)")
+    batch.add_argument("--header", action="store_true", help="skip the first row of both files")
+    batch.add_argument("--index", choices=index_choices, default=_DEFAULT_INDEX,
+                       metavar="BACKEND")
+    batch.add_argument("--num-bits", type=int, default=None)
+    batch.add_argument("--count-only", action="store_true",
+                       help="print per-query counts instead of id lists")
+
+    subparsers.add_parser("list-backends", help="list the registered index backends")
 
     stats = subparsers.add_parser("stats", help="dataset statistics and model-recommended m")
     stats.add_argument("csv", type=Path)
@@ -85,6 +110,30 @@ def _load(path: Path, has_header: bool) -> IntervalCollection:
     return collection
 
 
+def _open_store(
+    name: str,
+    collection: IntervalCollection,
+    num_bits: Optional[int],
+    query_extent: Optional[int] = None,
+) -> IntervalStore:
+    """Build an :class:`IntervalStore`, auto-tuning ``m`` when not given."""
+    opts = {}
+    spec = get_spec(name)
+    if spec.tunable:
+        if num_bits is not None:
+            opts["num_bits"] = num_bits
+        else:
+            opts["num_bits"] = "auto"
+            if query_extent is not None:
+                opts["query_extent"] = max(query_extent, 1)
+    elif spec.discrete_domain:
+        if num_bits is not None:
+            opts["num_bits"] = num_bits
+    elif num_bits is not None:
+        raise SystemExit(f"error: backend {name!r} does not take --num-bits")
+    return IntervalStore.open(collection, backend=name, **opts)
+
+
 def _command_query(args: argparse.Namespace) -> int:
     collection = _load(args.csv, args.header)
     if args.stab is not None:
@@ -94,27 +143,81 @@ def _command_query(args: argparse.Namespace) -> int:
             raise SystemExit("error: --start requires --end")
         query = Query(args.start, args.end)
 
-    overrides = {}
-    if args.index in {"hint-m", "hint-m-subs", "hint-m-opt", "hint-m-hybrid", "hint"}:
-        num_bits = args.num_bits
-        if num_bits is None:
-            stats = DatasetStatistics.from_collection(collection)
-            num_bits = min(estimate_m_opt(stats, query.extent or 1), 16)
-        overrides["num_bits"] = num_bits
-
     build_start = time.perf_counter()
-    index = build_index(args.index, collection, **overrides)
+    store = _open_store(args.index, collection, args.num_bits, query_extent=query.extent)
     build_seconds = time.perf_counter() - build_start
+
+    builder = store.query()
+    if query.is_stabbing:
+        builder.stabbing(query.start)
+    else:
+        builder.overlapping(query.start, query.end)
+    results = builder.build()
+
     query_start = time.perf_counter()
-    results = index.query(query)
+    if args.count_only:
+        # the lazy path: backends count without materialising id lists
+        output: List[str] = [str(results.count())]
+    else:
+        output = [str(interval_id) for interval_id in sorted(results.ids())]
     query_seconds = time.perf_counter() - query_start
 
-    print(f"# index={args.index} built in {build_seconds:.3f}s, query in {query_seconds * 1000:.2f}ms")
+    print(
+        f"# index={store.backend} built in {build_seconds:.3f}s, "
+        f"query in {query_seconds * 1000:.2f}ms"
+    )
+    for line in output:
+        print(line)
+    return 0
+
+
+def _load_queries(path: Path, has_header: bool) -> List[Query]:
+    """Read start,end rows (optionally id,start,end) as a query workload."""
+    rows = load_intervals_csv(path, has_header=has_header)
+    return [Query(int(start), int(end)) for start, end in zip(rows.starts, rows.ends)]
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    collection = _load(args.csv, args.header)
+    queries = _load_queries(args.queries, args.header)
+    if not queries:
+        raise SystemExit(f"error: {args.queries} contains no queries")
+
+    store = _open_store(args.index, collection, args.num_bits)
+    batch = store.run_batch(queries, count_only=args.count_only)
     if args.count_only:
-        print(len(results))
+        for count in batch.counts:
+            print(count)
     else:
-        for interval_id in sorted(results):
-            print(interval_id)
+        for ids in batch.ids or []:
+            print(" ".join(str(interval_id) for interval_id in sorted(ids)))
+    print(
+        f"# index={store.backend} answered {len(batch)} queries in "
+        f"{batch.seconds:.3f}s ({batch.queries_per_second:,.0f} q/s, "
+        f"{batch.total_results} results)"
+    )
+    return 0
+
+
+def _command_list_backends(args: argparse.Namespace) -> int:
+    rows = [
+        (
+            spec.name,
+            ", ".join(spec.aliases) or "-",
+            spec.cls.__name__,
+            spec.paper_section or "-",
+            spec.description,
+        )
+        for spec in backend_specs()
+    ]
+    headers = ("name", "aliases", "class", "paper section", "description")
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows))
+        for col in range(len(headers))
+    ]
+    print("  ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
     return 0
 
 
@@ -152,18 +255,24 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+_COMMANDS = {
+    "query": _command_query,
+    "batch": _command_batch,
+    "list-backends": _command_list_backends,
+    "stats": _command_stats,
+    "generate": _command_generate,
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "query":
-        return _command_query(args)
-    if args.command == "stats":
-        return _command_stats(args)
-    if args.command == "generate":
-        return _command_generate(args)
-    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
-    return 2  # pragma: no cover
+    handler = _COMMANDS.get(args.command)
+    if handler is None:  # pragma: no cover
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    return handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -20,6 +20,8 @@ from repro.core.errors import (
     InvalidIntervalError,
     InvalidQueryError,
     ReproError,
+    UnknownBackendError,
+    UnsupportedQueryError,
 )
 from repro.core.interval import Interval, IntervalCollection, Query, intervals_overlap
 
@@ -36,6 +38,8 @@ __all__ = [
     "Query",
     "QueryStats",
     "ReproError",
+    "UnknownBackendError",
+    "UnsupportedQueryError",
     "allen_relation",
     "bit_length_for",
     "intervals_overlap",

@@ -6,6 +6,12 @@ them interchangeably:
 
 * :meth:`IntervalIndex.query` -- ids of all intervals overlapping a range query,
 * :meth:`IntervalIndex.stab` -- ids of all intervals containing a point,
+* :meth:`IntervalIndex.query_count` / :meth:`IntervalIndex.query_exists` --
+  aggregate forms of the range query; the defaults materialise the id list,
+  backends with cheaper paths (counting partition runs, vectorised masks)
+  override them so ``store.query(...).count()`` never builds a result list,
+* :meth:`IntervalIndex.query_batch` -- answer many queries in one call (the
+  entry point the benchmark harness drives),
 * :meth:`IntervalIndex.insert` / :meth:`IntervalIndex.delete` -- updates,
 * :meth:`IntervalIndex.memory_bytes` -- an estimate of the index footprint
   (used by the Table 8 experiment),
@@ -19,9 +25,10 @@ from __future__ import annotations
 import abc
 import sys
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Sequence
 
 from repro.core.allen import AllenRelation, RANGE_QUERY_RELATIONS, satisfies_relation
+from repro.core.errors import UnsupportedQueryError
 from repro.core.interval import Interval, IntervalCollection, Query
 
 __all__ = ["IntervalIndex", "QueryStats"]
@@ -76,6 +83,27 @@ class IntervalIndex(abc.ABC):
         """Return the ids of all intervals containing ``point``."""
         return self.query(Query.stabbing(point))
 
+    def query_count(self, query: Query) -> int:
+        """Number of intervals overlapping ``query``.
+
+        The default materialises the id list; backends with a cheaper path
+        (summing partition-run lengths, vectorised masks) override it.
+        """
+        return len(self.query(query))
+
+    def query_exists(self, query: Query) -> bool:
+        """True iff at least one interval overlaps ``query``."""
+        return self.query_count(query) > 0
+
+    def query_batch(self, queries: Sequence[Query]) -> List[List[int]]:
+        """Answer many range queries in one call.
+
+        The default evaluates them one by one; backends may override with a
+        genuinely batched evaluation (shared traversals, vectorisation).
+        Results are positionally aligned with ``queries``.
+        """
+        return [self.query(query) for query in queries]
+
     def query_with_stats(self, query: Query) -> tuple[List[int], QueryStats]:
         """Instrumented :meth:`query`.
 
@@ -94,18 +122,31 @@ class IntervalIndex(abc.ABC):
         """
         if relation in RANGE_QUERY_RELATIONS:
             candidate_ids = self.query(query)
-            lookup = self._interval_lookup()
+            lookup = self._require_interval_lookup(relation)
             return [
                 sid
                 for sid in candidate_ids
                 if satisfies_relation(lookup[sid], query, relation)
             ]
-        lookup = self._interval_lookup()
+        lookup = self._require_interval_lookup(relation)
         return [
             sid
             for sid, interval in lookup.items()
             if satisfies_relation(interval, query, relation)
         ]
+
+    def _require_interval_lookup(self, relation: AllenRelation) -> Dict[int, Interval]:
+        """:meth:`_interval_lookup`, surfacing a clear error when unsupported."""
+        try:
+            return self._interval_lookup()
+        except UnsupportedQueryError:
+            raise
+        except NotImplementedError as exc:
+            raise UnsupportedQueryError(
+                f"backend {self.name!r} ({type(self).__name__}) does not retain "
+                f"full intervals, so it cannot answer "
+                f"{relation.name} relation queries"
+            ) from exc
 
     # ------------------------------------------------------------------ #
     # updates

@@ -19,3 +19,21 @@ class DomainError(ReproError, ValueError):
 
 class EmptyCollectionError(ReproError, ValueError):
     """Raised when an operation requires a non-empty interval collection."""
+
+
+class UnknownBackendError(ReproError, KeyError):
+    """Raised when a backend name is not present in the engine registry.
+
+    Subclasses ``KeyError`` so callers of the legacy
+    ``repro.bench.harness.build_index`` registry keep working unchanged.
+    """
+
+
+class UnsupportedQueryError(ReproError, NotImplementedError):
+    """Raised when a backend cannot answer the requested query kind.
+
+    The main producer is :meth:`repro.core.base.IntervalIndex.query_relation`
+    on backends that do not retain full intervals (BEFORE/AFTER need a scan of
+    the stored intervals).  Subclasses ``NotImplementedError`` so existing
+    callers that caught the old error keep working.
+    """

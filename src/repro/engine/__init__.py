@@ -1,0 +1,43 @@
+"""The unified query engine: one public API over every interval index.
+
+* :mod:`repro.engine.registry` -- backend registry + factory
+  (:func:`create_index`, :func:`available_backends`); every index class
+  self-registers under a short string key,
+* :mod:`repro.engine.store` -- the :class:`IntervalStore` facade and its
+  fluent :class:`QueryBuilder`,
+* :mod:`repro.engine.results` -- lazy :class:`ResultSet` handles whose
+  ``count()``/``exists()`` avoid materialising id lists,
+* :mod:`repro.engine.batch` -- whole-workload execution
+  (:func:`execute_batch`, :class:`BatchResult`).
+"""
+
+from repro.engine.batch import BatchResult, execute_batch
+from repro.engine.registry import (
+    BackendSpec,
+    available_backends,
+    backend_specs,
+    create_index,
+    get_backend,
+    get_spec,
+    register_backend,
+    resolve_backend,
+)
+from repro.engine.results import ResultSet
+from repro.engine.store import DEFAULT_BACKEND, IntervalStore, QueryBuilder
+
+__all__ = [
+    "BackendSpec",
+    "BatchResult",
+    "DEFAULT_BACKEND",
+    "IntervalStore",
+    "QueryBuilder",
+    "ResultSet",
+    "available_backends",
+    "backend_specs",
+    "create_index",
+    "execute_batch",
+    "get_backend",
+    "get_spec",
+    "register_backend",
+    "resolve_backend",
+]

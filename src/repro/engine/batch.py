@@ -1,0 +1,81 @@
+"""Batch query execution.
+
+Throughput experiments and bulk API consumers hand the engine a whole
+workload at once; :func:`execute_batch` drives it through the backend's
+:meth:`repro.core.base.IntervalIndex.query_batch` hook (or the
+``query_count`` fast path in count-only mode) and reports results together
+with wall-clock metrics, so the benchmark harness, the CLI and library users
+all exercise the same entry point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from repro.core.base import IntervalIndex
+from repro.core.interval import Query
+
+__all__ = ["BatchResult", "execute_batch"]
+
+
+@dataclass
+class BatchResult:
+    """The answers and timing of one batch execution.
+
+    Attributes:
+        queries: the executed workload, in order.
+        ids: per-query result id lists (positionally aligned with
+            ``queries``); ``None`` when the batch ran in count-only mode.
+        counts: per-query result counts.
+        seconds: wall-clock time spent answering the batch.
+    """
+
+    queries: List[Query]
+    ids: Optional[List[List[int]]]
+    counts: List[int]
+    seconds: float
+
+    @property
+    def queries_per_second(self) -> float:
+        """Throughput of the batch (0.0 for an empty or unmeasurable batch)."""
+        if not self.queries or self.seconds <= 0:
+            return 0.0
+        return len(self.queries) / self.seconds
+
+    @property
+    def total_results(self) -> int:
+        """Total number of reported (or counted) results across the batch."""
+        return sum(self.counts)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[List[int]]:
+        """Iterate per-query id lists (materialising mode only)."""
+        if self.ids is None:
+            raise ValueError("batch ran in count-only mode; iterate .counts instead")
+        return iter(self.ids)
+
+
+def execute_batch(
+    index: IntervalIndex,
+    queries: Sequence[Query],
+    count_only: bool = False,
+) -> BatchResult:
+    """Answer ``queries`` against ``index`` in one batched call.
+
+    With ``count_only`` the per-query ``query_count`` fast path runs instead
+    and no id lists are materialised.
+    """
+    workload = list(queries)
+    start = time.perf_counter()
+    if count_only:
+        ids: Optional[List[List[int]]] = None
+        counts = [index.query_count(query) for query in workload]
+    else:
+        ids = index.query_batch(workload)
+        counts = [len(result) for result in ids]
+    elapsed = time.perf_counter() - start
+    return BatchResult(queries=workload, ids=ids, counts=counts, seconds=elapsed)

@@ -1,0 +1,227 @@
+"""The :class:`IntervalStore` facade and its fluent query builder.
+
+This is the primary public API of the library::
+
+    from repro import IntervalStore
+
+    store = IntervalStore.from_pairs([(1, 5), (3, 9), (12, 14)])
+    store.query().overlapping(4, 12).ids()      # -> [0, 1, 2]
+    store.query().stabbing(4).count()           # no id list materialised
+    store.query().overlapping(0, 20).limit(2).ids()
+    store.run_batch([Query(1, 2), Query(5, 9)]).counts
+
+A store wraps one registered backend (default: the fully optimized HINT^m
+with a model-tuned ``m``) behind construction helpers, the
+:meth:`IntervalStore.query` builder and batch execution; the underlying
+:class:`repro.core.base.IntervalIndex` stays reachable via
+:attr:`IntervalStore.index` for anything not yet surfaced here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.allen import AllenRelation
+from repro.core.base import IntervalIndex, QueryStats
+from repro.core.errors import InvalidQueryError
+from repro.core.interval import Interval, IntervalCollection, Query
+from repro.engine.batch import BatchResult, execute_batch
+from repro.engine.registry import create_index, get_spec, resolve_backend
+from repro.engine.results import ResultSet
+
+__all__ = ["DEFAULT_BACKEND", "IntervalStore", "QueryBuilder"]
+
+#: backend used when the caller does not pick one
+DEFAULT_BACKEND = "hintm_opt"
+
+
+class QueryBuilder:
+    """Fluent specification of one query against an :class:`IntervalStore`.
+
+    Build up the query with :meth:`overlapping`/:meth:`stabbing`,
+    optionally refine with :meth:`relation`/:meth:`limit`, then finish with
+    a terminal accessor (:meth:`ids`, :meth:`count`, :meth:`exists`,
+    :meth:`stats`) or take the lazy :meth:`build` handle.
+    """
+
+    __slots__ = ("_store", "_query", "_relation", "_limit")
+
+    def __init__(self, store: "IntervalStore") -> None:
+        self._store = store
+        self._query: Optional[Query] = None
+        self._relation: Optional[AllenRelation] = None
+        self._limit: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # refinements (each returns self for chaining)
+    # ------------------------------------------------------------------ #
+    def overlapping(self, start: int, end: int) -> "QueryBuilder":
+        """Select intervals overlapping the closed range ``[start, end]``."""
+        self._query = Query(start, end)
+        return self
+
+    def stabbing(self, point: int) -> "QueryBuilder":
+        """Select intervals containing ``point``."""
+        self._query = Query.stabbing(point)
+        return self
+
+    def relation(self, relation: AllenRelation) -> "QueryBuilder":
+        """Keep only intervals in the given Allen relation with the query."""
+        if not isinstance(relation, AllenRelation):
+            raise InvalidQueryError(f"expected an AllenRelation, got {relation!r}")
+        self._relation = relation
+        return self
+
+    def limit(self, k: int) -> "QueryBuilder":
+        """Report at most ``k`` ids."""
+        if k < 1:
+            raise InvalidQueryError(f"limit must be >= 1, got {k}")
+        self._limit = k
+        return self
+
+    # ------------------------------------------------------------------ #
+    # terminals
+    # ------------------------------------------------------------------ #
+    def build(self) -> ResultSet:
+        """The lazy :class:`ResultSet` for the built query."""
+        if self._query is None:
+            raise InvalidQueryError(
+                "no query target: call .overlapping(start, end) or .stabbing(point) first"
+            )
+        return ResultSet(
+            self._store.index,
+            self._query,
+            relation=self._relation,
+            limit=self._limit,
+            backend=self._store.backend,
+        )
+
+    def ids(self) -> List[int]:
+        """Materialised result ids."""
+        return self.build().ids()
+
+    def count(self) -> int:
+        """Result count via the backend's counting fast path."""
+        return self.build().count()
+
+    def exists(self) -> bool:
+        """True iff at least one interval matches."""
+        return self.build().exists()
+
+    def stats(self) -> QueryStats:
+        """Instrumented counters of the underlying range query."""
+        return self.build().stats()
+
+    def __iter__(self):
+        return iter(self.build())
+
+
+class IntervalStore:
+    """Facade tying a collection, a registered backend and the query API.
+
+    Args:
+        index: a pre-built index to wrap.
+        backend: registry name for display/error messages (inferred from the
+            index's own ``name`` when omitted).
+    """
+
+    def __init__(self, index: IntervalIndex, backend: Optional[str] = None) -> None:
+        self._index = index
+        if backend is None:
+            try:
+                backend = resolve_backend(index.name)
+            except KeyError:
+                backend = index.name
+        self._backend = backend
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def open(
+        cls,
+        collection: IntervalCollection,
+        backend: str = DEFAULT_BACKEND,
+        **opts,
+    ) -> "IntervalStore":
+        """Index ``collection`` with a registered backend.
+
+        On the HINT^m family, ``num_bits`` defaults to ``"auto"`` (the
+        analytical model of Section 3.3 picks ``m``); pass an explicit value
+        to override.
+        """
+        spec = get_spec(backend)
+        if spec.tunable and "num_bits" not in opts:
+            opts["num_bits"] = "auto"
+        return cls(create_index(backend, collection, **opts), backend=spec.name)
+
+    @classmethod
+    def from_intervals(
+        cls, intervals: Iterable[Interval], backend: str = DEFAULT_BACKEND, **opts
+    ) -> "IntervalStore":
+        """Index :class:`Interval` records."""
+        return cls.open(IntervalCollection.from_intervals(intervals), backend, **opts)
+
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Iterable[Tuple[int, int]],
+        backend: str = DEFAULT_BACKEND,
+        first_id: int = 0,
+        **opts,
+    ) -> "IntervalStore":
+        """Index ``(start, end)`` pairs with sequential ids."""
+        return cls.open(
+            IntervalCollection.from_pairs(pairs, first_id=first_id), backend, **opts
+        )
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def index(self) -> IntervalIndex:
+        """The wrapped :class:`IntervalIndex`."""
+        return self._index
+
+    @property
+    def backend(self) -> str:
+        """Registry name of the wrapped backend."""
+        return self._backend
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"IntervalStore(backend={self._backend!r}, n={len(self._index)})"
+
+    def memory_bytes(self) -> int:
+        """Estimated footprint of the underlying index."""
+        return self._index.memory_bytes()
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query(self) -> QueryBuilder:
+        """Start a fluent query."""
+        return QueryBuilder(self)
+
+    def stab(self, point: int) -> List[int]:
+        """Shorthand for ``store.query().stabbing(point).ids()``."""
+        return self.query().stabbing(point).ids()
+
+    def run_batch(
+        self, queries: Sequence[Query], count_only: bool = False
+    ) -> BatchResult:
+        """Answer a whole workload in one batched call."""
+        return execute_batch(self._index, queries, count_only=count_only)
+
+    # ------------------------------------------------------------------ #
+    # updates (delegated; backends may not support them)
+    # ------------------------------------------------------------------ #
+    def insert(self, interval: Interval) -> None:
+        """Insert one interval (raises on static backends)."""
+        self._index.insert(interval)
+
+    def delete(self, interval_id: int) -> bool:
+        """Delete an interval by id; True when the id was live."""
+        return self._index.delete(interval_id)

@@ -29,11 +29,19 @@ from repro.core.base import IntervalIndex, QueryStats
 from repro.core.domain import Domain
 from repro.core.errors import DomainError
 from repro.core.interval import Interval, IntervalCollection, Query
+from repro.engine.registry import register_backend
 from repro.hint.partitioning import partition_assignments, relevant_offsets
 
 __all__ = ["ComparisonFreeHINT"]
 
 
+@register_backend(
+    "hint_cf",
+    aliases=("hint",),
+    description="comparison-free HINT over a discrete domain",
+    paper_section="Section 3.1",
+    discrete_domain=True,
+)
 class ComparisonFreeHINT(IntervalIndex):
     """Comparison-free HINT over the discrete domain ``[0, 2^num_bits - 1]``.
 

@@ -39,6 +39,7 @@ from repro.core.base import IntervalIndex, QueryStats
 from repro.core.domain import Domain
 from repro.core.errors import DomainError
 from repro.core.interval import Interval, IntervalCollection, Query
+from repro.engine.registry import register_backend
 from repro.hint.partitioning import partition_assignments, relevant_offsets
 
 __all__ = ["HINTm"]
@@ -47,6 +48,13 @@ __all__ = ["HINTm"]
 _Entry = Tuple[int, int, int]
 
 
+@register_backend(
+    "hintm",
+    aliases=("hint-m",),
+    description="base HINT^m (top-down or bottom-up evaluation)",
+    paper_section="Section 3.2",
+    tunable=True,
+)
 class HINTm(IntervalIndex):
     """HINT^m with per-partition originals/replicas divisions (no subdivisions).
 

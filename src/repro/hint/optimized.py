@@ -39,6 +39,7 @@ from repro.core.base import IntervalIndex, QueryStats
 from repro.core.domain import Domain
 from repro.core.errors import DomainError
 from repro.core.interval import Interval, IntervalCollection, Query
+from repro.engine.registry import register_backend
 from repro.hint.partitioning import partition_assignments, relevant_offsets
 
 __all__ = ["OptimizedHINTm"]
@@ -115,6 +116,29 @@ class _LevelClass:
 #: the crossover was measured on CPython 3.11 (see bench_ablation_vectorization)
 _SMALL_SEGMENT = 96
 
+def _record_matches(
+    record: Tuple[int, ...],
+    has_start: bool,
+    test_start: bool,
+    test_end: bool,
+    q_start: int,
+    q_end: int,
+) -> bool:
+    """Predicate for one interleaved ``(id, start?, end?)`` record.
+
+    The single encoding of the ``columnar=False`` record layout: the start
+    (when kept) is column 1 and the end is column 2, or column 1 when no
+    start is kept (``r_in``).
+    """
+    if test_start and record[1] > q_end:
+        return False
+    if test_end:
+        end_value = record[2] if has_start and len(record) > 2 else record[-1]
+        if end_value < q_start:
+            return False
+    return True
+
+
 #: subdivision classes: (name, keeps starts, keeps ends, sort key column)
 _CLASSES = (
     ("o_in", True, True, "starts"),
@@ -124,6 +148,13 @@ _CLASSES = (
 )
 
 
+@register_backend(
+    "hintm_opt",
+    aliases=("hint-m-opt",),
+    description="fully optimized HINT^m (sparse directories, columnar storage)",
+    paper_section="Sections 4.2/4.3",
+    tunable=True,
+)
 class OptimizedHINTm(IntervalIndex):
     """The fully optimized, statically built HINT^m.
 
@@ -363,6 +394,120 @@ class OptimizedHINTm(IntervalIndex):
         # distinct (level, offset) pairs for which endpoint comparisons were
         # performed; this is the quantity Lemma 4 bounds by four in expectation
         compared: set[Tuple[int, int]] = set()
+        for level_class, row_lo, row_hi, test_start, test_end, key in self._iter_segments(
+            query
+        ):
+            self._emit_segment(
+                level_class,
+                row_lo,
+                row_hi,
+                query,
+                test_start,
+                test_end,
+                chunks,
+                plain,
+                stats,
+                compared,
+                key,
+            )
+        results = self._merge_results(chunks, plain)
+        stats.partitions_compared = len(compared)
+        stats.results = len(results)
+        return results, stats
+
+    # -- aggregate fast path ------------------------------------------------ #
+    def query_count(self, query: Query) -> int:
+        """Count results without materialising an id list (Section 4.2/4.3
+        traversal, aggregation-only).
+
+        Comparison-free runs contribute their length in O(1); boundary
+        partitions contribute a vectorised predicate count.  No intermediate
+        list of ids is built anywhere on this path.  Tombstoned indexes fall
+        back to the materialising path, which is the only way to subtract
+        deleted ids exactly.
+        """
+        if self._tombstones:
+            return len(self.query(query))
+        total = 0
+        q_start = query.start
+        q_end = query.end
+        for level_class, row_lo, row_hi, test_start, test_end, _key in self._iter_segments(
+            query
+        ):
+            if not (test_start or test_end):
+                total += row_hi - row_lo
+                continue
+            if self._columnar:
+                if test_start and test_end:
+                    mask = (level_class.starts[row_lo:row_hi] <= q_end) & (
+                        level_class.ends[row_lo:row_hi] >= q_start
+                    )
+                elif test_start:
+                    mask = level_class.starts[row_lo:row_hi] <= q_end
+                else:
+                    mask = level_class.ends[row_lo:row_hi] >= q_start
+                total += int(np.count_nonzero(mask))
+                continue
+            records = level_class.records
+            has_start = level_class.starts is not None
+            for row in range(row_lo, row_hi):
+                if _record_matches(
+                    records[row], has_start, test_start, test_end, q_start, q_end
+                ):
+                    total += 1
+        return total
+
+    def query_exists(self, query: Query) -> bool:
+        """True iff any interval overlaps ``query``, stopping at the first hit.
+
+        Any non-empty comparison-free run proves existence immediately; only
+        boundary partitions need a predicate, and the scan stops at the first
+        segment with a match.
+        """
+        if self._tombstones:
+            return self.query_count(query) > 0
+        q_start = query.start
+        q_end = query.end
+        for level_class, row_lo, row_hi, test_start, test_end, _key in self._iter_segments(
+            query
+        ):
+            if row_hi <= row_lo:
+                continue
+            if not (test_start or test_end):
+                return True
+            if self._columnar:
+                if test_start and test_end:
+                    mask = (level_class.starts[row_lo:row_hi] <= q_end) & (
+                        level_class.ends[row_lo:row_hi] >= q_start
+                    )
+                elif test_start:
+                    mask = level_class.starts[row_lo:row_hi] <= q_end
+                else:
+                    mask = level_class.ends[row_lo:row_hi] >= q_start
+                if mask.any():
+                    return True
+                continue
+            records = level_class.records
+            has_start = level_class.starts is not None
+            for row in range(row_lo, row_hi):
+                if _record_matches(
+                    records[row], has_start, test_start, test_end, q_start, q_end
+                ):
+                    return True
+        return False
+
+    def _iter_segments(self, query: Query):
+        """Yield ``(level_class, row_lo, row_hi, test_start, test_end, key)``
+        for every merged-table run the query touches.
+
+        This is the single encoding of the Section 4.2/4.3 traversal: which
+        partitions are relevant per level, how boundary partitions split off
+        from the comparison-free middle run, and how the Lemma 2 flags lower
+        the predicates level by level.  :meth:`query_with_stats` feeds the
+        runs to :meth:`_emit_segment`; :meth:`query_count` only aggregates
+        them.  ``key`` is the ``(level, offset)`` of a boundary partition
+        (``None`` for comparison-free runs), used for the Lemma 4 counter.
+        """
         mq_start = self._domain.map_value(query.start)
         mq_end = self._domain.map_value(query.end)
         comp_first = True
@@ -370,67 +515,86 @@ class OptimizedHINTm(IntervalIndex):
         for level in range(self._m, -1, -1):
             first, last = relevant_offsets(self._m, level, mq_start, mq_end)
             classes = self._levels[level]
-            single = first == last
-            # ---- originals --------------------------------------------- #
-            self._collect_originals(
-                classes["o_in"],
-                level,
-                first,
-                last,
-                query,
-                comp_first,
-                comp_last,
-                needs_start_test_first=single,
-                chunks=chunks,
-                plain=plain,
-                stats=stats,
-                compared=compared,
+            yield from self._original_segments(
+                classes["o_in"], level, first, last, comp_first, comp_last
             )
-            self._collect_originals(
-                classes["o_aft"],
-                level,
-                first,
-                last,
-                query,
-                # O_aft of the first partition never needs the end-side test
-                False,
-                comp_last,
-                needs_start_test_first=single,
-                chunks=chunks,
-                plain=plain,
-                stats=stats,
-                compared=compared,
+            # O_aft of the first partition never needs the end-side test
+            yield from self._original_segments(
+                classes["o_aft"], level, first, last, False, comp_last
             )
-            # ---- replicas (only the first relevant partition) ----------- #
-            self._collect_replicas(
-                classes["r_in"],
-                level,
-                first,
-                query,
-                test_end=comp_first,
-                chunks=chunks,
-                plain=plain,
-                stats=stats,
-                compared=compared,
-            )
-            self._collect_replicas(
-                classes["r_aft"],
-                level,
-                first,
-                query,
-                test_end=False,
-                chunks=chunks,
-                plain=plain,
-                stats=stats,
-                compared=compared,
-            )
+            # replicas: only the first relevant partition
+            yield from self._replica_segment(classes["r_in"], level, first, comp_first)
+            yield from self._replica_segment(classes["r_aft"], level, first, False)
             comp_first, comp_last = self._lower_flags(
                 level, first, last, mq_start, mq_end, comp_first, comp_last
             )
-        results = self._merge_results(chunks, plain)
-        stats.partitions_compared = len(compared)
-        stats.results = len(results)
-        return results, stats
+
+    def _original_segments(
+        self,
+        level_class: _LevelClass,
+        level: int,
+        first: int,
+        last: int,
+        test_end_first: bool,
+        test_start_last: bool,
+    ):
+        """Runs of one originals class over partitions ``first..last``.
+
+        ``test_end_first``: the first partition needs the ``end >= q.st``
+        predicate.  ``test_start_last``: the last partition needs
+        ``start <= q.end``.  Partitions strictly between the boundaries form
+        one contiguous comparison-free run of the merged table (the Section
+        4.2/4.3 fast path).
+        """
+        offsets = level_class.offsets_list
+        if len(level_class.ids) == 0 or not offsets:
+            return
+        lo = bisect_left(offsets, first)
+        hi = bisect_right(offsets, last)
+        if lo >= hi:
+            return
+        indptr = level_class.indptr_list
+        if first == last:
+            if offsets[lo] == first:
+                yield (
+                    level_class,
+                    indptr[lo],
+                    indptr[lo + 1],
+                    test_start_last,
+                    test_end_first,
+                    (level, first),
+                )
+            return
+        start_run = lo
+        end_run = hi
+        if offsets[lo] == first:
+            yield level_class, indptr[lo], indptr[lo + 1], False, test_end_first, (level, first)
+            start_run = lo + 1
+        if offsets[hi - 1] == last:
+            yield level_class, indptr[hi - 1], indptr[hi], test_start_last, False, (level, last)
+            end_run = hi - 1
+        if start_run < end_run:
+            yield level_class, indptr[start_run], indptr[end_run], False, False, None
+
+    def _replica_segment(
+        self, level_class: _LevelClass, level: int, first: int, test_end: bool
+    ):
+        """The replica run of the first relevant partition of one class."""
+        offsets = level_class.offsets_list
+        if len(level_class.ids) == 0 or not offsets:
+            return
+        position = bisect_left(offsets, first)
+        if position >= len(offsets) or offsets[position] != first:
+            return
+        indptr = level_class.indptr_list
+        yield (
+            level_class,
+            indptr[position],
+            indptr[position + 1],
+            False,
+            test_end,
+            (level, first),
+        )
 
     # -- result assembly --------------------------------------------------- #
     def _merge_results(self, chunks: List[np.ndarray], plain: List[int]) -> List[int]:
@@ -449,144 +613,6 @@ class OptimizedHINTm(IntervalIndex):
             else:
                 results.extend(plain)
         return results
-
-    # -- originals --------------------------------------------------------- #
-    def _collect_originals(
-        self,
-        level_class: _LevelClass,
-        level: int,
-        first: int,
-        last: int,
-        query: Query,
-        test_end_first: bool,
-        test_start_last: bool,
-        needs_start_test_first: bool,
-        chunks: List[np.ndarray],
-        plain: List[int],
-        stats: QueryStats,
-        compared: set,
-    ) -> None:
-        """Report originals of partitions ``first..last`` for one class.
-
-        ``test_end_first``: apply the ``end >= q.st`` predicate in the first
-        partition.  ``test_start_last``: apply ``start <= q.end`` in the last
-        partition.  ``needs_start_test_first``: True when ``first == last`` so
-        the first partition is also the last one and may need the start-side
-        predicate as well.
-        """
-        offsets = level_class.offsets_list
-        if len(level_class.ids) == 0 or not offsets:
-            return
-        lo = bisect_left(offsets, first)
-        hi = bisect_right(offsets, last)
-        if lo >= hi:
-            return
-        indptr = level_class.indptr_list
-        first_present = offsets[lo] == first
-        last_present = offsets[hi - 1] == last
-        single = first == last
-        # boundary partitions that require predicates
-        if single:
-            if first_present:
-                test_end = test_end_first
-                test_start = test_start_last and needs_start_test_first
-                self._emit_segment(
-                    level_class,
-                    indptr[lo],
-                    indptr[lo + 1],
-                    query,
-                    test_start,
-                    test_end,
-                    chunks,
-                    plain,
-                    stats,
-                    compared,
-                    (level, first),
-                )
-            return
-        start_run = lo
-        end_run = hi
-        if first_present:
-            self._emit_segment(
-                level_class,
-                indptr[lo],
-                indptr[lo + 1],
-                query,
-                False,
-                test_end_first,
-                chunks,
-                plain,
-                stats,
-                compared,
-                (level, first),
-            )
-            start_run = lo + 1
-        if last_present:
-            self._emit_segment(
-                level_class,
-                indptr[hi - 1],
-                indptr[hi],
-                query,
-                test_start_last,
-                False,
-                chunks,
-                plain,
-                stats,
-                compared,
-                (level, last),
-            )
-            end_run = hi - 1
-        if start_run < end_run:
-            # all in-between partitions: one contiguous, comparison-free run
-            # of the merged ids column (the Section 4.2/4.3 fast path)
-            self._emit_segment(
-                level_class,
-                indptr[start_run],
-                indptr[end_run],
-                query,
-                False,
-                False,
-                chunks,
-                plain,
-                stats,
-                compared,
-                None,
-            )
-
-    # -- replicas ----------------------------------------------------------- #
-    def _collect_replicas(
-        self,
-        level_class: _LevelClass,
-        level: int,
-        first: int,
-        query: Query,
-        test_end: bool,
-        chunks: List[np.ndarray],
-        plain: List[int],
-        stats: QueryStats,
-        compared: set,
-    ) -> None:
-        """Report replicas of the first relevant partition for one class."""
-        offsets = level_class.offsets_list
-        if len(level_class.ids) == 0 or not offsets:
-            return
-        position = bisect_left(offsets, first)
-        if position >= len(offsets) or offsets[position] != first:
-            return
-        indptr = level_class.indptr_list
-        self._emit_segment(
-            level_class,
-            indptr[position],
-            indptr[position + 1],
-            query,
-            False,
-            test_end,
-            chunks,
-            plain,
-            stats,
-            compared,
-            (level, first),
-        )
 
     # -- one partition segment ---------------------------------------------- #
     def _emit_segment(
@@ -646,13 +672,10 @@ class OptimizedHINTm(IntervalIndex):
         has_start = level_class.starts is not None
         for row in range(row_lo, row_hi):
             record = records[row]
-            if test_start and record[1] > query.end:
-                continue
-            if test_end:
-                end_value = record[2] if has_start and len(record) > 2 else record[-1]
-                if end_value < query.start:
-                    continue
-            plain.append(record[0])
+            if _record_matches(
+                record, has_start, test_start, test_end, query.start, query.end
+            ):
+                plain.append(record[0])
 
     # -- Lemma 2 flags ------------------------------------------------------- #
     def _lower_flags(

@@ -36,6 +36,7 @@ from repro.core.base import IntervalIndex, QueryStats
 from repro.core.domain import Domain
 from repro.core.errors import DomainError
 from repro.core.interval import Interval, IntervalCollection, Query
+from repro.engine.registry import register_backend
 from repro.hint.partitioning import covered_range, partition_assignments, relevant_offsets
 
 __all__ = ["SubdividedHINTm"]
@@ -110,6 +111,13 @@ class _Partition:
         return len(self.o_in) + len(self.o_aft) + len(self.r_in) + len(self.r_aft)
 
 
+@register_backend(
+    "hintm_sub",
+    aliases=("hint-m-subs",),
+    description="HINT^m with subdivisions, sorting and storage optimization",
+    paper_section="Section 4.1",
+    tunable=True,
+)
 class SubdividedHINTm(IntervalIndex):
     """HINT^m with ``O_in/O_aft/R_in/R_aft`` subdivisions (paper Section 4.1).
 

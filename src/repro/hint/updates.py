@@ -23,12 +23,20 @@ from typing import Dict, List, Optional
 from repro.core.base import IntervalIndex, QueryStats
 from repro.core.domain import Domain
 from repro.core.interval import Interval, IntervalCollection, Query
+from repro.engine.registry import register_backend
 from repro.hint.optimized import OptimizedHINTm
 from repro.hint.subdivided import SubdividedHINTm
 
 __all__ = ["HybridHINTm"]
 
 
+@register_backend(
+    "hintm_hybrid",
+    aliases=("hint-m-hybrid",),
+    description="hybrid HINT^m: optimized main index + delta for updates",
+    paper_section="Sections 3.4/4.4",
+    tunable=True,
+)
 class HybridHINTm(IntervalIndex):
     """Hybrid HINT^m: optimized main index plus an update-friendly delta.
 

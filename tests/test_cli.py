@@ -69,6 +69,61 @@ class TestQueryCommand:
             main(["query", str(empty), "--stab", "1"])
 
 
+class TestListBackendsCommand:
+    def test_lists_every_registered_backend(self, capsys):
+        from repro.engine import available_backends
+
+        assert main(["list-backends"]) == 0
+        output = capsys.readouterr().out
+        for name in available_backends():
+            assert name in output
+        assert "OptimizedHINTm" in output
+
+    def test_index_choices_come_from_registry(self):
+        # canonical names and legacy aliases both parse
+        parser = build_parser()
+        assert parser.parse_args(["query", "x.csv", "--stab", "1", "--index", "hintm_opt"])
+        assert parser.parse_args(["query", "x.csv", "--stab", "1", "--index", "hint-m-opt"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["query", "x.csv", "--stab", "1", "--index", "b-tree"])
+
+
+class TestBatchCommand:
+    @pytest.fixture()
+    def queries_path(self, tmp_path):
+        path = tmp_path / "queries.csv"
+        path.write_text("0,5\n4,9\n100,200\n")
+        return path
+
+    def test_batch_ids_match_per_query_results(
+        self, csv_path, queries_path, capsys, tiny_collection
+    ):
+        assert main(["batch", str(csv_path), str(queries_path)]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if not l.startswith("#")]
+        assert len(lines) == 3
+        for line, (start, end) in zip(lines, [(0, 5), (4, 9), (100, 200)]):
+            got = sorted(int(token) for token in line.split()) if line else []
+            expected = sorted(tiny_collection.query_ids(Query(start, end)).tolist())
+            assert got == expected
+
+    def test_batch_count_only(self, csv_path, queries_path, capsys, tiny_collection):
+        assert main(["batch", str(csv_path), str(queries_path), "--count-only"]) == 0
+        out = capsys.readouterr().out
+        counts = [int(l) for l in out.splitlines() if not l.startswith("#")]
+        expected = [
+            len(tiny_collection.query_ids(Query(start, end)))
+            for start, end in [(0, 5), (4, 9), (100, 200)]
+        ]
+        assert counts == expected
+        assert "# index=" in out
+
+    def test_empty_queries_rejected(self, csv_path, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(SystemExit):
+            main(["batch", str(csv_path), str(empty)])
+
+
 class TestStatsCommand:
     def test_stats_output(self, csv_path, capsys):
         assert main(["stats", str(csv_path)]) == 0

@@ -1,0 +1,128 @@
+"""Tests for the counting fast paths (``IntervalIndex.query_count``).
+
+Covers correctness of every override against the materialising path and the
+acceptance requirement that ``OptimizedHINTm.query_count`` beats
+``len(query(...))`` by at least 2x on a 100k-interval dataset (it avoids
+building any intermediate id list).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.grid1d import Grid1D
+from repro.baselines.interval_tree import IntervalTree
+from repro.baselines.naive import NaiveIndex
+from repro.core.interval import IntervalCollection, Query
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic
+from repro.engine import IntervalStore
+from repro.hint.optimized import OptimizedHINTm
+
+
+@pytest.fixture(scope="module")
+def fastpath_collection():
+    rng = np.random.default_rng(11)
+    starts = rng.integers(0, 50_000, size=2_000)
+    lengths = rng.integers(0, 2_000, size=2_000)
+    return IntervalCollection(ids=np.arange(2_000), starts=starts, ends=starts + lengths)
+
+
+@pytest.fixture(scope="module")
+def fastpath_queries():
+    rng = np.random.default_rng(12)
+    queries = []
+    for _ in range(150):
+        start = int(rng.integers(0, 52_000))
+        queries.append(Query(start, start + int(rng.integers(0, 5_000))))
+    queries.append(Query(0, 60_000))
+    queries.append(Query.stabbing(25_000))
+    queries.append(Query(90_000, 95_000))  # beyond the data span
+    return queries
+
+
+class TestCountCorrectness:
+    @pytest.mark.parametrize("sparse", [True, False])
+    @pytest.mark.parametrize("columnar", [True, False])
+    def test_optimized_hintm_all_variants(
+        self, fastpath_collection, fastpath_queries, sparse, columnar
+    ):
+        index = OptimizedHINTm(
+            fastpath_collection, num_bits=9, sparse_directory=sparse, columnar=columnar
+        )
+        for query in fastpath_queries:
+            expected = len(index.query(query))
+            assert index.query_count(query) == expected, (sparse, columnar, query)
+            assert index.query_exists(query) == bool(expected), (sparse, columnar, query)
+
+    def test_optimized_hintm_with_tombstones(self, fastpath_collection, fastpath_queries):
+        index = OptimizedHINTm(fastpath_collection, num_bits=9)
+        for interval_id in fastpath_collection.ids[:100]:
+            index.delete(int(interval_id))
+        for query in fastpath_queries[:40]:
+            assert index.query_count(query) == len(index.query(query))
+
+    def test_grid1d(self, fastpath_collection, fastpath_queries):
+        index = Grid1D(fastpath_collection, num_partitions=64)
+        for query in fastpath_queries:
+            expected = len(index.query(query))
+            assert index.query_count(query) == expected
+            assert index.query_exists(query) == bool(expected)
+        index.delete(0)
+        index.delete(1)
+        for query in fastpath_queries[:40]:
+            assert index.query_count(query) == len(index.query(query))
+
+    def test_naive(self, fastpath_collection, fastpath_queries):
+        index = NaiveIndex(fastpath_collection)
+        for query in fastpath_queries:
+            assert index.query_count(query) == len(index.query(query))
+            assert index.query_exists(query) == bool(index.query(query))
+
+    def test_base_default_on_backend_without_override(
+        self, fastpath_collection, fastpath_queries
+    ):
+        index = IntervalTree.build(fastpath_collection)
+        for query in fastpath_queries[:20]:
+            assert index.query_count(query) == len(index.query(query))
+
+
+class TestCountPerformance:
+    def test_count_at_least_2x_faster_than_materialising_on_100k(self):
+        """Acceptance: ``count()`` >= 2x faster than ``len(ids())`` at 100k scale.
+
+        A broad query makes the result set large, so the materialising path
+        must build a ~100k-element python list while the count path sums
+        partition-run lengths; the observed gap is >50x, asserted at 2x to
+        stay robust on noisy CI machines.
+        """
+        collection = generate_synthetic(
+            SyntheticConfig(
+                domain_length=10_000_000,
+                cardinality=100_000,
+                alpha=1.2,
+                sigma=1_000_000,
+                seed=7,
+            )
+        )
+        store = IntervalStore.open(collection, backend="hintm_opt", num_bits=10)
+        lo, hi = collection.span()
+
+        def best_of(action, repeats=5):
+            best = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                action()
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        builder = lambda: store.query().overlapping(lo, hi)
+        count = builder().count()
+        assert count == len(builder().ids()) == 100_000
+
+        ids_seconds = best_of(lambda: builder().ids())
+        count_seconds = best_of(lambda: builder().count())
+        assert count_seconds * 2 <= ids_seconds, (
+            f"count() took {count_seconds:.6f}s vs ids() {ids_seconds:.6f}s "
+            f"(speedup {ids_seconds / max(count_seconds, 1e-12):.1f}x, need >= 2x)"
+        )

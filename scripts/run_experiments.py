@@ -107,6 +107,25 @@ def _render_extent_sweep(result, title, x_label):
     return "\n\n".join(parts)
 
 
+def _render_shard_scaling(rows):
+    return format_table(
+        "Shard scaling -- sharded parallel execution layer (speedup vs K=1 serial)",
+        ["backend", "K", "strategy", "executor", "build [s]", "queries/s", "speedup"],
+        [
+            [
+                r["backend"],
+                r["num_shards"],
+                r["strategy"],
+                r["executor"],
+                r["build_s"],
+                r["throughput"],
+                r["speedup"],
+            ]
+            for r in rows
+        ],
+    )
+
+
 def _render_table10(result):
     parts = []
     for dataset, rows in result.items():
@@ -181,6 +200,11 @@ def main(argv=None) -> int:
         ),
         "table10": lambda: _render_table10(
             experiments.table10_updates(books_taxis, num_queries=n_queries)
+        ),
+        "shard_scaling": lambda: _render_shard_scaling(
+            experiments.shard_scaling(
+                cardinality=args.cardinality, num_queries=n_queries
+            )
         ),
     }
 

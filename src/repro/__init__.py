@@ -39,16 +39,25 @@ from repro.core import (
 from repro.engine import (
     BackendSpec,
     BatchResult,
+    Executor,
     IntervalStore,
+    MergedResultSet,
     QueryBuilder,
     ResultSet,
+    SerialExecutor,
+    ShardPlan,
+    ShardedIndex,
+    ShardedStore,
+    ThreadedExecutor,
     available_backends,
     backend_specs,
     create_index,
     execute_batch,
     get_backend,
+    partition_collection,
     register_backend,
     resolve_backend,
+    resolve_executor,
 )
 from repro.datasets import (
     REAL_DATASET_PROFILES,
@@ -91,6 +100,7 @@ __all__ = [
     "CostModel",
     "DatasetStatistics",
     "Domain",
+    "Executor",
     "Grid1D",
     "HINTm",
     "HybridHINTm",
@@ -99,6 +109,7 @@ __all__ = [
     "IntervalIndex",
     "IntervalStore",
     "IntervalTree",
+    "MergedResultSet",
     "NaiveIndex",
     "OptimizedHINTm",
     "PeriodIndex",
@@ -109,8 +120,13 @@ __all__ = [
     "REAL_DATASET_PROFILES",
     "ReproError",
     "ResultSet",
+    "SerialExecutor",
+    "ShardPlan",
+    "ShardedIndex",
+    "ShardedStore",
     "SubdividedHINTm",
     "SyntheticConfig",
+    "ThreadedExecutor",
     "TimelineIndex",
     "UnknownBackendError",
     "UnsupportedQueryError",
@@ -133,7 +149,9 @@ __all__ = [
     "generate_taxis_like",
     "generate_webkit_like",
     "load_intervals_csv",
+    "partition_collection",
     "replication_factor",
+    "resolve_executor",
     "save_intervals_csv",
     "__version__",
 ]

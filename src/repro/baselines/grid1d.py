@@ -182,7 +182,9 @@ class Grid1D(IntervalIndex):
     def __len__(self) -> int:
         return self._size
 
-    def memory_bytes(self) -> int:
+    def memory_bytes(self, _memo: "set | None" = None) -> int:
+        if self._memo_seen(_memo):
+            return 0
         # 3 machine words per replicated entry plus one pointer word per cell
         return self._replicas * 3 * 8 + self._p * 8
 

@@ -194,7 +194,9 @@ class IntervalTree(IntervalIndex):
     def __len__(self) -> int:
         return self._size
 
-    def memory_bytes(self) -> int:
+    def memory_bytes(self, _memo: "set | None" = None) -> int:
+        if self._memo_seen(_memo):
+            return 0
         total = len(self._overflow) * 3 * 8
         stack: List[Optional[_Node]] = [self._root]
         while stack:

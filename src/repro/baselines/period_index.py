@@ -232,7 +232,9 @@ class PeriodIndex(IntervalIndex):
     def __len__(self) -> int:
         return self._size
 
-    def memory_bytes(self) -> int:
+    def memory_bytes(self, _memo: "set | None" = None) -> int:
+        if self._memo_seen(_memo):
+            return 0
         division_count = sum(
             len(partition.levels[level])
             for partition in self._partitions

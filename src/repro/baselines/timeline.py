@@ -199,7 +199,9 @@ class TimelineIndex(IntervalIndex):
     def __len__(self) -> int:
         return self._size
 
-    def memory_bytes(self) -> int:
+    def memory_bytes(self, _memo: "set | None" = None) -> int:
+        if self._memo_seen(_memo):
+            return 0
         event_bytes = len(self._events) * 3 * 8
         checkpoint_bytes = sum(len(s) for s in self._checkpoint_sets) * 8
         checkpoint_bytes += len(self._checkpoint_times) * 2 * 8

@@ -20,7 +20,9 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.bench.harness import measure_throughput
 from repro.core.base import IntervalIndex
 from repro.core.interval import IntervalCollection, Query
+from repro.engine.executor import SerialExecutor, ThreadedExecutor
 from repro.engine.registry import create_index
+from repro.engine.sharded import ShardedIndex
 from repro.datasets.real_like import REAL_DATASET_PROFILES, generate_real_like
 from repro.datasets.synthetic import SyntheticConfig, generate_synthetic
 from repro.hint import (
@@ -50,6 +52,7 @@ __all__ = [
     "fig13_real_throughput",
     "fig14_synthetic_throughput",
     "table10_updates",
+    "shard_scaling",
     "COMPETITOR_CONFIGS",
 ]
 
@@ -490,6 +493,92 @@ def fig14_synthetic_throughput(
                 series.setdefault(index_name, []).append(measure_throughput(index, queries))
         results[sweep.parameter] = series
     return results
+
+
+# --------------------------------------------------------------------------- #
+# Shard scaling -- beyond the paper: the sharded parallel execution layer
+# --------------------------------------------------------------------------- #
+def shard_scaling(
+    collection: Optional[IntervalCollection] = None,
+    *,
+    cardinality: int = 100_000,
+    num_queries: int = 1_000,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    backends: Sequence[str] = ("naive", "grid1d", "hintm_opt"),
+    strategies: Sequence[str] = ("equi_width", "balanced"),
+    workers: int = 4,
+    extent_fraction: float = 0.001,
+    repeats: int = 2,
+    seed: int = 7,
+) -> List[dict]:
+    """Batch-query throughput of :class:`ShardedIndex` as K and executors vary.
+
+    For every backend the baseline row is the unsharded (K=1) index driven
+    serially; each further row shards the same collection into K time ranges
+    (per strategy) and runs the same workload with the serial and the
+    thread-pool executor.  ``speedup`` is relative to that backend's K=1
+    serial baseline.  Query planning prunes non-overlapping shards, so small
+    queries touch ~1/K of the data -- the source of the scaling on
+    scan-bound backends.  The default dataset is the TAXIS stand-in
+    (short intervals, so per-query cost is scan-bound rather than
+    result-bound, which is where sharding is designed to pay off).
+
+    Returns one dict per row:
+    ``{"backend", "num_shards", "strategy", "executor", "build_s",
+    "throughput", "speedup"}``.
+    """
+    if collection is None:
+        collection = generate_real_like(
+            REAL_DATASET_PROFILES["TAXIS"], cardinality=cardinality, seed=seed
+        )
+    queries = _query_workload(collection, num_queries, extent_fraction, seed=seed)
+    serial = SerialExecutor()
+    threads = ThreadedExecutor(workers)
+    rows: List[dict] = []
+    try:
+        for backend in backends:
+            backend_rows: List[dict] = []
+            for num_shards in shard_counts:
+                shard_strategies = strategies if num_shards > 1 else (strategies[0],)
+                for strategy in shard_strategies:
+                    executors = (serial, threads) if num_shards > 1 else (serial,)
+                    for executor in executors:
+                        start = time.perf_counter()
+                        index = ShardedIndex(
+                            collection,
+                            backend=backend,
+                            num_shards=num_shards,
+                            strategy=strategy,
+                            executor=executor,
+                        )
+                        build_seconds = time.perf_counter() - start
+                        backend_rows.append(
+                            {
+                                "backend": backend,
+                                "num_shards": index.num_shards,
+                                "strategy": strategy,
+                                "executor": executor.name,
+                                "build_s": build_seconds,
+                                "throughput": measure_throughput(
+                                    index, queries, repeats=repeats
+                                ),
+                            }
+                        )
+            baseline = _serial_unsharded_baseline(backend_rows)
+            for row in backend_rows:
+                row["speedup"] = row["throughput"] / baseline if baseline else 0.0
+            rows.extend(backend_rows)
+    finally:
+        threads.close()
+    return rows
+
+
+def _serial_unsharded_baseline(rows: Sequence[dict]) -> float:
+    """The K=1/serial throughput (falling back to the first row measured)."""
+    for row in rows:
+        if row["num_shards"] == 1 and row["executor"] == "serial":
+            return row["throughput"]
+    return rows[0]["throughput"] if rows else 0.0
 
 
 # --------------------------------------------------------------------------- #

@@ -11,6 +11,12 @@ Examples::
     # run a whole query workload (start,end rows) through batch execution
     python -m repro batch data.csv queries.csv --count-only
 
+    # shard the collection into 4 time ranges, fan out over 4 threads
+    python -m repro batch data.csv queries.csv --shards 4 --workers 4
+
+    # shard-scaling micro-benchmark over a CSV (throughput per K)
+    python -m repro bench data.csv --num-queries 500 --shards 1 2 4 --workers 4
+
     # the available backends (engine registry)
     python -m repro list-backends
 
@@ -38,6 +44,7 @@ from repro.datasets.io import load_intervals_csv, save_intervals_csv
 from repro.datasets.real_like import REAL_DATASET_PROFILES, generate_real_like
 from repro.datasets.synthetic import SyntheticConfig, generate_synthetic
 from repro.engine import IntervalStore, available_backends, backend_specs, get_spec
+from repro.engine.sharding import PARTITION_STRATEGIES
 from repro.hint.model import DatasetStatistics, estimate_m_opt, replication_factor
 
 __all__ = ["main", "build_parser"]
@@ -51,7 +58,22 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     #: --index accepts every canonical registry name plus the legacy aliases
-    index_choices = available_backends(include_aliases=True)
+    #: (composite backends excluded: sharding is selected with --shards)
+    index_choices = [
+        name
+        for name in available_backends(include_aliases=True)
+        if not get_spec(name).composite
+    ]
+
+    def add_execution_args(sub: argparse.ArgumentParser) -> None:
+        """--shards/--workers/--shard-strategy, shared by query/batch/bench."""
+        sub.add_argument("--shards", type=int, default=1, metavar="K",
+                         help="split the data into K time-range shards (default: 1)")
+        sub.add_argument("--workers", type=int, default=None, metavar="W",
+                         help="thread-pool size for parallel execution (default: serial)")
+        sub.add_argument("--shard-strategy", choices=PARTITION_STRATEGIES,
+                         default="equi_width",
+                         help="how shard boundaries are chosen (default: %(default)s)")
 
     query = subparsers.add_parser("query", help="run a range or stabbing query over a CSV")
     query.add_argument("csv", type=Path, help="intervals file (id,start,end or start,end rows)")
@@ -67,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--end", type=int, help="range query end")
     query.add_argument("--count-only", action="store_true",
                        help="print only the result count (uses the counting fast path)")
+    add_execution_args(query)
 
     batch = subparsers.add_parser(
         "batch", help="run a workload of range queries through batch execution"
@@ -79,6 +102,29 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--num-bits", type=int, default=None)
     batch.add_argument("--count-only", action="store_true",
                        help="print per-query counts instead of id lists")
+    add_execution_args(batch)
+
+    bench = subparsers.add_parser(
+        "bench", help="shard-scaling micro-benchmark: throughput per shard count"
+    )
+    bench.add_argument("csv", type=Path, help="intervals file")
+    bench.add_argument("--header", action="store_true", help="skip the first CSV row")
+    bench.add_argument("--index", choices=index_choices, default=_DEFAULT_INDEX,
+                       metavar="BACKEND")
+    bench.add_argument("--num-bits", type=int, default=None)
+    bench.add_argument("--num-queries", type=int, default=1_000,
+                       help="generated range queries per measurement (default: %(default)s)")
+    bench.add_argument("--extent", type=float, default=0.001,
+                       help="query extent as a fraction of the domain (default: %(default)s)")
+    bench.add_argument("--repeats", type=int, default=2,
+                       help="measurement passes; the best is reported (default: %(default)s)")
+    bench.add_argument("--seed", type=int, default=123)
+    bench.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4], metavar="K",
+                       help="shard counts to sweep (default: 1 2 4)")
+    bench.add_argument("--workers", type=int, default=None, metavar="W",
+                       help="thread-pool size for the parallel rows (default: serial only)")
+    bench.add_argument("--shard-strategy", choices=PARTITION_STRATEGIES,
+                       default="equi_width")
 
     subparsers.add_parser("list-backends", help="list the registered index backends")
 
@@ -115,8 +161,15 @@ def _open_store(
     collection: IntervalCollection,
     num_bits: Optional[int],
     query_extent: Optional[int] = None,
+    shards: int = 1,
+    workers: Optional[int] = None,
+    shard_strategy: str = "equi_width",
 ) -> IntervalStore:
-    """Build an :class:`IntervalStore`, auto-tuning ``m`` when not given."""
+    """Build an :class:`IntervalStore`, auto-tuning ``m`` when not given.
+
+    ``shards > 1`` yields a :class:`repro.engine.ShardedStore` over ``name``;
+    ``workers`` selects the thread-pool executor either way.
+    """
     opts = {}
     spec = get_spec(name)
     if spec.tunable:
@@ -131,7 +184,14 @@ def _open_store(
             opts["num_bits"] = num_bits
     elif num_bits is not None:
         raise SystemExit(f"error: backend {name!r} does not take --num-bits")
-    return IntervalStore.open(collection, backend=name, **opts)
+    return IntervalStore.open(
+        collection,
+        backend=name,
+        num_shards=shards,
+        strategy=shard_strategy,
+        workers=workers,
+        **opts,
+    )
 
 
 def _command_query(args: argparse.Namespace) -> int:
@@ -144,7 +204,15 @@ def _command_query(args: argparse.Namespace) -> int:
         query = Query(args.start, args.end)
 
     build_start = time.perf_counter()
-    store = _open_store(args.index, collection, args.num_bits, query_extent=query.extent)
+    store = _open_store(
+        args.index,
+        collection,
+        args.num_bits,
+        query_extent=query.extent,
+        shards=args.shards,
+        workers=args.workers,
+        shard_strategy=args.shard_strategy,
+    )
     build_seconds = time.perf_counter() - build_start
 
     builder = store.query()
@@ -163,7 +231,7 @@ def _command_query(args: argparse.Namespace) -> int:
     query_seconds = time.perf_counter() - query_start
 
     print(
-        f"# index={store.backend} built in {build_seconds:.3f}s, "
+        f"# index={_describe_store(store)} built in {build_seconds:.3f}s, "
         f"query in {query_seconds * 1000:.2f}ms"
     )
     for line in output:
@@ -183,7 +251,14 @@ def _command_batch(args: argparse.Namespace) -> int:
     if not queries:
         raise SystemExit(f"error: {args.queries} contains no queries")
 
-    store = _open_store(args.index, collection, args.num_bits)
+    store = _open_store(
+        args.index,
+        collection,
+        args.num_bits,
+        shards=args.shards,
+        workers=args.workers,
+        shard_strategy=args.shard_strategy,
+    )
     batch = store.run_batch(queries, count_only=args.count_only)
     if args.count_only:
         for count in batch.counts:
@@ -192,10 +267,61 @@ def _command_batch(args: argparse.Namespace) -> int:
         for ids in batch.ids or []:
             print(" ".join(str(interval_id) for interval_id in sorted(ids)))
     print(
-        f"# index={store.backend} answered {len(batch)} queries in "
+        f"# index={_describe_store(store)} answered {len(batch)} queries in "
         f"{batch.seconds:.3f}s ({batch.queries_per_second:,.0f} q/s, "
         f"{batch.total_results} results)"
     )
+    return 0
+
+
+def _describe_store(store: IntervalStore) -> str:
+    """Short execution description: backend plus sharding, when in play."""
+    from repro.engine.sharded import ShardedStore
+
+    if isinstance(store, ShardedStore):
+        return (
+            f"{store.shard_backend}[K={store.num_shards},"
+            f"{store.index.executor.name}]"
+        )
+    return store.backend
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.bench.harness import measure_throughput
+    from repro.queries.generator import QueryWorkloadConfig, generate_queries
+
+    collection = _load(args.csv, args.header)
+    queries = generate_queries(
+        collection,
+        QueryWorkloadConfig(
+            count=args.num_queries, extent_fraction=args.extent, seed=args.seed
+        ),
+    )
+    rows = []
+    for shards in args.shards:
+        build_start = time.perf_counter()
+        store = _open_store(
+            args.index,
+            collection,
+            args.num_bits,
+            shards=shards,
+            workers=args.workers,
+            shard_strategy=args.shard_strategy,
+        )
+        build_seconds = time.perf_counter() - build_start
+        throughput = measure_throughput(store.index, queries, repeats=args.repeats)
+        workers = args.workers if shards > 1 and args.workers else 1
+        rows.append((shards, workers, build_seconds, throughput))
+        store.close()
+    # speedups are relative to the K=1 row (first row when 1 wasn't swept)
+    baseline = next((r[3] for r in rows if r[0] == 1), rows[0][3] if rows else 0.0)
+    print("shards  workers   build[s]      q/s  speedup")
+    for shards, workers, build_seconds, throughput in rows:
+        speedup = throughput / baseline if baseline else 0.0
+        print(
+            f"{shards:6d}  {workers:7d}  {build_seconds:9.3f}  {throughput:7,.0f}  "
+            f"{speedup:6.2f}x"
+        )
     return 0
 
 
@@ -258,6 +384,7 @@ def _command_generate(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "query": _command_query,
     "batch": _command_batch,
+    "bench": _command_bench,
     "list-backends": _command_list_backends,
     "stats": _command_stats,
     "generate": _command_generate,

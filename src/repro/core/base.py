@@ -31,7 +31,23 @@ from repro.core.allen import AllenRelation, RANGE_QUERY_RELATIONS, satisfies_rel
 from repro.core.errors import UnsupportedQueryError
 from repro.core.interval import Interval, IntervalCollection, Query
 
-__all__ = ["IntervalIndex", "QueryStats"]
+__all__ = ["IntervalIndex", "QueryStats", "count_once"]
+
+
+def count_once(memo: "set[int] | None", obj: object, nbytes: int) -> int:
+    """Count ``nbytes`` for ``obj`` unless the id-memo already saw it.
+
+    Used by ``memory_bytes`` overrides for buffers that may be aliased across
+    the sub-indexes of a composite (e.g. two indexes built over the same
+    collection share its NumPy arrays).  With ``memo=None`` it degenerates to
+    plain counting.
+    """
+    if memo is None:
+        return nbytes
+    if id(obj) in memo:
+        return 0
+    memo.add(id(obj))
+    return nbytes
 
 
 @dataclass
@@ -53,6 +69,47 @@ class QueryStats:
     partitions_compared: int = 0
     candidates: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
+
+    def merge(self, other: "QueryStats") -> "QueryStats":
+        """Accumulate ``other``'s counters into this instance (and return it).
+
+        Composite indexes (the hybrid main+delta pair, sharded stores) answer
+        one query with several sub-queries; merging sums every counter,
+        including the free-form ``extra`` columns.  ``results`` sums too --
+        a composite that deduplicates ids afterwards overwrites it with the
+        merged count.
+        """
+        self.results += other.results
+        self.comparisons += other.comparisons
+        self.partitions_accessed += other.partitions_accessed
+        self.partitions_compared += other.partitions_compared
+        self.candidates += other.candidates
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0.0) + value
+        return self
+
+    def __add__(self, other: "QueryStats") -> "QueryStats":
+        if not isinstance(other, QueryStats):
+            return NotImplemented
+        return QueryStats(
+            results=self.results,
+            comparisons=self.comparisons,
+            partitions_accessed=self.partitions_accessed,
+            partitions_compared=self.partitions_compared,
+            candidates=self.candidates,
+            extra=dict(self.extra),
+        ).merge(other)
+
+    def __radd__(self, other: object) -> "QueryStats":
+        # lets ``sum(stats_list)`` start from the int 0
+        if other == 0:
+            return QueryStats().merge(self)
+        return NotImplemented
+
+    def __iadd__(self, other: "QueryStats") -> "QueryStats":
+        if not isinstance(other, QueryStats):
+            return NotImplemented
+        return self.merge(other)
 
 
 class IntervalIndex(abc.ABC):
@@ -170,13 +227,31 @@ class IntervalIndex(abc.ABC):
     def __len__(self) -> int:
         """Number of (live) intervals indexed."""
 
-    def memory_bytes(self) -> int:
+    def memory_bytes(self, _memo: "set[int] | None" = None) -> int:
         """Approximate memory footprint of the index structures in bytes.
 
         The default walks the instance's attributes with ``sys.getsizeof``;
         array-backed indexes override this with exact buffer sizes.
+
+        ``_memo`` is an id-memo shared by composite indexes (hybrid, sharded)
+        so that objects reachable from several sub-indexes -- a shared domain,
+        aliased NumPy buffers, or the same sub-index appearing twice -- are
+        counted exactly once across the whole composite.  Every override
+        honours the same contract: an index already recorded in the memo
+        reports 0 additional bytes.
         """
-        return _deep_sizeof(self)
+        # _deep_sizeof records this object in the memo itself, so already-seen
+        # indexes naturally report 0 here
+        return _deep_sizeof(self, _memo)
+
+    def _memo_seen(self, _memo: "set[int] | None") -> bool:
+        """Record this index in the shared id-memo; True when already counted."""
+        if _memo is None:
+            return False
+        if id(self) in _memo:
+            return True
+        _memo.add(id(self))
+        return False
 
     def _interval_lookup(self) -> Dict[int, Interval]:
         """Map id -> Interval for every live interval (used by Allen refinement)."""

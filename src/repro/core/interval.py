@@ -257,11 +257,39 @@ class IntervalCollection:
 
     def subset(self, positions: Sequence[int] | np.ndarray) -> "IntervalCollection":
         """Return a new collection with the rows at ``positions``."""
-        positions = np.asarray(positions, dtype=np.int64)
+        return self.take(np.asarray(positions, dtype=np.int64))
+
+    def take(self, mask_or_indices: Sequence[int] | Sequence[bool] | np.ndarray) -> "IntervalCollection":
+        """Rows selected by a boolean mask or integer positions, vectorized.
+
+        This is the hot path for shard splitting: no per-row :class:`Interval`
+        objects are materialised, the three columns are fancy-indexed at once.
+        A boolean ``mask`` must have one entry per row; integer positions may
+        repeat and reorder rows.
+        """
+        selector = np.asarray(mask_or_indices)
+        if selector.dtype == np.bool_ and len(selector) != len(self.ids):
+            raise InvalidIntervalError(
+                f"boolean mask has {len(selector)} entries for {len(self.ids)} rows"
+            )
         return IntervalCollection(
-            ids=self.ids[positions],
-            starts=self.starts[positions],
-            ends=self.ends[positions],
+            ids=self.ids[selector],
+            starts=self.starts[selector],
+            ends=self.ends[selector],
+        )
+
+    def slice(self, start: Optional[int] = None, stop: Optional[int] = None) -> "IntervalCollection":
+        """Contiguous row range ``[start, stop)`` as a zero-copy view.
+
+        The returned collection's arrays are NumPy views over this
+        collection's buffers (no data is copied); mutating either aliases the
+        other, as with any NumPy slice.
+        """
+        window = np.s_[start:stop]
+        return IntervalCollection(
+            ids=self.ids[window],
+            starts=self.starts[window],
+            ends=self.ends[window],
         )
 
     def shuffled(self, seed: Optional[int] = None) -> "IntervalCollection":

@@ -6,12 +6,27 @@
 * :mod:`repro.engine.store` -- the :class:`IntervalStore` facade and its
   fluent :class:`QueryBuilder`,
 * :mod:`repro.engine.results` -- lazy :class:`ResultSet` handles whose
-  ``count()``/``exists()`` avoid materialising id lists,
+  ``count()``/``exists()`` avoid materialising id lists, and the sharded
+  :class:`MergedResultSet` union,
 * :mod:`repro.engine.batch` -- whole-workload execution
-  (:func:`execute_batch`, :class:`BatchResult`).
+  (:func:`execute_batch`, :class:`BatchResult`),
+* :mod:`repro.engine.executor` -- pluggable executors
+  (:class:`SerialExecutor`, :class:`ThreadedExecutor`) that every execution
+  entry point routes through,
+* :mod:`repro.engine.sharding` -- the domain partitioner
+  (:class:`ShardPlan`, equi-width and balanced strategies),
+* :mod:`repro.engine.sharded` -- :class:`ShardedIndex`/:class:`ShardedStore`,
+  K time-range shards over any registered backend.
 """
 
 from repro.engine.batch import BatchResult, execute_batch
+from repro.engine.executor import (
+    Executor,
+    SerialExecutor,
+    ThreadedExecutor,
+    resolve_executor,
+    split_chunks,
+)
 from repro.engine.registry import (
     BackendSpec,
     available_backends,
@@ -22,22 +37,35 @@ from repro.engine.registry import (
     register_backend,
     resolve_backend,
 )
-from repro.engine.results import ResultSet
+from repro.engine.results import MergedResultSet, ResultSet
+from repro.engine.sharded import ShardedIndex, ShardedStore
+from repro.engine.sharding import PARTITION_STRATEGIES, ShardPlan, partition_collection
 from repro.engine.store import DEFAULT_BACKEND, IntervalStore, QueryBuilder
 
 __all__ = [
     "BackendSpec",
     "BatchResult",
     "DEFAULT_BACKEND",
+    "Executor",
     "IntervalStore",
+    "MergedResultSet",
+    "PARTITION_STRATEGIES",
     "QueryBuilder",
     "ResultSet",
+    "SerialExecutor",
+    "ShardPlan",
+    "ShardedIndex",
+    "ShardedStore",
+    "ThreadedExecutor",
     "available_backends",
     "backend_specs",
     "create_index",
     "execute_batch",
     "get_backend",
     "get_spec",
+    "partition_collection",
     "register_backend",
     "resolve_backend",
+    "resolve_executor",
+    "split_chunks",
 ]

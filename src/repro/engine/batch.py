@@ -6,6 +6,11 @@ workload at once; :func:`execute_batch` drives it through the backend's
 ``query_count`` fast path in count-only mode) and reports results together
 with wall-clock metrics, so the benchmark harness, the CLI and library users
 all exercise the same entry point.
+
+Execution routes through a pluggable :class:`repro.engine.executor.Executor`:
+the serial executor (the default) evaluates the batch inline exactly as
+before, while a threaded executor carves the workload into per-worker chunks
+and runs them concurrently, preserving result order.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from typing import Iterator, List, Optional, Sequence
 
 from repro.core.base import IntervalIndex
 from repro.core.interval import Query
+from repro.engine.executor import Executor, split_chunks
 
 __all__ = ["BatchResult", "execute_batch"]
 
@@ -63,19 +69,34 @@ def execute_batch(
     index: IntervalIndex,
     queries: Sequence[Query],
     count_only: bool = False,
+    executor: Optional[Executor] = None,
 ) -> BatchResult:
     """Answer ``queries`` against ``index`` in one batched call.
 
     With ``count_only`` the per-query ``query_count`` fast path runs instead
-    and no id lists are materialised.
+    and no id lists are materialised.  A parallel ``executor`` splits the
+    workload into per-worker chunks and evaluates them concurrently; results
+    stay positionally aligned with ``queries``.
     """
     workload = list(queries)
+    parallel = executor is not None and executor.workers > 1 and len(workload) > 1
     start = time.perf_counter()
     if count_only:
         ids: Optional[List[List[int]]] = None
-        counts = [index.query_count(query) for query in workload]
+        if parallel:
+            chunks = split_chunks(workload, executor.workers)
+            counted = executor.map(
+                lambda chunk: [index.query_count(query) for query in chunk], chunks
+            )
+            counts = [count for chunk in counted for count in chunk]
+        else:
+            counts = [index.query_count(query) for query in workload]
     else:
-        ids = index.query_batch(workload)
+        if parallel:
+            chunks = split_chunks(workload, executor.workers)
+            ids = [result for chunk in executor.map(index.query_batch, chunks) for result in chunk]
+        else:
+            ids = index.query_batch(workload)
         counts = [len(result) for result in ids]
     elapsed = time.perf_counter() - start
     return BatchResult(queries=workload, ids=ids, counts=counts, seconds=elapsed)

@@ -1,0 +1,167 @@
+"""Pluggable query executors: how the engine runs work, not what it runs.
+
+Every execution entry point in the engine -- :class:`repro.engine.store.IntervalStore`
+batches, :class:`repro.engine.sharded.ShardedIndex` shard fan-out, the
+benchmark harness -- routes through an :class:`Executor`.  An executor maps a
+function over a list of work items; the two implementations are
+
+* :class:`SerialExecutor` -- runs everything inline.  The single-index,
+  single-thread store is just this degenerate case, so adding parallelism
+  never forks the code path.
+* :class:`ThreadedExecutor` -- a ``concurrent.futures.ThreadPoolExecutor``
+  with a bounded worker count.  Per-shard probes and batch chunks run
+  concurrently; NumPy-heavy backends release the GIL for the vectorised
+  portions of their scans.
+
+:func:`resolve_executor` turns the user-facing spec (``None``, a worker
+count, ``"serial"``/``"threads"``, or an :class:`Executor` instance) into an
+executor, and :func:`split_chunks` is the shared helper for carving a
+workload into per-worker chunks without reordering it.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from concurrent.futures import ThreadPoolExecutor as _ThreadPool
+from typing import Callable, List, Optional, Sequence, TypeVar, Union
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "resolve_executor",
+    "split_chunks",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: polite ceiling for the default worker count; interval queries are short,
+#: so more threads than this just fight over the GIL
+_MAX_DEFAULT_WORKERS = 8
+
+
+class Executor(abc.ABC):
+    """Strategy object deciding how a list of independent tasks is run."""
+
+    #: human-readable name used in benchmark rows and reprs
+    name: str = "abstract"
+
+    @property
+    def workers(self) -> int:
+        """Degree of parallelism (1 for serial execution)."""
+        return 1
+
+    @abc.abstractmethod
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` to every item, preserving order."""
+
+    def close(self) -> None:
+        """Release any pooled resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialExecutor(Executor):
+    """Inline execution; the K=1, single-thread degenerate case."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+
+class ThreadedExecutor(Executor):
+    """A ``ThreadPoolExecutor``-backed parallel executor.
+
+    The pool is created lazily on first use and reused for the executor's
+    lifetime, so per-batch overhead is one ``map`` call, not pool churn.
+
+    Args:
+        workers: thread count; defaults to ``min(cpu_count, 8)``.
+    """
+
+    name = "threads"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is None:
+            workers = min(os.cpu_count() or 2, _MAX_DEFAULT_WORKERS)
+        self._workers = max(1, int(workers))
+        self._pool: Optional[_ThreadPool] = None
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        work = list(items)
+        if self._workers == 1 or len(work) <= 1:
+            return [fn(item) for item in work]
+        if self._pool is None:
+            self._pool = _ThreadPool(
+                max_workers=self._workers, thread_name_prefix="repro-exec"
+            )
+        return list(self._pool.map(fn, work))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def resolve_executor(
+    spec: Union[Executor, int, str, None] = None
+) -> Executor:
+    """Turn a user-facing executor spec into an :class:`Executor`.
+
+    * ``None``, ``"serial"``, ``0`` or ``1`` -> :class:`SerialExecutor`;
+    * an int > 1 -> :class:`ThreadedExecutor` with that many workers;
+    * ``"threads"``/``"threaded"`` -> :class:`ThreadedExecutor` with the
+      default worker count;
+    * an :class:`Executor` instance passes through unchanged.
+    """
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, Executor):
+        return spec
+    if isinstance(spec, bool):  # guard: True would otherwise mean 1 worker
+        raise TypeError("executor spec must be an Executor, int, str or None")
+    if isinstance(spec, int):
+        return SerialExecutor() if spec <= 1 else ThreadedExecutor(spec)
+    if isinstance(spec, str):
+        key = spec.lower()
+        if key == "serial":
+            return SerialExecutor()
+        if key in ("threads", "threaded", "thread"):
+            return ThreadedExecutor()
+        raise ValueError(f"unknown executor {spec!r}; use 'serial' or 'threads'")
+    raise TypeError(f"executor spec must be an Executor, int, str or None, got {spec!r}")
+
+
+def split_chunks(items: Sequence[T], num_chunks: int) -> List[List[T]]:
+    """Carve ``items`` into at most ``num_chunks`` contiguous, near-equal chunks.
+
+    Order is preserved (concatenating the chunks restores the input) and no
+    chunk is empty, so ``executor.map(worker, split_chunks(queries, workers))``
+    keeps results positionally aligned.
+    """
+    work = list(items)
+    if not work:
+        return []
+    num_chunks = max(1, min(num_chunks, len(work)))
+    size, remainder = divmod(len(work), num_chunks)
+    chunks: List[List[T]] = []
+    start = 0
+    for i in range(num_chunks):
+        stop = start + size + (1 if i < remainder else 0)
+        chunks.append(work[start:stop])
+        start = stop
+    return chunks

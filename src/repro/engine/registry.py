@@ -77,6 +77,9 @@ class BackendSpec:
             parameter and supports ``num_bits="auto"``.
         discrete_domain: True when endpoints must already lie in the discrete
             domain ``[0, 2^num_bits - 1]`` (the comparison-free HINT).
+        composite: True for backends that wrap other registered backends
+            (the sharded store); excluded from paper-comparison shims like
+            the legacy ``INDEX_BUILDERS`` table.
     """
 
     name: str
@@ -86,6 +89,7 @@ class BackendSpec:
     paper_section: str = ""
     tunable: bool = False
     discrete_domain: bool = False
+    composite: bool = False
 
     @property
     def legacy_name(self) -> str:
@@ -106,6 +110,7 @@ def register_backend(
     paper_section: str = "",
     tunable: bool = False,
     discrete_domain: bool = False,
+    composite: bool = False,
 ) -> Callable[[Type[IntervalIndex]], Type[IntervalIndex]]:
     """Class decorator registering an :class:`IntervalIndex` subclass.
 
@@ -122,6 +127,7 @@ def register_backend(
             paper_section=paper_section,
             tunable=tunable,
             discrete_domain=discrete_domain,
+            composite=composite,
         )
         for key in (name, *spec.aliases):
             owner = _ALIASES.get(key)
@@ -149,6 +155,7 @@ def _ensure_backends_loaded() -> None:
         return
     importlib.import_module("repro.baselines")
     importlib.import_module("repro.hint")
+    importlib.import_module("repro.engine.sharded")
     _BACKENDS_LOADED = True
 
 

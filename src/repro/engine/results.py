@@ -6,18 +6,40 @@ the index until a terminal accessor runs, and aggregate accessors
 ``query_count``/``query_exists`` fast paths instead of materialising an id
 list.  Once :meth:`ResultSet.ids` has materialised, the list is cached and
 every later accessor reuses it.
+
+:class:`MergedResultSet` is the sharded counterpart: the lazy union of one
+child :class:`ResultSet` per overlapping shard, deduplicated at merge time
+(shards duplicate long intervals), with ``exists()`` short-circuiting across
+shards and single-shard queries keeping every per-backend fast path.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Sequence
 
 from repro.core.allen import AllenRelation
 from repro.core.base import IntervalIndex, QueryStats
 from repro.core.errors import UnsupportedQueryError
 from repro.core.interval import Query
 
-__all__ = ["ResultSet"]
+__all__ = ["MergedResultSet", "ResultSet", "merge_unique_ids"]
+
+
+def merge_unique_ids(id_lists) -> List[int]:
+    """Union of id lists, preserving first-seen order.
+
+    The one merge used everywhere shards are combined: the partitioner
+    duplicates boundary-spanning intervals, so multi-shard answers must
+    deduplicate by id.
+    """
+    seen: set = set()
+    merged: List[int] = []
+    for ids in id_lists:
+        for interval_id in ids:
+            if interval_id not in seen:
+                seen.add(interval_id)
+                merged.append(interval_id)
+    return merged
 
 
 class ResultSet:
@@ -151,3 +173,63 @@ class ResultSet:
                 f"backend {self._backend!r} cannot answer "
                 f"{self._relation.name} relation queries"
             ) from exc
+
+
+class MergedResultSet(ResultSet):
+    """The lazy, deduplicated union of per-shard result sets.
+
+    Produced by :meth:`repro.engine.sharded.ShardedStore.query` -- one child
+    :class:`ResultSet` per shard the query overlaps.  Children carry the
+    query (and any relation refinement) but no limit; the limit is applied
+    to the merged ids.  Nothing touches any shard until a terminal accessor
+    runs, and:
+
+    * with a single overlapping shard every accessor delegates to the child,
+      keeping the backend's count/exists fast paths intact;
+    * ``exists()`` short-circuits across shards;
+    * ``ids()``/``count()`` over several shards deduplicate by id, since the
+      partitioner duplicates intervals that span shard boundaries.
+
+    Args:
+        index: the composite (sharded) index, used for ``stats()``.
+        query: the range/stabbing query.
+        children: one lazy :class:`ResultSet` per overlapping shard.
+        relation / limit / backend: as for :class:`ResultSet`.
+    """
+
+    __slots__ = ("_children",)
+
+    def __init__(
+        self,
+        index: IntervalIndex,
+        query: Query,
+        children: Sequence[ResultSet],
+        relation: Optional[AllenRelation] = None,
+        limit: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        super().__init__(index, query, relation=relation, limit=limit, backend=backend)
+        self._children: List[ResultSet] = list(children)
+
+    @property
+    def children(self) -> List[ResultSet]:
+        """The per-shard result sets (one per overlapping shard)."""
+        return list(self._children)
+
+    def count(self) -> int:
+        if self._ids is not None:
+            return len(self._ids)
+        if len(self._children) == 1 and self._relation is None:
+            total = self._children[0].count()
+            return min(total, self._limit) if self._limit is not None else total
+        return len(self.ids())
+
+    def exists(self) -> bool:
+        if self._ids is not None:
+            return bool(self._ids)
+        return any(child.exists() for child in self._children)
+
+    def _fetch(self) -> List[int]:
+        if len(self._children) == 1:
+            return self._children[0].ids()
+        return merge_unique_ids(child.ids() for child in self._children)

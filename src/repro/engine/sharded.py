@@ -1,0 +1,349 @@
+"""Horizontally sharded execution over any registered backend.
+
+:class:`ShardedIndex` composes the three execution-layer pieces into one
+:class:`repro.core.base.IntervalIndex`:
+
+* the **partitioner** (:mod:`repro.engine.sharding`) splits the collection
+  into K time-range shards, duplicating intervals that span shard
+  boundaries;
+* each shard is served by **any registered backend** (default: the optimized
+  HINT^m with per-shard model-tuned ``m``);
+* a pluggable **executor** (:mod:`repro.engine.executor`) fans batches out
+  across worker threads, with serial execution as the K=1 degenerate case.
+
+Queries are *planned*: only the shards overlapping the query range are
+probed, and multi-shard answers are deduplicated by id.  Updates are
+*routed*: an insert goes to every shard whose range the new interval
+overlaps (so with ``backend="hintm_hybrid"`` it lands in the owning shard's
+delta index), and a delete tombstones the id in every shard holding a copy.
+
+:class:`ShardedStore` is the :class:`repro.engine.store.IntervalStore`
+facade over a sharded index; its fluent queries yield
+:class:`repro.engine.results.MergedResultSet` handles that stay lazy per
+shard.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.allen import RANGE_QUERY_RELATIONS, AllenRelation
+from repro.core.base import IntervalIndex, QueryStats
+from repro.core.interval import Interval, IntervalCollection, Query
+from repro.engine.batch import BatchResult, execute_batch
+from repro.engine.executor import Executor, resolve_executor, split_chunks
+from repro.engine.registry import create_index, get_spec, register_backend, resolve_backend
+from repro.engine.results import MergedResultSet, ResultSet, merge_unique_ids
+from repro.engine.sharding import ShardPlan, partition_collection
+from repro.engine.store import DEFAULT_BACKEND, IntervalStore
+
+__all__ = ["ShardedIndex", "ShardedStore"]
+
+
+@register_backend(
+    "sharded",
+    aliases=("sharded-store",),
+    description="K time-range shards over any registered backend, parallel executors",
+    paper_section="--",
+    composite=True,
+)
+class ShardedIndex(IntervalIndex):
+    """K time-range shards, each backed by a registered index.
+
+    Args:
+        collection: the intervals to index.
+        backend: registry name of the per-shard backend (aliases accepted).
+            Tunable backends default to ``num_bits="auto"``, so each shard's
+            ``m`` is model-tuned for *its* sub-collection.
+        num_shards: requested shard count K; degenerate domains may yield
+            fewer (see :meth:`ShardPlan.for_collection`).
+        strategy: ``"equi_width"`` or ``"balanced"`` cut selection.
+        executor: executor spec for building shards and running batches
+            (``None`` -> serial, int -> that many threads, or an
+            :class:`repro.engine.executor.Executor`).
+        **opts: forwarded to every shard's backend constructor.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        collection: IntervalCollection,
+        backend: str = DEFAULT_BACKEND,
+        num_shards: int = 4,
+        strategy: str = "equi_width",
+        executor: "Executor | int | str | None" = None,
+        **opts,
+    ) -> None:
+        self._backend = resolve_backend(backend)
+        spec = get_spec(self._backend)
+        if spec.composite:
+            raise ValueError("sharded indexes cannot nest another composite backend")
+        opts = dict(opts)
+        if spec.tunable and "num_bits" not in opts:
+            opts["num_bits"] = "auto"
+        self._opts = opts
+        self._executor = resolve_executor(executor)
+        self._plan = ShardPlan.for_collection(collection, num_shards, strategy)
+        pieces = partition_collection(collection, self._plan)
+        self._shards: List[IntervalIndex] = self._executor.map(
+            lambda piece: create_index(self._backend, piece, **self._opts), pieces
+        )
+        self._size = len(collection)
+
+    @classmethod
+    def build(cls, collection: IntervalCollection, **kwargs) -> "ShardedIndex":
+        return cls(collection, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def backend(self) -> str:
+        """Canonical registry name of the per-shard backend."""
+        return self._backend
+
+    @property
+    def num_shards(self) -> int:
+        """Actual shard count (may be below the requested K on tiny domains)."""
+        return self._plan.num_shards
+
+    @property
+    def shards(self) -> List[IntervalIndex]:
+        """The per-shard backend indexes, in domain order."""
+        return list(self._shards)
+
+    @property
+    def plan(self) -> ShardPlan:
+        """The partitioning plan (cut points + strategy)."""
+        return self._plan
+
+    @property
+    def executor(self) -> Executor:
+        """The executor running shard fan-out and batches."""
+        return self._executor
+
+    def shards_for(self, query: Query) -> List[IntervalIndex]:
+        """The shard indexes whose domain range overlaps ``query``."""
+        first, last = self._plan.shard_range(query.start, query.end)
+        return self._shards[first : last + 1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ShardedIndex(backend={self._backend!r}, K={self.num_shards}, "
+            f"strategy={self._plan.strategy!r}, executor={self._executor.name!r}, "
+            f"n={self._size})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries (planned to the overlapping shards, merged with dedup)
+    # ------------------------------------------------------------------ #
+    def query(self, query: Query) -> List[int]:
+        shards = self.shards_for(query)
+        if len(shards) == 1:
+            return shards[0].query(query)
+        return merge_unique_ids(shard.query(query) for shard in shards)
+
+    def query_count(self, query: Query) -> int:
+        shards = self.shards_for(query)
+        if len(shards) == 1:
+            # single-shard plans keep the backend's counting fast path
+            return shards[0].query_count(query)
+        # boundary-spanning intervals are duplicated across shards, so
+        # multi-shard counts must deduplicate ids
+        return len(self.query(query))
+
+    def query_exists(self, query: Query) -> bool:
+        return any(shard.query_exists(query) for shard in self.shards_for(query))
+
+    def query_batch(self, queries: Sequence[Query]) -> List[List[int]]:
+        workload = list(queries)
+        if self._executor.workers > 1 and len(workload) > 1:
+            chunks = split_chunks(workload, self._executor.workers)
+            return [
+                ids
+                for chunk in self._executor.map(self._query_chunk, chunks)
+                for ids in chunk
+            ]
+        return [self.query(query) for query in workload]
+
+    def _query_chunk(self, chunk: List[Query]) -> List[List[int]]:
+        return [self.query(query) for query in chunk]
+
+    def query_with_stats(self, query: Query) -> Tuple[List[int], QueryStats]:
+        shards = self.shards_for(query)
+        if len(shards) == 1:
+            return shards[0].query_with_stats(query)
+        answers = [shard.query_with_stats(query) for shard in shards]
+        stats = QueryStats()
+        for _, shard_stats in answers:
+            stats.merge(shard_stats)
+        merged = merge_unique_ids(ids for ids, _ in answers)
+        stats.results = len(merged)
+        return merged, stats
+
+    # ------------------------------------------------------------------ #
+    # updates (routed to the owning shards)
+    # ------------------------------------------------------------------ #
+    def insert(self, interval: Interval) -> None:
+        """Insert into every shard the interval's range overlaps.
+
+        With a hybrid backend each copy lands in the owning shard's delta
+        index; static backends raise ``NotImplementedError`` as usual.
+        """
+        first, last = self._plan.shard_range(interval.start, interval.end)
+        for shard in self._shards[first : last + 1]:
+            shard.insert(interval)
+        self._size += 1
+
+    def delete(self, interval_id: int) -> bool:
+        """Tombstone ``interval_id`` in every shard holding a copy.
+
+        The id alone does not reveal the interval's range, and duplicated
+        intervals live in several shards, so every shard is asked (no
+        short-circuit).  True when any copy was live.
+        """
+        found = False
+        for shard in self._shards:
+            found = shard.delete(interval_id) or found
+        if found:
+            self._size -= 1
+        return found
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        """Number of live *distinct* intervals (duplicates counted once)."""
+        return self._size
+
+    def memory_bytes(self, _memo: "set | None" = None) -> int:
+        if self._memo_seen(_memo):
+            return 0
+        # one id-memo across all shards: anything they share is counted once
+        memo = _memo if _memo is not None else set()
+        return sum(shard.memory_bytes(memo) for shard in self._shards)
+
+    def _interval_lookup(self) -> Dict[int, Interval]:
+        lookup: Dict[int, Interval] = {}
+        for shard in self._shards:
+            lookup.update(shard._interval_lookup())
+        return lookup
+
+
+class ShardedStore(IntervalStore):
+    """The :class:`IntervalStore` facade over a :class:`ShardedIndex`.
+
+    Fluent queries return :class:`MergedResultSet` handles -- one lazy child
+    per overlapping shard -- and ``run_batch`` fans out through the index's
+    executor.  Everything else (updates, introspection) inherits the store
+    API and routes through the sharded index.
+    """
+
+    def __init__(self, index: ShardedIndex, backend: Optional[str] = None) -> None:
+        if not isinstance(index, ShardedIndex):
+            raise TypeError(f"ShardedStore wraps a ShardedIndex, got {type(index).__name__}")
+        # batches already parallelise inside the sharded index; the
+        # store-level executor stays serial to avoid nesting pools
+        super().__init__(index, backend=backend or "sharded", executor=None)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def open(
+        cls,
+        collection: IntervalCollection,
+        backend: str = DEFAULT_BACKEND,
+        *,
+        num_shards: int = 4,
+        strategy: str = "equi_width",
+        workers: "Executor | int | str | None" = None,
+        **opts,
+    ) -> "ShardedStore":
+        """Shard ``collection`` into ``num_shards`` time ranges of ``backend``."""
+        index = ShardedIndex(
+            collection,
+            backend=backend,
+            num_shards=num_shards,
+            strategy=strategy,
+            executor=workers,
+            **opts,
+        )
+        return cls(index)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        """Actual shard count."""
+        return self.index.num_shards
+
+    @property
+    def shard_backend(self) -> str:
+        """Canonical registry name of the per-shard backend."""
+        return self.index.backend
+
+    @property
+    def plan(self) -> ShardPlan:
+        """The partitioning plan."""
+        return self.index.plan
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ShardedStore(backend={self.shard_backend!r}, K={self.num_shards}, "
+            f"n={len(self)})"
+        )
+
+    def run_batch(
+        self, queries: Sequence[Query], count_only: bool = False
+    ) -> BatchResult:
+        """Answer a whole workload, fanning out over the index's executor.
+
+        Materialising batches parallelise inside
+        :meth:`ShardedIndex.query_batch`; count-only batches go through
+        per-query ``query_count`` (which never touches the pool itself), so
+        they are chunked here on the same executor instead.
+        """
+        executor = self.index.executor if count_only else None
+        return execute_batch(
+            self.index, queries, count_only=count_only, executor=executor
+        )
+
+    def close(self) -> None:
+        """Release the index's thread pool (a no-op for serial execution)."""
+        self.index.executor.close()
+
+    def __enter__(self) -> "ShardedStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def _result_set(
+        self,
+        query: Query,
+        relation: Optional[AllenRelation],
+        limit: Optional[int],
+    ) -> MergedResultSet:
+        index: ShardedIndex = self.index
+        # shard pruning is only sound for relations implied by range overlap;
+        # BEFORE/AFTER answers live in shards the query range never touches
+        if relation is None or relation in RANGE_QUERY_RELATIONS:
+            probed = index.shards_for(query)
+        else:
+            probed = index.shards
+        children = [
+            ResultSet(shard, query, relation=relation, backend=self.shard_backend)
+            for shard in probed
+        ]
+        return MergedResultSet(
+            index,
+            query,
+            children,
+            relation=relation,
+            limit=limit,
+            backend=self.backend,
+        )

@@ -26,6 +26,7 @@ from repro.core.base import IntervalIndex, QueryStats
 from repro.core.errors import InvalidQueryError
 from repro.core.interval import Interval, IntervalCollection, Query
 from repro.engine.batch import BatchResult, execute_batch
+from repro.engine.executor import Executor, resolve_executor
 from repro.engine.registry import create_index, get_spec, resolve_backend
 from repro.engine.results import ResultSet
 
@@ -88,13 +89,7 @@ class QueryBuilder:
             raise InvalidQueryError(
                 "no query target: call .overlapping(start, end) or .stabbing(point) first"
             )
-        return ResultSet(
-            self._store.index,
-            self._query,
-            relation=self._relation,
-            limit=self._limit,
-            backend=self._store.backend,
-        )
+        return self._store._result_set(self._query, self._relation, self._limit)
 
     def ids(self) -> List[int]:
         """Materialised result ids."""
@@ -123,9 +118,17 @@ class IntervalStore:
         index: a pre-built index to wrap.
         backend: registry name for display/error messages (inferred from the
             index's own ``name`` when omitted).
+        executor: how ``run_batch`` executes workloads -- ``None``/1 for
+            serial, an int worker count or ``"threads"`` for a thread pool,
+            or any :class:`repro.engine.executor.Executor` instance.
     """
 
-    def __init__(self, index: IntervalIndex, backend: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        index: IntervalIndex,
+        backend: Optional[str] = None,
+        executor: "Executor | int | str | None" = None,
+    ) -> None:
         self._index = index
         if backend is None:
             try:
@@ -133,6 +136,7 @@ class IntervalStore:
             except KeyError:
                 backend = index.name
         self._backend = backend
+        self._executor = resolve_executor(executor)
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -142,6 +146,10 @@ class IntervalStore:
         cls,
         collection: IntervalCollection,
         backend: str = DEFAULT_BACKEND,
+        *,
+        num_shards: int = 1,
+        strategy: str = "equi_width",
+        workers: "Executor | int | str | None" = None,
         **opts,
     ) -> "IntervalStore":
         """Index ``collection`` with a registered backend.
@@ -149,11 +157,32 @@ class IntervalStore:
         On the HINT^m family, ``num_bits`` defaults to ``"auto"`` (the
         analytical model of Section 3.3 picks ``m``); pass an explicit value
         to override.
+
+        With ``num_shards > 1`` the collection is split into time-range
+        shards (see :mod:`repro.engine.sharding`) and a
+        :class:`repro.engine.sharded.ShardedStore` is returned -- the
+        single-index store is just the K=1 degenerate case of the same
+        execution architecture.  ``workers`` selects the executor either way.
         """
+        if num_shards > 1:
+            from repro.engine.sharded import ShardedStore
+
+            return ShardedStore.open(
+                collection,
+                backend,
+                num_shards=num_shards,
+                strategy=strategy,
+                workers=workers,
+                **opts,
+            )
         spec = get_spec(backend)
         if spec.tunable and "num_bits" not in opts:
             opts["num_bits"] = "auto"
-        return cls(create_index(backend, collection, **opts), backend=spec.name)
+        return cls(
+            create_index(backend, collection, **opts),
+            backend=spec.name,
+            executor=workers,
+        )
 
     @classmethod
     def from_intervals(
@@ -188,6 +217,11 @@ class IntervalStore:
         """Registry name of the wrapped backend."""
         return self._backend
 
+    @property
+    def executor(self) -> Executor:
+        """The executor driving :meth:`run_batch`."""
+        return self._executor
+
     def __len__(self) -> int:
         return len(self._index)
 
@@ -198,12 +232,39 @@ class IntervalStore:
         """Estimated footprint of the underlying index."""
         return self._index.memory_bytes()
 
+    def close(self) -> None:
+        """Release the executor's thread pool (a no-op for serial execution).
+
+        Long-lived applications that open many stores with ``workers > 1``
+        should close them (or use the store as a context manager) so idle
+        pool threads do not accumulate; queries after ``close()`` simply
+        spin the pool up again.
+        """
+        self._executor.close()
+
+    def __enter__(self) -> "IntervalStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
     def query(self) -> QueryBuilder:
         """Start a fluent query."""
         return QueryBuilder(self)
+
+    def _result_set(
+        self,
+        query: Query,
+        relation: Optional[AllenRelation],
+        limit: Optional[int],
+    ) -> ResultSet:
+        """Build the lazy result handle for one query (overridden by sharded stores)."""
+        return ResultSet(
+            self._index, query, relation=relation, limit=limit, backend=self._backend
+        )
 
     def stab(self, point: int) -> List[int]:
         """Shorthand for ``store.query().stabbing(point).ids()``."""
@@ -212,8 +273,10 @@ class IntervalStore:
     def run_batch(
         self, queries: Sequence[Query], count_only: bool = False
     ) -> BatchResult:
-        """Answer a whole workload in one batched call."""
-        return execute_batch(self._index, queries, count_only=count_only)
+        """Answer a whole workload in one batched call (via the store's executor)."""
+        return execute_batch(
+            self._index, queries, count_only=count_only, executor=self._executor
+        )
 
     # ------------------------------------------------------------------ #
     # updates (delegated; backends may not support them)

@@ -213,8 +213,10 @@ class ComparisonFreeHINT(IntervalIndex):
     def __len__(self) -> int:
         return self._size
 
-    def memory_bytes(self) -> int:
+    def memory_bytes(self, _memo: "set | None" = None) -> int:
         """Footprint estimate: one machine word per stored id plus directory overhead."""
+        if self._memo_seen(_memo):
+            return 0
         total = 0
         for level in range(self.num_levels):
             for ids in self._originals[level].values():

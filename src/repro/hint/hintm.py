@@ -404,8 +404,10 @@ class HINTm(IntervalIndex):
     def __len__(self) -> int:
         return self._size
 
-    def memory_bytes(self) -> int:
+    def memory_bytes(self, _memo: "set | None" = None) -> int:
         """Footprint estimate: three machine words per stored entry plus directories."""
+        if self._memo_seen(_memo):
+            return 0
         total = 0
         for level in range(self.num_levels):
             for entries in self._originals[level].values():

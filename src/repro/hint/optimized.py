@@ -701,7 +701,9 @@ class OptimizedHINTm(IntervalIndex):
     def __len__(self) -> int:
         return self._size
 
-    def memory_bytes(self) -> int:
+    def memory_bytes(self, _memo: "set | None" = None) -> int:
+        if self._memo_seen(_memo):
+            return 0
         total = 0
         for level in range(self.num_levels):
             for name, *_ in _CLASSES:

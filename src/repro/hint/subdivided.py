@@ -499,8 +499,10 @@ class SubdividedHINTm(IntervalIndex):
     def __len__(self) -> int:
         return self._size
 
-    def memory_bytes(self) -> int:
+    def memory_bytes(self, _memo: "set | None" = None) -> int:
         """Footprint: the columns actually stored, one machine word per value."""
+        if self._memo_seen(_memo):
+            return 0
         total = 0
         for level in self._levels:
             for partition in level.values():

@@ -153,10 +153,7 @@ class HybridHINTm(IntervalIndex):
         if len(self._delta):
             delta_results, delta_stats = self._delta.query_with_stats(query)
             results.extend(delta_results)
-            stats.comparisons += delta_stats.comparisons
-            stats.partitions_accessed += delta_stats.partitions_accessed
-            stats.partitions_compared += delta_stats.partitions_compared
-            stats.candidates += delta_stats.candidates
+            stats.merge(delta_stats)
         stats.results = len(results)
         return results, stats
 
@@ -164,8 +161,13 @@ class HybridHINTm(IntervalIndex):
     def __len__(self) -> int:
         return len(self._main) + len(self._delta)
 
-    def memory_bytes(self) -> int:
-        return self._main.memory_bytes() + self._delta.memory_bytes()
+    def memory_bytes(self, _memo: "set | None" = None) -> int:
+        if self._memo_seen(_memo):
+            return 0
+        # one id-memo across both components: objects they share (the domain,
+        # aliased buffers) are counted once for the whole composite
+        memo = _memo if _memo is not None else set()
+        return self._main.memory_bytes(memo) + self._delta.memory_bytes(memo)
 
     def _interval_lookup(self) -> Dict[int, Interval]:
         lookup = self._main._interval_lookup()

@@ -1,0 +1,137 @@
+"""Tests for the pluggable executor layer (repro.engine.executor)."""
+
+import threading
+
+import pytest
+
+from repro.engine.batch import execute_batch
+from repro.engine.executor import (
+    Executor,
+    SerialExecutor,
+    ThreadedExecutor,
+    resolve_executor,
+    split_chunks,
+)
+from repro.engine.registry import create_index
+
+
+class TestSplitChunks:
+    def test_concatenation_restores_input(self):
+        items = list(range(103))
+        for n in (1, 2, 3, 7, 103, 500):
+            chunks = split_chunks(items, n)
+            assert [x for chunk in chunks for x in chunk] == items
+            assert all(chunk for chunk in chunks)  # no empty chunks
+            assert len(chunks) <= n
+
+    def test_near_equal_sizes(self):
+        sizes = [len(c) for c in split_chunks(list(range(10)), 3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_empty_input(self):
+        assert split_chunks([], 4) == []
+
+
+class TestSerialExecutor:
+    def test_map_preserves_order(self):
+        assert SerialExecutor().map(lambda x: x * 2, [3, 1, 2]) == [6, 2, 4]
+
+    def test_workers_is_one(self):
+        assert SerialExecutor().workers == 1
+
+
+class TestThreadedExecutor:
+    def test_map_preserves_order(self):
+        with ThreadedExecutor(4) as executor:
+            assert executor.map(lambda x: x * x, list(range(50))) == [
+                x * x for x in range(50)
+            ]
+
+    def test_actually_runs_on_worker_threads(self):
+        seen = set()
+
+        def record(_x):
+            seen.add(threading.current_thread().name)
+
+        with ThreadedExecutor(4) as executor:
+            executor.map(record, list(range(64)))
+        assert any(name.startswith("repro-exec") for name in seen)
+
+    def test_single_item_runs_inline(self):
+        executor = ThreadedExecutor(4)
+        executor.map(lambda x: x, [1])
+        assert executor._pool is None  # no pool spun up for trivial work
+        executor.close()
+
+    def test_close_is_idempotent(self):
+        executor = ThreadedExecutor(2)
+        executor.map(lambda x: x, [1, 2, 3])
+        executor.close()
+        executor.close()
+
+    def test_propagates_exceptions(self):
+        def boom(x):
+            raise ValueError(x)
+
+        with ThreadedExecutor(2) as executor:
+            with pytest.raises(ValueError):
+                executor.map(boom, [1, 2, 3, 4])
+
+
+class TestResolveExecutor:
+    def test_defaults_to_serial(self):
+        assert isinstance(resolve_executor(None), SerialExecutor)
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        assert isinstance(resolve_executor(1), SerialExecutor)
+        assert isinstance(resolve_executor(0), SerialExecutor)
+
+    def test_worker_counts(self):
+        executor = resolve_executor(3)
+        assert isinstance(executor, ThreadedExecutor)
+        assert executor.workers == 3
+
+    def test_threads_keyword(self):
+        assert isinstance(resolve_executor("threads"), ThreadedExecutor)
+
+    def test_instances_pass_through(self):
+        executor = SerialExecutor()
+        assert resolve_executor(executor) is executor
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            resolve_executor("fork-bomb")
+        with pytest.raises(TypeError):
+            resolve_executor(2.5)
+        with pytest.raises(TypeError):
+            resolve_executor(True)
+
+    def test_custom_executor_subclass(self):
+        class Doubler(Executor):
+            name = "doubler"
+
+            def map(self, fn, items):
+                return [fn(item) for item in items]
+
+        assert resolve_executor(Doubler()).name == "doubler"
+
+
+class TestExecuteBatchWithExecutor:
+    def test_parallel_matches_serial(self, synthetic_collection, synthetic_queries):
+        index = create_index("hintm_opt", synthetic_collection, num_bits=8)
+        serial = execute_batch(index, synthetic_queries)
+        with ThreadedExecutor(4) as executor:
+            parallel = execute_batch(index, synthetic_queries, executor=executor)
+        assert [sorted(ids) for ids in parallel.ids] == [
+            sorted(ids) for ids in serial.ids
+        ]
+        assert parallel.counts == serial.counts
+
+    def test_parallel_count_only(self, synthetic_collection, synthetic_queries):
+        index = create_index("grid1d", synthetic_collection, num_partitions=64)
+        serial = execute_batch(index, synthetic_queries, count_only=True)
+        with ThreadedExecutor(3) as executor:
+            parallel = execute_batch(
+                index, synthetic_queries, count_only=True, executor=executor
+            )
+        assert parallel.ids is None
+        assert parallel.counts == serial.counts

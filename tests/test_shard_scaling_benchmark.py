@@ -1,0 +1,60 @@
+"""Acceptance benchmark for the sharded parallel execution layer.
+
+The PR's bar: on a 100k-interval, 1k-query workload, ``ShardedStore(K=4)``
+with the thread-pool executor answers identically to the unsharded store and
+delivers >= 2x batch-query throughput over K=1 serial on a scan-bound
+backend (where shard pruning cuts per-query work by ~K)."""
+
+import pytest
+
+from repro.bench.experiments import shard_scaling
+from repro.core.interval import Query
+from repro.datasets.real_like import REAL_DATASET_PROFILES, generate_real_like
+from repro.engine import ShardedStore, create_index
+from repro.queries.generator import QueryWorkloadConfig, generate_queries
+
+CARDINALITY = 100_000
+NUM_QUERIES = 1_000
+
+
+@pytest.fixture(scope="module")
+def workload():
+    collection = generate_real_like(
+        REAL_DATASET_PROFILES["TAXIS"], cardinality=CARDINALITY, seed=7
+    )
+    queries = generate_queries(
+        collection, QueryWorkloadConfig(count=NUM_QUERIES, extent_fraction=0.001, seed=7)
+    )
+    return collection, queries
+
+
+def test_sharded_k4_threads_at_least_2x_over_k1_serial(workload):
+    collection, _ = workload
+    rows = shard_scaling(
+        collection,
+        num_queries=NUM_QUERIES,
+        shard_counts=(1, 4),
+        backends=("naive",),
+        strategies=("equi_width",),
+        workers=4,
+        repeats=3,
+    )
+    by_key = {(r["num_shards"], r["executor"]): r for r in rows}
+    baseline = by_key[(1, "serial")]
+    threaded = by_key[(4, "threads")]
+    assert baseline["speedup"] == pytest.approx(1.0)
+    assert threaded["speedup"] >= 2.0, (
+        f"K=4/threads reached only {threaded['speedup']:.2f}x over K=1 serial "
+        f"({threaded['throughput']:,.0f} vs {baseline['throughput']:,.0f} q/s)"
+    )
+
+
+def test_sharded_ids_identical_to_unsharded_at_scale(workload):
+    """Spot-check the equivalence half of the acceptance bar at full scale."""
+    collection, queries = workload
+    unsharded = create_index("naive", collection)
+    store = ShardedStore.open(collection, "naive", num_shards=4, workers=4)
+    sample = queries[:: max(1, len(queries) // 100)]  # ~100 queries
+    batch = store.run_batch(sample)
+    for query, ids in zip(sample, batch.ids):
+        assert sorted(ids) == sorted(unsharded.query(Query(query.start, query.end)))

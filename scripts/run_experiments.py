@@ -21,7 +21,7 @@ import time
 from pathlib import Path
 
 from repro.bench import experiments
-from repro.bench.reporting import format_series, format_table
+from repro.bench.reporting import format_series, format_table, render_process_scaling
 
 
 def _render_fig10(result):
@@ -203,6 +203,11 @@ def main(argv=None) -> int:
         ),
         "shard_scaling": lambda: _render_shard_scaling(
             experiments.shard_scaling(
+                cardinality=args.cardinality, num_queries=n_queries
+            )
+        ),
+        "process_scaling": lambda: render_process_scaling(
+            experiments.process_scaling(
                 cardinality=args.cardinality, num_queries=n_queries
             )
         ),

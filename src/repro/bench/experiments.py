@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.bench.harness import measure_throughput
 from repro.core.base import IntervalIndex
 from repro.core.interval import IntervalCollection, Query
-from repro.engine.executor import SerialExecutor, ThreadedExecutor
+from repro.engine.executor import ProcessExecutor, SerialExecutor, ThreadedExecutor
 from repro.engine.registry import create_index
 from repro.engine.sharded import ShardedIndex
 from repro.datasets.real_like import REAL_DATASET_PROFILES, generate_real_like
@@ -53,6 +53,7 @@ __all__ = [
     "fig14_synthetic_throughput",
     "table10_updates",
     "shard_scaling",
+    "process_scaling",
     "COMPETITOR_CONFIGS",
 ]
 
@@ -579,6 +580,157 @@ def _serial_unsharded_baseline(rows: Sequence[dict]) -> float:
         if row["num_shards"] == 1 and row["executor"] == "serial":
             return row["throughput"]
     return rows[0]["throughput"] if rows else 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Process scaling -- worker-resident shards vs threads vs serial, plus
+# home-shard counting vs materialise-and-dedup
+# --------------------------------------------------------------------------- #
+def process_scaling(
+    collection: Optional[IntervalCollection] = None,
+    *,
+    cardinality: int = 100_000,
+    num_queries: int = 1_000,
+    num_shards: int = 4,
+    backends: Sequence[str] = ("hintm", "hintm_opt"),
+    workers: Optional[int] = None,
+    extent_fraction: float = 0.001,
+    count_extent_fraction: float = 0.1,
+    repeats: int = 3,
+    seed: int = 7,
+) -> Dict[str, List[dict]]:
+    """The process-parallel execution layer's two headline measurements.
+
+    **Batch fan-out** (``"batch"`` rows): the same K-shard index driven by
+    the serial, thread-pool and process-pool executors, per backend, with
+    the unsharded serial index as the baseline.  The process rows use
+    worker-resident shards over shared-memory columns
+    (:mod:`repro.engine._procworker`): the parent never builds its shard
+    indexes, workers build theirs during the first measured pass (hidden by
+    best-of-``repeats``), and per-task payloads are ``(shard_id, query
+    arrays)``.  For pure-Python backends (the HINT^m family) this is the
+    only executor that sidesteps the GIL, so on an N-core machine the
+    process rows are where shard pruning *times* hardware parallelism shows
+    up.  ``speedup`` is relative to the backend's K=1 serial row.
+
+    **Home-shard counting** (``"count"`` rows): multi-shard ``query_count``
+    via the grid-trick home-shard sums (O(log n) bisections per shard)
+    against the old materialise-and-dedup evaluation, on broad queries
+    (``count_extent_fraction`` of the domain, so every query spans several
+    shards).  Both methods are asserted to agree before timing.
+
+    Returns ``{"batch": [...], "count": [...]}`` row dicts.
+    """
+    if collection is None:
+        collection = generate_real_like(
+            REAL_DATASET_PROFILES["TAXIS"], cardinality=cardinality, seed=seed
+        )
+    queries = _query_workload(collection, num_queries, extent_fraction, seed=seed)
+    broad_queries = _query_workload(
+        collection, max(1, num_queries // 20), count_extent_fraction, seed=seed + 1
+    )
+    if workers is None:
+        import os
+
+        workers = max(2, min(os.cpu_count() or 1, num_shards))
+    serial = SerialExecutor()
+    threads = ThreadedExecutor(workers)
+    processes = ProcessExecutor(workers)
+    batch_rows: List[dict] = []
+    count_rows: List[dict] = []
+    try:
+        for backend in backends:
+            configs = [(1, serial)] + [
+                (num_shards, executor) for executor in (serial, threads, processes)
+            ]
+            backend_rows: List[dict] = []
+            for shards, executor in configs:
+                start = time.perf_counter()
+                index = ShardedIndex(
+                    collection, backend=backend, num_shards=shards, executor=executor
+                )
+                build_seconds = time.perf_counter() - start
+                # steady-state throughput: one untimed pass warms pools and
+                # (for the process executor) builds the worker-resident shards
+                index.query_batch(queries)
+                backend_rows.append(
+                    {
+                        "backend": backend,
+                        "num_shards": index.num_shards,
+                        "executor": executor.name,
+                        "workers": executor.workers if shards > 1 else 1,
+                        "build_s": build_seconds,
+                        "throughput": measure_throughput(index, queries, repeats=repeats),
+                    }
+                )
+                index.close()
+            baseline = _serial_unsharded_baseline(backend_rows)
+            for row in backend_rows:
+                row["speedup"] = row["throughput"] / baseline if baseline else 0.0
+            batch_rows.extend(backend_rows)
+
+            # --- counting: home-shard sums vs materialise-and-dedup ---
+            # restricted to queries spanning >= 2 shards: single-shard counts
+            # take the same backend fast path in both methods, multi-shard is
+            # exactly the case the home-shard trick replaces
+            index = ShardedIndex(
+                collection, backend=backend, num_shards=num_shards, executor=serial
+            )
+            multi_shard = [
+                query
+                for query in broad_queries
+                if index.plan.shard_range(query.start, query.end)[0]
+                < index.plan.shard_range(query.start, query.end)[1]
+            ]
+            if not multi_shard:  # degenerate plan/domain: nothing to compare
+                index.close()
+                continue
+            for query in multi_shard:  # correctness first, timing second
+                counted, materialised = index.query_count(query), len(index.query(query))
+                if counted != materialised:  # explicit: must survive python -O
+                    raise RuntimeError(
+                        f"home-shard count diverged from the dedup oracle on "
+                        f"{query}: {counted} != {materialised}"
+                    )
+            materialise = _measure_op_throughput(
+                lambda q: len(index.query(q)), multi_shard, repeats
+            )
+            home_shard = _measure_op_throughput(
+                index.query_count, multi_shard, repeats
+            )
+            if not index.count_ops["home_shard"]:
+                raise RuntimeError("the home-shard counting path never ran")
+            for method, throughput in (
+                ("materialise+dedup", materialise),
+                ("home-shard sums", home_shard),
+            ):
+                count_rows.append(
+                    {
+                        "backend": backend,
+                        "num_shards": index.num_shards,
+                        "method": method,
+                        "throughput": throughput,
+                        "speedup": throughput / materialise if materialise else 0.0,
+                    }
+                )
+            index.close()
+    finally:
+        threads.close()
+        processes.close()
+    return {"batch": batch_rows, "count": count_rows}
+
+
+def _measure_op_throughput(fn, queries: Sequence[Query], repeats: int) -> float:
+    """Calls/second of ``fn`` over ``queries`` (best of ``repeats`` passes)."""
+    best = 0.0
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        for query in queries:
+            fn(query)
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, len(queries) / elapsed)
+    return best
 
 
 # --------------------------------------------------------------------------- #

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Sequence, Union
 
-__all__ = ["format_table", "format_series"]
+__all__ = ["format_table", "format_series", "render_process_scaling"]
 
 Number = Union[int, float]
 
@@ -39,6 +39,42 @@ def format_table(
     for row in materialised:
         lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def render_process_scaling(result: Mapping[str, Sequence[Mapping]]) -> str:
+    """Render :func:`repro.bench.experiments.process_scaling`'s two tables.
+
+    Shared by ``scripts/run_experiments.py`` and
+    ``benchmarks/bench_process_scaling.py`` so the CI report and the saved
+    benchmark report cannot drift apart.
+    """
+    batch = format_table(
+        "Process scaling -- executors over K time-range shards "
+        "(speedup vs K=1 serial)",
+        ["backend", "K", "executor", "workers", "build [s]", "queries/s", "speedup"],
+        [
+            [
+                r["backend"],
+                r["num_shards"],
+                r["executor"],
+                r["workers"],
+                r["build_s"],
+                r["throughput"],
+                r["speedup"],
+            ]
+            for r in result["batch"]
+        ],
+    )
+    count = format_table(
+        "Home-shard counting -- multi-shard query_count, broad queries "
+        "(speedup vs materialise+dedup)",
+        ["backend", "K", "method", "counts/s", "speedup"],
+        [
+            [r["backend"], r["num_shards"], r["method"], r["throughput"], r["speedup"]]
+            for r in result["count"]
+        ],
+    )
+    return batch + "\n\n" + count
 
 
 def format_series(

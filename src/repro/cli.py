@@ -14,6 +14,9 @@ Examples::
     # shard the collection into 4 time ranges, fan out over 4 threads
     python -m repro batch data.csv queries.csv --shards 4 --workers 4
 
+    # same, but over 4 worker processes (real multi-core for pure-Python indexes)
+    python -m repro batch data.csv queries.csv --shards 4 --executor processes --workers 4
+
     # shard-scaling micro-benchmark over a CSV (throughput per K)
     python -m repro bench data.csv --num-queries 500 --shards 1 2 4 --workers 4
 
@@ -44,6 +47,7 @@ from repro.datasets.io import load_intervals_csv, save_intervals_csv
 from repro.datasets.real_like import REAL_DATASET_PROFILES, generate_real_like
 from repro.datasets.synthetic import SyntheticConfig, generate_synthetic
 from repro.engine import IntervalStore, available_backends, backend_specs, get_spec
+from repro.engine.executor import EXECUTOR_KINDS
 from repro.engine.sharding import PARTITION_STRATEGIES
 from repro.hint.model import DatasetStatistics, estimate_m_opt, replication_factor
 
@@ -65,12 +69,19 @@ def build_parser() -> argparse.ArgumentParser:
         if not get_spec(name).composite
     ]
 
+    executor_names = [name for name, _ in EXECUTOR_KINDS]
+    executor_help = "; ".join(f"{name}: {blurb}" for name, blurb in EXECUTOR_KINDS)
+
     def add_execution_args(sub: argparse.ArgumentParser) -> None:
-        """--shards/--workers/--shard-strategy, shared by query/batch/bench."""
+        """--shards/--workers/--executor/--shard-strategy, shared by query/batch/bench."""
         sub.add_argument("--shards", type=int, default=1, metavar="K",
                          help="split the data into K time-range shards (default: 1)")
         sub.add_argument("--workers", type=int, default=None, metavar="W",
-                         help="thread-pool size for parallel execution (default: serial)")
+                         help="pool size for parallel execution (default: serial, "
+                              "or the executor's default when --executor is given)")
+        sub.add_argument("--executor", choices=executor_names, default=None,
+                         help=f"execution strategy -- {executor_help} "
+                              "(default: serial, or threads when --workers is given)")
         sub.add_argument("--shard-strategy", choices=PARTITION_STRATEGIES,
                          default="equi_width",
                          help="how shard boundaries are chosen (default: %(default)s)")
@@ -122,7 +133,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4], metavar="K",
                        help="shard counts to sweep (default: 1 2 4)")
     bench.add_argument("--workers", type=int, default=None, metavar="W",
-                       help="thread-pool size for the parallel rows (default: serial only)")
+                       help="pool size for the parallel rows (default: serial only)")
+    bench.add_argument("--executor", choices=executor_names, default=None,
+                       help=f"execution strategy for the parallel rows -- {executor_help}")
     bench.add_argument("--shard-strategy", choices=PARTITION_STRATEGIES,
                        default="equi_width")
 
@@ -163,12 +176,14 @@ def _open_store(
     query_extent: Optional[int] = None,
     shards: int = 1,
     workers: Optional[int] = None,
+    executor: Optional[str] = None,
     shard_strategy: str = "equi_width",
 ) -> IntervalStore:
     """Build an :class:`IntervalStore`, auto-tuning ``m`` when not given.
 
     ``shards > 1`` yields a :class:`repro.engine.ShardedStore` over ``name``;
-    ``workers`` selects the thread-pool executor either way.
+    ``executor`` names the execution strategy (serial/threads/processes),
+    sized by ``workers``; a bare ``workers`` count means a thread pool.
     """
     opts = {}
     spec = get_spec(name)
@@ -190,6 +205,7 @@ def _open_store(
         num_shards=shards,
         strategy=shard_strategy,
         workers=workers,
+        executor=executor,
         **opts,
     )
 
@@ -211,6 +227,7 @@ def _command_query(args: argparse.Namespace) -> int:
         query_extent=query.extent,
         shards=args.shards,
         workers=args.workers,
+        executor=args.executor,
         shard_strategy=args.shard_strategy,
     )
     build_seconds = time.perf_counter() - build_start
@@ -229,6 +246,7 @@ def _command_query(args: argparse.Namespace) -> int:
     else:
         output = [str(interval_id) for interval_id in sorted(results.ids())]
     query_seconds = time.perf_counter() - query_start
+    store.close()
 
     print(
         f"# index={_describe_store(store)} built in {build_seconds:.3f}s, "
@@ -257,9 +275,11 @@ def _command_batch(args: argparse.Namespace) -> int:
         args.num_bits,
         shards=args.shards,
         workers=args.workers,
+        executor=args.executor,
         shard_strategy=args.shard_strategy,
     )
     batch = store.run_batch(queries, count_only=args.count_only)
+    store.close()
     if args.count_only:
         for count in batch.counts:
             print(count)
@@ -299,28 +319,31 @@ def _command_bench(args: argparse.Namespace) -> int:
     )
     rows = []
     for shards in args.shards:
+        parallel = shards > 1 and (args.workers or args.executor)
         build_start = time.perf_counter()
         store = _open_store(
             args.index,
             collection,
             args.num_bits,
             shards=shards,
-            workers=args.workers,
+            workers=args.workers if parallel else None,
+            executor=args.executor if parallel else None,
             shard_strategy=args.shard_strategy,
         )
         build_seconds = time.perf_counter() - build_start
         throughput = measure_throughput(store.index, queries, repeats=args.repeats)
-        workers = args.workers if shards > 1 and args.workers else 1
-        rows.append((shards, workers, build_seconds, throughput))
+        executor_name = store.index.executor.name if shards > 1 else "serial"
+        workers = store.index.executor.workers if shards > 1 else 1
+        rows.append((shards, executor_name, workers, build_seconds, throughput))
         store.close()
     # speedups are relative to the K=1 row (first row when 1 wasn't swept)
-    baseline = next((r[3] for r in rows if r[0] == 1), rows[0][3] if rows else 0.0)
-    print("shards  workers   build[s]      q/s  speedup")
-    for shards, workers, build_seconds, throughput in rows:
+    baseline = next((r[4] for r in rows if r[0] == 1), rows[0][4] if rows else 0.0)
+    print("shards  executor   workers   build[s]      q/s  speedup")
+    for shards, executor_name, workers, build_seconds, throughput in rows:
         speedup = throughput / baseline if baseline else 0.0
         print(
-            f"{shards:6d}  {workers:7d}  {build_seconds:9.3f}  {throughput:7,.0f}  "
-            f"{speedup:6.2f}x"
+            f"{shards:6d}  {executor_name:>8s}  {workers:7d}  {build_seconds:9.3f}  "
+            f"{throughput:7,.0f}  {speedup:6.2f}x"
         )
     return 0
 
@@ -344,6 +367,10 @@ def _command_list_backends(args: argparse.Namespace) -> int:
     print("  ".join(header.ljust(width) for header, width in zip(headers, widths)))
     for row in rows:
         print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    print()
+    print("executors (--executor on query/batch/bench):")
+    for name, blurb in EXECUTOR_KINDS:
+        print(f"  {name:<10s} {blurb}")
     return 0
 
 

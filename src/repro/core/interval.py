@@ -19,14 +19,27 @@ import numpy as np
 
 from repro.core.errors import EmptyCollectionError, InvalidIntervalError, InvalidQueryError
 
+try:  # pragma: no cover - platform capability probe
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - e.g. stripped-down interpreters
+    _shared_memory = None
+
 __all__ = [
+    "HAS_SHARED_MEMORY",
     "Interval",
     "Query",
     "IntervalCollection",
+    "SharedCollectionBuffer",
+    "SharedCollectionHandle",
+    "attach_shared_collection",
     "intervals_overlap",
     "interval_contains",
     "interval_contains_point",
 ]
+
+#: True when ``multiprocessing.shared_memory`` is importable on this platform;
+#: callers fall back to pickling collections (or to local execution) when not.
+HAS_SHARED_MEMORY = _shared_memory is not None
 
 
 @dataclass(frozen=True, slots=True)
@@ -305,3 +318,88 @@ class IntervalCollection:
         """Ids of all intervals overlapping ``query`` via a vectorised scan."""
         mask = (self.starts <= query.end) & (query.start <= self.ends)
         return self.ids[mask]
+
+
+# --------------------------------------------------------------------------- #
+# shared-memory column transport (zero-copy hand-off to worker processes)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SharedCollectionHandle:
+    """A picklable reference to a collection's columns in shared memory.
+
+    The handle is all a child process needs to rebuild the collection without
+    copying the data: the name of one ``multiprocessing.shared_memory`` block
+    laid out as a ``(3, length)`` int64 matrix holding the ``ids``, ``starts``
+    and ``ends`` rows.  Pickling the handle costs ~100 bytes regardless of the
+    collection's size.
+    """
+
+    name: str
+    length: int
+
+
+class SharedCollectionBuffer:
+    """Owner side of a shared-memory-backed :class:`IntervalCollection`.
+
+    Copies the three columns into one shared-memory block **once**; the
+    :attr:`handle` can then be shipped to any number of worker processes,
+    each of which attaches with :func:`attach_shared_collection` instead of
+    unpickling the (potentially 100k-interval) collection per task.
+
+    The creator owns the block: call :meth:`unlink` (idempotent) when the
+    last consumer is done, or the segment survives until interpreter exit.
+    """
+
+    def __init__(self, collection: IntervalCollection) -> None:
+        if _shared_memory is None:  # pragma: no cover - platform-dependent
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        n = len(collection)
+        self._shm = _shared_memory.SharedMemory(create=True, size=max(1, 3 * 8 * n))
+        matrix = np.ndarray((3, n), dtype=np.int64, buffer=self._shm.buf)
+        matrix[0, :] = collection.ids
+        matrix[1, :] = collection.starts
+        matrix[2, :] = collection.ends
+        #: zero-copy view over the shared block (valid until :meth:`unlink`)
+        self.collection = IntervalCollection(matrix[0], matrix[1], matrix[2])
+        self.handle = SharedCollectionHandle(name=self._shm.name, length=n)
+        #: size of the shared block in bytes (for memory accounting)
+        self.nbytes = self._shm.size
+
+    def unlink(self) -> None:
+        """Release the shared-memory block (idempotent)."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        self.collection = None  # drop the views before freeing the buffer
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.unlink()
+        except Exception:
+            pass
+
+
+def attach_shared_collection(
+    handle: SharedCollectionHandle,
+) -> Tuple[IntervalCollection, object]:
+    """Attach to a shared collection from a worker process.
+
+    Returns the zero-copy :class:`IntervalCollection` plus the underlying
+    ``SharedMemory`` object, which the caller must keep alive for as long as
+    the collection is used (the arrays are views into its buffer).
+    """
+    if _shared_memory is None:  # pragma: no cover - platform-dependent
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    # NOTE on the resource tracker: both fork and spawn pool workers inherit
+    # the creating process's tracker (multiprocessing passes the tracker fd
+    # in the spawn start-up data), and registration is an idempotent set-add
+    # there -- so attaching needs no register/unregister dance; the owner's
+    # unlink performs the single deregistration.
+    shm = _shared_memory.SharedMemory(name=handle.name)
+    matrix = np.ndarray((3, handle.length), dtype=np.int64, buffer=shm.buf)
+    return IntervalCollection(matrix[0], matrix[1], matrix[2]), shm

@@ -11,8 +11,10 @@
 * :mod:`repro.engine.batch` -- whole-workload execution
   (:func:`execute_batch`, :class:`BatchResult`),
 * :mod:`repro.engine.executor` -- pluggable executors
-  (:class:`SerialExecutor`, :class:`ThreadedExecutor`) that every execution
-  entry point routes through,
+  (:class:`SerialExecutor`, :class:`ThreadedExecutor`,
+  :class:`ProcessExecutor`) that every execution entry point routes
+  through; the process executor pairs with worker-resident shards and
+  shared-memory columns (:mod:`repro.engine._procworker`),
 * :mod:`repro.engine.sharding` -- the domain partitioner
   (:class:`ShardPlan`, equi-width and balanced strategies),
 * :mod:`repro.engine.sharded` -- :class:`ShardedIndex`/:class:`ShardedStore`,
@@ -21,7 +23,9 @@
 
 from repro.engine.batch import BatchResult, execute_batch
 from repro.engine.executor import (
+    EXECUTOR_KINDS,
     Executor,
+    ProcessExecutor,
     SerialExecutor,
     ThreadedExecutor,
     resolve_executor,
@@ -46,7 +50,9 @@ __all__ = [
     "BackendSpec",
     "BatchResult",
     "DEFAULT_BACKEND",
+    "EXECUTOR_KINDS",
     "Executor",
+    "ProcessExecutor",
     "IntervalStore",
     "MergedResultSet",
     "PARTITION_STRATEGIES",

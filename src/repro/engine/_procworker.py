@@ -1,0 +1,132 @@
+"""Worker-process runtime for the :class:`~repro.engine.executor.ProcessExecutor`.
+
+The sharded layer's process fan-out keeps the expensive state **resident in
+the workers**: each worker process attaches to the collection's
+shared-memory columns once, builds the shard indexes it is asked about once,
+and caches both for the lifetime of the pool.  A task is then just
+
+    ``(spec, shard_id, positions, query_starts, query_ends)``
+
+where ``spec`` is a ~100-byte :class:`ShardResidencySpec` (a shared-memory
+handle plus the shard plan and backend configuration) and the three arrays
+describe the queries routed to that shard.  Results travel back as compact
+``int64`` id arrays -- no :class:`~repro.core.interval.Interval` objects,
+no index structures, no re-pickled collections ever cross the process
+boundary.
+
+Everything here is module-level so that it imports cleanly under the
+``spawn`` start method (workers re-import this module instead of inheriting
+the parent's memory).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.interval import Query, SharedCollectionHandle, attach_shared_collection
+
+__all__ = ["ShardResidencySpec", "run_shard_task"]
+
+#: worker-global cache of residencies, keyed by the owning index's token;
+#: bounded so a long-lived pool serving many stores cannot grow unboundedly
+_RESIDENTS: "OrderedDict[str, _Residency]" = OrderedDict()
+_MAX_RESIDENTS = 4
+
+
+@dataclass(frozen=True)
+class ShardResidencySpec:
+    """Everything a worker needs to (re)create one index's shard state.
+
+    Attributes:
+        token: unique id of the owning :class:`~repro.engine.sharded.ShardedIndex`
+            build; the worker-side cache key.
+        handle: shared-memory handle of the collection's columns -- the only
+            data transport (the sharded layer falls back to in-process
+            execution when shared memory is unavailable, so collections are
+            never shipped by value).
+        cuts: the shard plan's interior cut points.
+        backend: registry name of the per-shard backend.
+        opts: backend constructor options (must be picklable).
+    """
+
+    token: str
+    handle: SharedCollectionHandle
+    cuts: Tuple[int, ...]
+    backend: str
+    opts: Tuple[Tuple[str, object], ...] = ()
+
+
+class _Residency:
+    """One index's worker-resident state: attached columns + cached shards."""
+
+    def __init__(self, spec: ShardResidencySpec) -> None:
+        self._collection, self._shm = attach_shared_collection(spec.handle)
+        self._cuts = np.asarray(spec.cuts, dtype=np.int64)
+        self._backend = spec.backend
+        self._opts = dict(spec.opts)
+        self._shards: Dict[int, object] = {}
+
+    def shard_index(self, shard_id: int):
+        """Build (once) and return the backend index for one shard."""
+        index = self._shards.get(shard_id)
+        if index is None:
+            # local imports keep module import light for spawn start-up
+            from repro.engine.registry import create_index
+            from repro.engine.sharding import shard_mask
+
+            piece = (
+                self._collection
+                if len(self._cuts) == 0
+                else self._collection.take(
+                    shard_mask(self._collection, self._cuts, shard_id)
+                )
+            )
+            index = create_index(self._backend, piece, **self._opts)
+            self._shards[shard_id] = index
+        return index
+
+    def close(self) -> None:
+        self._shards.clear()
+        self._collection = None
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+
+def _residency_for(spec: ShardResidencySpec) -> _Residency:
+    residency = _RESIDENTS.get(spec.token)
+    if residency is None:
+        residency = _Residency(spec)
+        _RESIDENTS[spec.token] = residency
+        while len(_RESIDENTS) > _MAX_RESIDENTS:
+            _, evicted = _RESIDENTS.popitem(last=False)
+            evicted.close()
+    else:
+        _RESIDENTS.move_to_end(spec.token)
+    return residency
+
+
+def run_shard_task(
+    task: Tuple[ShardResidencySpec, int, np.ndarray, np.ndarray, np.ndarray],
+) -> Tuple[int, np.ndarray, List[np.ndarray]]:
+    """Answer one shard's slice of a batch inside a worker process.
+
+    Args:
+        task: ``(spec, shard_id, positions, query_starts, query_ends)``;
+            ``positions`` are the batch positions of the routed queries.
+
+    Returns:
+        ``(shard_id, positions, id_arrays)`` with one compact ``int64``
+        array of result ids per routed query.
+    """
+    spec, shard_id, positions, query_starts, query_ends = task
+    index = _residency_for(spec).shard_index(shard_id)
+    answers = [
+        np.asarray(index.query(Query(int(start), int(end))), dtype=np.int64)
+        for start, end in zip(query_starts, query_ends)
+    ]
+    return shard_id, positions, answers

@@ -15,6 +15,7 @@ and runs them concurrently, preserving result order.
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence
@@ -24,6 +25,11 @@ from repro.core.interval import Query
 from repro.engine.executor import Executor, split_chunks
 
 __all__ = ["BatchResult", "execute_batch"]
+
+
+def _count_chunk(index: IntervalIndex, chunk: List[Query]) -> List[int]:
+    """Per-worker count evaluation; module-level so process pools can pickle it."""
+    return [index.query_count(query) for query in chunk]
 
 
 @dataclass
@@ -85,9 +91,7 @@ def execute_batch(
         ids: Optional[List[List[int]]] = None
         if parallel:
             chunks = split_chunks(workload, executor.workers)
-            counted = executor.map(
-                lambda chunk: [index.query_count(query) for query in chunk], chunks
-            )
+            counted = executor.map(functools.partial(_count_chunk, index), chunks)
             counts = [count for chunk in counted for count in chunk]
         else:
             counts = [index.query_count(query) for query in workload]

@@ -3,7 +3,7 @@
 Every execution entry point in the engine -- :class:`repro.engine.store.IntervalStore`
 batches, :class:`repro.engine.sharded.ShardedIndex` shard fan-out, the
 benchmark harness -- routes through an :class:`Executor`.  An executor maps a
-function over a list of work items; the two implementations are
+function over a list of work items; the three implementations are
 
 * :class:`SerialExecutor` -- runs everything inline.  The single-index,
   single-thread store is just this degenerate case, so adding parallelism
@@ -11,23 +11,33 @@ function over a list of work items; the two implementations are
 * :class:`ThreadedExecutor` -- a ``concurrent.futures.ThreadPoolExecutor``
   with a bounded worker count.  Per-shard probes and batch chunks run
   concurrently; NumPy-heavy backends release the GIL for the vectorised
-  portions of their scans.
+  portions of their scans, but pure-Python backends (the HINT^m family)
+  stay GIL-bound.
+* :class:`ProcessExecutor` -- a ``concurrent.futures.ProcessPoolExecutor``
+  with a lazy, reusable pool.  This is the executor that buys real
+  multi-core scaling for pure-Python backends; the sharded layer pairs it
+  with worker-resident shard indexes and shared-memory columns (see
+  :mod:`repro.engine._procworker`) so per-task payloads stay tiny.
 
 :func:`resolve_executor` turns the user-facing spec (``None``, a worker
-count, ``"serial"``/``"threads"``, or an :class:`Executor` instance) into an
-executor, and :func:`split_chunks` is the shared helper for carving a
-workload into per-worker chunks without reordering it.
+count, ``"serial"``/``"threads"``/``"processes"``, or an :class:`Executor`
+instance) into an executor, and :func:`split_chunks` is the shared helper
+for carving a workload into per-worker chunks without reordering it.
 """
 
 from __future__ import annotations
 
 import abc
+import multiprocessing
 import os
+from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from concurrent.futures import ThreadPoolExecutor as _ThreadPool
-from typing import Callable, List, Optional, Sequence, TypeVar, Union
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar, Union
 
 __all__ = [
+    "EXECUTOR_KINDS",
     "Executor",
+    "ProcessExecutor",
     "SerialExecutor",
     "ThreadedExecutor",
     "resolve_executor",
@@ -38,8 +48,36 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 #: polite ceiling for the default worker count; interval queries are short,
-#: so more threads than this just fight over the GIL
+#: so more workers than this just fight over the scheduler
 _MAX_DEFAULT_WORKERS = 8
+
+#: environment variable overriding the multiprocessing start method used by
+#: :class:`ProcessExecutor` (``fork``/``spawn``/``forkserver``); the CI matrix
+#: uses it to run the whole suite under ``spawn``
+START_METHOD_ENV = "REPRO_MP_START_METHOD"
+
+#: ``(name, one-line description)`` of every executor kind, in the order the
+#: CLI help and ``list-backends`` present them
+EXECUTOR_KINDS: Tuple[Tuple[str, str], ...] = (
+    ("serial", "inline execution in the calling thread (the default)"),
+    ("threads", "thread pool; concurrency for GIL-releasing (NumPy) scans"),
+    ("processes", "process pool; multi-core scaling via worker-resident shards"),
+)
+
+
+def _default_workers() -> int:
+    return min(os.cpu_count() or 2, _MAX_DEFAULT_WORKERS)
+
+
+def _validated_workers(workers: Optional[int]) -> Optional[int]:
+    """Reject non-positive or non-integral worker counts with a clear error."""
+    if workers is None:
+        return None
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise TypeError(f"worker count must be an int, got {workers!r}")
+    if workers < 1:
+        raise ValueError(f"executor worker count must be >= 1, got {workers}")
+    return workers
 
 
 class Executor(abc.ABC):
@@ -92,9 +130,7 @@ class ThreadedExecutor(Executor):
     name = "threads"
 
     def __init__(self, workers: Optional[int] = None) -> None:
-        if workers is None:
-            workers = min(os.cpu_count() or 2, _MAX_DEFAULT_WORKERS)
-        self._workers = max(1, int(workers))
+        self._workers = _validated_workers(workers) or _default_workers()
         self._pool: Optional[_ThreadPool] = None
 
     @property
@@ -117,32 +153,136 @@ class ThreadedExecutor(Executor):
             self._pool = None
 
 
+class ProcessExecutor(Executor):
+    """A ``ProcessPoolExecutor``-backed parallel executor.
+
+    The pool is created lazily on first parallel ``map`` and reused for the
+    executor's lifetime -- worker processes therefore *persist across
+    batches*, which is what makes worker-resident state (attached
+    shared-memory columns, cached shard indexes; see
+    :mod:`repro.engine._procworker`) pay off: the first task per shard builds
+    the shard's index inside the worker, every later task reuses it.
+
+    Mapped functions and items must be picklable (module-level functions or
+    bound methods of picklable objects).  Prefer shipping *references* --
+    a :class:`repro.core.interval.SharedCollectionHandle` instead of a
+    collection -- so tasks stay small.
+
+    Args:
+        workers: process count; defaults to ``min(cpu_count, 8)``.
+        start_method: multiprocessing start method (``"fork"``, ``"spawn"``,
+            ``"forkserver"``).  Defaults to the ``REPRO_MP_START_METHOD``
+            environment variable, falling back to the platform default.
+    """
+
+    name = "processes"
+
+    def __init__(
+        self, workers: Optional[int] = None, start_method: Optional[str] = None
+    ) -> None:
+        self._workers = _validated_workers(workers) or _default_workers()
+        if start_method is None:
+            start_method = os.environ.get(START_METHOD_ENV) or None
+        self._context = (
+            multiprocessing.get_context(start_method)
+            if start_method
+            else multiprocessing.get_context()
+        )
+        self._pool: Optional[_ProcessPool] = None
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def start_method(self) -> str:
+        """The multiprocessing start method the pool uses."""
+        return self._context.get_start_method()
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        work = list(items)
+        if self._workers == 1 or len(work) <= 1:
+            return [fn(item) for item in work]
+        if self._pool is None:
+            self._pool = _ProcessPool(
+                max_workers=self._workers, mp_context=self._context
+            )
+        return list(self._pool.map(fn, work))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+#: string spec -> executor class, for :func:`resolve_executor` and the CLI
+_EXECUTOR_ALIASES = {
+    "serial": None,
+    "threads": ThreadedExecutor,
+    "threaded": ThreadedExecutor,
+    "thread": ThreadedExecutor,
+    "processes": ProcessExecutor,
+    "process": ProcessExecutor,
+    "procs": ProcessExecutor,
+}
+
+
 def resolve_executor(
-    spec: Union[Executor, int, str, None] = None
+    spec: Union[Executor, int, str, None] = None,
+    workers: Union[int, str, "Executor", None] = None,
 ) -> Executor:
     """Turn a user-facing executor spec into an :class:`Executor`.
 
-    * ``None``, ``"serial"``, ``0`` or ``1`` -> :class:`SerialExecutor`;
-    * an int > 1 -> :class:`ThreadedExecutor` with that many workers;
-    * ``"threads"``/``"threaded"`` -> :class:`ThreadedExecutor` with the
-      default worker count;
+    * ``None`` -> :class:`SerialExecutor` (or, when only ``workers`` is
+      given, the legacy single-argument interpretation of ``workers``);
+    * ``"serial"`` -> :class:`SerialExecutor`;
+    * ``"threads"``/``"processes"`` -> that executor kind, sized by
+      ``workers`` (default worker count when omitted);
+    * an int ``n`` -> :class:`SerialExecutor` when ``n == 1``, otherwise a
+      :class:`ThreadedExecutor` with ``n`` workers.  Worker counts below 1
+      are rejected with a clear error;
     * an :class:`Executor` instance passes through unchanged.
     """
+    if spec is None and workers is not None:
+        # legacy form: IntervalStore.open(workers=4) / open(workers="threads")
+        spec, workers = workers, None
     if spec is None:
         return SerialExecutor()
     if isinstance(spec, Executor):
+        if workers is not None and workers != spec.workers:
+            raise ValueError(
+                f"executor instance already has {spec.workers} workers; "
+                f"cannot resize it with workers={workers!r}"
+            )
         return spec
     if isinstance(spec, bool):  # guard: True would otherwise mean 1 worker
         raise TypeError("executor spec must be an Executor, int, str or None")
     if isinstance(spec, int):
-        return SerialExecutor() if spec <= 1 else ThreadedExecutor(spec)
+        if workers is not None and workers != spec:
+            raise ValueError(
+                f"conflicting worker counts: executor spec {spec} vs workers={workers!r}"
+            )
+        count = _validated_workers(spec)
+        return SerialExecutor() if count == 1 else ThreadedExecutor(count)
     if isinstance(spec, str):
         key = spec.lower()
-        if key == "serial":
+        if key not in _EXECUTOR_ALIASES:
+            names = ", ".join(repr(name) for name, _ in EXECUTOR_KINDS)
+            raise ValueError(f"unknown executor {spec!r}; use one of {names}")
+        if isinstance(workers, (str, Executor)):
+            raise TypeError(
+                f"workers must be an int worker count when the executor is "
+                f"named by string, got {workers!r}"
+            )
+        count = _validated_workers(workers)
+        cls = _EXECUTOR_ALIASES[key]
+        if cls is None:
+            if count is not None and count != 1:
+                raise ValueError(
+                    f"the serial executor is single-threaded; got workers={count}"
+                )
             return SerialExecutor()
-        if key in ("threads", "threaded", "thread"):
-            return ThreadedExecutor()
-        raise ValueError(f"unknown executor {spec!r}; use 'serial' or 'threads'")
+        return cls(count)
     raise TypeError(f"executor spec must be an Executor, int, str or None, got {spec!r}")
 
 

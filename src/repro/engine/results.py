@@ -187,8 +187,10 @@ class MergedResultSet(ResultSet):
     * with a single overlapping shard every accessor delegates to the child,
       keeping the backend's count/exists fast paths intact;
     * ``exists()`` short-circuits across shards;
-    * ``ids()``/``count()`` over several shards deduplicate by id, since the
-      partitioner duplicates intervals that span shard boundaries.
+    * ``ids()`` over several shards deduplicates by id, since the partitioner
+      duplicates intervals that span shard boundaries; ``count()`` instead
+      routes to the sharded index's home-shard counting, which never
+      materialises an id list.
 
     Args:
         index: the composite (sharded) index, used for ``stats()``.
@@ -219,10 +221,15 @@ class MergedResultSet(ResultSet):
     def count(self) -> int:
         if self._ids is not None:
             return len(self._ids)
-        if len(self._children) == 1 and self._relation is None:
+        if self._relation is not None:
+            return len(self.ids())
+        if len(self._children) == 1:
             total = self._children[0].count()
-            return min(total, self._limit) if self._limit is not None else total
-        return len(self.ids())
+        else:
+            # the sharded index answers multi-shard counts with home-shard
+            # sums (O(log n) per shard) -- no id list, no dedup set
+            total = self._index.query_count(self._query)
+        return min(total, self._limit) if self._limit is not None else total
 
     def exists(self) -> bool:
         if self._ids is not None:

@@ -9,13 +9,38 @@
 * each shard is served by **any registered backend** (default: the optimized
   HINT^m with per-shard model-tuned ``m``);
 * a pluggable **executor** (:mod:`repro.engine.executor`) fans batches out
-  across worker threads, with serial execution as the K=1 degenerate case.
+  across worker threads or worker *processes*, with serial execution as the
+  K=1 degenerate case.
 
 Queries are *planned*: only the shards overlapping the query range are
 probed, and multi-shard answers are deduplicated by id.  Updates are
 *routed*: an insert goes to every shard whose range the new interval
 overlaps (so with ``backend="hintm_hybrid"`` it lands in the owning shard's
-delta index), and a delete tombstones the id in every shard holding a copy.
+delta index), and a delete probes only the shards recorded as holding a
+copy (an id -> span locator is maintained from build time).
+
+Two execution strategies deserve detail:
+
+**Process fan-out.**  With a :class:`~repro.engine.executor.ProcessExecutor`
+the shard indexes live *inside the worker processes*
+(:mod:`repro.engine._procworker`): the collection's columns are published
+once through ``multiprocessing.shared_memory``, each worker attaches and
+builds the shards it is asked about on first use, and per-task payloads are
+just ``(shard_id, query arrays)`` -- results return as compact id arrays.
+This sidesteps the GIL for pure-Python backends (the HINT^m family) where
+the thread pool cannot.  Updates invalidate the published snapshot, so an
+updated index transparently falls back to in-process execution.
+
+**Home-shard counting.**  Boundary-spanning intervals are duplicated, so a
+multi-shard count used to materialise ids and deduplicate.  Instead, the
+index keeps each shard's copy *starts* and *ends* sorted and applies the
+classic grid trick -- count every interval only in ``max(home, first)``
+where ``home`` is its first overlapping shard: in the query's first shard
+all copies with ``end >= q.start`` overlap (their starts precede the shard
+boundary, hence ``q.end``), and in every later shard ``j`` exactly the
+copies whose start lies in ``[cut[j-1], q.end]`` are home there.  Both are
+O(log n) bisections, so ``query_count`` over K shards costs O(K log n) and
+never builds an id list.
 
 :class:`ShardedStore` is the :class:`repro.engine.store.IntervalStore`
 facade over a sharded index; its fluent queries yield
@@ -25,19 +50,38 @@ shard.
 
 from __future__ import annotations
 
+import itertools
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.allen import RANGE_QUERY_RELATIONS, AllenRelation
 from repro.core.base import IntervalIndex, QueryStats
-from repro.core.interval import Interval, IntervalCollection, Query
+from repro.core.interval import (
+    HAS_SHARED_MEMORY,
+    Interval,
+    IntervalCollection,
+    Query,
+    SharedCollectionBuffer,
+)
+from repro.engine._procworker import ShardResidencySpec, run_shard_task
 from repro.engine.batch import BatchResult, execute_batch
-from repro.engine.executor import Executor, resolve_executor, split_chunks
+from repro.engine.executor import (
+    Executor,
+    ProcessExecutor,
+    resolve_executor,
+    split_chunks,
+)
 from repro.engine.registry import create_index, get_spec, register_backend, resolve_backend
 from repro.engine.results import MergedResultSet, ResultSet, merge_unique_ids
-from repro.engine.sharding import ShardPlan, partition_collection
+from repro.engine.sharding import ShardPlan, partition_collection, shard_mask
 from repro.engine.store import DEFAULT_BACKEND, IntervalStore
 
 __all__ = ["ShardedIndex", "ShardedStore"]
+
+#: process-unique source of residency tokens (see :mod:`repro.engine._procworker`)
+_TOKENS = itertools.count()
 
 
 @register_backend(
@@ -59,8 +103,11 @@ class ShardedIndex(IntervalIndex):
             fewer (see :meth:`ShardPlan.for_collection`).
         strategy: ``"equi_width"`` or ``"balanced"`` cut selection.
         executor: executor spec for building shards and running batches
-            (``None`` -> serial, int -> that many threads, or an
-            :class:`repro.engine.executor.Executor`).
+            (``None`` -> serial, int -> that many threads,
+            ``"serial"``/``"threads"``/``"processes"``, or an
+            :class:`repro.engine.executor.Executor` instance).
+        workers: worker count paired with a string ``executor`` spec
+            (``executor="processes", workers=4``).
         **opts: forwarded to every shard's backend constructor.
     """
 
@@ -73,6 +120,7 @@ class ShardedIndex(IntervalIndex):
         num_shards: int = 4,
         strategy: str = "equi_width",
         executor: "Executor | int | str | None" = None,
+        workers: "int | None" = None,
         **opts,
     ) -> None:
         self._backend = resolve_backend(backend)
@@ -83,13 +131,50 @@ class ShardedIndex(IntervalIndex):
         if spec.tunable and "num_bits" not in opts:
             opts["num_bits"] = "auto"
         self._opts = opts
-        self._executor = resolve_executor(executor)
+        # a caller-supplied instance (through either parameter) stays the
+        # caller's to close; specs the index resolved itself are owned
+        self._owns_executor = not (
+            isinstance(executor, Executor) or isinstance(workers, Executor)
+        )
+        self._executor = resolve_executor(executor, workers)
         self._plan = ShardPlan.for_collection(collection, num_shards, strategy)
         pieces = partition_collection(collection, self._plan)
-        self._shards: List[IntervalIndex] = self._executor.map(
-            lambda piece: create_index(self._backend, piece, **self._opts), pieces
-        )
         self._size = len(collection)
+        self._dirty = False  # set by updates; disables the process snapshot
+        #: how ``query_count`` answered: backend fast path vs home-shard
+        #: sums.  A diagnostic, not a synchronised counter -- increments can
+        #: be lost when counts fan out across a thread pool.
+        self.count_ops: Dict[str, int] = {"single_shard": 0, "home_shard": 0}
+
+        # --- home-shard counting + bounded-delete bookkeeping (K > 1 only) ---
+        if self._plan.num_shards > 1:
+            self._sorted_starts: List[np.ndarray] = [np.sort(p.starts) for p in pieces]
+            self._sorted_ends: List[np.ndarray] = [np.sort(p.ends) for p in pieces]
+            self._locator: Optional[Dict[int, Tuple[int, int]]] = {
+                int(i): (int(s), int(e))
+                for i, s, e in zip(collection.ids, collection.starts, collection.ends)
+            }
+        else:
+            self._sorted_starts, self._sorted_ends, self._locator = [], [], None
+
+        # --- shard construction: eager in-process, lazy for process fan-out ---
+        self._shared: Optional[SharedCollectionBuffer] = None
+        self._residency: Optional[ShardResidencySpec] = None
+        if isinstance(self._executor, ProcessExecutor):
+            # shard indexes are built worker-resident on first task; the
+            # parent keeps only a reference to the source collection (the
+            # masked pieces above are dropped) and builds a local shard
+            # lazily when a non-batch code path needs one (single queries,
+            # updates, stats)
+            self._source: Optional[IntervalCollection] = collection
+            self._shards: List[Optional[IntervalIndex]] = [None] * self._plan.num_shards
+            if HAS_SHARED_MEMORY and len(collection):
+                self._shared = SharedCollectionBuffer(collection)
+        else:
+            self._source = None
+            self._shards = self._executor.map(
+                lambda piece: create_index(self._backend, piece, **self._opts), pieces
+            )
 
     @classmethod
     def build(cls, collection: IntervalCollection, **kwargs) -> "ShardedIndex":
@@ -110,8 +195,8 @@ class ShardedIndex(IntervalIndex):
 
     @property
     def shards(self) -> List[IntervalIndex]:
-        """The per-shard backend indexes, in domain order."""
-        return list(self._shards)
+        """The per-shard backend indexes, in domain order (built on demand)."""
+        return [self._shard(j) for j in range(self._plan.num_shards)]
 
     @property
     def plan(self) -> ShardPlan:
@@ -123,10 +208,25 @@ class ShardedIndex(IntervalIndex):
         """The executor running shard fan-out and batches."""
         return self._executor
 
+    def _shard(self, shard_id: int) -> IntervalIndex:
+        """The parent-process index of one shard, built lazily if needed."""
+        index = self._shards[shard_id]
+        if index is None:
+            assert self._source is not None, "lazy shard without a source collection"
+            if self._plan.num_shards == 1:
+                piece = self._source
+            else:
+                piece = self._source.take(
+                    shard_mask(self._source, self._plan.cuts, shard_id)
+                )
+            index = create_index(self._backend, piece, **self._opts)
+            self._shards[shard_id] = index
+        return index
+
     def shards_for(self, query: Query) -> List[IntervalIndex]:
         """The shard indexes whose domain range overlaps ``query``."""
         first, last = self._plan.shard_range(query.start, query.end)
-        return self._shards[first : last + 1]
+        return [self._shard(j) for j in range(first, last + 1)]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
@@ -134,6 +234,29 @@ class ShardedIndex(IntervalIndex):
             f"strategy={self._plan.strategy!r}, executor={self._executor.name!r}, "
             f"n={self._size})"
         )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release pooled workers (if owned) and the shared-memory snapshot.
+
+        Idempotent.  An executor that was *passed in* is left running --
+        its owner decides when to close it; one the index created itself
+        (from a worker count or a string spec) is shut down here.
+        """
+        if self._owns_executor:
+            self._executor.close()
+        if self._shared is not None:
+            self._shared.unlink()
+            self._shared = None
+            self._residency = None
+
+    def __enter__(self) -> "ShardedIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # queries (planned to the overlapping shards, merged with dedup)
@@ -145,20 +268,58 @@ class ShardedIndex(IntervalIndex):
         return merge_unique_ids(shard.query(query) for shard in shards)
 
     def query_count(self, query: Query) -> int:
-        shards = self.shards_for(query)
-        if len(shards) == 1:
+        first, last = self._plan.shard_range(query.start, query.end)
+        if first == last:
             # single-shard plans keep the backend's counting fast path
-            return shards[0].query_count(query)
-        # boundary-spanning intervals are duplicated across shards, so
-        # multi-shard counts must deduplicate ids
-        return len(self.query(query))
+            self.count_ops["single_shard"] += 1
+            return self._shard(first).query_count(query)
+        # home-shard counting: every duplicated interval is counted exactly
+        # once, in the first probed shard it is "at home" in -- no id list is
+        # materialised and no dedup set is built (see the module docstring)
+        self.count_ops["home_shard"] += 1
+        ends = self._sorted_ends[first]
+        total = int(len(ends) - np.searchsorted(ends, query.start, side="left"))
+        cuts = self._plan.cuts
+        for shard in range(first + 1, last + 1):
+            starts = self._sorted_starts[shard]
+            lo = int(np.searchsorted(starts, cuts[shard - 1], side="left"))
+            hi = int(np.searchsorted(starts, query.end, side="right"))
+            total += hi - lo
+        return total
 
     def query_exists(self, query: Query) -> bool:
         return any(shard.query_exists(query) for shard in self.shards_for(query))
 
+    def _process_fanout_ready(self) -> bool:
+        """True while worker-resident batches are sound.
+
+        Requires a process executor with real parallelism, a live
+        shared-memory snapshot to hand to workers (absent on platforms
+        without ``multiprocessing.shared_memory``, and gone once
+        :meth:`close` unlinked it -- collections are never re-pickled per
+        task), and no updates since publication (worker-resident shards
+        would be stale).
+        """
+        return (
+            isinstance(self._executor, ProcessExecutor)
+            and self._executor.workers > 1
+            and not self._dirty
+            and self._shared is not None
+        )
+
     def query_batch(self, queries: Sequence[Query]) -> List[List[int]]:
         workload = list(queries)
-        if self._executor.workers > 1 and len(workload) > 1:
+        if workload and self._process_fanout_ready():
+            return self._query_batch_processes(workload)
+        # generic chunk fan-out for any in-process executor (threads or a
+        # custom Executor subclass); a process executor that cannot use the
+        # worker-resident path runs serially -- shipping the whole index to
+        # the pool per chunk would cost more than it buys
+        if (
+            not isinstance(self._executor, ProcessExecutor)
+            and self._executor.workers > 1
+            and len(workload) > 1
+        ):
             chunks = split_chunks(workload, self._executor.workers)
             return [
                 ids
@@ -169,6 +330,63 @@ class ShardedIndex(IntervalIndex):
 
     def _query_chunk(self, chunk: List[Query]) -> List[List[int]]:
         return [self.query(query) for query in chunk]
+
+    # ------------------------------------------------------------------ #
+    # process fan-out: worker-resident shards, compact id-array transport
+    # ------------------------------------------------------------------ #
+    def _residency_spec(self) -> ShardResidencySpec:
+        if self._residency is None:
+            self._residency = ShardResidencySpec(
+                token=f"{os.getpid()}-{next(_TOKENS)}",
+                handle=self._shared.handle,
+                cuts=self._plan.cuts,
+                backend=self._backend,
+                opts=tuple(sorted(self._opts.items())),
+            )
+        return self._residency
+
+    def _query_batch_processes(self, workload: List[Query]) -> List[List[int]]:
+        """Fan a batch out to worker-resident shards.
+
+        Queries are grouped by the shard they overlap; each task ships only
+        ``(spec, shard_id, positions, starts, ends)`` and returns compact id
+        arrays.  Multi-shard answers are merged (in domain order, for
+        determinism) and deduplicated in the parent.
+        """
+        starts = np.fromiter((q.start for q in workload), dtype=np.int64, count=len(workload))
+        ends = np.fromiter((q.end for q in workload), dtype=np.int64, count=len(workload))
+        per_shard: Dict[int, List[int]] = {}
+        for position, query in enumerate(workload):
+            first, last = self._plan.shard_range(query.start, query.end)
+            for shard in range(first, last + 1):
+                per_shard.setdefault(shard, []).append(position)
+        spec = self._residency_spec()
+        # split each shard's slice so there is work for every pool worker
+        # even when K < workers
+        slices_per_shard = max(1, -(-self._executor.workers // max(1, len(per_shard))))
+        tasks = []
+        for shard, positions in sorted(per_shard.items()):
+            pos = np.asarray(positions, dtype=np.int64)
+            for piece in np.array_split(pos, min(slices_per_shard, len(pos))):
+                if len(piece):
+                    tasks.append((spec, shard, piece, starts[piece], ends[piece]))
+        if len(tasks) <= 1:
+            # a lone task would run inline in the parent (ProcessExecutor's
+            # trivial-work path), building a duplicate worker residency
+            # there; the local shards answer it with no transport at all
+            return [self.query(query) for query in workload]
+        per_query: List[List[Tuple[int, np.ndarray]]] = [[] for _ in workload]
+        for shard, positions, answers in self._executor.map(run_shard_task, tasks):
+            for position, ids in zip(positions, answers):
+                per_query[int(position)].append((shard, ids))
+        results: List[List[int]] = []
+        for parts in per_query:
+            if len(parts) == 1:
+                results.append(parts[0][1].tolist())
+            else:
+                parts.sort(key=lambda item: item[0])
+                results.append(merge_unique_ids(ids.tolist() for _, ids in parts))
+        return results
 
     def query_with_stats(self, query: Query) -> Tuple[List[int], QueryStats]:
         shards = self.shards_for(query)
@@ -190,25 +408,69 @@ class ShardedIndex(IntervalIndex):
 
         With a hybrid backend each copy lands in the owning shard's delta
         index; static backends raise ``NotImplementedError`` as usual.
+        Updates invalidate the process-executor snapshot: later batches run
+        in-process until the index is rebuilt.
         """
         first, last = self._plan.shard_range(interval.start, interval.end)
-        for shard in self._shards[first : last + 1]:
-            shard.insert(interval)
+        for shard in range(first, last + 1):
+            self._shard(shard).insert(interval)
+        if self._locator is not None:
+            self._locator[interval.id] = (interval.start, interval.end)
+            self._update_sorted(interval.start, interval.end, first, last, insert=True)
         self._size += 1
+        self._dirty = True
 
     def delete(self, interval_id: int) -> bool:
-        """Tombstone ``interval_id`` in every shard holding a copy.
+        """Tombstone ``interval_id`` in the shards holding a copy.
 
-        The id alone does not reveal the interval's range, and duplicated
-        intervals live in several shards, so every shard is asked (no
-        short-circuit).  True when any copy was live.
+        The id -> span locator (maintained from build time and on every
+        insert) bounds the probe to the owning shards instead of all K;
+        an id the index never saw returns False without touching any shard.
+        True when any copy was live.
         """
+        if self._locator is None:  # K == 1: delegate to the only shard
+            found = self._shard(0).delete(interval_id)
+            if found:
+                self._size -= 1
+                self._dirty = True
+            return found
+        span = self._locator.get(interval_id)
+        if span is None:
+            return False
+        first, last = self._plan.shard_range(*span)
         found = False
-        for shard in self._shards:
-            found = shard.delete(interval_id) or found
+        for shard in range(first, last + 1):
+            found = self._shard(shard).delete(interval_id) or found
         if found:
+            del self._locator[interval_id]
+            self._update_sorted(span[0], span[1], first, last, insert=False)
             self._size -= 1
+            self._dirty = True
         return found
+
+    def _update_sorted(
+        self, start: int, end: int, first: int, last: int, insert: bool
+    ) -> None:
+        """Keep the per-shard sorted start/end columns in sync with updates.
+
+        ``np.insert``/``np.delete`` reallocate the touched columns, so each
+        update costs O(shard size) on top of the backend's own cost --
+        acceptable for read-mostly sharded workloads; update-heavy ingest
+        should buffer into pending deltas instead (ROADMAP).
+        """
+        for shard in range(first, last + 1):
+            starts = self._sorted_starts[shard]
+            position = int(np.searchsorted(starts, start, side="left"))
+            self._sorted_starts[shard] = (
+                np.insert(starts, position, start)
+                if insert
+                else np.delete(starts, position)
+            )
+            ends = self._sorted_ends[shard]
+            position = int(np.searchsorted(ends, end, side="left"))
+            self._sorted_ends[shard] = (
+                np.insert(ends, position, end) if insert else np.delete(ends, position)
+            )
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -220,11 +482,18 @@ class ShardedIndex(IntervalIndex):
             return 0
         # one id-memo across all shards: anything they share is counted once
         memo = _memo if _memo is not None else set()
-        return sum(shard.memory_bytes(memo) for shard in self._shards)
+        total = sum(
+            shard.memory_bytes(memo) for shard in self._shards if shard is not None
+        )
+        total += sum(arr.nbytes for arr in self._sorted_starts)
+        total += sum(arr.nbytes for arr in self._sorted_ends)
+        if self._shared is not None:  # the published shared-memory snapshot
+            total += self._shared.nbytes
+        return total
 
     def _interval_lookup(self) -> Dict[int, Interval]:
         lookup: Dict[int, Interval] = {}
-        for shard in self._shards:
+        for shard in self.shards:
             lookup.update(shard._interval_lookup())
         return lookup
 
@@ -257,15 +526,23 @@ class ShardedStore(IntervalStore):
         num_shards: int = 4,
         strategy: str = "equi_width",
         workers: "Executor | int | str | None" = None,
+        executor: "Executor | int | str | None" = None,
         **opts,
     ) -> "ShardedStore":
-        """Shard ``collection`` into ``num_shards`` time ranges of ``backend``."""
+        """Shard ``collection`` into ``num_shards`` time ranges of ``backend``.
+
+        ``executor`` selects the execution strategy by name
+        (``"serial"``/``"threads"``/``"processes"``) or instance, sized by
+        ``workers``; a bare ``workers`` count keeps the legacy thread-pool
+        meaning.
+        """
         index = ShardedIndex(
             collection,
             backend=backend,
             num_shards=num_shards,
             strategy=strategy,
-            executor=workers,
+            executor=executor,
+            workers=workers,
             **opts,
         )
         return cls(index)
@@ -300,18 +577,24 @@ class ShardedStore(IntervalStore):
         """Answer a whole workload, fanning out over the index's executor.
 
         Materialising batches parallelise inside
-        :meth:`ShardedIndex.query_batch`; count-only batches go through
-        per-query ``query_count`` (which never touches the pool itself), so
-        they are chunked here on the same executor instead.
+        :meth:`ShardedIndex.query_batch`.  Count-only batches go through
+        per-query ``query_count``: multi-shard counts are O(log n)
+        home-shard sums in the parent, so only in-process executors (whose
+        work is the single-shard backend fast paths) are worth fanning them
+        over -- a process pool would re-ship the index per chunk.
         """
-        executor = self.index.executor if count_only else None
+        executor = (
+            self.index.executor
+            if count_only and not isinstance(self.index.executor, ProcessExecutor)
+            else None
+        )
         return execute_batch(
             self.index, queries, count_only=count_only, executor=executor
         )
 
     def close(self) -> None:
-        """Release the index's thread pool (a no-op for serial execution)."""
-        self.index.executor.close()
+        """Release the index's pooled workers and shared-memory snapshot."""
+        self.index.close()
 
     def __enter__(self) -> "ShardedStore":
         return self

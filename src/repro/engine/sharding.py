@@ -33,6 +33,7 @@ __all__ = [
     "PARTITION_STRATEGIES",
     "ShardPlan",
     "partition_collection",
+    "shard_mask",
 ]
 
 #: the supported cut-selection strategies
@@ -131,6 +132,26 @@ class ShardPlan:
         return f"ShardPlan(K={self.num_shards}, strategy={self.strategy!r})"
 
 
+def shard_mask(
+    collection: IntervalCollection, cuts: Sequence[int], shard: int
+) -> np.ndarray:
+    """Boolean row mask of ``collection``'s intervals overlapping one shard.
+
+    The single source of truth for shard membership: the parent-side
+    partitioner and the worker-resident shard builds of
+    :mod:`repro.engine._procworker` both slice through this function, so a
+    shard built in a child process is row-for-row identical to one built in
+    the parent.
+    """
+    num_shards = len(cuts) + 1
+    mask = np.ones(len(collection), dtype=bool)
+    if shard > 0:  # overlaps the shard's lower bound
+        mask &= collection.ends >= cuts[shard - 1]
+    if shard < num_shards - 1:  # starts before the next shard begins
+        mask &= collection.starts < cuts[shard]
+    return mask
+
+
 def partition_collection(
     collection: IntervalCollection, plan: ShardPlan
 ) -> List[IntervalCollection]:
@@ -144,14 +165,8 @@ def partition_collection(
     """
     if plan.num_shards == 1:
         return [collection]
-    starts, ends = collection.starts, collection.ends
     cuts = np.asarray(plan.cuts, dtype=np.int64)
-    pieces: List[IntervalCollection] = []
-    for shard in range(plan.num_shards):
-        mask = np.ones(len(collection), dtype=bool)
-        if shard > 0:  # overlaps the shard's lower bound
-            mask &= ends >= cuts[shard - 1]
-        if shard < plan.num_shards - 1:  # starts before the next shard begins
-            mask &= starts < cuts[shard]
-        pieces.append(collection.take(mask))
-    return pieces
+    return [
+        collection.take(shard_mask(collection, cuts, shard))
+        for shard in range(plan.num_shards)
+    ]

@@ -119,8 +119,12 @@ class IntervalStore:
         backend: registry name for display/error messages (inferred from the
             index's own ``name`` when omitted).
         executor: how ``run_batch`` executes workloads -- ``None``/1 for
-            serial, an int worker count or ``"threads"`` for a thread pool,
-            or any :class:`repro.engine.executor.Executor` instance.
+            serial, an int worker count, ``"threads"``/``"processes"`` for a
+            pooled executor, or any :class:`repro.engine.executor.Executor`
+            instance.  An instance the caller passes in stays the caller's
+            to close; an executor the store creates is closed by
+            :meth:`close`.
+        workers: worker count paired with a string ``executor`` spec.
     """
 
     def __init__(
@@ -128,6 +132,7 @@ class IntervalStore:
         index: IntervalIndex,
         backend: Optional[str] = None,
         executor: "Executor | int | str | None" = None,
+        workers: "int | None" = None,
     ) -> None:
         self._index = index
         if backend is None:
@@ -136,7 +141,12 @@ class IntervalStore:
             except KeyError:
                 backend = index.name
         self._backend = backend
-        self._executor = resolve_executor(executor)
+        # a caller-supplied instance (through either parameter) stays the
+        # caller's to close; specs the store resolved itself are owned
+        self._owns_executor = not (
+            isinstance(executor, Executor) or isinstance(workers, Executor)
+        )
+        self._executor = resolve_executor(executor, workers)
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -150,6 +160,7 @@ class IntervalStore:
         num_shards: int = 1,
         strategy: str = "equi_width",
         workers: "Executor | int | str | None" = None,
+        executor: "Executor | int | str | None" = None,
         **opts,
     ) -> "IntervalStore":
         """Index ``collection`` with a registered backend.
@@ -162,7 +173,15 @@ class IntervalStore:
         shards (see :mod:`repro.engine.sharding`) and a
         :class:`repro.engine.sharded.ShardedStore` is returned -- the
         single-index store is just the K=1 degenerate case of the same
-        execution architecture.  ``workers`` selects the executor either way.
+        execution architecture.  ``executor`` names the execution strategy
+        (``"serial"``/``"threads"``/``"processes"``), sized by ``workers``;
+        a bare ``workers`` count keeps the legacy thread-pool meaning.
+
+        ``executor="processes"`` pays off with ``num_shards > 1``, where
+        batches run against worker-resident shards over shared-memory
+        columns; on an unsharded store the process pool must be handed the
+        whole pickled index per batch chunk, which is usually slower than
+        serial -- prefer sharding when asking for processes.
         """
         if num_shards > 1:
             from repro.engine.sharded import ShardedStore
@@ -173,6 +192,7 @@ class IntervalStore:
                 num_shards=num_shards,
                 strategy=strategy,
                 workers=workers,
+                executor=executor,
                 **opts,
             )
         spec = get_spec(backend)
@@ -181,7 +201,8 @@ class IntervalStore:
         return cls(
             create_index(backend, collection, **opts),
             backend=spec.name,
-            executor=workers,
+            executor=executor if executor is not None else workers,
+            workers=workers if executor is not None else None,
         )
 
     @classmethod
@@ -233,14 +254,17 @@ class IntervalStore:
         return self._index.memory_bytes()
 
     def close(self) -> None:
-        """Release the executor's thread pool (a no-op for serial execution).
+        """Release the store's pooled executor (a no-op for serial execution).
 
         Long-lived applications that open many stores with ``workers > 1``
         should close them (or use the store as a context manager) so idle
-        pool threads do not accumulate; queries after ``close()`` simply
-        spin the pool up again.
+        pool threads or worker processes do not accumulate; queries after
+        ``close()`` simply spin the pool up again.  An executor *instance*
+        the caller passed in is left running -- whoever created it owns its
+        lifecycle.
         """
-        self._executor.close()
+        if self._owns_executor:
+            self._executor.close()
 
     def __enter__(self) -> "IntervalStore":
         return self

@@ -6,7 +6,9 @@ import pytest
 
 from repro.engine.batch import execute_batch
 from repro.engine.executor import (
+    EXECUTOR_KINDS,
     Executor,
+    ProcessExecutor,
     SerialExecutor,
     ThreadedExecutor,
     resolve_executor,
@@ -78,12 +80,54 @@ class TestThreadedExecutor:
                 executor.map(boom, [1, 2, 3, 4])
 
 
+def _square(x):
+    """Module-level so process pools can pickle it."""
+    return x * x
+
+
+def _pid_of(_x):
+    import os
+
+    return os.getpid()
+
+
+class TestProcessExecutor:
+    def test_map_preserves_order(self):
+        with ProcessExecutor(2) as executor:
+            assert executor.map(_square, list(range(20))) == [x * x for x in range(20)]
+
+    def test_runs_in_worker_processes(self):
+        import os
+
+        with ProcessExecutor(2) as executor:
+            pids = set(executor.map(_pid_of, list(range(8))))
+        assert os.getpid() not in pids
+
+    def test_single_item_runs_inline(self):
+        executor = ProcessExecutor(4)
+        assert executor.map(_square, [3]) == [9]
+        assert executor._pool is None  # no pool spun up for trivial work
+        executor.close()
+
+    def test_close_is_idempotent(self):
+        executor = ProcessExecutor(2)
+        executor.map(_square, [1, 2, 3])
+        executor.close()
+        executor.close()
+
+    def test_start_method_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START_METHOD", "spawn")
+        assert ProcessExecutor(2).start_method == "spawn"
+
+    def test_executor_kinds_lists_all_three(self):
+        assert [name for name, _ in EXECUTOR_KINDS] == ["serial", "threads", "processes"]
+
+
 class TestResolveExecutor:
     def test_defaults_to_serial(self):
         assert isinstance(resolve_executor(None), SerialExecutor)
         assert isinstance(resolve_executor("serial"), SerialExecutor)
         assert isinstance(resolve_executor(1), SerialExecutor)
-        assert isinstance(resolve_executor(0), SerialExecutor)
 
     def test_worker_counts(self):
         executor = resolve_executor(3)
@@ -93,9 +137,41 @@ class TestResolveExecutor:
     def test_threads_keyword(self):
         assert isinstance(resolve_executor("threads"), ThreadedExecutor)
 
+    def test_processes_keyword(self):
+        executor = resolve_executor("processes")
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.workers >= 1
+        sized = resolve_executor("processes", 3)
+        assert isinstance(sized, ProcessExecutor)
+        assert sized.workers == 3
+
+    def test_legacy_workers_argument(self):
+        assert isinstance(resolve_executor(None, 4), ThreadedExecutor)
+        assert isinstance(resolve_executor(None, "processes"), ProcessExecutor)
+        assert isinstance(resolve_executor(None, None), SerialExecutor)
+
     def test_instances_pass_through(self):
         executor = SerialExecutor()
         assert resolve_executor(executor) is executor
+        sized = ThreadedExecutor(3)
+        assert resolve_executor(sized, 3) is sized  # matching size is fine
+
+    def test_rejects_conflicting_worker_counts(self):
+        with pytest.raises(ValueError, match="cannot resize"):
+            resolve_executor(ThreadedExecutor(3), 8)
+        with pytest.raises(ValueError, match="conflicting"):
+            resolve_executor(4, 8)
+
+    def test_rejects_non_positive_worker_counts(self):
+        for bad in (0, -1):
+            with pytest.raises(ValueError, match=">= 1"):
+                resolve_executor(bad)
+            with pytest.raises(ValueError, match=">= 1"):
+                resolve_executor("threads", bad)
+            with pytest.raises(ValueError, match=">= 1"):
+                resolve_executor("processes", bad)
+        with pytest.raises(ValueError):
+            resolve_executor("serial", 4)  # serial is single-threaded
 
     def test_rejects_garbage(self):
         with pytest.raises(ValueError):

@@ -344,7 +344,10 @@ class TestShardedStatsAndMemory:
                              num_shards=4, num_bits=7)
         total = index.memory_bytes()
         assert total > 0
-        assert total == sum(s.memory_bytes() for s in index.shards)
+        bookkeeping = sum(a.nbytes for a in index._sorted_starts) + sum(
+            a.nbytes for a in index._sorted_ends
+        )
+        assert total == sum(s.memory_bytes() for s in index.shards) + bookkeeping
         memo: set = set()
         assert index.memory_bytes(memo) == total
         # everything is already in the memo: a second pass adds nothing

@@ -21,7 +21,12 @@ import time
 from pathlib import Path
 
 from repro.bench import experiments
-from repro.bench.reporting import format_series, format_table, render_process_scaling
+from repro.bench.reporting import (
+    format_series,
+    format_table,
+    render_ingest_maintenance,
+    render_process_scaling,
+)
 
 
 def _render_fig10(result):
@@ -209,6 +214,14 @@ def main(argv=None) -> int:
         "process_scaling": lambda: render_process_scaling(
             experiments.process_scaling(
                 cardinality=args.cardinality, num_queries=n_queries
+            )
+        ),
+        "ingest_maintenance": lambda: render_ingest_maintenance(
+            experiments.ingest_maintenance(
+                cardinality=args.cardinality,
+                # the stream's stride-partitioned delete victims need
+                # cardinality/8 >= num_updates/2, so scale down with the data
+                num_updates=max(2, min(2_000, args.cardinality // 10)),
             )
         ),
     }

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Update-heavy soak: interleaved insert/delete/query/maintain, oracle-checked.
+
+The CI smoke job runs this under a timeout guard: a K-shard hybrid store
+absorbs rounds of interleaved inserts, deletes, range queries and counts
+while a brute-force oracle (a plain id -> span dict) tracks the live set;
+every round cross-checks a sample of queries and counts against the oracle,
+and a maintenance pass (normal or forced, alternating) runs between rounds.
+Any divergence -- ids, counts, or index size -- raises, failing the job.
+
+Usage::
+
+    PYTHONPATH=src python scripts/soak_ingest.py --rounds 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.core.interval import Interval, Query
+from repro.datasets.real_like import REAL_DATASET_PROFILES, generate_real_like
+from repro.engine import IntervalStore
+from repro.engine.maintenance import MaintenanceConfig
+
+
+def _oracle_query(live: dict, query: Query) -> set:
+    return {
+        interval_id
+        for interval_id, (start, end) in live.items()
+        if start <= query.end and query.start <= end
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=20)
+    parser.add_argument("--cardinality", type=int, default=5_000)
+    parser.add_argument("--ops-per-round", type=int, default=200)
+    parser.add_argument("--checks-per-round", type=int, default=10)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--policy", default="threshold")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(args.seed)
+    collection = generate_real_like(
+        REAL_DATASET_PROFILES["TAXIS"], cardinality=args.cardinality, seed=args.seed
+    )
+    lo, hi = collection.span()
+    store = IntervalStore.open(
+        collection, "hintm_hybrid", num_shards=args.shards, num_bits=8
+    )
+    coordinator = store.maintenance(config=MaintenanceConfig(policy=args.policy))
+    live = {
+        int(i): (int(s), int(e))
+        for i, s, e in zip(collection.ids, collection.starts, collection.ends)
+    }
+    next_id = int(collection.ids.max()) + 1
+
+    started = time.perf_counter()
+    total_ops = 0
+    for round_no in range(args.rounds):
+        for op in range(args.ops_per_round):
+            total_ops += 1
+            if op % 2 == 0:
+                start = int(rng.integers(lo, hi))
+                end = start + int(rng.integers(0, max(1, (hi - lo) // 100)))
+                store.insert(Interval(next_id, start, end))
+                live[next_id] = (start, end)
+                next_id += 1
+            else:
+                victim = int(rng.choice(list(live)))
+                if not store.delete(victim):
+                    raise SystemExit(f"round {round_no}: delete({victim}) found nothing")
+                del live[victim]
+        if len(store) != len(live):
+            raise SystemExit(
+                f"round {round_no}: index size {len(store)} != oracle {len(live)}"
+            )
+        for _ in range(args.checks_per_round):
+            a = int(rng.integers(lo, hi))
+            b = a + int(rng.integers(0, hi - lo))
+            expected = _oracle_query(live, Query(a, b))
+            got_ids = set(store.query().overlapping(a, b).ids())
+            if got_ids != expected:
+                raise SystemExit(
+                    f"round {round_no}: ids diverged on [{a}, {b}] "
+                    f"(+{sorted(got_ids - expected)[:5]} -{sorted(expected - got_ids)[:5]})"
+                )
+            got_count = store.query().overlapping(a, b).count()
+            if got_count != len(expected):
+                raise SystemExit(
+                    f"round {round_no}: count diverged on [{a}, {b}]: "
+                    f"{got_count} != {len(expected)}"
+                )
+        report = coordinator.maintain(force=round_no % 5 == 4)
+        if report.actions:
+            print(f"round {round_no:3d}: {report.summary()}", flush=True)
+    elapsed = time.perf_counter() - started
+    state = coordinator.state()
+    print(
+        f"soak ok: {args.rounds} rounds, {total_ops} updates, "
+        f"{args.rounds * args.checks_per_round} oracle checks in {elapsed:.1f}s; "
+        f"final state: pending={state.get('pending_per_shard')}, "
+        f"deltas={state.get('delta_per_shard')}, cuts={state.get('cuts')}"
+    )
+    store.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,8 +19,9 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.bench.harness import measure_throughput
 from repro.core.base import IntervalIndex
-from repro.core.interval import IntervalCollection, Query
+from repro.core.interval import HAS_SHARED_MEMORY, Interval, IntervalCollection, Query
 from repro.engine.executor import ProcessExecutor, SerialExecutor, ThreadedExecutor
+from repro.engine.maintenance import MaintenanceCoordinator
 from repro.engine.registry import create_index
 from repro.engine.sharded import ShardedIndex
 from repro.datasets.real_like import REAL_DATASET_PROFILES, generate_real_like
@@ -54,6 +55,7 @@ __all__ = [
     "table10_updates",
     "shard_scaling",
     "process_scaling",
+    "ingest_maintenance",
     "COMPETITOR_CONFIGS",
 ]
 
@@ -718,6 +720,186 @@ def process_scaling(
         threads.close()
         processes.close()
     return {"batch": batch_rows, "count": count_rows}
+
+
+def _interleaved_update_stream(
+    collection: IntervalCollection, num_updates: int, seed: int
+) -> List[Tuple[str, object]]:
+    """Alternating insert/delete ops: fresh data-shaped intervals in, random
+    indexed ids out.  Calls with distinct seeds produce disjoint inserted
+    ids, and the delete victims are drawn from a ``seed % 8`` stride slice
+    of the id space -- so up to 8 consecutive seeds applied to one
+    cumulative index delete disjoint ids and every delete actually
+    exercises the ingest path under test (a repeated victim would return
+    False at the locator lookup before touching either count-column mode)."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    lo, hi = collection.span()
+    durations = collection.durations()
+    next_id = int(collection.ids.max()) + 1 + seed * num_updates
+    candidates = np.sort(collection.ids)[seed % 8 :: 8]
+    if len(candidates) < num_updates // 2:
+        raise ValueError(
+            f"collection too small for {num_updates} updates: stride slice has "
+            f"{len(candidates)} delete candidates, need {num_updates // 2}"
+        )
+    victims = rng.choice(candidates, size=num_updates // 2, replace=False)
+    stream: List[Tuple[str, object]] = []
+    for i in range(num_updates):
+        if i % 2 == 0:
+            start = int(rng.integers(lo, hi))
+            length = int(durations[int(rng.integers(0, len(durations)))])
+            stream.append(("insert", Interval(next_id, start, min(start + length, hi))))
+            next_id += 1
+        else:
+            stream.append(("delete", int(victims[i // 2])))
+    return stream
+
+
+def ingest_maintenance(
+    collection: Optional[IntervalCollection] = None,
+    *,
+    cardinality: int = 150_000,
+    num_updates: int = 2_000,
+    num_shards: int = 4,
+    backend: str = "hintm_hybrid",
+    num_bits: int = 10,
+    count_queries: int = 20,
+    count_extent_fraction: float = 0.1,
+    repeats: int = 3,
+    workers: int = 2,
+    seed: int = 7,
+) -> Dict[str, List[dict]]:
+    """The maintenance subsystem's two headline measurements.
+
+    **Buffered ingest** (``"ingest"`` rows): interleaved insert/delete
+    throughput on the same K-shard hybrid index under the two count-column
+    ingest modes.  ``eager`` reallocates each shard's sorted start/end
+    columns with ``np.insert``/``np.delete`` on every operation (the
+    pre-maintenance behaviour, O(shard size) per op); ``journal`` appends to
+    per-shard pending buffers (O(1) per op) and folds them lazily on the
+    next multi-shard count.  Before timing, and again after a forced
+    :meth:`~repro.engine.maintenance.MaintenanceCoordinator.maintain` pass,
+    every broad multi-shard ``query_count`` is asserted identical to the
+    brute-force oracle over the live intervals -- the journal buys
+    throughput, never exactness.
+
+    **Snapshot refresh** (``"refresh"`` rows, shared-memory platforms only):
+    a process-executor index is driven through the update -> fallback ->
+    maintain -> fan-out-restored cycle, recording the residency-token
+    generation and the fan-out readiness flag at each stage -- the
+    assertions are structural (generation bumped, readiness restored), not
+    timing-based.
+
+    Returns ``{"ingest": [...], "refresh": [...]}`` row dicts.
+    """
+    import numpy as np
+
+    if collection is None:
+        collection = generate_real_like(
+            REAL_DATASET_PROFILES["TAXIS"], cardinality=cardinality, seed=seed
+        )
+
+    def oracle_counts(index: ShardedIndex, queries: Sequence[Query]) -> None:
+        """Assert multi-shard counts equal the live-set brute force."""
+        live = index.live_collection()
+        for query in queries:
+            got = index.query_count(query)
+            want = int(
+                np.sum((live.starts <= query.end) & (query.start <= live.ends))
+            )
+            if got != want:  # explicit: must survive python -O
+                raise RuntimeError(
+                    f"{index.ingest_mode} multi-shard count diverged from the "
+                    f"oracle on {query}: {got} != {want}"
+                )
+
+    broad = _query_workload(collection, count_queries, count_extent_fraction, seed=seed + 1)
+    ingest_rows: List[dict] = []
+    throughput_by_mode: Dict[str, float] = {}
+    for mode in ("eager", "journal"):
+        index = ShardedIndex(
+            collection,
+            backend=backend,
+            num_shards=num_shards,
+            num_bits=num_bits,
+            ingest=mode,
+        )
+        best = 0.0
+        for repeat in range(max(1, repeats)):
+            stream = _interleaved_update_stream(collection, num_updates, seed=repeat)
+            start = time.perf_counter()
+            for kind, payload in stream:
+                if kind == "insert":
+                    index.insert(payload)
+                else:
+                    index.delete(payload)
+            elapsed = time.perf_counter() - start
+            if elapsed > 0:
+                best = max(best, len(stream) / elapsed)
+        # correctness brackets the timing: exact before and after maintain().
+        # The coordinator is created only now -- its activity tracking adds a
+        # clock read to every update, which must stay out of the timed loop.
+        oracle_counts(index, broad)
+        coordinator = MaintenanceCoordinator(index)
+        report = coordinator.maintain(force=True)
+        oracle_counts(index, broad)
+        throughput_by_mode[mode] = best
+        ingest_rows.append(
+            {
+                "mode": mode,
+                "backend": backend,
+                "num_shards": index.num_shards,
+                "ops": num_updates * max(1, repeats),
+                "ops_per_s": best,
+                "maintain_ms": report.seconds * 1000.0,
+                "counts_exact": True,
+            }
+        )
+        index.close()
+    eager = throughput_by_mode.get("eager", 0.0)
+    for row in ingest_rows:
+        row["speedup"] = row["ops_per_s"] / eager if eager else 0.0
+
+    refresh_rows: List[dict] = []
+    if HAS_SHARED_MEMORY:
+        executor = ProcessExecutor(max(2, workers))
+        index = ShardedIndex(
+            collection,
+            backend=backend,
+            num_shards=num_shards,
+            num_bits=num_bits,
+            executor=executor,
+        )
+        coordinator = MaintenanceCoordinator(index)
+        warm = _query_workload(collection, 32, 0.001, seed=seed + 2)
+
+        def stage(name: str) -> None:
+            refresh_rows.append(
+                {
+                    "stage": name,
+                    "generation": index.snapshot_generation,
+                    "fanout_ready": index._process_fanout_ready(),
+                    "update_dirty": index.update_dirty,
+                }
+            )
+
+        index.query_batch(warm)  # workers build their resident shards
+        stage("published")
+        for kind, payload in _interleaved_update_stream(collection, 50, seed=97):
+            if kind == "insert":
+                index.insert(payload)
+            else:
+                index.delete(payload)
+        stage("after updates")
+        coordinator.maintain(force=True)
+        index.query_batch(warm)  # workers re-attach at the new generation
+        stage("after maintain")
+        oracle_counts(index, broad)
+        index.close()
+        executor.close()
+    return {"ingest": ingest_rows, "refresh": refresh_rows}
 
 
 def _measure_op_throughput(fn, queries: Sequence[Query], repeats: int) -> float:

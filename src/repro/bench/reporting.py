@@ -4,7 +4,12 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Sequence, Union
 
-__all__ = ["format_table", "format_series", "render_process_scaling"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "render_ingest_maintenance",
+    "render_process_scaling",
+]
 
 Number = Union[int, float]
 
@@ -75,6 +80,45 @@ def render_process_scaling(result: Mapping[str, Sequence[Mapping]]) -> str:
         ],
     )
     return batch + "\n\n" + count
+
+
+def render_ingest_maintenance(result: Mapping[str, Sequence[Mapping]]) -> str:
+    """Render :func:`repro.bench.experiments.ingest_maintenance`'s two tables.
+
+    Shared by ``scripts/run_experiments.py`` and
+    ``benchmarks/bench_ingest_maintenance.py`` so the CI report and the
+    saved benchmark report cannot drift apart.
+    """
+    ingest = format_table(
+        "Buffered ingest -- insert/delete throughput on a K-shard hybrid "
+        "(speedup vs eager np.insert count columns)",
+        ["mode", "backend", "K", "ops", "ops/s", "maintain [ms]", "counts exact", "speedup"],
+        [
+            [
+                r["mode"],
+                r["backend"],
+                r["num_shards"],
+                r["ops"],
+                r["ops_per_s"],
+                r["maintain_ms"],
+                r["counts_exact"],
+                r["speedup"],
+            ]
+            for r in result["ingest"]
+        ],
+    )
+    if not result["refresh"]:
+        return ingest + "\n\n(snapshot refresh: skipped -- no shared memory)"
+    refresh = format_table(
+        "Snapshot refresh -- process fan-out across the update/maintain cycle "
+        "(asserted via residency-token generation)",
+        ["stage", "generation", "fan-out ready", "update dirty"],
+        [
+            [r["stage"], r["generation"], r["fanout_ready"], r["update_dirty"]]
+            for r in result["refresh"]
+        ],
+    )
+    return ingest + "\n\n" + refresh
 
 
 def format_series(

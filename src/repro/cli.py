@@ -20,6 +20,12 @@ Examples::
     # shard-scaling micro-benchmark over a CSV (throughput per K)
     python -m repro bench data.csv --num-queries 500 --shards 1 2 4 --workers 4
 
+    # apply an update stream to a sharded hybrid, then run index maintenance
+    python -m repro maintain data.csv --shards 4 --inserts 1000 --deletes 500
+
+    # model-recommended shard count per execution strategy (no updates run)
+    python -m repro maintain data.csv --recommend-only
+
     # the available backends (engine registry)
     python -m repro list-backends
 
@@ -47,7 +53,8 @@ from repro.datasets.io import load_intervals_csv, save_intervals_csv
 from repro.datasets.real_like import REAL_DATASET_PROFILES, generate_real_like
 from repro.datasets.synthetic import SyntheticConfig, generate_synthetic
 from repro.engine import IntervalStore, available_backends, backend_specs, get_spec
-from repro.engine.executor import EXECUTOR_KINDS
+from repro.engine.executor import EXECUTOR_KINDS, available_cores
+from repro.engine.maintenance import MAINTENANCE_POLICIES, recommend_shard_count
 from repro.engine.sharding import PARTITION_STRATEGIES
 from repro.hint.model import DatasetStatistics, estimate_m_opt, replication_factor
 
@@ -71,6 +78,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     executor_names = [name for name, _ in EXECUTOR_KINDS]
     executor_help = "; ".join(f"{name}: {blurb}" for name, blurb in EXECUTOR_KINDS)
+    policy_names = [name for name, _ in MAINTENANCE_POLICIES]
+    policy_help = "; ".join(f"{name}: {blurb}" for name, blurb in MAINTENANCE_POLICIES)
 
     def add_execution_args(sub: argparse.ArgumentParser) -> None:
         """--shards/--workers/--executor/--shard-strategy, shared by query/batch/bench."""
@@ -85,6 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--shard-strategy", choices=PARTITION_STRATEGIES,
                          default="equi_width",
                          help="how shard boundaries are chosen (default: %(default)s)")
+
+    def add_maintenance_arg(sub: argparse.ArgumentParser) -> None:
+        """--maintenance, shared by batch/bench: run a pass after the workload."""
+        sub.add_argument("--maintenance", choices=["off", *policy_names], default="off",
+                         metavar="POLICY",
+                         help="run an index-maintenance pass (journal folds, shard "
+                              f"rebuilds, snapshot refresh) after the workload -- "
+                              f"{policy_help} (default: off)")
 
     query = subparsers.add_parser("query", help="run a range or stabbing query over a CSV")
     query.add_argument("csv", type=Path, help="intervals file (id,start,end or start,end rows)")
@@ -114,6 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--count-only", action="store_true",
                        help="print per-query counts instead of id lists")
     add_execution_args(batch)
+    add_maintenance_arg(batch)
 
     bench = subparsers.add_parser(
         "bench", help="shard-scaling micro-benchmark: throughput per shard count"
@@ -138,6 +156,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help=f"execution strategy for the parallel rows -- {executor_help}")
     bench.add_argument("--shard-strategy", choices=PARTITION_STRATEGIES,
                        default="equi_width")
+    add_maintenance_arg(bench)
+
+    maintain = subparsers.add_parser(
+        "maintain",
+        help="apply an update stream to an index, then run a maintenance pass",
+    )
+    maintain.add_argument("csv", type=Path, help="intervals file")
+    maintain.add_argument("--header", action="store_true", help="skip the first CSV row")
+    maintain.add_argument("--index", choices=index_choices, default="hintm_hybrid",
+                          metavar="BACKEND",
+                          help="per-shard backend (default: %(default)s -- the "
+                               "update-friendly hybrid)")
+    maintain.add_argument("--num-bits", type=int, default=None)
+    maintain.add_argument("--inserts", type=int, default=1_000,
+                          help="insertions in the generated update stream "
+                               "(default: %(default)s)")
+    maintain.add_argument("--deletes", type=int, default=500,
+                          help="deletions in the generated update stream "
+                               "(default: %(default)s)")
+    maintain.add_argument("--queries", type=int, default=200,
+                          help="queries interleaved with the updates "
+                               "(default: %(default)s)")
+    maintain.add_argument("--seed", type=int, default=99)
+    maintain.add_argument("--policy", choices=policy_names, default="threshold",
+                          help=f"rebuild policy -- {policy_help} (default: %(default)s)")
+    maintain.add_argument("--force", action="store_true",
+                          help="rebuild every shard with a non-empty delta and "
+                               "refresh the snapshot even when clean")
+    maintain.add_argument("--no-repartition", action="store_true",
+                          help="disable skew-triggered cut re-balancing")
+    maintain.add_argument("--recommend-only", action="store_true",
+                          help="print the model-recommended shard count per "
+                               "execution strategy and exit (no updates run)")
+    add_execution_args(maintain)
+    maintain.set_defaults(shards=4)
 
     subparsers.add_parser("list-backends", help="list the registered index backends")
 
@@ -279,7 +332,10 @@ def _command_batch(args: argparse.Namespace) -> int:
         shard_strategy=args.shard_strategy,
     )
     batch = store.run_batch(queries, count_only=args.count_only)
+    maintenance_line = _run_maintenance(store, args.maintenance)
     store.close()
+    if maintenance_line:
+        print(maintenance_line)
     if args.count_only:
         for count in batch.counts:
             print(count)
@@ -292,6 +348,14 @@ def _command_batch(args: argparse.Namespace) -> int:
         f"{batch.total_results} results)"
     )
     return 0
+
+
+def _run_maintenance(store: IntervalStore, policy: str) -> Optional[str]:
+    """Run one maintenance pass when ``--maintenance`` asked for it."""
+    if policy == "off":
+        return None
+    report = store.maintenance(policy=policy).maintain()
+    return f"# maintenance[{policy}]: {report.summary()}"
 
 
 def _describe_store(store: IntervalStore) -> str:
@@ -335,6 +399,9 @@ def _command_bench(args: argparse.Namespace) -> int:
         executor_name = store.index.executor.name if shards > 1 else "serial"
         workers = store.index.executor.workers if shards > 1 else 1
         rows.append((shards, executor_name, workers, build_seconds, throughput))
+        maintenance_line = _run_maintenance(store, args.maintenance)
+        if maintenance_line:
+            print(f"# K={shards} {maintenance_line[2:]}")
         store.close()
     # speedups are relative to the K=1 row (first row when 1 wasn't swept)
     baseline = next((r[4] for r in rows if r[0] == 1), rows[0][4] if rows else 0.0)
@@ -346,6 +413,89 @@ def _command_bench(args: argparse.Namespace) -> int:
             f"{throughput:7,.0f}  {speedup:6.2f}x"
         )
     return 0
+
+
+def _command_maintain(args: argparse.Namespace) -> int:
+    from repro.engine.maintenance import MaintenanceConfig
+    from repro.queries.workload import Operation, generate_mixed_workload
+
+    collection = _load(args.csv, args.header)
+
+    if args.recommend_only:
+        print("model-recommended shard count (extended Section 3.3 cost model):")
+        cores = args.workers if args.workers is not None else available_cores()
+        for executor_name, _ in EXECUTOR_KINDS:
+            recommended = recommend_shard_count(
+                collection, args.index, executor=executor_name, workers=cores
+            )
+            print(f"  {executor_name:<10s} K={recommended}  (workers={cores})")
+        return 0
+
+    # the Table 10 recipe: index the first 90%, insert from the remaining
+    # 10%, delete random indexed ids, interleave queries
+    workload = generate_mixed_workload(
+        collection,
+        num_queries=args.queries,
+        num_insertions=args.inserts,
+        num_deletions=args.deletes,
+        seed=args.seed,
+    )
+    store = _open_store(
+        args.index,
+        workload.preload,
+        args.num_bits,
+        shards=args.shards,
+        workers=args.workers,
+        executor=args.executor,
+        shard_strategy=args.shard_strategy,
+    )
+    applied = {Operation.QUERY: 0, Operation.INSERT: 0, Operation.DELETE: 0}
+    stream_start = time.perf_counter()
+    for operation, payload in workload.operations:
+        if operation is Operation.QUERY:
+            store.query().overlapping(payload.start, payload.end).count()
+        elif operation is Operation.INSERT:
+            store.insert(payload)
+        else:
+            store.delete(payload)
+        applied[operation] += 1
+    stream_seconds = time.perf_counter() - stream_start
+    total_ops = sum(applied.values())
+    print(
+        f"# applied {applied[Operation.INSERT]} inserts, "
+        f"{applied[Operation.DELETE]} deletes, {applied[Operation.QUERY]} queries "
+        f"in {stream_seconds:.3f}s ({total_ops / stream_seconds:,.0f} ops/s)"
+        if stream_seconds
+        else f"# applied {total_ops} operations"
+    )
+    coordinator = store.maintenance(
+        config=MaintenanceConfig(policy=args.policy, repartition=not args.no_repartition)
+    )
+    _print_maintenance_state("before", coordinator.state())
+    report = coordinator.maintain(force=args.force)
+    print(f"# maintain[{args.policy}]: {report.summary()}")
+    _print_maintenance_state("after", coordinator.state())
+    store.close()
+    return 0
+
+
+def _print_maintenance_state(label: str, state: dict) -> None:
+    interesting = (
+        "ingest_mode",
+        "pending_per_shard",
+        "delta_per_shard",
+        "copies_per_shard",
+        "cuts",
+        "snapshot_generation",
+        "snapshot_published",
+        "update_dirty",
+        "last_rebuild",
+        "delta_size",
+    )
+    print(f"maintenance state ({label}):")
+    for key in interesting:
+        if key in state:
+            print(f"  {key:<20s} {state[key]}")
 
 
 def _command_list_backends(args: argparse.Namespace) -> int:
@@ -368,8 +518,13 @@ def _command_list_backends(args: argparse.Namespace) -> int:
     for row in rows:
         print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
     print()
-    print("executors (--executor on query/batch/bench):")
+    print("executors (--executor on query/batch/bench/maintain):")
     for name, blurb in EXECUTOR_KINDS:
+        print(f"  {name:<10s} {blurb}")
+    print()
+    print("maintenance rebuild policies (repro maintain --policy, "
+          "--maintenance on batch/bench):")
+    for name, blurb in MAINTENANCE_POLICIES:
         print(f"  {name:<10s} {blurb}")
     return 0
 
@@ -412,6 +567,7 @@ _COMMANDS = {
     "query": _command_query,
     "batch": _command_batch,
     "bench": _command_bench,
+    "maintain": _command_maintain,
     "list-backends": _command_list_backends,
     "stats": _command_stats,
     "generate": _command_generate,

@@ -70,12 +70,19 @@ class QueryStats:
     candidates: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
 
+    #: ``extra`` columns that are point-in-time gauges rather than additive
+    #: counters (the sharded index's ingest/maintenance state); merging takes
+    #: their max so ``sum(stats_list)`` over a workload stays meaningful
+    #: instead of reporting e.g. a snapshot generation that never existed
+    GAUGE_EXTRAS = frozenset({"ingest_pending", "snapshot_generation"})
+
     def merge(self, other: "QueryStats") -> "QueryStats":
         """Accumulate ``other``'s counters into this instance (and return it).
 
         Composite indexes (the hybrid main+delta pair, sharded stores) answer
         one query with several sub-queries; merging sums every counter,
-        including the free-form ``extra`` columns.  ``results`` sums too --
+        including the free-form ``extra`` columns (gauges in
+        :attr:`GAUGE_EXTRAS` take the max instead).  ``results`` sums too --
         a composite that deduplicates ids afterwards overwrites it with the
         merged count.
         """
@@ -85,7 +92,10 @@ class QueryStats:
         self.partitions_compared += other.partitions_compared
         self.candidates += other.candidates
         for key, value in other.extra.items():
-            self.extra[key] = self.extra.get(key, 0.0) + value
+            if key in self.GAUGE_EXTRAS:
+                self.extra[key] = max(self.extra.get(key, value), value)
+            else:
+                self.extra[key] = self.extra.get(key, 0.0) + value
         return self
 
     def __add__(self, other: "QueryStats") -> "QueryStats":

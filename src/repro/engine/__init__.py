@@ -18,7 +18,11 @@
 * :mod:`repro.engine.sharding` -- the domain partitioner
   (:class:`ShardPlan`, equi-width and balanced strategies),
 * :mod:`repro.engine.sharded` -- :class:`ShardedIndex`/:class:`ShardedStore`,
-  K time-range shards over any registered backend.
+  K time-range shards over any registered backend,
+* :mod:`repro.engine.maintenance` -- the index-lifecycle layer: buffered
+  ingest journal, pluggable rebuild policies, adaptive shard-count model
+  and the :class:`MaintenanceCoordinator` (journal folds, shard rebuilds,
+  cut re-balancing, shared-memory snapshot refresh).
 """
 
 from repro.engine.batch import BatchResult, execute_batch
@@ -28,8 +32,22 @@ from repro.engine.executor import (
     ProcessExecutor,
     SerialExecutor,
     ThreadedExecutor,
+    available_cores,
     resolve_executor,
     split_chunks,
+)
+from repro.engine.maintenance import (
+    MAINTENANCE_POLICIES,
+    CostModelRebuildPolicy,
+    IngestJournal,
+    MaintenanceConfig,
+    MaintenanceCoordinator,
+    MaintenanceReport,
+    RebuildPolicy,
+    ShardHealth,
+    ThresholdRebuildPolicy,
+    recommend_shard_count,
+    resolve_policy,
 )
 from repro.engine.registry import (
     BackendSpec,
@@ -49,29 +67,41 @@ from repro.engine.store import DEFAULT_BACKEND, IntervalStore, QueryBuilder
 __all__ = [
     "BackendSpec",
     "BatchResult",
+    "CostModelRebuildPolicy",
     "DEFAULT_BACKEND",
     "EXECUTOR_KINDS",
     "Executor",
-    "ProcessExecutor",
+    "IngestJournal",
     "IntervalStore",
+    "MAINTENANCE_POLICIES",
+    "MaintenanceConfig",
+    "MaintenanceCoordinator",
+    "MaintenanceReport",
     "MergedResultSet",
     "PARTITION_STRATEGIES",
+    "ProcessExecutor",
     "QueryBuilder",
+    "RebuildPolicy",
     "ResultSet",
     "SerialExecutor",
+    "ShardHealth",
     "ShardPlan",
     "ShardedIndex",
     "ShardedStore",
     "ThreadedExecutor",
+    "ThresholdRebuildPolicy",
     "available_backends",
+    "available_cores",
     "backend_specs",
     "create_index",
     "execute_batch",
     "get_backend",
     "get_spec",
     "partition_collection",
+    "recommend_shard_count",
     "register_backend",
     "resolve_backend",
     "resolve_executor",
+    "resolve_policy",
     "split_chunks",
 ]

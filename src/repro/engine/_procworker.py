@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.core.interval import Query, SharedCollectionHandle, attach_shared_collection
 
-__all__ = ["ShardResidencySpec", "run_shard_task"]
+__all__ = ["ShardResidencySpec", "resident_tokens", "run_shard_task"]
 
 #: worker-global cache of residencies, keyed by the owning index's token;
 #: bounded so a long-lived pool serving many stores cannot grow unboundedly
@@ -43,7 +43,9 @@ class ShardResidencySpec:
 
     Attributes:
         token: unique id of the owning :class:`~repro.engine.sharded.ShardedIndex`
-            build; the worker-side cache key.
+            *snapshot*; the worker-side cache key.  The token embeds the
+            index uid and the snapshot generation, so a maintenance pass that
+            republishes the snapshot produces a fresh token.
         handle: shared-memory handle of the collection's columns -- the only
             data transport (the sharded layer falls back to in-process
             execution when shared memory is unavailable, so collections are
@@ -51,6 +53,11 @@ class ShardResidencySpec:
         cuts: the shard plan's interior cut points.
         backend: registry name of the per-shard backend.
         opts: backend constructor options (must be picklable).
+        uid: stable id of the owning index across snapshot generations; a
+            worker that receives a newer generation evicts every older
+            residency of the same uid (their shared blocks were unlinked by
+            the parent's refresh, so keeping them would only pin dead pages).
+        generation: snapshot generation the handle belongs to.
     """
 
     token: str
@@ -58,6 +65,8 @@ class ShardResidencySpec:
     cuts: Tuple[int, ...]
     backend: str
     opts: Tuple[Tuple[str, object], ...] = ()
+    uid: str = ""
+    generation: int = 0
 
 
 class _Residency:
@@ -69,6 +78,8 @@ class _Residency:
         self._backend = spec.backend
         self._opts = dict(spec.opts)
         self._shards: Dict[int, object] = {}
+        self.uid = spec.uid
+        self.generation = spec.generation
 
     def shard_index(self, shard_id: int):
         """Build (once) and return the backend index for one shard."""
@@ -100,6 +111,17 @@ class _Residency:
 def _residency_for(spec: ShardResidencySpec) -> _Residency:
     residency = _RESIDENTS.get(spec.token)
     if residency is None:
+        # a newer snapshot generation supersedes every older residency of
+        # the same index: the parent's refresh unlinked their shared blocks,
+        # so evict them now instead of waiting for LRU pressure
+        if spec.uid:
+            stale = [
+                token
+                for token, resident in _RESIDENTS.items()
+                if resident.uid == spec.uid and resident.generation < spec.generation
+            ]
+            for token in stale:
+                _RESIDENTS.pop(token).close()
         residency = _Residency(spec)
         _RESIDENTS[spec.token] = residency
         while len(_RESIDENTS) > _MAX_RESIDENTS:
@@ -108,6 +130,16 @@ def _residency_for(spec: ShardResidencySpec) -> _Residency:
     else:
         _RESIDENTS.move_to_end(spec.token)
     return residency
+
+
+def resident_tokens(_: object = None) -> Tuple[str, ...]:
+    """Tokens currently cached by *this* process's residency cache.
+
+    A diagnostic for tests and the maintenance tooling: map it over a
+    process pool to sample which snapshot generations the workers still
+    hold (the dummy argument exists so ``Executor.map`` can drive it).
+    """
+    return tuple(_RESIDENTS.keys())
 
 
 def run_shard_task(

@@ -40,6 +40,7 @@ __all__ = [
     "ProcessExecutor",
     "SerialExecutor",
     "ThreadedExecutor",
+    "available_cores",
     "resolve_executor",
     "split_chunks",
 ]
@@ -65,8 +66,22 @@ EXECUTOR_KINDS: Tuple[Tuple[str, str], ...] = (
 )
 
 
+def available_cores() -> int:
+    """Cores this process may actually run on (affinity-aware).
+
+    ``os.cpu_count()`` reports the machine; containers and batch schedulers
+    often pin processes to a subset, which is what parallel speedups are
+    bounded by.  Used by the executors' default worker counts and by the
+    adaptive shard-count model (:func:`repro.engine.maintenance.recommend_shard_count`).
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 def _default_workers() -> int:
-    return min(os.cpu_count() or 2, _MAX_DEFAULT_WORKERS)
+    return min(available_cores(), _MAX_DEFAULT_WORKERS)
 
 
 def _validated_workers(workers: Optional[int]) -> Optional[int]:

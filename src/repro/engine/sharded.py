@@ -40,7 +40,19 @@ all copies with ``end >= q.start`` overlap (their starts precede the shard
 boundary, hence ``q.end``), and in every later shard ``j`` exactly the
 copies whose start lies in ``[cut[j-1], q.end]`` are home there.  Both are
 O(log n) bisections, so ``query_count`` over K shards costs O(K log n) and
-never builds an id list.
+never builds an id list.  The sorted columns live in a **buffered ingest
+journal** (:class:`repro.engine.maintenance.IngestJournal`): updates append
+to per-shard pending buffers in O(1) and fold into the columns lazily, on
+the next multi-shard count (``ingest="eager"`` restores the historical
+reallocate-per-op behaviour for comparison).
+
+Maintenance -- folding journals, rebuilding hybrid shard deltas,
+re-balancing cuts on skew and republishing the shared-memory snapshot so a
+process executor regains fan-out after updates -- is owned by
+:class:`repro.engine.maintenance.MaintenanceCoordinator`; the hooks it
+drives (:meth:`ShardedIndex.refresh_snapshot`,
+:meth:`ShardedIndex.repartition`, :attr:`ShardedIndex.ingest_journal`)
+live here.
 
 :class:`ShardedStore` is the :class:`repro.engine.store.IntervalStore`
 facade over a sharded index; its fluent queries yield
@@ -52,6 +64,8 @@ from __future__ import annotations
 
 import itertools
 import os
+import threading
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -73,6 +87,7 @@ from repro.engine.executor import (
     resolve_executor,
     split_chunks,
 )
+from repro.engine.maintenance import INGEST_MODES, IngestJournal
 from repro.engine.registry import create_index, get_spec, register_backend, resolve_backend
 from repro.engine.results import MergedResultSet, ResultSet, merge_unique_ids
 from repro.engine.sharding import ShardPlan, partition_collection, shard_mask
@@ -108,6 +123,14 @@ class ShardedIndex(IntervalIndex):
             :class:`repro.engine.executor.Executor` instance).
         workers: worker count paired with a string ``executor`` spec
             (``executor="processes", workers=4``).
+        ingest: ``"journal"`` (default) buffers count-column updates per
+            shard and folds them lazily; ``"eager"`` reallocates the sorted
+            columns on every insert/delete (the historical behaviour, kept
+            for benchmark comparison).
+        fold_threshold: optional cap on any shard's pending journal depth;
+            hitting it folds that shard immediately, bounding buffer memory
+            on ingest bursts whose queries never take the multi-shard
+            counting path (which would otherwise fold lazily).
         **opts: forwarded to every shard's backend constructor.
     """
 
@@ -121,45 +144,99 @@ class ShardedIndex(IntervalIndex):
         strategy: str = "equi_width",
         executor: "Executor | int | str | None" = None,
         workers: "int | None" = None,
+        ingest: str = "journal",
+        fold_threshold: "int | None" = None,
         **opts,
     ) -> None:
         self._backend = resolve_backend(backend)
         spec = get_spec(self._backend)
         if spec.composite:
             raise ValueError("sharded indexes cannot nest another composite backend")
+        if ingest not in INGEST_MODES:
+            raise ValueError(f"unknown ingest mode {ingest!r}; use one of {INGEST_MODES}")
         opts = dict(opts)
         if spec.tunable and "num_bits" not in opts:
             opts["num_bits"] = "auto"
         self._opts = opts
+        self._ingest = ingest
+        self._fold_threshold = fold_threshold
         # a caller-supplied instance (through either parameter) stays the
         # caller's to close; specs the index resolved itself are owned
         self._owns_executor = not (
             isinstance(executor, Executor) or isinstance(workers, Executor)
         )
         self._executor = resolve_executor(executor, workers)
-        self._plan = ShardPlan.for_collection(collection, num_shards, strategy)
-        pieces = partition_collection(collection, self._plan)
-        self._size = len(collection)
+        #: serialises updates against maintenance operations that replace
+        #: the partition state (repartition, snapshot refresh, close).  An
+        #: insert landing between a background repartition's live-collection
+        #: snapshot and its install would otherwise be silently discarded --
+        #: a lost update, not a visibility glitch.  Queries stay lock-free
+        #: (see the concurrent-safe-maintenance ROADMAP item).
+        self._maintenance_lock = threading.RLock()
         self._dirty = False  # set by updates; disables the process snapshot
+        self._closed = False  # close() is terminal for snapshot publication
+        #: when True, query/update paths also stamp :attr:`last_activity`
+        #: with a clock read; flipped on by a MaintenanceCoordinator so the
+        #: benchmark-measured hot paths pay nothing for idle detection
+        #: nobody asked for
+        self.activity_tracking = False
+        #: stable identity of this index across snapshot generations (the
+        #: worker residency cache evicts older generations of the same uid)
+        self._uid = f"{os.getpid()}-{next(_TOKENS)}"
+        self._generation = 0
+        self._publications = 0  # how many snapshots this index ever published
+        #: :func:`time.time` of the last snapshot publication, ``None``
+        #: before the first one (surfaced by ``maintenance_state``)
+        self.last_refresh: Optional[float] = None
+        #: approximate count of queries answered (drives amortised rebuild
+        #: policies); not a synchronised counter
+        self.query_ops = 0
+        #: :func:`time.monotonic` of the last query or update (idle-window
+        #: detection for background maintenance)
+        self.last_activity = time.monotonic()
         #: how ``query_count`` answered: backend fast path vs home-shard
         #: sums.  A diagnostic, not a synchronised counter -- increments can
         #: be lost when counts fan out across a thread pool.
         self.count_ops: Dict[str, int] = {"single_shard": 0, "home_shard": 0}
 
+        self._shared: Optional[SharedCollectionBuffer] = None
+        self._residency: Optional[ShardResidencySpec] = None
+        plan = ShardPlan.for_collection(collection, num_shards, strategy)
+        self._install_partition(collection, plan)
+
+    def _install_partition(
+        self, collection: IntervalCollection, plan: ShardPlan
+    ) -> None:
+        """(Re)build all partition-dependent state for ``collection``.
+
+        Shared by construction and :meth:`repartition`: installs the plan,
+        the ingest journal + locator bookkeeping (K > 1 only), and the
+        shards -- eagerly in-process, lazily (worker-resident over a fresh
+        shared-memory snapshot) under a process executor.
+        """
+        self._plan = plan
+        self._size = len(collection)
+        #: updates absorbed since this partition was installed; skew-driven
+        #: re-partitioning only triggers once this is non-zero (build-time
+        #: skew reflects the caller's explicit strategy choice, drift does not)
+        self.updates_since_partition = 0
+        pieces = partition_collection(collection, plan)
+
         # --- home-shard counting + bounded-delete bookkeeping (K > 1 only) ---
-        if self._plan.num_shards > 1:
-            self._sorted_starts: List[np.ndarray] = [np.sort(p.starts) for p in pieces]
-            self._sorted_ends: List[np.ndarray] = [np.sort(p.ends) for p in pieces]
+        if plan.num_shards > 1:
+            self._journal: Optional[IngestJournal] = IngestJournal(
+                pieces,
+                eager=(self._ingest == "eager"),
+                fold_threshold=self._fold_threshold,
+            )
             self._locator: Optional[Dict[int, Tuple[int, int]]] = {
                 int(i): (int(s), int(e))
                 for i, s, e in zip(collection.ids, collection.starts, collection.ends)
             }
         else:
-            self._sorted_starts, self._sorted_ends, self._locator = [], [], None
+            self._journal, self._locator = None, None
 
         # --- shard construction: eager in-process, lazy for process fan-out ---
-        self._shared: Optional[SharedCollectionBuffer] = None
-        self._residency: Optional[ShardResidencySpec] = None
         if isinstance(self._executor, ProcessExecutor):
             # shard indexes are built worker-resident on first task; the
             # parent keeps only a reference to the source collection (the
@@ -167,14 +244,32 @@ class ShardedIndex(IntervalIndex):
             # lazily when a non-batch code path needs one (single queries,
             # updates, stats)
             self._source: Optional[IntervalCollection] = collection
-            self._shards: List[Optional[IntervalIndex]] = [None] * self._plan.num_shards
-            if HAS_SHARED_MEMORY and len(collection):
-                self._shared = SharedCollectionBuffer(collection)
+            self._shards: List[Optional[IntervalIndex]] = [None] * plan.num_shards
+            self._republish_snapshot(collection)
         else:
             self._source = None
             self._shards = self._executor.map(
                 lambda piece: create_index(self._backend, piece, **self._opts), pieces
             )
+
+    def _republish_snapshot(self, collection: IntervalCollection) -> None:
+        """Publish ``collection`` as the shared-memory snapshot (process mode).
+
+        Every publication gets a fresh residency-token generation so pooled
+        workers never mistake a new snapshot for a cached one -- including
+        the close-then-refresh case, where the previous generation's tokens
+        may still be resident in workers while their block is gone.
+        """
+        old, self._shared = self._shared, None
+        if HAS_SHARED_MEMORY and len(collection) and not self._closed:
+            self._shared = SharedCollectionBuffer(collection)
+            self._generation = self._publications
+            self._publications += 1
+            self.last_refresh = time.time()
+        self._residency = None
+        self._dirty = False
+        if old is not None:
+            old.unlink()
 
     @classmethod
     def build(cls, collection: IntervalCollection, **kwargs) -> "ShardedIndex":
@@ -208,6 +303,54 @@ class ShardedIndex(IntervalIndex):
         """The executor running shard fan-out and batches."""
         return self._executor
 
+    @property
+    def maintenance_lock(self) -> "threading.RLock":
+        """Re-entrant lock serialising updates against maintenance.
+
+        Held by :meth:`insert`/:meth:`delete` and by the maintenance
+        operations that replace partition state (:meth:`repartition`,
+        :meth:`refresh_snapshot`, :meth:`close`); the coordinator holds it
+        across a whole pass so per-shard rebuilds cannot discard a
+        concurrent foreground update.
+        """
+        return self._maintenance_lock
+
+    @property
+    def ingest_journal(self) -> Optional[IngestJournal]:
+        """The buffered ingest journal backing home-shard counting (K > 1)."""
+        return self._journal
+
+    @property
+    def ingest_mode(self) -> str:
+        """``"journal"`` (buffered) or ``"eager"`` (reallocate per op)."""
+        return self._ingest
+
+    @property
+    def built_shards(self) -> List[Optional[IntervalIndex]]:
+        """Per-shard indexes already built in this process (``None`` = lazy).
+
+        Unlike :attr:`shards` this never forces a build -- maintenance uses
+        it so a process-executor index with worker-resident shards is not
+        duplicated into the parent just to inspect delta sizes.
+        """
+        return list(self._shards)
+
+    @property
+    def snapshot_generation(self) -> int:
+        """Residency-token generation of the current shared-memory snapshot.
+
+        Bumped every time the snapshot is republished
+        (:meth:`refresh_snapshot`, :meth:`repartition`), which is what lets
+        tests and operators assert that process fan-out was restored without
+        relying on timing.
+        """
+        return self._generation
+
+    @property
+    def update_dirty(self) -> bool:
+        """True when updates since the last publication staled the snapshot."""
+        return self._dirty
+
     def _shard(self, shard_id: int) -> IntervalIndex:
         """The parent-process index of one shard, built lazily if needed."""
         index = self._shards[shard_id]
@@ -236,6 +379,97 @@ class ShardedIndex(IntervalIndex):
         )
 
     # ------------------------------------------------------------------ #
+    # maintenance hooks (driven by MaintenanceCoordinator)
+    # ------------------------------------------------------------------ #
+    def live_collection(self) -> IntervalCollection:
+        """The current live intervals as a fresh columnar collection.
+
+        With K > 1 this is one vectorised pass over the id -> span locator
+        (maintained from build time and on every update); the K = 1
+        degenerate case falls back to the only shard's interval lookup when
+        updates happened, and to the build collection otherwise.
+        """
+        with self._maintenance_lock:
+            if self._locator is not None:
+                return IntervalCollection.from_spans(self._locator)
+            if not self._dirty and self._source is not None:
+                return self._source
+            lookup = self._shard(0)._interval_lookup()
+            return IntervalCollection.from_intervals(lookup.values())
+
+    def refresh_snapshot(self) -> bool:
+        """Republish the live collection so process fan-out resumes.
+
+        Updates stale the worker-resident shards, demoting batches to
+        in-process execution.  Refreshing publishes a new shared-memory
+        snapshot of the live collection and bumps the residency-token
+        generation: the next batch hands workers the new token, they rebuild
+        their shards from the fresh columns and evict the superseded
+        residency.  True when a new snapshot was published (requires a
+        process executor and platform shared memory); False otherwise.
+        """
+        if not isinstance(self._executor, ProcessExecutor) or not HAS_SHARED_MEMORY:
+            return False
+        with self._maintenance_lock:
+            if self._closed:
+                # a background pass racing close() must not resurrect the
+                # snapshot: nothing would ever unlink the fresh segment
+                return False
+            live = self.live_collection()
+            self._source = live
+            self._republish_snapshot(live)
+            return self._shared is not None
+
+    def repartition(
+        self, num_shards: Optional[int] = None, strategy: Optional[str] = None
+    ) -> bool:
+        """Re-balance the shard cuts from the live collection, online.
+
+        Plans fresh cuts over the *live* data (default: the current K and
+        strategy -- pass ``strategy="balanced"`` to rebalance skew), then
+        rebuilds every shard, the ingest journal and the locator from it.
+        Hybrid deltas are folded into the fresh shard builds, and under a
+        process executor a new snapshot generation is published.  False when
+        the fresh plan matches the current cuts (nothing to do) -- which
+        also resets the drift counter, so a stably-skewed index does not pay
+        this live-collection materialisation on every maintenance pass.
+        Updates serialise against the install through the maintenance lock.
+        """
+        with self._maintenance_lock:
+            live = self.live_collection()
+            plan = ShardPlan.for_collection(
+                live,
+                num_shards if num_shards is not None else self._plan.num_shards,
+                strategy if strategy is not None else self._plan.strategy,
+            )
+            if plan.cuts == self._plan.cuts:
+                self.updates_since_partition = 0  # re-validated against live data
+                return False
+            self._install_partition(live, plan)
+            self._dirty = False
+            return True
+
+    def maintenance_state(self) -> Dict[str, object]:
+        """Ingest/maintenance snapshot: pending depths, deltas, generations."""
+        journal = self._journal
+        return {
+            "num_shards": self.num_shards,
+            "cuts": tuple(self._plan.cuts),
+            "ingest_mode": self._ingest,
+            "pending_per_shard": journal.pending_depths() if journal else [],
+            "copies_per_shard": journal.live_sizes() if journal else [len(self)],
+            "delta_per_shard": [
+                int(getattr(shard, "delta_size", 0)) if shard is not None else None
+                for shard in self._shards
+            ],
+            "snapshot_generation": self._generation,
+            "snapshot_published": self._shared is not None,
+            "update_dirty": self._dirty,
+            "updates_since_partition": self.updates_since_partition,
+            "last_refresh": self.last_refresh,
+        }
+
+    # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
@@ -245,12 +479,14 @@ class ShardedIndex(IntervalIndex):
         its owner decides when to close it; one the index created itself
         (from a worker count or a string spec) is shut down here.
         """
-        if self._owns_executor:
-            self._executor.close()
-        if self._shared is not None:
-            self._shared.unlink()
-            self._shared = None
-            self._residency = None
+        with self._maintenance_lock:
+            self._closed = True
+            if self._owns_executor:
+                self._executor.close()
+            if self._shared is not None:
+                self._shared.unlink()
+                self._shared = None
+                self._residency = None
 
     def __enter__(self) -> "ShardedIndex":
         return self
@@ -261,13 +497,26 @@ class ShardedIndex(IntervalIndex):
     # ------------------------------------------------------------------ #
     # queries (planned to the overlapping shards, merged with dedup)
     # ------------------------------------------------------------------ #
+    def _touch(self, ops: int = 1) -> None:
+        """Record activity (idle-window detection + amortised policies).
+
+        The clock read is skipped until a coordinator opts into activity
+        tracking -- query/count hot loops in the benchmarks must not pay
+        for idle detection nobody is using.
+        """
+        self.query_ops += ops
+        if self.activity_tracking:
+            self.last_activity = time.monotonic()
+
     def query(self, query: Query) -> List[int]:
+        self._touch()
         shards = self.shards_for(query)
         if len(shards) == 1:
             return shards[0].query(query)
         return merge_unique_ids(shard.query(query) for shard in shards)
 
     def query_count(self, query: Query) -> int:
+        self._touch()
         first, last = self._plan.shard_range(query.start, query.end)
         if first == last:
             # single-shard plans keep the backend's counting fast path
@@ -275,19 +524,19 @@ class ShardedIndex(IntervalIndex):
             return self._shard(first).query_count(query)
         # home-shard counting: every duplicated interval is counted exactly
         # once, in the first probed shard it is "at home" in -- no id list is
-        # materialised and no dedup set is built (see the module docstring)
+        # materialised and no dedup set is built (see the module docstring).
+        # The journal folds any pending update buffers into the sorted
+        # columns here, lazily, so a burst of updates pays one vectorised
+        # merge instead of one reallocation per operation.
         self.count_ops["home_shard"] += 1
-        ends = self._sorted_ends[first]
-        total = int(len(ends) - np.searchsorted(ends, query.start, side="left"))
+        total = self._journal.count_ends_ge(first, query.start)
         cuts = self._plan.cuts
         for shard in range(first + 1, last + 1):
-            starts = self._sorted_starts[shard]
-            lo = int(np.searchsorted(starts, cuts[shard - 1], side="left"))
-            hi = int(np.searchsorted(starts, query.end, side="right"))
-            total += hi - lo
+            total += self._journal.count_starts_in(shard, cuts[shard - 1], query.end)
         return total
 
     def query_exists(self, query: Query) -> bool:
+        self._touch()
         return any(shard.query_exists(query) for shard in self.shards_for(query))
 
     def _process_fanout_ready(self) -> bool:
@@ -309,6 +558,7 @@ class ShardedIndex(IntervalIndex):
 
     def query_batch(self, queries: Sequence[Query]) -> List[List[int]]:
         workload = list(queries)
+        self._touch(len(workload))
         if workload and self._process_fanout_ready():
             return self._query_batch_processes(workload)
         # generic chunk fan-out for any in-process executor (threads or a
@@ -337,11 +587,13 @@ class ShardedIndex(IntervalIndex):
     def _residency_spec(self) -> ShardResidencySpec:
         if self._residency is None:
             self._residency = ShardResidencySpec(
-                token=f"{os.getpid()}-{next(_TOKENS)}",
+                token=f"{self._uid}:g{self._generation}",
                 handle=self._shared.handle,
                 cuts=self._plan.cuts,
                 backend=self._backend,
                 opts=tuple(sorted(self._opts.items())),
+                uid=self._uid,
+                generation=self._generation,
             )
         return self._residency
 
@@ -389,16 +641,26 @@ class ShardedIndex(IntervalIndex):
         return results
 
     def query_with_stats(self, query: Query) -> Tuple[List[int], QueryStats]:
+        self._touch()
         shards = self.shards_for(query)
         if len(shards) == 1:
-            return shards[0].query_with_stats(query)
+            results, stats = shards[0].query_with_stats(query)
+            return results, self._annotate_stats(stats)
         answers = [shard.query_with_stats(query) for shard in shards]
         stats = QueryStats()
         for _, shard_stats in answers:
             stats.merge(shard_stats)
         merged = merge_unique_ids(ids for ids, _ in answers)
         stats.results = len(merged)
-        return merged, stats
+        return merged, self._annotate_stats(stats)
+
+    def _annotate_stats(self, stats: QueryStats) -> QueryStats:
+        """Surface ingest/maintenance state on every instrumented query."""
+        stats.extra["ingest_pending"] = (
+            float(sum(self._journal.pending_depths())) if self._journal else 0.0
+        )
+        stats.extra["snapshot_generation"] = float(self._generation)
+        return stats
 
     # ------------------------------------------------------------------ #
     # updates (routed to the owning shards)
@@ -408,17 +670,27 @@ class ShardedIndex(IntervalIndex):
 
         With a hybrid backend each copy lands in the owning shard's delta
         index; static backends raise ``NotImplementedError`` as usual.
-        Updates invalidate the process-executor snapshot: later batches run
-        in-process until the index is rebuilt.
+        Count-column bookkeeping is journaled (O(1) appends, folded lazily)
+        and is only committed -- together with the locator entry -- after
+        every owning shard accepted the copy, so a failing shard leaves the
+        bookkeeping untouched.  Updates invalidate the process-executor
+        snapshot: later batches run in-process until
+        :meth:`refresh_snapshot` republishes it.
         """
-        first, last = self._plan.shard_range(interval.start, interval.end)
-        for shard in range(first, last + 1):
-            self._shard(shard).insert(interval)
-        if self._locator is not None:
-            self._locator[interval.id] = (interval.start, interval.end)
-            self._update_sorted(interval.start, interval.end, first, last, insert=True)
-        self._size += 1
-        self._dirty = True
+        with self._maintenance_lock:
+            first, last = self._plan.shard_range(interval.start, interval.end)
+            for shard in range(first, last + 1):
+                self._shard(shard).insert(interval)
+            # bookkeeping only after *all* owning shards took the copy: a
+            # raise above (static backend, bad interval) must not desync the
+            # locator or the count columns from the shard contents
+            if self._locator is not None:
+                self._locator[interval.id] = (interval.start, interval.end)
+                self._journal.record_insert(first, last, interval.start, interval.end)
+            self._size += 1
+            self._dirty = True
+            self.updates_since_partition += 1
+            self._touch(0)
 
     def delete(self, interval_id: int) -> bool:
         """Tombstone ``interval_id`` in the shards holding a copy.
@@ -426,51 +698,35 @@ class ShardedIndex(IntervalIndex):
         The id -> span locator (maintained from build time and on every
         insert) bounds the probe to the owning shards instead of all K;
         an id the index never saw returns False without touching any shard.
+        The locator entry and the count-column journal are only mutated
+        after every owning shard was probed, so a shard raising mid-delete
+        leaves the bookkeeping consistent and the delete retryable.
         True when any copy was live.
         """
-        if self._locator is None:  # K == 1: delegate to the only shard
-            found = self._shard(0).delete(interval_id)
+        with self._maintenance_lock:
+            if self._locator is None:  # K == 1: delegate to the only shard
+                found = self._shard(0).delete(interval_id)
+                if found:
+                    self._size -= 1
+                    self._dirty = True
+                    self.updates_since_partition += 1
+                    self._touch(0)
+                return found
+            span = self._locator.get(interval_id)
+            if span is None:
+                return False
+            first, last = self._plan.shard_range(*span)
+            found = False
+            for shard in range(first, last + 1):
+                found = self._shard(shard).delete(interval_id) or found
             if found:
+                del self._locator[interval_id]
+                self._journal.record_delete(first, last, span[0], span[1])
                 self._size -= 1
                 self._dirty = True
+                self.updates_since_partition += 1
+                self._touch(0)
             return found
-        span = self._locator.get(interval_id)
-        if span is None:
-            return False
-        first, last = self._plan.shard_range(*span)
-        found = False
-        for shard in range(first, last + 1):
-            found = self._shard(shard).delete(interval_id) or found
-        if found:
-            del self._locator[interval_id]
-            self._update_sorted(span[0], span[1], first, last, insert=False)
-            self._size -= 1
-            self._dirty = True
-        return found
-
-    def _update_sorted(
-        self, start: int, end: int, first: int, last: int, insert: bool
-    ) -> None:
-        """Keep the per-shard sorted start/end columns in sync with updates.
-
-        ``np.insert``/``np.delete`` reallocate the touched columns, so each
-        update costs O(shard size) on top of the backend's own cost --
-        acceptable for read-mostly sharded workloads; update-heavy ingest
-        should buffer into pending deltas instead (ROADMAP).
-        """
-        for shard in range(first, last + 1):
-            starts = self._sorted_starts[shard]
-            position = int(np.searchsorted(starts, start, side="left"))
-            self._sorted_starts[shard] = (
-                np.insert(starts, position, start)
-                if insert
-                else np.delete(starts, position)
-            )
-            ends = self._sorted_ends[shard]
-            position = int(np.searchsorted(ends, end, side="left"))
-            self._sorted_ends[shard] = (
-                np.insert(ends, position, end) if insert else np.delete(ends, position)
-            )
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -485,8 +741,8 @@ class ShardedIndex(IntervalIndex):
         total = sum(
             shard.memory_bytes(memo) for shard in self._shards if shard is not None
         )
-        total += sum(arr.nbytes for arr in self._sorted_starts)
-        total += sum(arr.nbytes for arr in self._sorted_ends)
+        if self._journal is not None:  # count columns + pending buffers
+            total += self._journal.nbytes
         if self._shared is not None:  # the published shared-memory snapshot
             total += self._shared.nbytes
         return total
@@ -594,6 +850,10 @@ class ShardedStore(IntervalStore):
 
     def close(self) -> None:
         """Release the index's pooled workers and shared-memory snapshot."""
+        if self._maintenance is not None:
+            # join, so an in-flight pass cannot republish a snapshot that
+            # index.close() is about to unlink (see IntervalStore.close)
+            self._maintenance.stop(wait=True)
         self.index.close()
 
     def __enter__(self) -> "ShardedStore":

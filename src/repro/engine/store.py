@@ -147,6 +147,7 @@ class IntervalStore:
             isinstance(executor, Executor) or isinstance(workers, Executor)
         )
         self._executor = resolve_executor(executor, workers)
+        self._maintenance = None  # lazily created MaintenanceCoordinator
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -157,7 +158,7 @@ class IntervalStore:
         collection: IntervalCollection,
         backend: str = DEFAULT_BACKEND,
         *,
-        num_shards: int = 1,
+        num_shards: "int | str" = 1,
         strategy: str = "equi_width",
         workers: "Executor | int | str | None" = None,
         executor: "Executor | int | str | None" = None,
@@ -173,7 +174,12 @@ class IntervalStore:
         shards (see :mod:`repro.engine.sharding`) and a
         :class:`repro.engine.sharded.ShardedStore` is returned -- the
         single-index store is just the K=1 degenerate case of the same
-        execution architecture.  ``executor`` names the execution strategy
+        execution architecture.  ``num_shards="auto"`` routes the choice of
+        K through the extended Section 3.3 cost model
+        (:func:`repro.engine.maintenance.recommend_shard_count`), which
+        accounts for the backend's cost shape and the executor's
+        parallelism -- e.g. K=1 for a serially-driven HINT^m, K=cores under
+        a process executor.  ``executor`` names the execution strategy
         (``"serial"``/``"threads"``/``"processes"``), sized by ``workers``;
         a bare ``workers`` count keeps the legacy thread-pool meaning.
 
@@ -183,6 +189,19 @@ class IntervalStore:
         whole pickled index per batch chunk, which is usually slower than
         serial -- prefer sharding when asking for processes.
         """
+        if num_shards == "auto":
+            from repro.engine.maintenance import recommend_shard_count
+
+            # probe the executor spec for its kind and parallelism; pools
+            # are lazy, so resolving (and dropping) one costs nothing
+            probe = resolve_executor(executor, workers)
+            num_shards = recommend_shard_count(
+                collection, backend, executor=probe.name, workers=probe.workers
+            )
+        elif isinstance(num_shards, str):
+            raise ValueError(
+                f"num_shards must be an int or 'auto', got {num_shards!r}"
+            )
         if num_shards > 1:
             from repro.engine.sharded import ShardedStore
 
@@ -263,6 +282,11 @@ class IntervalStore:
         the caller passed in is left running -- whoever created it owns its
         lifecycle.
         """
+        if self._maintenance is not None:
+            # join, don't just signal: an in-flight background pass could
+            # otherwise republish a shared-memory snapshot after close()
+            # unlinked it, leaking the segment until interpreter exit
+            self._maintenance.stop(wait=True)
         if self._owns_executor:
             self._executor.close()
 
@@ -312,3 +336,31 @@ class IntervalStore:
     def delete(self, interval_id: int) -> bool:
         """Delete an interval by id; True when the id was live."""
         return self._index.delete(interval_id)
+
+    # ------------------------------------------------------------------ #
+    # maintenance (journal folding, rebuilds, snapshot refresh)
+    # ------------------------------------------------------------------ #
+    def maintenance(self, config=None, policy=None):
+        """This store's :class:`~repro.engine.maintenance.MaintenanceCoordinator`.
+
+        Created lazily and cached; passing ``config`` or ``policy`` replaces
+        the cached coordinator (stopping any background thread the previous
+        one ran).  The coordinator folds ingest journals, rebuilds hybrid
+        deltas per its policy, re-balances skewed cuts and refreshes the
+        process-executor snapshot -- see :meth:`maintain` for the one-call
+        form.
+        """
+        from repro.engine.maintenance import MaintenanceCoordinator
+
+        if config is not None or policy is not None or self._maintenance is None:
+            if self._maintenance is not None:
+                self._maintenance.stop(wait=False)
+            self._maintenance = MaintenanceCoordinator(
+                self._index, config=config, policy=policy
+            )
+        return self._maintenance
+
+    def maintain(self, force: bool = False):
+        """Run one maintenance pass; returns the
+        :class:`~repro.engine.maintenance.MaintenanceReport`."""
+        return self.maintenance().maintain(force=force)

@@ -18,6 +18,7 @@ a freshly built main index, which is what a periodic batch update does.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional
 
 from repro.core.base import IntervalIndex, QueryStats
@@ -60,15 +61,29 @@ class HybridHINTm(IntervalIndex):
         self._rebuild_threshold = rebuild_threshold
         # share one domain so both component indexes agree on partition bounds
         self._domain = Domain.for_collection(collection.starts, collection.ends, num_bits)
-        self._main = OptimizedHINTm(collection, num_bits=num_bits, domain=self._domain)
-        self._delta = SubdividedHINTm(
+        main = OptimizedHINTm(collection, num_bits=num_bits, domain=self._domain)
+        delta = SubdividedHINTm(
             IntervalCollection.empty(),
             num_bits=num_bits,
             sort_subdivisions=False,
             storage_optimization=True,
             domain=self._domain,
         )
+        #: the (main, delta) pair lives in ONE attribute so lock-free readers
+        #: always see a consistent pair: a rebuild swaps both components with
+        #: a single assignment, never main and delta separately (two loads
+        #: around the swap would miss the old delta or double-count it)
+        self._components = (main, delta)
         self._rebuilds = 0
+        #: approximate answered-query count since construction; read by the
+        #: amortising rebuild policies of :mod:`repro.engine.maintenance`
+        self.query_ops = 0
+        #: serialises updates against :meth:`rebuild`: a rebuild snapshots
+        #: main + delta and then swaps both, so an insert landing in the old
+        #: delta between snapshot and swap would be silently discarded when
+        #: a maintenance thread rebuilds concurrently.  Queries stay
+        #: lock-free (they read whichever pair is current).
+        self._update_lock = threading.RLock()
 
     @classmethod
     def build(
@@ -85,19 +100,27 @@ class HybridHINTm(IntervalIndex):
         return self._m
 
     @property
+    def _main(self) -> OptimizedHINTm:
+        return self._components[0]
+
+    @property
+    def _delta(self) -> SubdividedHINTm:
+        return self._components[1]
+
+    @property
     def main_index(self) -> OptimizedHINTm:
         """The optimized, periodically rebuilt component."""
-        return self._main
+        return self._components[0]
 
     @property
     def delta_index(self) -> SubdividedHINTm:
         """The update-friendly component absorbing recent insertions."""
-        return self._delta
+        return self._components[1]
 
     @property
     def delta_size(self) -> int:
         """Number of live intervals currently in the delta index."""
-        return len(self._delta)
+        return len(self._components[1])
 
     @property
     def rebuilds(self) -> int:
@@ -109,49 +132,59 @@ class HybridHINTm(IntervalIndex):
     # ------------------------------------------------------------------ #
     def insert(self, interval: Interval) -> None:
         """Insert into the delta index; optionally trigger a batch rebuild."""
-        self._delta.insert(interval)
-        if (
-            self._rebuild_threshold is not None
-            and len(self._main) > 0
-            and len(self._delta) >= self._rebuild_threshold * len(self._main)
-        ):
-            self.rebuild()
+        with self._update_lock:
+            self._delta.insert(interval)
+            if (
+                self._rebuild_threshold is not None
+                and len(self._main) > 0
+                and len(self._delta) >= self._rebuild_threshold * len(self._main)
+            ):
+                self.rebuild()
 
     def delete(self, interval_id: int) -> bool:
         """Delete from whichever component holds the interval (tombstones)."""
-        if self._delta.delete(interval_id):
-            return True
-        return self._main.delete(interval_id)
+        with self._update_lock:
+            if self._delta.delete(interval_id):
+                return True
+            return self._main.delete(interval_id)
 
     def rebuild(self) -> None:
         """Merge the delta into a freshly built main index (batch update)."""
-        live: List[Interval] = list(self._main._interval_lookup().values())
-        live.extend(self._delta._interval_lookup().values())
-        collection = IntervalCollection.from_intervals(live)
-        self._domain = Domain.for_collection(collection.starts, collection.ends, self._m)
-        self._main = OptimizedHINTm(collection, num_bits=self._m, domain=self._domain)
-        self._delta = SubdividedHINTm(
-            IntervalCollection.empty(),
-            num_bits=self._m,
-            sort_subdivisions=False,
-            storage_optimization=True,
-            domain=self._domain,
-        )
-        self._rebuilds += 1
+        with self._update_lock:
+            live: List[Interval] = list(self._main._interval_lookup().values())
+            live.extend(self._delta._interval_lookup().values())
+            collection = IntervalCollection.from_intervals(live)
+            self._domain = Domain.for_collection(
+                collection.starts, collection.ends, self._m
+            )
+            main = OptimizedHINTm(collection, num_bits=self._m, domain=self._domain)
+            delta = SubdividedHINTm(
+                IntervalCollection.empty(),
+                num_bits=self._m,
+                sort_subdivisions=False,
+                storage_optimization=True,
+                domain=self._domain,
+            )
+            self._components = (main, delta)  # one swap: readers stay consistent
+            self._rebuilds += 1
 
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
     def query(self, query: Query) -> List[int]:
-        results = self._main.query(query)
-        if len(self._delta):
-            results.extend(self._delta.query(query))
+        self.query_ops += 1
+        main, delta = self._components  # one load: a racing rebuild cannot split the pair
+        results = main.query(query)
+        if len(delta):
+            results.extend(delta.query(query))
         return results
 
     def query_with_stats(self, query: Query) -> tuple[List[int], QueryStats]:
-        results, stats = self._main.query_with_stats(query)
-        if len(self._delta):
-            delta_results, delta_stats = self._delta.query_with_stats(query)
+        self.query_ops += 1
+        main, delta = self._components
+        results, stats = main.query_with_stats(query)
+        if len(delta):
+            delta_results, delta_stats = delta.query_with_stats(query)
             results.extend(delta_results)
             stats.merge(delta_stats)
         stats.results = len(results)
@@ -159,7 +192,8 @@ class HybridHINTm(IntervalIndex):
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._main) + len(self._delta)
+        main, delta = self._components
+        return len(main) + len(delta)
 
     def memory_bytes(self, _memo: "set | None" = None) -> int:
         if self._memo_seen(_memo):
@@ -167,9 +201,11 @@ class HybridHINTm(IntervalIndex):
         # one id-memo across both components: objects they share (the domain,
         # aliased buffers) are counted once for the whole composite
         memo = _memo if _memo is not None else set()
-        return self._main.memory_bytes(memo) + self._delta.memory_bytes(memo)
+        main, delta = self._components
+        return main.memory_bytes(memo) + delta.memory_bytes(memo)
 
     def _interval_lookup(self) -> Dict[int, Interval]:
-        lookup = self._main._interval_lookup()
-        lookup.update(self._delta._interval_lookup())
+        main, delta = self._components
+        lookup = main._interval_lookup()
+        lookup.update(delta._interval_lookup())
         return lookup

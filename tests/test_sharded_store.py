@@ -344,9 +344,7 @@ class TestShardedStatsAndMemory:
                              num_shards=4, num_bits=7)
         total = index.memory_bytes()
         assert total > 0
-        bookkeeping = sum(a.nbytes for a in index._sorted_starts) + sum(
-            a.nbytes for a in index._sorted_ends
-        )
+        bookkeeping = index.ingest_journal.nbytes
         assert total == sum(s.memory_bytes() for s in index.shards) + bookkeeping
         memo: set = set()
         assert index.memory_bytes(memo) == total

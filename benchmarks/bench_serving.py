@@ -1,0 +1,34 @@
+"""Serving benchmark for the query server's cache and replica failover.
+
+Not a paper figure: it measures (1) a skewed concurrent workload through the
+admission-controlled query server with and without the generation-keyed
+result cache (a hot query's served answer is asserted against the store's
+own evaluation before timing), and (2) the same workload against a
+replicated store with one replica of the busiest shard killed mid-run --
+throughput may drop, answers must not change.
+
+Run with the rest of the suite::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q
+"""
+
+from conftest import BENCH_CARDINALITY, save_report
+
+from repro.bench.experiments import serving_throughput
+from repro.bench.reporting import render_serving_throughput
+
+
+def test_serving_throughput(results_dir):
+    result = serving_throughput(
+        cardinality=BENCH_CARDINALITY,
+        num_queries=max(100, BENCH_CARDINALITY // 100),
+        backend="hintm",
+    )
+    by_mode = {r["mode"]: r for r in result["serving"]}
+    assert set(by_mode) == {"uncached", "cached"}
+    assert all(r["qps"] > 0 for r in result["serving"])
+    assert by_mode["cached"]["hit_rate"] > 0.5
+    # correctness against the store is asserted inside the driver; the
+    # failover rows additionally re-check every hot query after the kill
+    assert all(r["correct"] for r in result["failover"])
+    save_report(results_dir, "serving_throughput", render_serving_throughput(result))

@@ -26,6 +26,7 @@ from repro.bench.reporting import (
     format_table,
     render_ingest_maintenance,
     render_process_scaling,
+    render_serving_throughput,
 )
 
 
@@ -222,6 +223,11 @@ def main(argv=None) -> int:
                 # the stream's stride-partitioned delete victims need
                 # cardinality/8 >= num_updates/2, so scale down with the data
                 num_updates=max(2, min(2_000, args.cardinality // 10)),
+            )
+        ),
+        "serving_throughput": lambda: render_serving_throughput(
+            experiments.serving_throughput(
+                cardinality=args.cardinality, num_queries=max(40, n_queries)
             )
         ),
     }

@@ -89,6 +89,13 @@ from repro.queries import (
     generate_queries,
     generate_stabbing_queries,
 )
+from repro.serve import (
+    QueryServer,
+    ResultCache,
+    ServeClient,
+    ServerHandle,
+    start_server_thread,
+)
 
 __version__ = "1.0.0"
 
@@ -115,12 +122,16 @@ __all__ = [
     "PeriodIndex",
     "Query",
     "QueryBuilder",
+    "QueryServer",
     "QueryStats",
     "QueryWorkloadConfig",
     "REAL_DATASET_PROFILES",
     "ReproError",
+    "ResultCache",
     "ResultSet",
     "SerialExecutor",
+    "ServeClient",
+    "ServerHandle",
     "ShardPlan",
     "ShardedIndex",
     "ShardedStore",
@@ -153,5 +164,6 @@ __all__ = [
     "replication_factor",
     "resolve_executor",
     "save_intervals_csv",
+    "start_server_thread",
     "__version__",
 ]

@@ -56,6 +56,7 @@ __all__ = [
     "shard_scaling",
     "process_scaling",
     "ingest_maintenance",
+    "serving_throughput",
     "COMPETITOR_CONFIGS",
 ]
 
@@ -991,3 +992,212 @@ def table10_updates(
             )
         results[name] = rows
     return results
+
+
+# --------------------------------------------------------------------------- #
+# Serving throughput -- the query server's cache, admission control and
+# replica failover under a skewed concurrent workload
+# --------------------------------------------------------------------------- #
+def _serve_workloads(
+    collection: IntervalCollection,
+    num_queries: int,
+    distinct: int,
+    extent_fraction: float,
+    num_clients: int,
+    seed: int,
+) -> Tuple[List[Query], List[List[Query]]]:
+    """A skewed (Zipf-ish) request stream over ``distinct`` hot queries.
+
+    Returns the hot-query pool and one per-client request list; every client
+    fires ``num_queries // num_clients`` requests drawn with probability
+    proportional to ``1/rank`` -- the repeated-hot-query shape a result
+    cache exists for.
+    """
+    import numpy as np
+
+    hot = _query_workload(collection, distinct, extent_fraction, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    weights = 1.0 / np.arange(1, len(hot) + 1)
+    weights /= weights.sum()
+    per_client = max(1, num_queries // num_clients)
+    streams = [
+        [hot[i] for i in rng.choice(len(hot), size=per_client, p=weights)]
+        for _ in range(num_clients)
+    ]
+    return hot, streams
+
+
+def _drive_clients(port: int, streams: Sequence[Sequence[Query]]) -> Tuple[float, int]:
+    """Fire every client stream concurrently; ``(seconds, requests)``.
+
+    Each client thread owns one keep-alive connection and backs off briefly
+    on an admission-control 503 (that rejected request still counts as
+    server work, not client progress).
+    """
+    import threading
+
+    from repro.serve.client import ServeClient, ServerOverloaded
+
+    errors: List[BaseException] = []
+
+    def _worker(stream: Sequence[Query]) -> None:
+        client = ServeClient(port=port)
+        try:
+            for query in stream:
+                while True:
+                    try:
+                        client.query(query.start, query.end)
+                        break
+                    except ServerOverloaded:
+                        time.sleep(0.002)
+        except BaseException as exc:  # noqa: BLE001 - surfaced after join
+            errors.append(exc)
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=_worker, args=(stream,), daemon=True)
+        for stream in streams
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - started
+    if errors:
+        raise RuntimeError(f"serving client failed: {errors[0]!r}") from errors[0]
+    return seconds, sum(len(stream) for stream in streams)
+
+
+def serving_throughput(
+    collection: Optional[IntervalCollection] = None,
+    *,
+    cardinality: int = 20_000,
+    num_queries: int = 400,
+    distinct: int = 12,
+    extent_fraction: float = 0.05,
+    num_clients: int = 4,
+    num_shards: int = 4,
+    replication: int = 2,
+    cache_capacity: int = 512,
+    backend: str = "hintm_hybrid",
+    seed: int = 7,
+) -> Dict[str, List[dict]]:
+    """The serving subsystem's two headline measurements.
+
+    **Cached vs uncached serving** (``"serving"`` rows): the same skewed
+    concurrent workload (``distinct`` broad hot queries, Zipf-weighted,
+    ``num_clients`` keep-alive connections) driven through the query server
+    twice -- once with the generation-keyed result cache, once with caching
+    disabled (capacity 0).  Every request round-trips real HTTP through the
+    admission-controlled batching path; the cached leg answers repeats with
+    pre-encoded bodies, which is where the >= 5x acceptance bar comes from.
+    Before timing, one hot query's server answer is asserted identical to
+    the store's direct evaluation.
+
+    **Replica failover** (``"failover"`` rows): the same workload against a
+    replication-factor ``replication`` store, killing one replica of the
+    busiest shard halfway through.  The row records throughput and that
+    every response stayed correct -- the kill degrades capacity, never
+    answers.
+
+    Returns ``{"serving": [...], "failover": [...]}`` row dicts.
+    """
+    from repro.engine.store import IntervalStore
+    from repro.serve.client import ServeClient
+    from repro.serve.server import start_server_thread
+
+    if collection is None:
+        collection = generate_real_like(
+            REAL_DATASET_PROFILES["TAXIS"], cardinality=cardinality, seed=seed
+        )
+    hot, streams = _serve_workloads(
+        collection, num_queries, distinct, extent_fraction, num_clients, seed
+    )
+
+    serving_rows: List[dict] = []
+    baseline = 0.0
+    for mode, capacity in (("uncached", 0), ("cached", cache_capacity)):
+        store = IntervalStore.open(collection, backend, num_shards=num_shards)
+        handle = start_server_thread(store, cache=capacity)
+        try:
+            probe = ServeClient(port=handle.port)
+            # correctness before timing: the served answer must match the
+            # store's own evaluation of the same hot query
+            served = sorted(probe.query(hot[0].start, hot[0].end)["ids"])
+            direct = sorted(store.query().overlapping(hot[0].start, hot[0].end).ids())
+            if served != direct:
+                raise RuntimeError(
+                    f"served ids diverged from the store on {hot[0]} "
+                    f"({len(served)} vs {len(direct)} ids)"
+                )
+            seconds, requests = _drive_clients(handle.port, streams)
+            stats = probe.stats()
+            probe.close()
+        finally:
+            handle.stop()
+            store.close()
+        throughput = requests / seconds if seconds else 0.0
+        if mode == "uncached":
+            baseline = throughput
+        serving_rows.append(
+            {
+                "mode": mode,
+                "requests": requests,
+                "qps": throughput,
+                "hit_rate": stats["cache"]["hit_rate"],
+                "speedup": throughput / baseline if baseline else 0.0,
+            }
+        )
+
+    failover_rows: List[dict] = []
+    store = IntervalStore.open(
+        collection, backend, num_shards=num_shards, replication_factor=replication
+    )
+    handle = start_server_thread(store, cache=0)  # every request probes replicas
+    try:
+        probe = ServeClient(port=handle.port)
+        expected = {
+            (q.start, q.end): sorted(
+                store.query().overlapping(q.start, q.end).ids()
+            )
+            for q in hot
+        }
+        halves = [
+            (stream[: len(stream) // 2], stream[len(stream) // 2 :])
+            for stream in streams
+        ]
+        first_seconds, first_requests = _drive_clients(
+            handle.port, [first for first, _ in halves]
+        )
+        # kill one replica of the busiest shard mid-workload
+        victim_shard = store.index.plan.shard_of(hot[0].start)
+        survivors = store.index.kill_replica(victim_shard, replica_id=0)
+        second_seconds, second_requests = _drive_clients(
+            handle.port, [second for _, second in halves]
+        )
+        correct = all(
+            sorted(probe.query(q.start, q.end)["ids"]) == expected[(q.start, q.end)]
+            for q in hot
+        )
+        health = store.index.replica_health()
+        probe.close()
+    finally:
+        handle.stop()
+        store.close()
+    for stage, seconds, requests in (
+        ("all replicas", first_seconds, first_requests),
+        ("one replica killed", second_seconds, second_requests),
+    ):
+        failover_rows.append(
+            {
+                "stage": stage,
+                "qps": requests / seconds if seconds else 0.0,
+                "survivors": survivors,
+                "victim_shard": victim_shard,
+                "correct": correct,
+                "replica_health": health,
+            }
+        )
+    return {"serving": serving_rows, "failover": failover_rows}

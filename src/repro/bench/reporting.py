@@ -9,6 +9,7 @@ __all__ = [
     "format_series",
     "render_ingest_maintenance",
     "render_process_scaling",
+    "render_serving_throughput",
 ]
 
 Number = Union[int, float]
@@ -119,6 +120,34 @@ def render_ingest_maintenance(result: Mapping[str, Sequence[Mapping]]) -> str:
         ],
     )
     return ingest + "\n\n" + refresh
+
+
+def render_serving_throughput(result: Mapping[str, Sequence[Mapping]]) -> str:
+    """Render :func:`repro.bench.experiments.serving_throughput`'s two tables.
+
+    Shared by ``scripts/run_experiments.py`` and
+    ``benchmarks/bench_serving.py`` so the CI report and the saved benchmark
+    report cannot drift apart.
+    """
+    serving = format_table(
+        "Serving throughput -- skewed workload through the query server "
+        "(speedup of the generation-keyed cache vs uncached)",
+        ["mode", "requests", "req/s", "cache hit rate", "speedup"],
+        [
+            [r["mode"], r["requests"], r["qps"], r["hit_rate"], r["speedup"]]
+            for r in result["serving"]
+        ],
+    )
+    failover = format_table(
+        "Replica failover -- killing one replica of the busiest shard "
+        "mid-workload (correctness asserted against the store)",
+        ["stage", "req/s", "victim shard", "survivors", "correct"],
+        [
+            [r["stage"], r["qps"], r["victim_shard"], r["survivors"], r["correct"]]
+            for r in result["failover"]
+        ],
+    )
+    return serving + "\n\n" + failover
 
 
 def format_series(

@@ -26,6 +26,10 @@ Examples::
     # model-recommended shard count per execution strategy (no updates run)
     python -m repro maintain data.csv --recommend-only
 
+    # serve the collection over JSON-over-HTTP (epoch snapshots, replicated
+    # shards, admission control, invalidation-aware result cache)
+    python -m repro serve data.csv --port 8080 --shards 4 --replication 2
+
     # the available backends (engine registry)
     python -m repro list-backends
 
@@ -55,6 +59,7 @@ from repro.datasets.synthetic import SyntheticConfig, generate_synthetic
 from repro.engine import IntervalStore, available_backends, backend_specs, get_spec
 from repro.engine.executor import EXECUTOR_KINDS, available_cores
 from repro.engine.maintenance import MAINTENANCE_POLICIES, recommend_shard_count
+from repro.engine.replication import ROUTING_POLICIES
 from repro.engine.sharding import PARTITION_STRATEGIES
 from repro.hint.model import DatasetStatistics, estimate_m_opt, replication_factor
 
@@ -81,8 +86,11 @@ def build_parser() -> argparse.ArgumentParser:
     policy_names = [name for name, _ in MAINTENANCE_POLICIES]
     policy_help = "; ".join(f"{name}: {blurb}" for name, blurb in MAINTENANCE_POLICIES)
 
+    routing_names = [name for name, _ in ROUTING_POLICIES]
+    routing_help = "; ".join(f"{name}: {blurb}" for name, blurb in ROUTING_POLICIES)
+
     def add_execution_args(sub: argparse.ArgumentParser) -> None:
-        """--shards/--workers/--executor/--shard-strategy, shared by query/batch/bench."""
+        """--shards/--workers/--executor/..., shared by query/batch/bench/serve."""
         sub.add_argument("--shards", type=int, default=1, metavar="K",
                          help="split the data into K time-range shards (default: 1)")
         sub.add_argument("--workers", type=int, default=None, metavar="W",
@@ -94,6 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--shard-strategy", choices=PARTITION_STRATEGIES,
                          default="equi_width",
                          help="how shard boundaries are chosen (default: %(default)s)")
+        sub.add_argument("--replication", type=int, default=1, metavar="R",
+                         help="replicas per shard; probes route across healthy "
+                              "replicas and fail over transparently (default: 1)")
+        sub.add_argument("--routing", choices=routing_names, default="round_robin",
+                         help=f"replica routing policy -- {routing_help} "
+                              "(default: %(default)s)")
 
     def add_maintenance_arg(sub: argparse.ArgumentParser) -> None:
         """--maintenance, shared by batch/bench: run a pass after the workload."""
@@ -156,6 +170,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help=f"execution strategy for the parallel rows -- {executor_help}")
     bench.add_argument("--shard-strategy", choices=PARTITION_STRATEGIES,
                        default="equi_width")
+    bench.add_argument("--replication", type=int, default=1, metavar="R",
+                       help="replicas per shard for every swept row (default: 1)")
+    bench.add_argument("--routing", choices=routing_names, default="round_robin",
+                       help=f"replica routing policy -- {routing_help} "
+                            "(default: %(default)s)")
     add_maintenance_arg(bench)
 
     maintain = subparsers.add_parser(
@@ -181,6 +200,11 @@ def build_parser() -> argparse.ArgumentParser:
     maintain.add_argument("--seed", type=int, default=99)
     maintain.add_argument("--policy", choices=policy_names, default="threshold",
                           help=f"rebuild policy -- {policy_help} (default: %(default)s)")
+    maintain.add_argument("--calibrate", action="store_true",
+                          help="micro-benchmark the Section 3.3 betas on this "
+                               "machine at coordinator startup, so the "
+                               "cost_model policy amortises with measured "
+                               "(not default) constants")
     maintain.add_argument("--force", action="store_true",
                           help="rebuild every shard with a non-empty delta and "
                                "refresh the snapshot even when clean")
@@ -191,6 +215,40 @@ def build_parser() -> argparse.ArgumentParser:
                                "execution strategy and exit (no updates run)")
     add_execution_args(maintain)
     maintain.set_defaults(shards=4)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve the collection over JSON-over-HTTP (cache, admission control)",
+    )
+    serve.add_argument("csv", type=Path, help="intervals file")
+    serve.add_argument("--header", action="store_true", help="skip the first CSV row")
+    serve.add_argument("--index", choices=index_choices, default="hintm_hybrid",
+                       metavar="BACKEND",
+                       help="backend name (default: %(default)s -- the "
+                            "update-friendly hybrid, so /insert and /delete work)")
+    serve.add_argument("--num-bits", type=int, default=None)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: %(default)s)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port; 0 picks a free one (default: %(default)s)")
+    serve.add_argument("--cache-size", type=int, default=1024, metavar="N",
+                       help="result-cache capacity; 0 disables caching "
+                            "(default: %(default)s)")
+    serve.add_argument("--max-pending", type=int, default=64, metavar="N",
+                       help="admission bound: query requests in flight before "
+                            "503s (default: %(default)s)")
+    serve.add_argument("--max-batch", type=int, default=64, metavar="N",
+                       help="most queries coalesced into one run_batch call "
+                            "(default: %(default)s)")
+    serve.add_argument("--batch-window", type=float, default=0.0, metavar="S",
+                       help="seconds to wait for batch stragglers; 0 drains "
+                            "greedily (default: %(default)s)")
+    serve.add_argument("--maintenance-interval", type=float, default=0.0,
+                       metavar="S",
+                       help="run the background maintenance daemon every S "
+                            "seconds during idle windows (default: off)")
+    add_execution_args(serve)
+    serve.set_defaults(shards=4)
 
     subparsers.add_parser("list-backends", help="list the registered index backends")
 
@@ -231,12 +289,15 @@ def _open_store(
     workers: Optional[int] = None,
     executor: Optional[str] = None,
     shard_strategy: str = "equi_width",
+    replication: int = 1,
+    routing: str = "round_robin",
 ) -> IntervalStore:
     """Build an :class:`IntervalStore`, auto-tuning ``m`` when not given.
 
-    ``shards > 1`` yields a :class:`repro.engine.ShardedStore` over ``name``;
-    ``executor`` names the execution strategy (serial/threads/processes),
-    sized by ``workers``; a bare ``workers`` count means a thread pool.
+    ``shards > 1`` (or ``replication > 1``) yields a
+    :class:`repro.engine.ShardedStore` over ``name``; ``executor`` names the
+    execution strategy (serial/threads/processes), sized by ``workers``; a
+    bare ``workers`` count means a thread pool.
     """
     opts = {}
     spec = get_spec(name)
@@ -259,6 +320,8 @@ def _open_store(
         strategy=shard_strategy,
         workers=workers,
         executor=executor,
+        replication_factor=replication,
+        routing=routing,
         **opts,
     )
 
@@ -282,6 +345,8 @@ def _command_query(args: argparse.Namespace) -> int:
         workers=args.workers,
         executor=args.executor,
         shard_strategy=args.shard_strategy,
+        replication=args.replication,
+        routing=args.routing,
     )
     build_seconds = time.perf_counter() - build_start
 
@@ -330,6 +395,8 @@ def _command_batch(args: argparse.Namespace) -> int:
         workers=args.workers,
         executor=args.executor,
         shard_strategy=args.shard_strategy,
+        replication=args.replication,
+        routing=args.routing,
     )
     batch = store.run_batch(queries, count_only=args.count_only)
     maintenance_line = _run_maintenance(store, args.maintenance)
@@ -393,6 +460,8 @@ def _command_bench(args: argparse.Namespace) -> int:
             workers=args.workers if parallel else None,
             executor=args.executor if parallel else None,
             shard_strategy=args.shard_strategy,
+            replication=args.replication,
+            routing=args.routing,
         )
         build_seconds = time.perf_counter() - build_start
         throughput = measure_throughput(store.index, queries, repeats=args.repeats)
@@ -448,6 +517,8 @@ def _command_maintain(args: argparse.Namespace) -> int:
         workers=args.workers,
         executor=args.executor,
         shard_strategy=args.shard_strategy,
+        replication=args.replication,
+        routing=args.routing,
     )
     applied = {Operation.QUERY: 0, Operation.INSERT: 0, Operation.DELETE: 0}
     stream_start = time.perf_counter()
@@ -469,8 +540,15 @@ def _command_maintain(args: argparse.Namespace) -> int:
         else f"# applied {total_ops} operations"
     )
     coordinator = store.maintenance(
-        config=MaintenanceConfig(policy=args.policy, repartition=not args.no_repartition)
+        config=MaintenanceConfig(
+            policy=args.policy,
+            calibrate=args.calibrate,
+            repartition=not args.no_repartition,
+        )
     )
+    if coordinator.calibrated_betas is not None:
+        beta_cmp, beta_acc = coordinator.calibrated_betas
+        print(f"# calibrated betas: beta_cmp={beta_cmp:.3g}, beta_acc={beta_acc:.3g}")
     _print_maintenance_state("before", coordinator.state())
     report = coordinator.maintain(force=args.force)
     print(f"# maintain[{args.policy}]: {report.summary()}")
@@ -496,6 +574,47 @@ def _print_maintenance_state(label: str, state: dict) -> None:
     for key in interesting:
         if key in state:
             print(f"  {key:<20s} {state[key]}")
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import QueryServer
+
+    collection = _load(args.csv, args.header)
+    store = _open_store(
+        args.index,
+        collection,
+        args.num_bits,
+        shards=args.shards,
+        workers=args.workers,
+        executor=args.executor,
+        shard_strategy=args.shard_strategy,
+        replication=args.replication,
+        routing=args.routing,
+    )
+    if args.maintenance_interval > 0:
+        store.maintenance().start(interval_seconds=args.maintenance_interval)
+    server = QueryServer(
+        store,
+        host=args.host,
+        port=args.port,
+        cache=args.cache_size,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window,
+    )
+    print(
+        f"# serving {len(store)} intervals ({_describe_store(store)}, "
+        f"replication={args.replication}) -- Ctrl-C to drain and stop"
+    )
+    try:
+        # run() drains on Ctrl-C: admitted requests finish, then the
+        # listener closes -- the banner's promise, kept
+        server.run(
+            on_started=lambda s: print(f"# listening on {s.address}", flush=True)
+        )
+    finally:
+        store.close()
+    return 0
 
 
 def _command_list_backends(args: argparse.Namespace) -> int:
@@ -526,6 +645,14 @@ def _command_list_backends(args: argparse.Namespace) -> int:
           "--maintenance on batch/bench):")
     for name, blurb in MAINTENANCE_POLICIES:
         print(f"  {name:<10s} {blurb}")
+    print()
+    print("serving (repro serve; replica routing via --replication/--routing):")
+    for name, blurb in ROUTING_POLICIES:
+        print(f"  {name:<12s} {blurb}")
+    print("  cache        LRU keyed on query + content generation; updates and "
+          "maintenance invalidate by construction")
+    print("  admission    bounded in-flight queue; overload answers 503 + "
+          "Retry-After instead of queueing unboundedly")
     return 0
 
 
@@ -568,6 +695,7 @@ _COMMANDS = {
     "batch": _command_batch,
     "bench": _command_bench,
     "maintain": _command_maintain,
+    "serve": _command_serve,
     "list-backends": _command_list_backends,
     "stats": _command_stats,
     "generate": _command_generate,

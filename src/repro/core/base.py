@@ -71,10 +71,20 @@ class QueryStats:
     extra: Dict[str, float] = field(default_factory=dict)
 
     #: ``extra`` columns that are point-in-time gauges rather than additive
-    #: counters (the sharded index's ingest/maintenance state); merging takes
-    #: their max so ``sum(stats_list)`` over a workload stays meaningful
-    #: instead of reporting e.g. a snapshot generation that never existed
-    GAUGE_EXTRAS = frozenset({"ingest_pending", "snapshot_generation"})
+    #: counters (the sharded index's ingest/maintenance/serving state);
+    #: merging takes their max so ``sum(stats_list)`` over a workload stays
+    #: meaningful instead of reporting e.g. a snapshot generation that never
+    #: existed
+    GAUGE_EXTRAS = frozenset(
+        {
+            "ingest_pending",
+            "snapshot_generation",
+            "epoch",
+            "replicas_failed",
+            "cache_hits",
+            "cache_size",
+        }
+    )
 
     def merge(self, other: "QueryStats") -> "QueryStats":
         """Accumulate ``other``'s counters into this instance (and return it).

@@ -561,6 +561,14 @@ class MaintenanceConfig:
 
     Attributes:
         policy: rebuild policy name or instance (default: ``"threshold"``).
+        calibrate: measure the Section 3.3 ``beta`` constants on this
+            machine at coordinator startup (:func:`repro.hint.model.measure_betas`)
+            and configure a :class:`CostModelRebuildPolicy` with them, so
+            the amortisation argument uses measured rather than default
+            costs.  A no-op for policies without ``beta_cmp``.
+        rebuild_replicas: heal failed shard replicas during each pass
+            (fresh builds from the live collection; see
+            :meth:`repro.engine.sharded.ShardedIndex.rebuild_failed_replicas`).
         repartition: allow cut re-balancing when skew drifts.
         skew_threshold: trigger re-partitioning when the largest shard holds
             more than this multiple of the mean shard size *and* updates
@@ -574,6 +582,8 @@ class MaintenanceConfig:
     """
 
     policy: Union[RebuildPolicy, str, None] = None
+    calibrate: bool = False
+    rebuild_replicas: bool = True
     repartition: bool = True
     skew_threshold: float = 1.5
     refresh_snapshot: bool = True
@@ -589,6 +599,8 @@ class MaintenanceReport:
         folded_ops: journal operations folded into the count columns.
         rebuilt_shards: shard ids whose hybrid delta was merged into a fresh
             main index.
+        replicas_rebuilt: ``(shard_id, replica_id)`` pairs of failed shard
+            replicas healed with fresh builds from the live collection.
         repartitioned: True when cut skew triggered a re-balance.
         cuts: the (possibly new) interior cut points after the pass.
         skew: measured shard-size skew (max/mean) before the pass.
@@ -600,6 +612,7 @@ class MaintenanceReport:
 
     folded_ops: int = 0
     rebuilt_shards: List[int] = field(default_factory=list)
+    replicas_rebuilt: List[Tuple[int, int]] = field(default_factory=list)
     repartitioned: bool = False
     cuts: Tuple[int, ...] = ()
     skew: float = 0.0
@@ -613,6 +626,7 @@ class MaintenanceReport:
         return (
             (1 if self.folded_ops else 0)
             + len(self.rebuilt_shards)
+            + len(self.replicas_rebuilt)
             + (1 if self.repartitioned else 0)
             + (1 if self.snapshot_refreshed else 0)
         )
@@ -622,6 +636,8 @@ class MaintenanceReport:
         parts = [f"folded {self.folded_ops} ops"]
         if self.rebuilt_shards:
             parts.append(f"rebuilt shards {self.rebuilt_shards}")
+        if self.replicas_rebuilt:
+            parts.append(f"healed replicas {self.replicas_rebuilt}")
         if self.repartitioned:
             parts.append(f"re-partitioned (skew {self.skew:.2f}, cuts {list(self.cuts)})")
         if self.snapshot_refreshed:
@@ -666,12 +682,37 @@ class MaintenanceCoordinator:
         self._policy = resolve_policy(
             policy if policy is not None else self._config.policy
         )
+        #: measured ``(beta_cmp, beta_acc)`` when ``config.calibrate`` ran,
+        #: ``None`` otherwise (surfaced by :meth:`state`)
+        self.calibrated_betas: Optional[Tuple[float, float]] = None
+        if self._config.calibrate:
+            self._calibrate_policy()
         self._lock = threading.Lock()
         self._last_rebuild: Dict[int, float] = {}
         self._queries_at_last_maintain = self._query_ops()
         self._reports: List[MaintenanceReport] = []
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
+
+    def _calibrate_policy(self) -> None:
+        """Measure the Section 3.3 betas and configure the rebuild policy.
+
+        ``MaintenanceConfig.calibrate=True`` runs the
+        :func:`repro.hint.model.measure_betas` micro-benchmark once at
+        coordinator startup (a small sample -- this is a startup cost, not a
+        benchmark) and installs the measured ``beta_cmp`` into a
+        :class:`CostModelRebuildPolicy`, so the amortisation rule compares
+        *this machine's* delta-probe overhead against its rebuild cost
+        instead of the hard-coded defaults.  Policies without a ``beta_cmp``
+        knob (the threshold rule) are left untouched, but the measurement is
+        still recorded in :attr:`calibrated_betas` for display.
+        """
+        from repro.hint.model import measure_betas
+
+        beta_cmp, beta_acc = measure_betas(sample_size=50_000, repeats=2)
+        self.calibrated_betas = (beta_cmp, beta_acc)
+        if hasattr(self._policy, "beta_cmp"):
+            self._policy.beta_cmp = beta_cmp
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -750,6 +791,7 @@ class MaintenanceCoordinator:
         state: Dict[str, object] = {
             "backend": getattr(index, "backend", getattr(index, "name", "?")),
             "policy": self._policy.name,
+            "calibrated_betas": self.calibrated_betas,
             "last_rebuild": dict(self._last_rebuild),
             "passes": len(self._reports),
         }
@@ -779,6 +821,14 @@ class MaintenanceCoordinator:
             report.seconds = time.perf_counter() - started
             self._reports.append(report)
             return report
+
+    def _built_replicas(self, shard_id: int) -> List:
+        """Every built replica of one shard (just the primary when unreplicated)."""
+        built = getattr(self._index, "built_replicas", None)
+        if built is not None:
+            return built(shard_id)
+        shard = self._index.built_shards[shard_id]
+        return [shard] if shard is not None else []
 
     def _maintain_plain(self, report: MaintenanceReport, force: bool) -> None:
         index = self._index
@@ -827,10 +877,21 @@ class MaintenanceCoordinator:
                     self._last_rebuild = {
                         shard: time.time() for shard in range(index.num_shards)
                     }
+        # heal failed replicas with fresh builds from the live collection.
+        # Skipped after a repartition: the fresh epoch's replica sets come
+        # back fully healthy anyway.
+        if (
+            not report.repartitioned
+            and config.rebuild_replicas
+            and hasattr(index, "rebuild_failed_replicas")
+        ):
+            report.replicas_rebuilt = index.rebuild_failed_replicas()
         # rebuild hybrid shards the policy flags (only shards already built
         # in this process -- worker-resident copies rebuild from the next
-        # snapshot publication instead).  Skipped after a repartition: the
-        # fresh shard builds have empty deltas.
+        # snapshot publication instead).  Every built replica of a flagged
+        # shard rebuilds, so routed probes stay delta-free on all copies.
+        # Skipped after a repartition: the fresh shard builds have empty
+        # deltas.
         if not report.repartitioned:
             for health in self.shard_health():
                 shard = index.built_shards[health.shard_id]
@@ -839,7 +900,9 @@ class MaintenanceCoordinator:
                 if (force and health.delta) or (
                     not force and self._policy.should_rebuild(health)
                 ):
-                    shard.rebuild()
+                    for replica in self._built_replicas(health.shard_id):
+                        if hasattr(replica, "rebuild"):
+                            replica.rebuild()
                     self._last_rebuild[health.shard_id] = time.time()
                     report.rebuilt_shards.append(health.shard_id)
         report.cuts = tuple(index.plan.cuts)

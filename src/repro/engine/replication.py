@@ -1,0 +1,282 @@
+"""Per-shard replication: replica sets, routing policies, failover records.
+
+The partitioner already *duplicates* intervals across shard boundaries for
+correctness; this module adds *replication* for availability: each shard of a
+:class:`repro.engine.sharded.ShardedIndex` can be served by ``R``
+interchangeable copies of its backend index (a :class:`ShardReplicaSet`).
+Probes route to one healthy replica per :data:`ROUTING_POLICIES` -- round-robin
+by default, or least-loaded by in-flight probe count -- and when a replica
+raises mid-probe the caller marks it failed and retries the next healthy one,
+so a single bad copy degrades throughput but never correctness.  Failed slots
+are recorded as :class:`ReplicaFailure` rows and rebuilt from the live
+collection by the :class:`repro.engine.maintenance.MaintenanceCoordinator`'s
+next pass (or an explicit
+:meth:`~repro.engine.sharded.ShardedIndex.rebuild_failed_replicas`).
+
+Build discipline -- why lazy replicas stay consistent:
+
+* replicas beyond the primary are built *lazily*, on first routing selection
+  or on an update touching their shard;
+* every update first ensures all of the owning shard's replicas are built
+  (:meth:`ShardReplicaSet.ensure_all`, under the index's maintenance lock)
+  and then applies to each of them -- so a replica set that has absorbed any
+  update has no unbuilt slots left;
+* therefore an *unbuilt* slot implies its shard absorbed no updates since the
+  epoch was installed, and building it from the epoch's source collection
+  reproduces the shard exactly.  Only *failed* slots (which may have absorbed
+  updates before dying) must rebuild from the live collection instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.base import IntervalIndex
+
+__all__ = ["ROUTING_POLICIES", "ReplicaFailure", "ShardReplicaSet"]
+
+#: ``(name, one-line description)`` of every replica-routing policy, in the
+#: order the CLI help and ``list-backends`` present them
+ROUTING_POLICIES: Tuple[Tuple[str, str], ...] = (
+    ("round_robin", "cycle probes across the shard's healthy replicas"),
+    ("least_loaded", "route each probe to the replica with fewest in-flight probes"),
+)
+
+_ROUTING_NAMES = tuple(name for name, _ in ROUTING_POLICIES)
+
+
+@dataclass(frozen=True)
+class ReplicaFailure:
+    """One replica marked failed during query routing (for maintenance/ops)."""
+
+    shard_id: int
+    replica_id: int
+    error: str
+
+
+class ShardReplicaSet:
+    """``R`` interchangeable copies of one shard's backend index.
+
+    Args:
+        shard_id: which shard of the plan this set serves.
+        factor: replica count ``R`` (1 keeps the pre-replication behaviour:
+            no routing bookkeeping, no failover wrapper on the probe path).
+        build: zero-argument callable producing a fresh index with the
+            shard's *epoch-source* contents; used for lazy builds of slots
+            that have absorbed no updates (see the module docstring).
+        routing: one of :data:`ROUTING_POLICIES`.
+        guard: the owning index's maintenance lock; lazy builds run under it
+            so a build can never interleave with a foreground update (which
+            would leave the fresh replica missing that update).
+        primary: an already-built index for slot 0 (in-process partitioning
+            builds primaries eagerly; process-mode parents leave them lazy).
+    """
+
+    __slots__ = (
+        "shard_id",
+        "_build",
+        "_guard",
+        "_routing",
+        "_replicas",
+        "_healthy",
+        "_inflight",
+        "_lock",
+        "_cursor",
+    )
+
+    def __init__(
+        self,
+        shard_id: int,
+        factor: int,
+        build: Callable[[], IntervalIndex],
+        routing: str = "round_robin",
+        guard: Optional[threading.RLock] = None,
+        primary: Optional[IntervalIndex] = None,
+    ) -> None:
+        if factor < 1:
+            raise ValueError(f"replication factor must be >= 1, got {factor}")
+        if routing not in _ROUTING_NAMES:
+            raise ValueError(
+                f"unknown routing policy {routing!r}; use one of {_ROUTING_NAMES}"
+            )
+        self.shard_id = shard_id
+        self._build = build
+        self._guard = guard if guard is not None else threading.RLock()
+        self._routing = routing
+        self._replicas: List[Optional[IntervalIndex]] = [primary] + [None] * (factor - 1)
+        self._healthy = [True] * factor
+        self._inflight = [0] * factor
+        self._lock = threading.Lock()  # routing counters + health flips only
+        self._cursor = 0
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def factor(self) -> int:
+        """Replica count ``R``."""
+        return len(self._replicas)
+
+    @property
+    def routing(self) -> str:
+        return self._routing
+
+    @property
+    def healthy_count(self) -> int:
+        return sum(self._healthy)
+
+    def health(self) -> List[bool]:
+        """Per-replica health flags, slot order."""
+        return list(self._healthy)
+
+    def failed_ids(self) -> List[int]:
+        """Slot ids currently marked failed."""
+        return [r for r, ok in enumerate(self._healthy) if not ok]
+
+    def built(self) -> List[IntervalIndex]:
+        """Every replica index built in this process (healthy or not)."""
+        return [index for index in self._replicas if index is not None]
+
+    def primary_if_built(self) -> Optional[IntervalIndex]:
+        """Slot 0's index without forcing a build (``None`` while lazy)."""
+        return self._replicas[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ShardReplicaSet(shard={self.shard_id}, factor={self.factor}, "
+            f"healthy={self.healthy_count}, routing={self._routing!r})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # builds
+    # ------------------------------------------------------------------ #
+    def ensure(self, replica_id: int) -> IntervalIndex:
+        """The slot's index, built lazily from the epoch source if needed.
+
+        A *failed* slot never builds here: it may have absorbed updates
+        before dying, so the epoch-source build would silently resurrect it
+        with stale contents -- only :meth:`install` (a fresh build from the
+        live collection, via maintenance) heals it.  The lazy build runs
+        under the maintenance guard so it serialises against whole update
+        operations -- a half-applied insert can neither be missed nor
+        double-counted by the fresh replica.
+        """
+        index = self._replicas[replica_id]
+        if index is not None:
+            return index
+        if not self._healthy[replica_id]:
+            raise RuntimeError(
+                f"shard {self.shard_id} replica {replica_id} is failed; "
+                f"maintenance (rebuild_failed_replicas) must heal it before use"
+            )
+        with self._guard:
+            index = self._replicas[replica_id]
+            if index is None:
+                index = self._build()
+                self._replicas[replica_id] = index
+        return index
+
+    def ensure_all(self) -> List[IntervalIndex]:
+        """Build every healthy slot; returns them in slot order.
+
+        Called by updates (which already hold the maintenance guard) before
+        applying, so every healthy replica absorbs every update.  Failed
+        slots stay down -- they rebuild from the live collection during
+        maintenance, which by then includes this update.
+        """
+        return [
+            self.ensure(replica_id)
+            for replica_id in range(self.factor)
+            if self._healthy[replica_id]
+        ]
+
+    def install(self, replica_id: int, index: IntervalIndex) -> None:
+        """Install a freshly (re)built index into a slot and mark it healthy."""
+        with self._lock:
+            self._replicas[replica_id] = index
+            self._healthy[replica_id] = True
+            self._inflight[replica_id] = 0
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def primary(self) -> IntervalIndex:
+        """Slot 0's index (the R=1 fast path and the updates' anchor)."""
+        return self.ensure(0)
+
+    def select(self) -> Tuple[int, IntervalIndex]:
+        """Pick a healthy replica per the routing policy (no load tracking)."""
+        with self._lock:
+            replica_id = self._select_locked()
+        return replica_id, self.ensure(replica_id)
+
+    def acquire(self) -> Tuple[int, IntervalIndex]:
+        """Pick a healthy, built replica and count the probe in-flight.
+
+        Pair with :meth:`release`; least-loaded routing is driven by these
+        counters.  A slot whose lazy build fails (or that a concurrent
+        probe marked failed between selection and build) leaves rotation
+        and the pick retries the next healthy replica -- failover covers
+        the build, not just the probe.  The in-flight counter is released
+        on any failure; a counter leaked here would bias least-loaded
+        routing away from the slot forever.  Raises once no healthy
+        replica remains.
+        """
+        while True:
+            with self._lock:
+                replica_id = self._select_locked()
+                self._inflight[replica_id] += 1
+            try:
+                return replica_id, self.ensure(replica_id)
+            except Exception:
+                self.release(replica_id)
+                with self._lock:
+                    still_healthy = self._healthy[replica_id]
+                if still_healthy:
+                    # the build itself failed: take the slot out so routing
+                    # stops retrying it (maintenance rebuilds it from live)
+                    self.mark_failed(replica_id)
+                # else: lost the race with a concurrent mark_failed -- the
+                # slot is already out; either way, try the next replica
+
+    def release(self, replica_id: int) -> None:
+        with self._lock:
+            if self._inflight[replica_id] > 0:
+                self._inflight[replica_id] -= 1
+
+    def _select_locked(self) -> int:
+        healthy = [r for r, ok in enumerate(self._healthy) if ok]
+        if not healthy:
+            raise RuntimeError(
+                f"shard {self.shard_id}: all {self.factor} replicas are failed; "
+                f"run maintenance (rebuild_failed_replicas) to heal"
+            )
+        if len(healthy) == 1:
+            return healthy[0]
+        self._cursor += 1
+        if self._routing == "least_loaded":
+            # ties rotate: on paths that do not track in-flight probes
+            # (select()/shards_for) every counter is equal, and breaking
+            # the tie by slot id would pin all traffic to replica 0
+            least = min(self._inflight[r] for r in healthy)
+            tied = [r for r in healthy if self._inflight[r] == least]
+            return tied[self._cursor % len(tied)]
+        return healthy[self._cursor % len(healthy)]
+
+    # ------------------------------------------------------------------ #
+    # failover
+    # ------------------------------------------------------------------ #
+    def mark_failed(self, replica_id: int) -> int:
+        """Take a replica out of rotation; returns the healthy count left.
+
+        The dead index reference is dropped so its memory can be reclaimed;
+        the slot stays allocated and is healed by :meth:`install` with a
+        fresh build from the live collection.
+        """
+        with self._lock:
+            self._healthy[replica_id] = False
+            self._replicas[replica_id] = None
+            self._inflight[replica_id] = 0
+            return sum(self._healthy)

@@ -1,25 +1,41 @@
 """Horizontally sharded execution over any registered backend.
 
-:class:`ShardedIndex` composes the three execution-layer pieces into one
+:class:`ShardedIndex` composes the execution-layer pieces into one
 :class:`repro.core.base.IntervalIndex`:
 
 * the **partitioner** (:mod:`repro.engine.sharding`) splits the collection
   into K time-range shards, duplicating intervals that span shard
   boundaries;
 * each shard is served by **any registered backend** (default: the optimized
-  HINT^m with per-shard model-tuned ``m``);
+  HINT^m with per-shard model-tuned ``m``), optionally as ``R`` replicated
+  copies (:mod:`repro.engine.replication`) with round-robin or least-loaded
+  probe routing and transparent failover;
 * a pluggable **executor** (:mod:`repro.engine.executor`) fans batches out
   across worker threads or worker *processes*, with serial execution as the
   K=1 degenerate case.
 
 Queries are *planned*: only the shards overlapping the query range are
 probed, and multi-shard answers are deduplicated by id.  Updates are
-*routed*: an insert goes to every shard whose range the new interval
-overlaps (so with ``backend="hintm_hybrid"`` it lands in the owning shard's
-delta index), and a delete probes only the shards recorded as holding a
-copy (an id -> span locator is maintained from build time).
+*routed*: an insert goes to every replica of every shard whose range the new
+interval overlaps (so with ``backend="hintm_hybrid"`` it lands in the owning
+shard's delta index), and a delete probes only the shards recorded as
+holding a copy (an id -> span locator is maintained from build time).
 
-Two execution strategies deserve detail:
+Three consistency/execution mechanisms deserve detail:
+
+**Epoch-based read snapshots.**  All partition-dependent state -- the plan,
+the per-shard replica sets, the ingest journal and the id -> span locator --
+lives in one :class:`Epoch` object, and the index holds a single reference
+to the current epoch.  Every query pins that reference *once* on entry and
+runs entirely against the pinned epoch, so maintenance operations that
+replace partition state (:meth:`ShardedIndex.repartition`) build a complete
+fresh epoch off to the side and publish it with one atomic reference
+assignment.  Readers therefore never observe a half-installed plan (new cuts
+with old shards, or a journal that disagrees with the locator) and never
+take a lock: a query racing a repartition sees either the old epoch or the
+new one, both complete.  In-place updates (insert/delete) mutate the current
+epoch under the maintenance lock; a reader pinned to that epoch sees them
+with the usual single-object update visibility, exactly as before.
 
 **Process fan-out.**  With a :class:`~repro.engine.executor.ProcessExecutor`
 the shard indexes live *inside the worker processes*
@@ -29,7 +45,10 @@ builds the shards it is asked about on first use, and per-task payloads are
 just ``(shard_id, query arrays)`` -- results return as compact id arrays.
 This sidesteps the GIL for pure-Python backends (the HINT^m family) where
 the thread pool cannot.  Updates invalidate the published snapshot, so an
-updated index transparently falls back to in-process execution.
+updated index transparently falls back to in-process execution -- as does a
+batch whose worker pool dies mid-flight (the error is recorded as a replica
+failure and fan-out stays disabled until the next snapshot refresh heals
+it).
 
 **Home-shard counting.**  Boundary-spanning intervals are duplicated, so a
 multi-shard count used to materialise ids and deduplicate.  Instead, the
@@ -46,13 +65,14 @@ to per-shard pending buffers in O(1) and fold into the columns lazily, on
 the next multi-shard count (``ingest="eager"`` restores the historical
 reallocate-per-op behaviour for comparison).
 
-Maintenance -- folding journals, rebuilding hybrid shard deltas,
-re-balancing cuts on skew and republishing the shared-memory snapshot so a
-process executor regains fan-out after updates -- is owned by
+Maintenance -- folding journals, rebuilding hybrid shard deltas and failed
+replicas, re-balancing cuts on skew and republishing the shared-memory
+snapshot so a process executor regains fan-out after updates -- is owned by
 :class:`repro.engine.maintenance.MaintenanceCoordinator`; the hooks it
 drives (:meth:`ShardedIndex.refresh_snapshot`,
-:meth:`ShardedIndex.repartition`, :attr:`ShardedIndex.ingest_journal`)
-live here.
+:meth:`ShardedIndex.repartition`,
+:meth:`ShardedIndex.rebuild_failed_replicas`,
+:attr:`ShardedIndex.ingest_journal`) live here.
 
 :class:`ShardedStore` is the :class:`repro.engine.store.IntervalStore`
 facade over a sharded index; its fluent queries yield
@@ -62,16 +82,19 @@ shard.
 
 from __future__ import annotations
 
+import functools
 import itertools
 import os
 import threading
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.allen import RANGE_QUERY_RELATIONS, AllenRelation
 from repro.core.base import IntervalIndex, QueryStats
+from repro.core.errors import ReproError
 from repro.core.interval import (
     HAS_SHARED_MEMORY,
     Interval,
@@ -89,14 +112,69 @@ from repro.engine.executor import (
 )
 from repro.engine.maintenance import INGEST_MODES, IngestJournal
 from repro.engine.registry import create_index, get_spec, register_backend, resolve_backend
+from repro.engine.replication import ReplicaFailure, ShardReplicaSet
 from repro.engine.results import MergedResultSet, ResultSet, merge_unique_ids
 from repro.engine.sharding import ShardPlan, partition_collection, shard_mask
 from repro.engine.store import DEFAULT_BACKEND, IntervalStore
 
-__all__ = ["ShardedIndex", "ShardedStore"]
+__all__ = ["Epoch", "ShardedIndex", "ShardedStore"]
 
 #: process-unique source of residency tokens (see :mod:`repro.engine._procworker`)
 _TOKENS = itertools.count()
+
+#: how many replica/worker failures the index keeps for diagnostics
+_FAILURE_HISTORY = 64
+
+
+class Epoch:
+    """One complete, consistent generation of a sharded index's partition state.
+
+    Everything a reader needs to answer a query against one version of the
+    partitioning -- the plan, the per-shard replica sets, the ingest journal
+    backing home-shard counting and the id -> span locator -- travels
+    together in one object.  Queries pin the owning index's current epoch
+    with a single reference read and never look back at the index for
+    partition state, so maintenance replaces the whole epoch atomically
+    (build aside, publish with one assignment) instead of mutating the parts
+    under readers.
+
+    Attributes:
+        epoch_id: monotonically increasing generation number (0 at build).
+        plan: the :class:`~repro.engine.sharding.ShardPlan` of this epoch.
+        replica_sets: one :class:`~repro.engine.replication.ShardReplicaSet`
+            per shard, in domain order.
+        journal: the home-shard counting journal (``None`` when K == 1).
+        locator: id -> ``(start, end)`` of every live interval (``None``
+            only for the unreplicated K == 1 degenerate case).
+        source: the collection this epoch's lazy shard builds draw from;
+            kept content-equivalent to the build state of the epoch (updates
+            route through built replicas, and snapshot refreshes replace it
+            with the equivalent live collection).  ``None`` when every
+            primary was built eagerly and no lazy replica can exist
+            (in-process executor, R == 1) -- nothing would ever read it, and
+            pinning the build collection for the index's lifetime would be
+            dead memory.
+    """
+
+    __slots__ = ("epoch_id", "plan", "replica_sets", "journal", "locator", "source")
+
+    def __init__(
+        self,
+        epoch_id: int,
+        plan: ShardPlan,
+        journal: Optional[IngestJournal],
+        locator: Optional[Dict[int, Tuple[int, int]]],
+        source: Optional[IntervalCollection],
+    ) -> None:
+        self.epoch_id = epoch_id
+        self.plan = plan
+        self.journal = journal
+        self.locator = locator
+        self.source = source
+        self.replica_sets: List[ShardReplicaSet] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Epoch(id={self.epoch_id}, K={self.plan.num_shards})"
 
 
 @register_backend(
@@ -123,6 +201,14 @@ class ShardedIndex(IntervalIndex):
             :class:`repro.engine.executor.Executor` instance).
         workers: worker count paired with a string ``executor`` spec
             (``executor="processes", workers=4``).
+        replication_factor: replicas per shard (default 1).  With R > 1,
+            in-process probes route across the healthy replicas of each
+            shard and fail over transparently when one raises; failed
+            replicas are rebuilt from the live collection by maintenance.
+            Replicas beyond the primary are built lazily, on first routing
+            selection or on the first update touching their shard.
+        routing: replica routing policy, ``"round_robin"`` (default) or
+            ``"least_loaded"`` (see :mod:`repro.engine.replication`).
         ingest: ``"journal"`` (default) buffers count-column updates per
             shard and folds them lazily; ``"eager"`` reallocates the sorted
             columns on every insert/delete (the historical behaviour, kept
@@ -144,6 +230,8 @@ class ShardedIndex(IntervalIndex):
         strategy: str = "equi_width",
         executor: "Executor | int | str | None" = None,
         workers: "int | None" = None,
+        replication_factor: int = 1,
+        routing: str = "round_robin",
         ingest: str = "journal",
         fold_threshold: "int | None" = None,
         **opts,
@@ -154,12 +242,18 @@ class ShardedIndex(IntervalIndex):
             raise ValueError("sharded indexes cannot nest another composite backend")
         if ingest not in INGEST_MODES:
             raise ValueError(f"unknown ingest mode {ingest!r}; use one of {INGEST_MODES}")
+        if replication_factor < 1:
+            raise ValueError(
+                f"replication_factor must be >= 1, got {replication_factor}"
+            )
         opts = dict(opts)
         if spec.tunable and "num_bits" not in opts:
             opts["num_bits"] = "auto"
         self._opts = opts
         self._ingest = ingest
         self._fold_threshold = fold_threshold
+        self._replication = replication_factor
+        self._routing_policy = routing
         # a caller-supplied instance (through either parameter) stays the
         # caller's to close; specs the index resolved itself are owned
         self._owns_executor = not (
@@ -170,8 +264,8 @@ class ShardedIndex(IntervalIndex):
         #: the partition state (repartition, snapshot refresh, close).  An
         #: insert landing between a background repartition's live-collection
         #: snapshot and its install would otherwise be silently discarded --
-        #: a lost update, not a visibility glitch.  Queries stay lock-free
-        #: (see the concurrent-safe-maintenance ROADMAP item).
+        #: a lost update, not a visibility glitch.  Queries stay lock-free:
+        #: they pin the current epoch and never take this lock.
         self._maintenance_lock = threading.RLock()
         self._dirty = False  # set by updates; disables the process snapshot
         self._closed = False  # close() is terminal for snapshot publication
@@ -185,6 +279,16 @@ class ShardedIndex(IntervalIndex):
         self._uid = f"{os.getpid()}-{next(_TOKENS)}"
         self._generation = 0
         self._publications = 0  # how many snapshots this index ever published
+        self._epochs_installed = 0  # source of Epoch.epoch_id values
+        #: monotonic content-version token: bumped by every insert/delete and
+        #: every epoch publication, so result caches keyed on it invalidate
+        #: by construction (see :mod:`repro.serve.cache`)
+        self._mutations = 0
+        #: worker-pool failures disable process fan-out until the next
+        #: snapshot refresh replaces the pool's resident state
+        self._fanout_disabled = False
+        #: most recent replica/worker failures (shard_id -1 = worker pool)
+        self._failures: Deque[ReplicaFailure] = deque(maxlen=_FAILURE_HISTORY)
         #: :func:`time.time` of the last snapshot publication, ``None``
         #: before the first one (surfaced by ``maintenance_state``)
         self.last_refresh: Optional[float] = None
@@ -198,6 +302,10 @@ class ShardedIndex(IntervalIndex):
         #: sums.  A diagnostic, not a synchronised counter -- increments can
         #: be lost when counts fan out across a thread pool.
         self.count_ops: Dict[str, int] = {"single_shard": 0, "home_shard": 0}
+        #: extra gauges merged into every instrumented query's stats; the
+        #: query server mirrors its cache counters here so
+        #: ``store.query(...).stats()`` surfaces serving state too
+        self.stats_extras: Dict[str, float] = {}
 
         self._shared: Optional[SharedCollectionBuffer] = None
         self._residency: Optional[ShardResidencySpec] = None
@@ -207,14 +315,16 @@ class ShardedIndex(IntervalIndex):
     def _install_partition(
         self, collection: IntervalCollection, plan: ShardPlan
     ) -> None:
-        """(Re)build all partition-dependent state for ``collection``.
+        """Build a complete fresh :class:`Epoch` for ``collection`` and publish it.
 
-        Shared by construction and :meth:`repartition`: installs the plan,
-        the ingest journal + locator bookkeeping (K > 1 only), and the
-        shards -- eagerly in-process, lazily (worker-resident over a fresh
-        shared-memory snapshot) under a process executor.
+        Shared by construction and :meth:`repartition`: the plan, the ingest
+        journal + locator bookkeeping, and the per-shard replica sets --
+        primaries eager in-process, lazy (worker-resident over a fresh
+        shared-memory snapshot) under a process executor -- are assembled
+        off to the side and installed with one atomic reference assignment,
+        so concurrent readers see either the previous epoch or this one,
+        never a mix.
         """
-        self._plan = plan
         self._size = len(collection)
         #: updates absorbed since this partition was installed; skew-driven
         #: re-partitioning only triggers once this is non-zero (build-time
@@ -222,35 +332,91 @@ class ShardedIndex(IntervalIndex):
         self.updates_since_partition = 0
         pieces = partition_collection(collection, plan)
 
-        # --- home-shard counting + bounded-delete bookkeeping (K > 1 only) ---
+        # --- home-shard counting + bounded-delete bookkeeping ---
+        journal: Optional[IngestJournal] = None
+        locator: Optional[Dict[int, Tuple[int, int]]] = None
         if plan.num_shards > 1:
-            self._journal: Optional[IngestJournal] = IngestJournal(
+            journal = IngestJournal(
                 pieces,
                 eager=(self._ingest == "eager"),
                 fold_threshold=self._fold_threshold,
             )
-            self._locator: Optional[Dict[int, Tuple[int, int]]] = {
+        if plan.num_shards > 1 or self._replication > 1:
+            # replicated single-shard indexes keep the locator too: failed
+            # replicas rebuild from it without consulting a (possibly dead)
+            # sibling's interval lookup
+            locator = {
                 int(i): (int(s), int(e))
                 for i, s, e in zip(collection.ids, collection.starts, collection.ends)
             }
-        else:
-            self._journal, self._locator = None, None
 
         # --- shard construction: eager in-process, lazy for process fan-out ---
-        if isinstance(self._executor, ProcessExecutor):
+        lazy = isinstance(self._executor, ProcessExecutor)
+        epoch = Epoch(
+            epoch_id=self._epochs_installed,
+            plan=plan,
+            journal=journal,
+            locator=locator,
+            # lazy builds (process-mode primaries, R > 1 secondaries) draw
+            # from the source; an eager unreplicated install has no lazy
+            # build left, so pinning the collection would be dead memory
+            source=collection if (lazy or self._replication > 1) else None,
+        )
+        self._epochs_installed += 1
+        if lazy:
             # shard indexes are built worker-resident on first task; the
             # parent keeps only a reference to the source collection (the
-            # masked pieces above are dropped) and builds a local shard
+            # masked pieces above are dropped) and builds a local primary
             # lazily when a non-batch code path needs one (single queries,
             # updates, stats)
-            self._source: Optional[IntervalCollection] = collection
-            self._shards: List[Optional[IntervalIndex]] = [None] * plan.num_shards
-            self._republish_snapshot(collection)
+            primaries: List[Optional[IntervalIndex]] = [None] * plan.num_shards
         else:
-            self._source = None
-            self._shards = self._executor.map(
+            primaries = self._executor.map(
                 lambda piece: create_index(self._backend, piece, **self._opts), pieces
             )
+        epoch.replica_sets = [
+            ShardReplicaSet(
+                shard_id,
+                self._replication,
+                build=functools.partial(self._build_epoch_shard, epoch, shard_id),
+                routing=self._routing_policy,
+                guard=self._maintenance_lock,
+                primary=primaries[shard_id],
+            )
+            for shard_id in range(plan.num_shards)
+        ]
+        # the publish: one reference assignment -- in-flight readers keep
+        # the epoch they pinned, new readers get this one, nobody sees a mix
+        self._epoch = epoch
+        self._mutations += 1
+        if lazy:
+            self._republish_snapshot(collection)
+
+    def _build_shard_from(
+        self, collection: IntervalCollection, plan: ShardPlan, shard_id: int
+    ) -> IntervalIndex:
+        """Build one shard's backend index over its slice of ``collection``.
+
+        The single source of shard-piece extraction on the parent side --
+        lazy epoch builds and failed-replica heals both slice through here,
+        so their replicas cannot drift row-wise.
+        """
+        if plan.num_shards == 1:
+            piece = collection
+        else:
+            piece = collection.take(shard_mask(collection, plan.cuts, shard_id))
+        return create_index(self._backend, piece, **self._opts)
+
+    def _build_epoch_shard(self, epoch: Epoch, shard_id: int) -> IntervalIndex:
+        """Build one shard's index from an epoch's source collection.
+
+        Used for lazy primary builds (process mode) and lazy replica builds;
+        both are only reached while the shard has absorbed no updates (see
+        :mod:`repro.engine.replication`), when the epoch source still equals
+        the shard's live contents.
+        """
+        assert epoch.source is not None, "lazy shard build without a source"
+        return self._build_shard_from(epoch.source, epoch.plan, shard_id)
 
     def _republish_snapshot(self, collection: IntervalCollection) -> None:
         """Publish ``collection`` as the shared-memory snapshot (process mode).
@@ -268,6 +434,7 @@ class ShardedIndex(IntervalIndex):
             self.last_refresh = time.time()
         self._residency = None
         self._dirty = False
+        self._fanout_disabled = False  # a fresh pool/snapshot heals dead workers
         if old is not None:
             old.unlink()
 
@@ -286,22 +453,53 @@ class ShardedIndex(IntervalIndex):
     @property
     def num_shards(self) -> int:
         """Actual shard count (may be below the requested K on tiny domains)."""
-        return self._plan.num_shards
+        return self._epoch.plan.num_shards
 
     @property
     def shards(self) -> List[IntervalIndex]:
-        """The per-shard backend indexes, in domain order (built on demand)."""
-        return [self._shard(j) for j in range(self._plan.num_shards)]
+        """The per-shard primary indexes, in domain order (built on demand)."""
+        return [replica_set.primary() for replica_set in self._epoch.replica_sets]
 
     @property
     def plan(self) -> ShardPlan:
-        """The partitioning plan (cut points + strategy)."""
-        return self._plan
+        """The current epoch's partitioning plan (cut points + strategy)."""
+        return self._epoch.plan
+
+    @property
+    def epoch(self) -> int:
+        """Generation number of the current read epoch (0 at build).
+
+        Bumped by every :meth:`repartition` that installs a new plan --
+        which is what lets tests assert that readers never saw a
+        half-installed partition, and what result caches key on.
+        """
+        return self._epoch.epoch_id
 
     @property
     def executor(self) -> Executor:
         """The executor running shard fan-out and batches."""
         return self._executor
+
+    @property
+    def replication_factor(self) -> int:
+        """Replicas per shard (1 = unreplicated)."""
+        return self._replication
+
+    @property
+    def routing(self) -> str:
+        """Replica routing policy (``"round_robin"`` or ``"least_loaded"``)."""
+        return self._routing_policy
+
+    @property
+    def result_generation(self) -> int:
+        """Monotonic token identifying the current queryable contents.
+
+        Bumped by every insert/delete and every epoch publication, so a
+        result cache keyed on ``(query, result_generation)`` is invalidated
+        by construction when the answer could have changed -- no explicit
+        invalidation protocol (see :class:`repro.serve.cache.ResultCache`).
+        """
+        return self._mutations
 
     @property
     def maintenance_lock(self) -> "threading.RLock":
@@ -311,14 +509,15 @@ class ShardedIndex(IntervalIndex):
         operations that replace partition state (:meth:`repartition`,
         :meth:`refresh_snapshot`, :meth:`close`); the coordinator holds it
         across a whole pass so per-shard rebuilds cannot discard a
-        concurrent foreground update.
+        concurrent foreground update.  Queries never take it -- they pin
+        the current epoch instead.
         """
         return self._maintenance_lock
 
     @property
     def ingest_journal(self) -> Optional[IngestJournal]:
         """The buffered ingest journal backing home-shard counting (K > 1)."""
-        return self._journal
+        return self._epoch.journal
 
     @property
     def ingest_mode(self) -> str:
@@ -327,13 +526,20 @@ class ShardedIndex(IntervalIndex):
 
     @property
     def built_shards(self) -> List[Optional[IntervalIndex]]:
-        """Per-shard indexes already built in this process (``None`` = lazy).
+        """Per-shard primary indexes already built in this process (``None`` = lazy).
 
         Unlike :attr:`shards` this never forces a build -- maintenance uses
         it so a process-executor index with worker-resident shards is not
         duplicated into the parent just to inspect delta sizes.
         """
-        return list(self._shards)
+        return [
+            replica_set.primary_if_built() for replica_set in self._epoch.replica_sets
+        ]
+
+    @property
+    def _locator(self) -> Optional[Dict[int, Tuple[int, int]]]:
+        """The current epoch's id -> span locator (kept for introspection)."""
+        return self._epoch.locator
 
     @property
     def snapshot_generation(self) -> int:
@@ -352,30 +558,75 @@ class ShardedIndex(IntervalIndex):
         return self._dirty
 
     def _shard(self, shard_id: int) -> IntervalIndex:
-        """The parent-process index of one shard, built lazily if needed."""
-        index = self._shards[shard_id]
-        if index is None:
-            assert self._source is not None, "lazy shard without a source collection"
-            if self._plan.num_shards == 1:
-                piece = self._source
-            else:
-                piece = self._source.take(
-                    shard_mask(self._source, self._plan.cuts, shard_id)
-                )
-            index = create_index(self._backend, piece, **self._opts)
-            self._shards[shard_id] = index
-        return index
+        """The current epoch's primary index of one shard (built lazily)."""
+        return self._epoch.replica_sets[shard_id].primary()
 
     def shards_for(self, query: Query) -> List[IntervalIndex]:
-        """The shard indexes whose domain range overlaps ``query``."""
-        first, last = self._plan.shard_range(query.start, query.end)
-        return [self._shard(j) for j in range(first, last + 1)]
+        """One routed replica per shard whose domain range overlaps ``query``.
+
+        Routing applies (round-robin/least-loaded across healthy replicas)
+        but failover does not: the returned handles are plain indexes.  The
+        direct query paths (:meth:`query`, :meth:`query_count`,
+        :meth:`query_exists`, :meth:`query_batch`) add failover on top.
+        """
+        epoch = self._epoch
+        first, last = epoch.plan.shard_range(query.start, query.end)
+        return [
+            epoch.replica_sets[shard].select()[1] for shard in range(first, last + 1)
+        ]
+
+    def built_replicas(self, shard_id: int) -> List[IntervalIndex]:
+        """Every replica of one shard already built in this process.
+
+        Like :attr:`built_shards`, never forces a build; maintenance uses it
+        to rebuild the hybrid deltas of *all* of a flagged shard's copies.
+        """
+        return self._epoch.replica_sets[shard_id].built()
+
+    def replica_health(self) -> List[List[bool]]:
+        """Per-shard, per-replica health flags (all True when unreplicated)."""
+        return [replica_set.health() for replica_set in self._epoch.replica_sets]
+
+    def failed_replicas(self) -> List[Tuple[int, int]]:
+        """``(shard_id, replica_id)`` of every replica currently out of rotation."""
+        return [
+            (replica_set.shard_id, replica_id)
+            for replica_set in self._epoch.replica_sets
+            for replica_id in replica_set.failed_ids()
+        ]
+
+    def recent_failures(self) -> List[ReplicaFailure]:
+        """The most recent replica/worker failures (``shard_id == -1``: pool)."""
+        return list(self._failures)
+
+    def kill_replica(self, shard_id: int, replica_id: int = 0) -> int:
+        """Take one replica out of rotation (fault injection / ops drills).
+
+        Routing skips the killed slot immediately; in-flight probes against
+        it fail over like any replica error.  The slot is healed by the next
+        maintenance pass (:meth:`rebuild_failed_replicas`) or a
+        :meth:`repartition`.  Returns the shard's surviving replica count --
+        0 means the shard is dark until maintenance heals it.
+
+        The unreplicated single-shard degenerate case (K == 1, R == 1) is
+        refused: it keeps no id -> span locator, so the killed primary would
+        be the *only* record of any absorbed updates and no rebuild source
+        would exist -- the index would be dark forever, not until healed.
+        """
+        if self._epoch.locator is None:
+            raise ValueError(
+                "cannot kill the only replica of an unreplicated single-shard "
+                "index: no locator exists to rebuild it from"
+            )
+        survivors = self._epoch.replica_sets[shard_id].mark_failed(replica_id)
+        self._failures.append(ReplicaFailure(shard_id, replica_id, "killed"))
+        return survivors
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
             f"ShardedIndex(backend={self._backend!r}, K={self.num_shards}, "
-            f"strategy={self._plan.strategy!r}, executor={self._executor.name!r}, "
-            f"n={self._size})"
+            f"strategy={self.plan.strategy!r}, executor={self._executor.name!r}, "
+            f"R={self._replication}, n={self._size})"
         )
 
     # ------------------------------------------------------------------ #
@@ -384,17 +635,19 @@ class ShardedIndex(IntervalIndex):
     def live_collection(self) -> IntervalCollection:
         """The current live intervals as a fresh columnar collection.
 
-        With K > 1 this is one vectorised pass over the id -> span locator
-        (maintained from build time and on every update); the K = 1
-        degenerate case falls back to the only shard's interval lookup when
-        updates happened, and to the build collection otherwise.
+        With a locator (K > 1, or any replicated index) this is one
+        vectorised pass over the id -> span map (maintained from build time
+        and on every update); the unreplicated K = 1 degenerate case falls
+        back to the only shard's interval lookup when updates happened, and
+        to the build collection otherwise.
         """
         with self._maintenance_lock:
-            if self._locator is not None:
-                return IntervalCollection.from_spans(self._locator)
-            if not self._dirty and self._source is not None:
-                return self._source
-            lookup = self._shard(0)._interval_lookup()
+            epoch = self._epoch
+            if epoch.locator is not None:
+                return IntervalCollection.from_spans(epoch.locator)
+            if not self._dirty and epoch.source is not None:
+                return epoch.source
+            lookup = epoch.replica_sets[0].primary()._interval_lookup()
             return IntervalCollection.from_intervals(lookup.values())
 
     def refresh_snapshot(self) -> bool:
@@ -416,7 +669,9 @@ class ShardedIndex(IntervalIndex):
                 # snapshot: nothing would ever unlink the fresh segment
                 return False
             live = self.live_collection()
-            self._source = live
+            # content-equivalent replacement: lazy builds against this epoch
+            # draw the same shard contents from the refreshed collection
+            self._epoch.source = live
             self._republish_snapshot(live)
             return self._shared is not None
 
@@ -427,41 +682,79 @@ class ShardedIndex(IntervalIndex):
 
         Plans fresh cuts over the *live* data (default: the current K and
         strategy -- pass ``strategy="balanced"`` to rebalance skew), then
-        rebuilds every shard, the ingest journal and the locator from it.
-        Hybrid deltas are folded into the fresh shard builds, and under a
-        process executor a new snapshot generation is published.  False when
-        the fresh plan matches the current cuts (nothing to do) -- which
-        also resets the drift counter, so a stably-skewed index does not pay
-        this live-collection materialisation on every maintenance pass.
-        Updates serialise against the install through the maintenance lock.
+        builds a complete fresh epoch from it: every shard, the ingest
+        journal and the locator.  Hybrid deltas are folded into the fresh
+        shard builds, failed replicas come back healthy, and under a process
+        executor a new snapshot generation is published.  The new epoch is
+        installed with one atomic reference assignment, so concurrent
+        queries see either the old partition state or the new one -- never a
+        half-installed plan.  False when the fresh plan matches the current
+        cuts (nothing to do) -- which also resets the drift counter, so a
+        stably-skewed index does not pay this live-collection
+        materialisation on every maintenance pass.  Updates serialise
+        against the install through the maintenance lock.
         """
         with self._maintenance_lock:
             live = self.live_collection()
             plan = ShardPlan.for_collection(
                 live,
-                num_shards if num_shards is not None else self._plan.num_shards,
-                strategy if strategy is not None else self._plan.strategy,
+                num_shards if num_shards is not None else self.plan.num_shards,
+                strategy if strategy is not None else self.plan.strategy,
             )
-            if plan.cuts == self._plan.cuts:
+            if plan.cuts == self.plan.cuts:
                 self.updates_since_partition = 0  # re-validated against live data
                 return False
             self._install_partition(live, plan)
             self._dirty = False
             return True
 
+    def rebuild_failed_replicas(self) -> List[Tuple[int, int]]:
+        """Rebuild every failed replica slot from the live collection.
+
+        Driven by the :class:`~repro.engine.maintenance.MaintenanceCoordinator`'s
+        pass (and callable directly).  Each failed slot gets a fresh backend
+        index over the live intervals of its shard range and returns to the
+        routing rotation.  Returns the ``(shard_id, replica_id)`` pairs
+        healed, in shard order.
+        """
+        with self._maintenance_lock:
+            epoch = self._epoch
+            failed = [
+                (replica_set.shard_id, replica_id)
+                for replica_set in epoch.replica_sets
+                for replica_id in replica_set.failed_ids()
+            ]
+            if not failed:
+                return []
+            live = self.live_collection()
+            for shard_id, replica_id in failed:
+                epoch.replica_sets[shard_id].install(
+                    replica_id, self._build_shard_from(live, epoch.plan, shard_id)
+                )
+            return failed
+
     def maintenance_state(self) -> Dict[str, object]:
         """Ingest/maintenance snapshot: pending depths, deltas, generations."""
-        journal = self._journal
+        epoch = self._epoch
+        journal = epoch.journal
         return {
-            "num_shards": self.num_shards,
-            "cuts": tuple(self._plan.cuts),
+            "num_shards": epoch.plan.num_shards,
+            "cuts": tuple(epoch.plan.cuts),
             "ingest_mode": self._ingest,
             "pending_per_shard": journal.pending_depths() if journal else [],
             "copies_per_shard": journal.live_sizes() if journal else [len(self)],
             "delta_per_shard": [
                 int(getattr(shard, "delta_size", 0)) if shard is not None else None
-                for shard in self._shards
+                for shard in self.built_shards
             ],
+            "epoch": epoch.epoch_id,
+            "replication_factor": self._replication,
+            "routing": self._routing_policy,
+            "replica_health": [
+                replica_set.health() for replica_set in epoch.replica_sets
+            ],
+            "failed_replicas": self.failed_replicas(),
+            "result_generation": self._mutations,
             "snapshot_generation": self._generation,
             "snapshot_published": self._shared is not None,
             "update_dirty": self._dirty,
@@ -495,7 +788,7 @@ class ShardedIndex(IntervalIndex):
         self.close()
 
     # ------------------------------------------------------------------ #
-    # queries (planned to the overlapping shards, merged with dedup)
+    # queries (pin the epoch, plan to the overlapping shards, merge+dedup)
     # ------------------------------------------------------------------ #
     def _touch(self, ops: int = 1) -> None:
         """Record activity (idle-window detection + amortised policies).
@@ -508,20 +801,59 @@ class ShardedIndex(IntervalIndex):
         if self.activity_tracking:
             self.last_activity = time.monotonic()
 
+    def _probe(self, epoch: Epoch, shard_id: int, op):
+        """Run ``op`` against one healthy replica of a shard, with failover.
+
+        The unreplicated case (R == 1) is a straight call with no routing
+        bookkeeping -- exactly the pre-replication hot path.  With R > 1 the
+        probe routes per the replica set's policy; a replica that raises is
+        marked failed (recorded for the maintenance pass to rebuild) and the
+        probe retries transparently on the next healthy replica.  Semantic
+        errors (:class:`repro.core.errors.ReproError`) are the query's
+        fault, not the replica's: they propagate without touching health.
+        """
+        replica_set = epoch.replica_sets[shard_id]
+        if replica_set.factor == 1:
+            return op(replica_set.primary())
+        while True:
+            replica_id, index = replica_set.acquire()
+            try:
+                return op(index)
+            except ReproError:
+                raise
+            except Exception as exc:
+                survivors = replica_set.mark_failed(replica_id)
+                self._failures.append(
+                    ReplicaFailure(
+                        shard_id, replica_id, f"{type(exc).__name__}: {exc}"
+                    )
+                )
+                if not survivors:
+                    raise
+            finally:
+                replica_set.release(replica_id)
+
     def query(self, query: Query) -> List[int]:
         self._touch()
-        shards = self.shards_for(query)
-        if len(shards) == 1:
-            return shards[0].query(query)
-        return merge_unique_ids(shard.query(query) for shard in shards)
+        return self._query_epoch(self._epoch, query)
+
+    def _query_epoch(self, epoch: Epoch, query: Query) -> List[int]:
+        first, last = epoch.plan.shard_range(query.start, query.end)
+        if first == last:
+            return self._probe(epoch, first, lambda index: index.query(query))
+        return merge_unique_ids(
+            self._probe(epoch, shard, lambda index: index.query(query))
+            for shard in range(first, last + 1)
+        )
 
     def query_count(self, query: Query) -> int:
         self._touch()
-        first, last = self._plan.shard_range(query.start, query.end)
+        epoch = self._epoch
+        first, last = epoch.plan.shard_range(query.start, query.end)
         if first == last:
             # single-shard plans keep the backend's counting fast path
             self.count_ops["single_shard"] += 1
-            return self._shard(first).query_count(query)
+            return self._probe(epoch, first, lambda index: index.query_count(query))
         # home-shard counting: every duplicated interval is counted exactly
         # once, in the first probed shard it is "at home" in -- no id list is
         # materialised and no dedup set is built (see the module docstring).
@@ -529,15 +861,20 @@ class ShardedIndex(IntervalIndex):
         # columns here, lazily, so a burst of updates pays one vectorised
         # merge instead of one reallocation per operation.
         self.count_ops["home_shard"] += 1
-        total = self._journal.count_ends_ge(first, query.start)
-        cuts = self._plan.cuts
+        total = epoch.journal.count_ends_ge(first, query.start)
+        cuts = epoch.plan.cuts
         for shard in range(first + 1, last + 1):
-            total += self._journal.count_starts_in(shard, cuts[shard - 1], query.end)
+            total += epoch.journal.count_starts_in(shard, cuts[shard - 1], query.end)
         return total
 
     def query_exists(self, query: Query) -> bool:
         self._touch()
-        return any(shard.query_exists(query) for shard in self.shards_for(query))
+        epoch = self._epoch
+        first, last = epoch.plan.shard_range(query.start, query.end)
+        return any(
+            self._probe(epoch, shard, lambda index: index.query_exists(query))
+            for shard in range(first, last + 1)
+        )
 
     def _process_fanout_ready(self) -> bool:
         """True while worker-resident batches are sound.
@@ -546,21 +883,23 @@ class ShardedIndex(IntervalIndex):
         shared-memory snapshot to hand to workers (absent on platforms
         without ``multiprocessing.shared_memory``, and gone once
         :meth:`close` unlinked it -- collections are never re-pickled per
-        task), and no updates since publication (worker-resident shards
-        would be stale).
+        task), no updates since publication (worker-resident shards would
+        be stale), and no unhealed worker-pool failure.
         """
         return (
             isinstance(self._executor, ProcessExecutor)
             and self._executor.workers > 1
             and not self._dirty
+            and not self._fanout_disabled
             and self._shared is not None
         )
 
     def query_batch(self, queries: Sequence[Query]) -> List[List[int]]:
         workload = list(queries)
         self._touch(len(workload))
+        epoch = self._epoch
         if workload and self._process_fanout_ready():
-            return self._query_batch_processes(workload)
+            return self._query_batch_processes(epoch, workload)
         # generic chunk fan-out for any in-process executor (threads or a
         # custom Executor subclass); a process executor that cannot use the
         # worker-resident path runs serially -- shipping the whole index to
@@ -573,46 +912,69 @@ class ShardedIndex(IntervalIndex):
             chunks = split_chunks(workload, self._executor.workers)
             return [
                 ids
-                for chunk in self._executor.map(self._query_chunk, chunks)
+                for chunk in self._executor.map(
+                    functools.partial(self._query_chunk, epoch), chunks
+                )
                 for ids in chunk
             ]
-        return [self.query(query) for query in workload]
+        return [self._query_epoch(epoch, query) for query in workload]
 
-    def _query_chunk(self, chunk: List[Query]) -> List[List[int]]:
-        return [self.query(query) for query in chunk]
+    def _query_chunk(self, epoch: Epoch, chunk: List[Query]) -> List[List[int]]:
+        return [self._query_epoch(epoch, query) for query in chunk]
 
     # ------------------------------------------------------------------ #
     # process fan-out: worker-resident shards, compact id-array transport
     # ------------------------------------------------------------------ #
-    def _residency_spec(self) -> ShardResidencySpec:
-        if self._residency is None:
-            self._residency = ShardResidencySpec(
-                token=f"{self._uid}:g{self._generation}",
+    def _residency_spec(self, epoch: Epoch) -> ShardResidencySpec:
+        """The worker-residency spec for a batch pinned to ``epoch``.
+
+        The cuts MUST come from the pinned epoch -- the batch grouped its
+        queries by them -- and the token carries the epoch id, so a reader
+        still on the previous epoch during a repartition gets its own
+        residency (old-cut shards over the content-equivalent fresh
+        snapshot) instead of colliding with new-cut residencies in the
+        workers.
+        """
+        spec = self._residency
+        if (
+            spec is None
+            or spec.generation != self._generation
+            or spec.cuts != epoch.plan.cuts
+        ):
+            spec = ShardResidencySpec(
+                token=f"{self._uid}:g{self._generation}:e{epoch.epoch_id}",
                 handle=self._shared.handle,
-                cuts=self._plan.cuts,
+                cuts=epoch.plan.cuts,
                 backend=self._backend,
                 opts=tuple(sorted(self._opts.items())),
                 uid=self._uid,
                 generation=self._generation,
             )
-        return self._residency
+            self._residency = spec
+        return spec
 
-    def _query_batch_processes(self, workload: List[Query]) -> List[List[int]]:
+    def _query_batch_processes(
+        self, epoch: Epoch, workload: List[Query]
+    ) -> List[List[int]]:
         """Fan a batch out to worker-resident shards.
 
         Queries are grouped by the shard they overlap; each task ships only
         ``(spec, shard_id, positions, starts, ends)`` and returns compact id
         arrays.  Multi-shard answers are merged (in domain order, for
-        determinism) and deduplicated in the parent.
+        determinism) and deduplicated in the parent.  A worker pool dying
+        mid-batch (killed replica process, broken pipe) fails over to
+        in-process execution against the epoch's replica sets: the batch
+        still answers, the failure is recorded, and fan-out stays disabled
+        until the next snapshot refresh brings a fresh pool up.
         """
         starts = np.fromiter((q.start for q in workload), dtype=np.int64, count=len(workload))
         ends = np.fromiter((q.end for q in workload), dtype=np.int64, count=len(workload))
         per_shard: Dict[int, List[int]] = {}
         for position, query in enumerate(workload):
-            first, last = self._plan.shard_range(query.start, query.end)
+            first, last = epoch.plan.shard_range(query.start, query.end)
             for shard in range(first, last + 1):
                 per_shard.setdefault(shard, []).append(position)
-        spec = self._residency_spec()
+        spec = self._residency_spec(epoch)
         # split each shard's slice so there is work for every pool worker
         # even when K < workers
         slices_per_shard = max(1, -(-self._executor.workers // max(1, len(per_shard))))
@@ -626,9 +988,25 @@ class ShardedIndex(IntervalIndex):
             # a lone task would run inline in the parent (ProcessExecutor's
             # trivial-work path), building a duplicate worker residency
             # there; the local shards answer it with no transport at all
-            return [self.query(query) for query in workload]
+            return [self._query_epoch(epoch, query) for query in workload]
+        try:
+            mapped = self._executor.map(run_shard_task, tasks)
+        except ReproError:
+            raise
+        except Exception as exc:
+            # worker/residency failover: a broken pool never recovers on its
+            # own, so close it (when owned -- the next parallel use respawns
+            # it lazily), disable fan-out until a snapshot refresh, and
+            # answer this batch in-process
+            self._failures.append(
+                ReplicaFailure(-1, -1, f"{type(exc).__name__}: {exc}")
+            )
+            self._fanout_disabled = True
+            if self._owns_executor:
+                self._executor.close()
+            return [self._query_epoch(epoch, query) for query in workload]
         per_query: List[List[Tuple[int, np.ndarray]]] = [[] for _ in workload]
-        for shard, positions, answers in self._executor.map(run_shard_task, tasks):
+        for shard, positions, answers in mapped:
             for position, ids in zip(positions, answers):
                 per_query[int(position)].append((shard, ids))
         results: List[List[int]] = []
@@ -642,53 +1020,71 @@ class ShardedIndex(IntervalIndex):
 
     def query_with_stats(self, query: Query) -> Tuple[List[int], QueryStats]:
         self._touch()
-        shards = self.shards_for(query)
-        if len(shards) == 1:
-            results, stats = shards[0].query_with_stats(query)
-            return results, self._annotate_stats(stats)
-        answers = [shard.query_with_stats(query) for shard in shards]
+        epoch = self._epoch
+        first, last = epoch.plan.shard_range(query.start, query.end)
+        if first == last:
+            results, stats = self._probe(
+                epoch, first, lambda index: index.query_with_stats(query)
+            )
+            return results, self._annotate_stats(epoch, stats)
+        answers = [
+            self._probe(epoch, shard, lambda index: index.query_with_stats(query))
+            for shard in range(first, last + 1)
+        ]
         stats = QueryStats()
         for _, shard_stats in answers:
             stats.merge(shard_stats)
         merged = merge_unique_ids(ids for ids, _ in answers)
         stats.results = len(merged)
-        return merged, self._annotate_stats(stats)
+        return merged, self._annotate_stats(epoch, stats)
 
-    def _annotate_stats(self, stats: QueryStats) -> QueryStats:
-        """Surface ingest/maintenance state on every instrumented query."""
+    def _annotate_stats(self, epoch: Epoch, stats: QueryStats) -> QueryStats:
+        """Surface ingest/maintenance/serving state on every instrumented query."""
         stats.extra["ingest_pending"] = (
-            float(sum(self._journal.pending_depths())) if self._journal else 0.0
+            float(sum(epoch.journal.pending_depths())) if epoch.journal else 0.0
         )
         stats.extra["snapshot_generation"] = float(self._generation)
+        stats.extra["epoch"] = float(epoch.epoch_id)
+        stats.extra["replicas_failed"] = float(
+            sum(len(replica_set.failed_ids()) for replica_set in epoch.replica_sets)
+        )
+        if self.stats_extras:
+            stats.extra.update(self.stats_extras)
         return stats
 
     # ------------------------------------------------------------------ #
-    # updates (routed to the owning shards)
+    # updates (routed to every replica of the owning shards)
     # ------------------------------------------------------------------ #
     def insert(self, interval: Interval) -> None:
-        """Insert into every shard the interval's range overlaps.
+        """Insert into every replica of every shard the interval overlaps.
 
         With a hybrid backend each copy lands in the owning shard's delta
         index; static backends raise ``NotImplementedError`` as usual.
-        Count-column bookkeeping is journaled (O(1) appends, folded lazily)
-        and is only committed -- together with the locator entry -- after
-        every owning shard accepted the copy, so a failing shard leaves the
-        bookkeeping untouched.  Updates invalidate the process-executor
-        snapshot: later batches run in-process until
-        :meth:`refresh_snapshot` republishes it.
+        Unbuilt replicas of the owning shards are built first (from the
+        epoch source, which still equals their live contents), so every
+        healthy replica absorbs every update.  Count-column bookkeeping is
+        journaled (O(1) appends, folded lazily) and is only committed --
+        together with the locator entry -- after every owning shard accepted
+        the copy, so a failing shard leaves the bookkeeping untouched.
+        Updates invalidate the process-executor snapshot: later batches run
+        in-process until :meth:`refresh_snapshot` republishes it.
         """
         with self._maintenance_lock:
-            first, last = self._plan.shard_range(interval.start, interval.end)
+            epoch = self._epoch
+            first, last = epoch.plan.shard_range(interval.start, interval.end)
             for shard in range(first, last + 1):
-                self._shard(shard).insert(interval)
+                for replica in epoch.replica_sets[shard].ensure_all():
+                    replica.insert(interval)
             # bookkeeping only after *all* owning shards took the copy: a
             # raise above (static backend, bad interval) must not desync the
             # locator or the count columns from the shard contents
-            if self._locator is not None:
-                self._locator[interval.id] = (interval.start, interval.end)
-                self._journal.record_insert(first, last, interval.start, interval.end)
+            if epoch.locator is not None:
+                epoch.locator[interval.id] = (interval.start, interval.end)
+            if epoch.journal is not None:
+                epoch.journal.record_insert(first, last, interval.start, interval.end)
             self._size += 1
             self._dirty = True
+            self._mutations += 1
             self.updates_since_partition += 1
             self._touch(0)
 
@@ -698,32 +1094,38 @@ class ShardedIndex(IntervalIndex):
         The id -> span locator (maintained from build time and on every
         insert) bounds the probe to the owning shards instead of all K;
         an id the index never saw returns False without touching any shard.
-        The locator entry and the count-column journal are only mutated
-        after every owning shard was probed, so a shard raising mid-delete
-        leaves the bookkeeping consistent and the delete retryable.
-        True when any copy was live.
+        Every replica of each owning shard is probed, so replicas stay
+        content-identical.  The locator entry and the count-column journal
+        are only mutated after every owning shard was probed, so a shard
+        raising mid-delete leaves the bookkeeping consistent and the delete
+        retryable.  True when any copy was live.
         """
         with self._maintenance_lock:
-            if self._locator is None:  # K == 1: delegate to the only shard
-                found = self._shard(0).delete(interval_id)
+            epoch = self._epoch
+            if epoch.locator is None:  # K == 1, R == 1: delegate to the only shard
+                found = epoch.replica_sets[0].primary().delete(interval_id)
                 if found:
                     self._size -= 1
                     self._dirty = True
+                    self._mutations += 1
                     self.updates_since_partition += 1
                     self._touch(0)
                 return found
-            span = self._locator.get(interval_id)
+            span = epoch.locator.get(interval_id)
             if span is None:
                 return False
-            first, last = self._plan.shard_range(*span)
+            first, last = epoch.plan.shard_range(*span)
             found = False
             for shard in range(first, last + 1):
-                found = self._shard(shard).delete(interval_id) or found
+                for replica in epoch.replica_sets[shard].ensure_all():
+                    found = replica.delete(interval_id) or found
             if found:
-                del self._locator[interval_id]
-                self._journal.record_delete(first, last, span[0], span[1])
+                del epoch.locator[interval_id]
+                if epoch.journal is not None:
+                    epoch.journal.record_delete(first, last, span[0], span[1])
                 self._size -= 1
                 self._dirty = True
+                self._mutations += 1
                 self.updates_since_partition += 1
                 self._touch(0)
             return found
@@ -736,13 +1138,17 @@ class ShardedIndex(IntervalIndex):
     def memory_bytes(self, _memo: "set | None" = None) -> int:
         if self._memo_seen(_memo):
             return 0
-        # one id-memo across all shards: anything they share is counted once
+        # one id-memo across all shards and replicas: anything they share is
+        # counted once
         memo = _memo if _memo is not None else set()
+        epoch = self._epoch
         total = sum(
-            shard.memory_bytes(memo) for shard in self._shards if shard is not None
+            replica.memory_bytes(memo)
+            for replica_set in epoch.replica_sets
+            for replica in replica_set.built()
         )
-        if self._journal is not None:  # count columns + pending buffers
-            total += self._journal.nbytes
+        if epoch.journal is not None:  # count columns + pending buffers
+            total += epoch.journal.nbytes
         if self._shared is not None:  # the published shared-memory snapshot
             total += self._shared.nbytes
         return total
@@ -783,6 +1189,8 @@ class ShardedStore(IntervalStore):
         strategy: str = "equi_width",
         workers: "Executor | int | str | None" = None,
         executor: "Executor | int | str | None" = None,
+        replication_factor: int = 1,
+        routing: str = "round_robin",
         **opts,
     ) -> "ShardedStore":
         """Shard ``collection`` into ``num_shards`` time ranges of ``backend``.
@@ -790,7 +1198,8 @@ class ShardedStore(IntervalStore):
         ``executor`` selects the execution strategy by name
         (``"serial"``/``"threads"``/``"processes"``) or instance, sized by
         ``workers``; a bare ``workers`` count keeps the legacy thread-pool
-        meaning.
+        meaning.  ``replication_factor``/``routing`` configure per-shard
+        replication (see :mod:`repro.engine.replication`).
         """
         index = ShardedIndex(
             collection,
@@ -799,6 +1208,8 @@ class ShardedStore(IntervalStore):
             strategy=strategy,
             executor=executor,
             workers=workers,
+            replication_factor=replication_factor,
+            routing=routing,
             **opts,
         )
         return cls(index)

@@ -148,6 +148,9 @@ class IntervalStore:
         )
         self._executor = resolve_executor(executor, workers)
         self._maintenance = None  # lazily created MaintenanceCoordinator
+        #: store-level content-version counter, for indexes that do not track
+        #: their own (see :meth:`result_generation`)
+        self._mutations = 0
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -162,6 +165,8 @@ class IntervalStore:
         strategy: str = "equi_width",
         workers: "Executor | int | str | None" = None,
         executor: "Executor | int | str | None" = None,
+        replication_factor: int = 1,
+        routing: str = "round_robin",
         **opts,
     ) -> "IntervalStore":
         """Index ``collection`` with a registered backend.
@@ -188,6 +193,12 @@ class IntervalStore:
         columns; on an unsharded store the process pool must be handed the
         whole pickled index per batch chunk, which is usually slower than
         serial -- prefer sharding when asking for processes.
+
+        ``replication_factor > 1`` serves each shard from R replicated
+        copies with routed probes and transparent failover (see
+        :mod:`repro.engine.replication`); it forces the sharded execution
+        architecture even at ``num_shards=1``, since replication lives in
+        the sharded layer.
         """
         if num_shards == "auto":
             from repro.engine.maintenance import recommend_shard_count
@@ -202,7 +213,11 @@ class IntervalStore:
             raise ValueError(
                 f"num_shards must be an int or 'auto', got {num_shards!r}"
             )
-        if num_shards > 1:
+        if replication_factor < 1:
+            raise ValueError(
+                f"replication_factor must be >= 1, got {replication_factor}"
+            )
+        if num_shards > 1 or replication_factor > 1:
             from repro.engine.sharded import ShardedStore
 
             return ShardedStore.open(
@@ -212,6 +227,8 @@ class IntervalStore:
                 strategy=strategy,
                 workers=workers,
                 executor=executor,
+                replication_factor=replication_factor,
+                routing=routing,
                 **opts,
             )
         spec = get_spec(backend)
@@ -332,10 +349,35 @@ class IntervalStore:
     def insert(self, interval: Interval) -> None:
         """Insert one interval (raises on static backends)."""
         self._index.insert(interval)
+        self._mutations += 1
 
     def delete(self, interval_id: int) -> bool:
         """Delete an interval by id; True when the id was live."""
-        return self._index.delete(interval_id)
+        found = self._index.delete(interval_id)
+        if found:
+            self._mutations += 1
+        return found
+
+    # ------------------------------------------------------------------ #
+    # serving hooks (result-cache invalidation)
+    # ------------------------------------------------------------------ #
+    def result_generation(self) -> int:
+        """Monotonic token identifying the current queryable contents.
+
+        A result cache keyed on ``(query, result_generation())`` is
+        invalidated by construction whenever the answer could have changed:
+        the token moves on every insert/delete and (for sharded indexes) on
+        every epoch publication -- see
+        :class:`repro.serve.cache.ResultCache`.  Indexes that track their
+        own generation (:attr:`repro.engine.sharded.ShardedIndex.result_generation`)
+        are authoritative; plain indexes fall back to the store's update
+        counter, which is why cache consumers must route updates through
+        the store (or the query server), not the raw index.
+        """
+        own = getattr(self._index, "result_generation", None)
+        if own is not None:
+            return int(own)
+        return self._mutations
 
     # ------------------------------------------------------------------ #
     # maintenance (journal folding, rebuilds, snapshot refresh)

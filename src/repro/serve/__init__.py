@@ -1,0 +1,35 @@
+"""The serving subsystem: the layers between clients and the index.
+
+Four cooperating parts turn the engine into something that can hold up
+under concurrent traffic (see the README's "Serving" section):
+
+* **epoch-based read snapshots** -- queries pin one immutable
+  ``(plan, shards, journal)`` generation, so maintenance publishes new
+  partition state atomically instead of mutating under readers
+  (:class:`repro.engine.sharded.Epoch`);
+* **replicated shards** -- per-shard replica sets with routed probes and
+  transparent failover (:mod:`repro.engine.replication`);
+* an **admission-controlled asyncio query server** -- JSON-over-HTTP with a
+  bounded in-flight queue (503 backpressure), request batching into
+  ``store.run_batch`` and graceful drain (:mod:`repro.serve.server`);
+* an **invalidation-aware result cache** -- LRU keyed on normalized query +
+  content generation, so updates and maintenance invalidate by construction
+  (:mod:`repro.serve.cache`).
+"""
+
+from repro.serve.cache import CacheStats, ResultCache, normalize_query_key, resolve_cache
+from repro.serve.client import ServeClient, ServerError, ServerOverloaded
+from repro.serve.server import QueryServer, ServerHandle, start_server_thread
+
+__all__ = [
+    "CacheStats",
+    "QueryServer",
+    "ResultCache",
+    "ServeClient",
+    "ServerError",
+    "ServerHandle",
+    "ServerOverloaded",
+    "normalize_query_key",
+    "resolve_cache",
+    "start_server_thread",
+]

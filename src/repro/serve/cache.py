@@ -1,0 +1,200 @@
+"""Invalidation-aware result cache: LRU keyed on query + content generation.
+
+The serving layer's cache never runs an invalidation protocol.  Every entry
+is stamped with the store's ``result_generation()`` token at fill time --
+a monotonic counter the engine bumps on every insert/delete and every epoch
+publication (:attr:`repro.engine.sharded.ShardedIndex.result_generation`) --
+and a lookup only hits when the stamp still equals the *current* generation.
+Updates and maintenance therefore invalidate cached answers *by
+construction*: the generation moves, every older entry turns into a miss on
+its next touch and is dropped in place (``invalidated`` in the stats), and
+nothing ever has to enumerate which queries an update affected.
+
+The cache is value-agnostic -- the query server stores pre-encoded response
+bodies so a hit costs one dict probe plus a socket write -- and thread-safe:
+server worker threads and the asyncio loop share one instance under a single
+lock (every operation is O(1), so the lock is never held across a probe).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+__all__ = ["CacheStats", "ResultCache", "normalize_query_key", "resolve_cache"]
+
+
+def normalize_query_key(
+    start: int, end: int, kind: str = "ids"
+) -> Tuple[str, int, int]:
+    """Canonical cache key for one range/stabbing query.
+
+    ``kind`` separates result shapes over the same range (``"ids"``,
+    ``"count"``, ``"exists"``); a stabbing query at ``p`` normalises to the
+    degenerate range ``(p, p)``, so the point and range forms share entries.
+    """
+    return (kind, int(start), int(end))
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time counters of one :class:`ResultCache`.
+
+    Attributes:
+        hits: lookups answered from a current-generation entry.
+        misses: lookups that found nothing usable (cold + invalidated).
+        invalidated: misses caused specifically by a stale generation stamp
+            (the entry existed but an update/epoch moved the generation).
+        evictions: entries dropped by the LRU capacity bound.
+        size: entries currently held.
+        capacity: the LRU bound.
+    """
+
+    hits: int
+    misses: int
+    invalidated: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class ResultCache:
+    """A thread-safe LRU of query results stamped with a content generation.
+
+    Args:
+        capacity: maximum entries held; 0 disables the cache entirely
+            (every lookup misses, nothing is stored), which is how the
+            server's ``--cache-size 0`` and the uncached benchmark legs run.
+    """
+
+    __slots__ = (
+        "_capacity",
+        "_entries",
+        "_lock",
+        "_hits",
+        "_misses",
+        "_invalidated",
+        "_evictions",
+    )
+
+    #: sentinel distinguishing "miss" from a cached falsy value
+    MISS = object()
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self._capacity = capacity
+        self._entries: "OrderedDict[Hashable, Tuple[int, object]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._invalidated = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def enabled(self) -> bool:
+        """False for the capacity-0 pass-through configuration."""
+        return self._capacity > 0
+
+    @property
+    def hits(self) -> int:
+        """Lifetime hit count (lock-free read: a gauge, not an invariant)."""
+        return self._hits
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: Hashable, generation: int) -> object:
+        """The cached value, or :attr:`MISS`.
+
+        A hit requires the entry's generation stamp to equal ``generation``
+        (the store's *current* token, read by the caller just before the
+        lookup); a stale entry counts as an invalidation, is dropped, and
+        misses.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return self.MISS
+            stamped, value = entry
+            if stamped != generation:
+                # an update/epoch moved the generation: the entry is dead by
+                # construction -- drop it so one hot query cannot pin a
+                # stale answer in memory
+                del self._entries[key]
+                self._invalidated += 1
+                self._misses += 1
+                return self.MISS
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, generation: int, value: object) -> None:
+        """Store ``value`` under ``key`` stamped with ``generation``.
+
+        Callers must read the generation *before* running the query they are
+        caching: stamping with a post-query read could mask an update that
+        landed mid-query, caching a pre-update answer under a post-update
+        stamp.
+        """
+        if self._capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = (generation, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                invalidated=self._invalidated,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self._capacity,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        stats = self.stats()
+        return (
+            f"ResultCache(size={stats.size}/{stats.capacity}, "
+            f"hits={stats.hits}, misses={stats.misses}, "
+            f"invalidated={stats.invalidated})"
+        )
+
+
+def resolve_cache(spec: "ResultCache | int | None") -> Optional[ResultCache]:
+    """Turn a cache spec into a :class:`ResultCache` (or ``None``).
+
+    ``None`` means the server default (a 1024-entry cache); an int is a
+    capacity (0 disables caching); an instance passes through.
+    """
+    if spec is None:
+        return ResultCache()
+    if isinstance(spec, ResultCache):
+        return spec
+    if isinstance(spec, bool) or not isinstance(spec, int):
+        raise TypeError(f"cache spec must be a ResultCache, int or None, got {spec!r}")
+    return ResultCache(capacity=spec)

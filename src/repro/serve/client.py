@@ -1,0 +1,138 @@
+"""A tiny stdlib client for the query server (tests, benchmarks, examples).
+
+One :class:`ServeClient` wraps one keep-alive ``http.client.HTTPConnection``;
+it is not thread-safe -- give each client thread its own instance (the
+connection is the unit of HTTP pipelining, and the benchmarks measure
+per-connection request/response round-trips on purpose).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ServeClient", "ServerError", "ServerOverloaded"]
+
+
+class ServerError(RuntimeError):
+    """A non-2xx response from the query server."""
+
+    def __init__(self, status: int, payload: Dict[str, object]):
+        super().__init__(f"server answered {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServerOverloaded(ServerError):
+    """503: admission control rejected the request (back off and retry)."""
+
+
+class ServeClient:
+    """JSON-over-HTTP client for one :class:`repro.serve.server.QueryServer`.
+
+    Args:
+        host / port: the server address (see ``ServerHandle.port``).
+        timeout: per-request socket timeout in seconds.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30.0):
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    #: paths safe to re-send after a dropped keep-alive connection; updates
+    #: (/insert, /delete, /maintain) are NOT here -- the first attempt may
+    #: have been applied before the connection died, and a blind re-send
+    #: would double-apply it
+    _RETRYABLE_PATHS = ("/query", "/batch", "/stats", "/health")
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+        body = json.dumps(payload).encode() if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        retryable = method == "GET" or any(
+            path.split("?", 1)[0] == prefix for prefix in self._RETRYABLE_PATHS
+        )
+        try:
+            self._connection.request(method, path, body=body, headers=headers)
+            response = self._connection.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # a dropped keep-alive connection (server drained, idle timeout)
+            # is re-established once for read-only requests; non-idempotent
+            # updates propagate the failure -- the caller must decide
+            self.close()
+            if not retryable:
+                raise
+            self._connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+            self._connection.request(method, path, body=body, headers=headers)
+            response = self._connection.getresponse()
+            raw = response.read()
+        decoded = json.loads(raw) if raw else {}
+        if response.status == 503:
+            raise ServerOverloaded(response.status, decoded)
+        if response.status >= 400:
+            raise ServerError(response.status, decoded)
+        return decoded
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+    def query(self, start: int, end: int, count_only: bool = False) -> Dict[str, object]:
+        """One range query; ``{"ids": [...], "count": n}`` (or just count)."""
+        return self._request(
+            "POST", "/query", {"start": start, "end": end, "count_only": count_only}
+        )
+
+    def stab(self, point: int) -> Dict[str, object]:
+        """One stabbing query."""
+        return self._request("POST", "/query", {"stab": point})
+
+    def batch(
+        self, pairs: Sequence[Tuple[int, int]], count_only: bool = False
+    ) -> List[Dict[str, object]]:
+        """A whole workload in one request; per-query result dicts."""
+        response = self._request(
+            "POST",
+            "/batch",
+            {"queries": [[s, e] for s, e in pairs], "count_only": count_only},
+        )
+        return response["results"]
+
+    def insert(self, interval_id: int, start: int, end: int) -> Dict[str, object]:
+        return self._request(
+            "POST", "/insert", {"id": interval_id, "start": start, "end": end}
+        )
+
+    def delete(self, interval_id: int) -> Dict[str, object]:
+        return self._request("POST", "/delete", {"id": interval_id})
+
+    def maintain(self, force: bool = False) -> Dict[str, object]:
+        return self._request("POST", "/maintain", {"force": force})
+
+    def stats(self) -> Dict[str, object]:
+        return self._request("GET", "/stats")
+
+    def health(self) -> Dict[str, object]:
+        return self._request("GET", "/health")

@@ -1,0 +1,811 @@
+"""The asyncio query server: JSON-over-HTTP serving for an IntervalStore.
+
+Stdlib-only (``asyncio`` + hand-rolled HTTP/1.1 with keep-alive), because the
+serving loop is part of the reproduction: the point is to measure what the
+layers above the index -- admission control, batching, caching -- cost and
+buy, not to benchmark a web framework.
+
+Request lifecycle::
+
+    client -> admission control -> result cache -> batching queue -> store
+                   |                    |                               |
+                 503 when          hit: respond with the         run_batch in a
+               max_pending         cached pre-encoded body       worker thread,
+              queries queued       (generation-checked)          fill the cache
+
+* **Admission control**: at most ``max_pending`` query requests may be
+  admitted (queued or executing) at once; beyond that the server answers
+  ``503`` with a ``Retry-After`` hint instead of queueing unboundedly --
+  under overload it degrades by rejecting, never by falling over.
+* **Batching**: admitted queries land on one queue; a batcher task drains
+  greedily (up to ``max_batch``, optionally waiting ``batch_window`` seconds
+  for stragglers) and answers each drained batch with a single
+  ``store.run_batch`` call in a worker thread, so concurrent clients
+  naturally coalesce while a lone client never waits on a timer.
+* **Result cache**: hits are served straight off the event loop as
+  pre-encoded bodies; entries are stamped with the store's
+  ``result_generation()`` and go stale *by construction* when an update or
+  maintenance pass moves the generation (:mod:`repro.serve.cache`).
+* **Graceful drain**: ``stop()`` flips the server into draining mode (new
+  work is rejected with 503), waits for admitted requests to finish, then
+  closes the listener.
+
+Endpoints (all JSON):
+
+===========================  ==================================================
+``GET/POST /query``          one range/stabbing query; ``start``/``end``
+                             (+ ``count_only``) as query-string or JSON body
+``POST /batch``              ``{"queries": [[s, e], ...], "count_only": bool}``
+``POST /insert``             ``{"id": i, "start": s, "end": e}``
+``POST /delete``             ``{"id": i}``
+``POST /maintain``           one maintenance pass (``{"force": bool}``)
+``GET /stats``               serving counters, cache stats, epoch + replica
+                             health
+``GET /health``              liveness (``200``, or ``503`` while draining)
+===========================  ==================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.errors import ReproError
+from repro.core.interval import Interval, Query
+from repro.engine.store import IntervalStore
+from repro.serve.cache import ResultCache, normalize_query_key, resolve_cache
+
+__all__ = ["QueryServer", "ServerHandle", "start_server_thread"]
+
+#: sentinel shutting the batcher task down
+_SHUTDOWN = object()
+
+#: largest request body the server will buffer; one rogue Content-Length
+#: must not bypass admission control by exhausting memory (8 MiB holds a
+#: ~300k-query batch request -- far past any sane client)
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _Reject(Exception):
+    """Internal: turn a request into an HTTP error response."""
+
+    def __init__(self, status: int, message: str, retry_after: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+class QueryServer:
+    """Admission-controlled asyncio HTTP front door for one store.
+
+    Args:
+        store: the :class:`~repro.engine.store.IntervalStore` (or sharded
+            store) to serve.  Updates must flow through the server (or the
+            store) so the cache generation moves; mutating the raw index
+            behind the store's back would serve stale cached answers.
+        host / port: bind address; port 0 picks a free port (see
+            :attr:`port` after :meth:`start`).
+        cache: a :class:`~repro.serve.cache.ResultCache`, a capacity int
+            (0 disables caching), or ``None`` for the 1024-entry default.
+        max_pending: admission bound -- query requests admitted (queued or
+            executing) at once before new ones get 503s.
+        max_batch: most queries coalesced into one ``store.run_batch`` call.
+        batch_window: seconds the batcher waits for stragglers after the
+            first query of a batch; 0 (default) drains greedily, adding no
+            latency for a lone client.
+        drain_timeout: seconds :meth:`stop` waits for admitted requests.
+    """
+
+    def __init__(
+        self,
+        store: IntervalStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        cache: "ResultCache | int | None" = None,
+        max_pending: int = 64,
+        max_batch: int = 64,
+        batch_window: float = 0.0,
+        drain_timeout: float = 10.0,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._store = store
+        self._host = host
+        self._port = port
+        self._cache = resolve_cache(cache)
+        self._max_pending = max_pending
+        self._max_batch = max_batch
+        self._batch_window = batch_window
+        self._drain_timeout = drain_timeout
+
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._connections: set = set()  # open client writers, for shutdown
+        self._handlers: set = set()  # per-connection handler tasks
+        self._batcher: Optional[asyncio.Task] = None
+        self._pending: Optional[asyncio.Queue] = None
+        self._update_lock: Optional[asyncio.Lock] = None
+        self._idle: Optional[asyncio.Event] = None
+        self._inflight = 0  # admitted query requests (loop thread only)
+        self._draining = False
+        self._started_at: Optional[float] = None
+
+        # serving counters (loop thread only; snapshotted by /stats)
+        self._requests = 0
+        self._queries = 0
+        self._batches = 0
+        self._batched_queries = 0
+        self._rejected = 0
+        self._updates = 0
+        self._errors = 0
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def store(self) -> IntervalStore:
+        return self._store
+
+    @property
+    def cache(self) -> ResultCache:
+        return self._cache
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves a requested port 0 after :meth:`start`)."""
+        return self._port
+
+    @property
+    def address(self) -> str:
+        return f"http://{self._host}:{self._port}"
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def serving_stats(self) -> Dict[str, object]:
+        """Serving + cache + engine state as one JSON-friendly dict."""
+        cache = self._cache.stats()
+        state: Dict[str, object] = {
+            "requests": self._requests,
+            "queries": self._queries,
+            "batches": self._batches,
+            "batched_queries": self._batched_queries,
+            "rejected": self._rejected,
+            "updates": self._updates,
+            "errors": self._errors,
+            "inflight": self._inflight,
+            "max_pending": self._max_pending,
+            "draining": self._draining,
+            "uptime_s": (time.time() - self._started_at) if self._started_at else 0.0,
+            "intervals": len(self._store),
+            "backend": self._store.backend,
+            "result_generation": self._store.result_generation(),
+            "cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "invalidated": cache.invalidated,
+                "evictions": cache.evictions,
+                "size": cache.size,
+                "capacity": cache.capacity,
+                "hit_rate": cache.hit_rate,
+            },
+        }
+        index = self._store.index
+        if hasattr(index, "epoch"):
+            state["epoch"] = index.epoch
+        if hasattr(index, "replica_health"):
+            state["replica_health"] = index.replica_health()
+            state["failed_replicas"] = index.failed_replicas()
+        return state
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind the listener and start the batcher (call from the loop)."""
+        self._loop = asyncio.get_running_loop()
+        self._pending = asyncio.Queue()
+        self._update_lock = asyncio.Lock()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._server = await asyncio.start_server(
+            self._client_connected, self._host, self._port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        self._batcher = asyncio.ensure_future(self._batch_loop())
+        self._started_at = time.time()
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting work, optionally drain in-flight requests, close.
+
+        With ``drain`` (the default) new query/update requests are rejected
+        with 503 while everything already admitted runs to completion (up to
+        ``drain_timeout`` seconds); without it, in-flight requests are
+        abandoned with the connections.
+        """
+        self._draining = True
+        if drain and self._inflight:
+            try:
+                await asyncio.wait_for(self._idle.wait(), self._drain_timeout)
+            except asyncio.TimeoutError:  # pragma: no cover - slow store
+                pass
+        if self._batcher is not None:
+            await self._pending.put(_SHUTDOWN)
+            try:
+                await asyncio.wait_for(self._batcher, self._drain_timeout)
+            except asyncio.TimeoutError:  # pragma: no cover - slow store
+                self._batcher.cancel()
+            self._batcher = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # idle keep-alive connections would otherwise hold their handler
+        # tasks (blocked in readline) across loop shutdown
+        for writer in list(self._connections):
+            writer.close()
+        if self._handlers:
+            await asyncio.gather(*list(self._handlers), return_exceptions=True)
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (``KeyboardInterrupt`` drains via ``run``)."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    def run(self, on_started=None) -> None:
+        """Blocking convenience: start, serve until interrupted, drain.
+
+        ``on_started`` (if given) is called with the server once the
+        listener is bound -- the CLI uses it to print the resolved address.
+        A ``KeyboardInterrupt`` cancels serving and runs the graceful drain
+        (:meth:`stop`): admitted requests finish, then the port closes.
+        """
+
+        async def _main() -> None:
+            await self.start()
+            if on_started is not None:
+                on_started(self)
+            try:
+                await self._server.serve_forever()
+            except asyncio.CancelledError:  # pragma: no cover - signal path
+                pass
+            finally:
+                await self.stop()
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:  # pragma: no cover - interactive path
+            pass
+
+    # ------------------------------------------------------------------ #
+    # the batcher: queued queries -> store.run_batch in a worker thread
+    # ------------------------------------------------------------------ #
+    async def _batch_loop(self) -> None:
+        assert self._pending is not None and self._loop is not None
+        while True:
+            item = await self._pending.get()
+            if item is _SHUTDOWN:
+                return
+            batch = [item]
+            if self._batch_window > 0:
+                deadline = self._loop.time() + self._batch_window
+            else:
+                deadline = None
+            while len(batch) < self._max_batch:
+                try:
+                    extra = self._pending.get_nowait()
+                except asyncio.QueueEmpty:
+                    if deadline is None:
+                        break
+                    timeout = deadline - self._loop.time()
+                    if timeout <= 0:
+                        break
+                    try:
+                        extra = await asyncio.wait_for(self._pending.get(), timeout)
+                    except asyncio.TimeoutError:
+                        break
+                if extra is _SHUTDOWN:
+                    await self._pending.put(_SHUTDOWN)  # re-deliver for the outer loop
+                    break
+                batch.append(extra)
+            self._batches += 1
+            self._batched_queries += len(batch)
+            try:
+                generation, answers = await self._loop.run_in_executor(
+                    None, self._execute_batch, batch
+                )
+            except Exception as exc:  # pragma: no cover - store failure path
+                for _, _, future in batch:
+                    if not future.done():
+                        future.set_exception(exc)
+                continue
+            for (_, _, future), answer in zip(batch, answers):
+                if not future.done():
+                    future.set_result((generation, answer))
+
+    def _execute_batch(self, batch) -> Tuple[int, List[object]]:
+        """Worker-thread execution of one coalesced batch.
+
+        The generation is read *before* the probes: an update racing the
+        batch then stamps cached answers with the pre-update token, which
+        the bumped current generation invalidates on the next lookup --
+        never the other way around.
+        """
+        generation = self._store.result_generation()
+        queries = [query for query, _, _ in batch]
+        kinds = [count_only for _, count_only, _ in batch]
+        answers: List[object] = [None] * len(batch)
+        for count_only in set(kinds):
+            positions = [i for i, kind in enumerate(kinds) if kind is count_only]
+            result = self._store.run_batch(
+                [queries[i] for i in positions], count_only=count_only
+            )
+            values = result.counts if count_only else result.ids
+            for position, value in zip(positions, values):
+                answers[position] = value
+        return generation, answers
+
+    # ------------------------------------------------------------------ #
+    # request handling
+    # ------------------------------------------------------------------ #
+    async def _client_connected(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _Reject as reject:
+                    # an oversized body cannot be skipped safely on a
+                    # keep-alive stream: answer and close the connection
+                    self._errors += 1
+                    payload = _encode({"error": reject.message})
+                    writer.write(
+                        b"HTTP/1.1 %d %s\r\n"
+                        b"Content-Type: application/json\r\n"
+                        b"Content-Length: %d\r\n"
+                        b"Connection: close\r\n"
+                        b"\r\n"
+                        % (reject.status, _REASONS.get(reject.status, b"Error"), len(payload))
+                    )
+                    writer.write(payload)
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, path, body = request
+                self._requests += 1
+                try:
+                    status, payload = await self._dispatch(method, path, body)
+                except _Reject as reject:
+                    # only admission pressure counts as "rejected" -- a 400
+                    # from a malformed request is a client error, and mixing
+                    # them would inflate the overload signal operators (and
+                    # client backoff) key on
+                    if reject.status == 503:
+                        self._rejected += 1
+                    else:
+                        self._errors += 1
+                    status = reject.status
+                    payload = _encode(
+                        {"error": reject.message, "retry_after": reject.retry_after}
+                    )
+                except ReproError as exc:
+                    self._errors += 1
+                    status, payload = 400, _encode({"error": str(exc)})
+                except Exception as exc:  # noqa: BLE001 - the server must answer
+                    self._errors += 1
+                    status, payload = 500, _encode(
+                        {"error": f"{type(exc).__name__}: {exc}"}
+                    )
+                writer.write(
+                    b"HTTP/1.1 %d %s\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: %d\r\n"
+                    b"\r\n" % (status, _REASONS.get(status, b"OK"), len(payload))
+                )
+                writer.write(payload)
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            self._connections.discard(writer)
+            if task is not None:
+                self._handlers.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes]]:
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split(None, 2)
+        except ValueError:
+            return None
+        length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    length = 0
+        if length > MAX_BODY_BYTES:
+            raise _Reject(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, body
+
+    async def _dispatch(self, method: str, target: str, body: bytes):
+        parts = urlsplit(target)
+        path = parts.path.rstrip("/") or "/"
+        payload = _decode(body)
+        if parts.query:
+            for key, values in parse_qs(parts.query).items():
+                payload.setdefault(key, values[0])
+        if path == "/health":
+            status = 503 if self._draining else 200
+            return status, _encode({"status": "draining" if self._draining else "ok"})
+        if path == "/stats":
+            return 200, _encode(self.serving_stats())
+        if path == "/query":
+            return await self._handle_query(payload)
+        if path == "/batch":
+            return await self._handle_batch(payload)
+        if path in ("/insert", "/delete", "/maintain"):
+            if method != "POST":
+                # mutations must never ride on "safe" methods: a browser
+                # prefetch or monitoring GET must not change the index
+                return 405, _encode(
+                    {"error": f"{path} requires POST, got {method}"}
+                )
+            handler = {
+                "/insert": self._handle_insert,
+                "/delete": self._handle_delete,
+                "/maintain": self._handle_maintain,
+            }[path]
+            return await handler(payload)
+        return 404, _encode({"error": f"no such endpoint: {path}"})
+
+    def _admit(self, count: int = 1) -> None:
+        """Admission control: count a request's weight in, or reject.
+
+        ``count`` is the request's admission weight (1 per plain query; one
+        per ``max_batch``-chunk for ``/batch``).  The *whole* weight must
+        fit under ``max_pending`` -- checking only for a free slot would let
+        one huge batch admit many multiples of the bound in a single
+        request.  A request too heavy to ever fit is a client error (split
+        it), not backpressure.
+        """
+        if self._draining:
+            raise _Reject(503, "draining", retry_after=None)
+        if count > self._max_pending:
+            raise _Reject(
+                400,
+                f"request weight {count} exceeds max_pending "
+                f"{self._max_pending}; split the batch",
+            )
+        if self._inflight + count > self._max_pending:
+            raise _Reject(503, "overloaded", retry_after=1)
+        self._inflight += count
+        self._idle.clear()
+
+    def _release(self, count: int = 1) -> None:
+        self._inflight -= count
+        if self._inflight <= 0:
+            self._inflight = 0
+            self._idle.set()
+
+    def _publish_stats_extras(self) -> None:
+        """Mirror cache gauges into the index's instrumented-query extras.
+
+        Runs on the cache-hit hot path, so it reads the raw counters
+        lock-free (they are gauges; a torn read is impossible for ints
+        under the GIL) instead of building a full stats snapshot.
+        """
+        extras = getattr(self._store.index, "stats_extras", None)
+        if extras is not None:
+            extras["cache_hits"] = float(self._cache.hits)
+            extras["cache_size"] = float(len(self._cache))
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _parse_query(payload: Dict[str, object]) -> Tuple[Query, bool]:
+        if "stab" in payload:
+            point = int(payload["stab"])
+            query = Query.stabbing(point)
+        else:
+            if "start" not in payload or "end" not in payload:
+                raise _Reject(400, "query needs start and end (or stab)")
+            query = Query(int(payload["start"]), int(payload["end"]))
+        count_only = _truthy(payload.get("count_only", False))
+        return query, count_only
+
+    async def _handle_query(self, payload: Dict[str, object]):
+        query, count_only = self._parse_query(payload)
+        self._queries += 1
+        key = normalize_query_key(
+            query.start, query.end, "count" if count_only else "ids"
+        )
+        if self._cache.enabled:
+            cached = self._cache.get(key, self._store.result_generation())
+            if cached is not ResultCache.MISS:
+                self._publish_stats_extras()
+                return 200, cached
+        self._admit()
+        try:
+            future: asyncio.Future = self._loop.create_future()
+            await self._pending.put((query, count_only, future))
+            generation, answer = await future
+        finally:
+            self._release()
+        body = _encode(
+            {"count": answer} if count_only else {"ids": answer, "count": len(answer)}
+        )
+        self._cache.put(key, generation, body)
+        self._publish_stats_extras()
+        return 200, body
+
+    async def _handle_batch(self, payload: Dict[str, object]):
+        pairs = payload.get("queries")
+        if not isinstance(pairs, list) or not pairs:
+            raise _Reject(400, "batch needs a non-empty 'queries' list")
+        count_only = _truthy(payload.get("count_only", False))
+        queries = [Query(int(start), int(end)) for start, end in pairs]
+        self._queries += len(queries)
+        kind = "count" if count_only else "ids"
+        generation = self._store.result_generation()
+        answers: List[object] = [None] * len(queries)
+        missing: List[int] = []
+        for position, query in enumerate(queries):
+            key = normalize_query_key(query.start, query.end, kind)
+            cached = (
+                self._cache.get(key, generation)
+                if self._cache.enabled
+                else ResultCache.MISS
+            )
+            if cached is ResultCache.MISS:
+                missing.append(position)
+            else:
+                answers[position] = cached
+        if missing:
+            # a batch request weighs in proportion to its work: each
+            # max_batch-sized chunk counts one admission slot, so a single
+            # huge /batch cannot slip past the bound that per-query
+            # requests respect, and no run_batch call exceeds max_batch
+            chunks = [
+                missing[i : i + self._max_batch]
+                for i in range(0, len(missing), self._max_batch)
+            ]
+            self._admit(len(chunks))
+            # (generation, value) pairs: each chunk's answers are stamped
+            # with the generation read before *that* chunk ran -- stamping
+            # an early chunk with a later chunk's token could mask an
+            # update that landed between them
+            filled: List[Tuple[int, object]] = []
+            try:
+                for chunk in chunks:
+                    batch = [(queries[i], count_only, None) for i in chunk]
+                    chunk_generation, chunk_values = await self._loop.run_in_executor(
+                        None, self._execute_batch, batch
+                    )
+                    filled.extend((chunk_generation, value) for value in chunk_values)
+                    self._batches += 1
+                    self._batched_queries += len(chunk)
+            finally:
+                self._release(len(chunks))
+            for position, (fill_generation, value) in zip(missing, filled):
+                body = _encode(
+                    {"count": value}
+                    if count_only
+                    else {"ids": value, "count": len(value)}
+                )
+                answers[position] = body
+                self._cache.put(
+                    normalize_query_key(
+                        queries[position].start, queries[position].end, kind
+                    ),
+                    fill_generation,
+                    body,
+                )
+        self._publish_stats_extras()
+        # answers hold per-query encoded bodies; splice them into one array
+        return 200, b'{"results": [' + b", ".join(answers) + b"]}"
+
+    async def _handle_insert(self, payload: Dict[str, object]):
+        for field in ("id", "start", "end"):
+            if field not in payload:
+                raise _Reject(400, f"insert needs '{field}'")
+        interval = Interval(
+            int(payload["id"]), int(payload["start"]), int(payload["end"])
+        )
+        self._admit()
+        try:
+            async with self._update_lock:
+                await self._loop.run_in_executor(None, self._store.insert, interval)
+        finally:
+            self._release()
+        self._updates += 1
+        return 200, _encode(
+            {"inserted": interval.id, "generation": self._store.result_generation()}
+        )
+
+    async def _handle_delete(self, payload: Dict[str, object]):
+        if "id" not in payload:
+            raise _Reject(400, "delete needs 'id'")
+        interval_id = int(payload["id"])
+        self._admit()
+        try:
+            async with self._update_lock:
+                found = await self._loop.run_in_executor(
+                    None, self._store.delete, interval_id
+                )
+        finally:
+            self._release()
+        self._updates += 1
+        return 200, _encode(
+            {
+                "deleted": bool(found),
+                "id": interval_id,
+                "generation": self._store.result_generation(),
+            }
+        )
+
+    async def _handle_maintain(self, payload: Dict[str, object]):
+        force = _truthy(payload.get("force", False))
+        self._admit()
+        try:
+            async with self._update_lock:
+                report = await self._loop.run_in_executor(
+                    None, lambda: self._store.maintain(force=force)
+                )
+        finally:
+            self._release()
+        return 200, _encode(
+            {
+                "summary": report.summary(),
+                "generation": self._store.result_generation(),
+            }
+        )
+
+
+# --------------------------------------------------------------------------- #
+# wire helpers
+# --------------------------------------------------------------------------- #
+_REASONS = {
+    200: b"OK",
+    400: b"Bad Request",
+    404: b"Not Found",
+    405: b"Method Not Allowed",
+    413: b"Payload Too Large",
+    500: b"Internal Server Error",
+    503: b"Service Unavailable",
+}
+
+
+def _encode(payload: Dict[str, object]) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode()
+
+
+def _decode(body: bytes) -> Dict[str, object]:
+    if not body:
+        return {}
+    try:
+        decoded = json.loads(body)
+    except ValueError as exc:
+        raise _Reject(400, f"invalid JSON body: {exc}") from exc
+    if not isinstance(decoded, dict):
+        raise _Reject(400, "JSON body must be an object")
+    return decoded
+
+
+def _truthy(value: object) -> bool:
+    if isinstance(value, str):
+        return value.lower() in ("1", "true", "yes", "on")
+    return bool(value)
+
+
+# --------------------------------------------------------------------------- #
+# threaded convenience (tests, benchmarks, examples)
+# --------------------------------------------------------------------------- #
+class ServerHandle:
+    """A :class:`QueryServer` running on a daemon thread's event loop."""
+
+    def __init__(
+        self,
+        server: QueryServer,
+        thread: threading.Thread,
+        loop: asyncio.AbstractEventLoop,
+    ) -> None:
+        self.server = server
+        self._thread = thread
+        self._loop = loop
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def address(self) -> str:
+        return self.server.address
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Drain and stop the server, then stop and join the loop thread."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(drain=drain), self._loop
+        )
+        try:
+            future.result(timeout=timeout)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def start_server_thread(store: IntervalStore, **kwargs) -> ServerHandle:
+    """Start a :class:`QueryServer` on a fresh daemon-thread event loop.
+
+    Returns once the listener is bound (so :attr:`ServerHandle.port` is
+    real); stop with :meth:`ServerHandle.stop` or use as a context manager.
+    """
+    server = QueryServer(store, **kwargs)
+    started = threading.Event()
+    failure: List[BaseException] = []
+    holder: Dict[str, asyncio.AbstractEventLoop] = {}
+
+    def _runner() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        holder["loop"] = loop
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
+            failure.append(exc)
+            started.set()
+            loop.close()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.run_until_complete(loop.shutdown_default_executor())
+            loop.close()
+
+    thread = threading.Thread(target=_runner, name="repro-serve", daemon=True)
+    thread.start()
+    if not started.wait(timeout=30.0):  # pragma: no cover - wedged loop
+        raise RuntimeError("query server failed to start within 30s")
+    if failure:
+        raise RuntimeError(f"query server failed to start: {failure[0]!r}") from failure[0]
+    return ServerHandle(server, thread, holder["loop"])

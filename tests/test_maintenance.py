@@ -649,3 +649,44 @@ class TestReportSummary:
         idle = MaintenanceReport()
         assert "nothing to do" in idle.summary()
         assert idle.actions == 0
+
+
+class TestCalibration:
+    """``MaintenanceConfig.calibrate``: measured betas into the cost model."""
+
+    def test_calibrate_configures_cost_model_policy(self, synthetic_collection):
+        index = ShardedIndex(synthetic_collection, backend="hintm_hybrid",
+                             num_shards=2, num_bits=7)
+        defaults = CostModelRebuildPolicy()
+        coordinator = MaintenanceCoordinator(
+            index,
+            config=MaintenanceConfig(policy="cost_model", calibrate=True),
+        )
+        beta_cmp, beta_acc = coordinator.calibrated_betas
+        assert beta_cmp > 0 and beta_acc > 0
+        # the policy now amortises with the measured constant, and a real
+        # micro-benchmark essentially never lands on the hard-coded default
+        assert coordinator.policy.beta_cmp == beta_cmp
+        assert coordinator.policy.beta_cmp != defaults.beta_cmp
+        assert coordinator.state()["calibrated_betas"] == (beta_cmp, beta_acc)
+        index.close()
+
+    def test_calibrate_leaves_threshold_policy_untouched(self, synthetic_collection):
+        index = ShardedIndex(synthetic_collection, backend="hintm_hybrid",
+                             num_shards=2, num_bits=7)
+        coordinator = MaintenanceCoordinator(
+            index, config=MaintenanceConfig(policy="threshold", calibrate=True)
+        )
+        # the measurement still runs (recorded for display) but the
+        # threshold rule has no beta to configure
+        assert coordinator.calibrated_betas is not None
+        assert not hasattr(coordinator.policy, "beta_cmp")
+        index.close()
+
+    def test_no_calibration_by_default(self, synthetic_collection):
+        index = ShardedIndex(synthetic_collection, backend="hintm_hybrid",
+                             num_shards=2, num_bits=7)
+        coordinator = MaintenanceCoordinator(index, policy="cost_model")
+        assert coordinator.calibrated_betas is None
+        assert coordinator.policy.beta_cmp == CostModelRebuildPolicy().beta_cmp
+        index.close()

@@ -322,7 +322,7 @@ class TestPickleAndSharedMemory:
                 synthetic_collection, backend="naive", num_shards=4, executor=executor
             )
             assert index._shared is not None
-            spec = index._residency_spec()
+            spec = index._residency_spec(index._epoch)
             assert spec.handle is not None
             # the snapshot is part of the index's reported footprint
             assert index.memory_bytes() >= index._shared.nbytes

@@ -1,0 +1,519 @@
+"""Replicated shards: routing, failover, healing, update propagation."""
+
+import threading
+
+import pytest
+
+from repro.core.interval import Interval, IntervalCollection, Query
+from repro.engine import IntervalStore
+from repro.engine.replication import ROUTING_POLICIES, ShardReplicaSet
+from repro.engine.sharded import ShardedIndex, ShardedStore
+from repro.queries.generator import QueryWorkloadConfig, generate_queries
+
+
+def _collection(n=400, seed=3):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    starts = rng.integers(0, 10_000, n)
+    ends = starts + rng.integers(0, 500, n)
+    return IntervalCollection.from_pairs(
+        [(int(s), int(e)) for s, e in zip(starts, ends)]
+    )
+
+
+def _oracle(collection, query):
+    return {
+        int(i)
+        for i, s, e in zip(collection.ids, collection.starts, collection.ends)
+        if s <= query.end and query.start <= e
+    }
+
+
+class _Exploding:
+    """Wraps a replica index; raises on query paths after arm()."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.armed = False
+
+    def arm(self):
+        self.armed = True
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def _boom(self):
+        raise OSError("injected replica failure")
+
+    def query(self, query):
+        if self.armed:
+            self._boom()
+        return self._inner.query(query)
+
+    def query_count(self, query):
+        if self.armed:
+            self._boom()
+        return self._inner.query_count(query)
+
+    def query_exists(self, query):
+        if self.armed:
+            self._boom()
+        return self._inner.query_exists(query)
+
+
+# --------------------------------------------------------------------------- #
+# ShardReplicaSet unit behaviour
+# --------------------------------------------------------------------------- #
+class TestShardReplicaSet:
+    def _set(self, factor=3, routing="round_robin"):
+        built = []
+
+        def build():
+            built.append(object())
+            return built[-1]
+
+        return ShardReplicaSet(0, factor, build=build, routing=routing), built
+
+    def test_factor_and_routing_validation(self):
+        with pytest.raises(ValueError, match="replication factor"):
+            ShardReplicaSet(0, 0, build=object)
+        with pytest.raises(ValueError, match="routing"):
+            ShardReplicaSet(0, 2, build=object, routing="random")
+
+    def test_round_robin_cycles_all_replicas(self):
+        replica_set, _ = self._set(factor=3)
+        seen = {replica_set.select()[0] for _ in range(9)}
+        assert seen == {0, 1, 2}
+
+    def test_least_loaded_prefers_idle_replica(self):
+        replica_set, _ = self._set(factor=2, routing="least_loaded")
+        busy_id, _ = replica_set.acquire()  # held in flight
+        other_id, _ = replica_set.select()
+        assert other_id != busy_id
+        replica_set.release(busy_id)
+
+    def test_lazy_build_is_cached_per_slot(self):
+        replica_set, built = self._set(factor=2)
+        first = replica_set.primary()
+        assert replica_set.primary() is first
+        replica_set.ensure_all()
+        assert len(built) == 2
+
+    def test_mark_failed_removes_from_rotation(self):
+        replica_set, _ = self._set(factor=2)
+        assert replica_set.mark_failed(1) == 1
+        assert replica_set.failed_ids() == [1]
+        assert all(replica_set.select()[0] == 0 for _ in range(5))
+
+    def test_all_failed_raises_with_guidance(self):
+        replica_set, _ = self._set(factor=2)
+        replica_set.mark_failed(0)
+        replica_set.mark_failed(1)
+        with pytest.raises(RuntimeError, match="all 2 replicas"):
+            replica_set.select()
+
+    def test_install_heals_a_failed_slot(self):
+        replica_set, _ = self._set(factor=2)
+        replica_set.mark_failed(1)
+        healed = object()
+        replica_set.install(1, healed)
+        assert replica_set.failed_ids() == []
+        assert healed in replica_set.built()
+
+    def test_ensure_all_skips_failed_slots(self):
+        replica_set, built = self._set(factor=3)
+        replica_set.mark_failed(1)
+        replicas = replica_set.ensure_all()
+        assert len(replicas) == 2
+
+    def test_routing_policy_registry_names(self):
+        assert tuple(name for name, _ in ROUTING_POLICIES) == (
+            "round_robin",
+            "least_loaded",
+        )
+
+
+# --------------------------------------------------------------------------- #
+# replicated sharded index: correctness and failover
+# --------------------------------------------------------------------------- #
+class TestReplicatedShardedIndex:
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    @pytest.mark.parametrize("routing", ["round_robin", "least_loaded"])
+    def test_replicated_queries_match_oracle(self, num_shards, routing):
+        collection = _collection()
+        index = ShardedIndex(
+            collection,
+            backend="hintm_opt",
+            num_shards=num_shards,
+            replication_factor=2,
+            routing=routing,
+        )
+        queries = generate_queries(
+            collection, QueryWorkloadConfig(count=30, extent_fraction=0.05, seed=5)
+        )
+        for query in queries:
+            expected = _oracle(collection, query)
+            assert set(index.query(query)) == expected
+            assert index.query_count(query) == len(expected)
+            assert index.query_exists(query) == bool(expected)
+        index.close()
+
+    def test_replication_factor_validation(self):
+        with pytest.raises(ValueError, match="replication_factor"):
+            ShardedIndex(_collection(), replication_factor=0)
+
+    def test_replication_state_surfaced(self):
+        index = ShardedIndex(_collection(), num_shards=2, replication_factor=3)
+        assert index.replication_factor == 3
+        assert index.routing == "round_robin"
+        health = index.replica_health()
+        assert len(health) == index.num_shards
+        assert all(len(row) == 3 and all(row) for row in health)
+        state = index.maintenance_state()
+        assert state["replication_factor"] == 3
+        assert state["failed_replicas"] == []
+        index.close()
+
+    def test_kill_replica_keeps_answers_correct(self):
+        collection = _collection()
+        index = ShardedIndex(
+            collection, backend="hintm_opt", num_shards=2, replication_factor=2
+        )
+        query = Query(0, 10_500)  # spans both shards
+        expected = _oracle(collection, query)
+        # warm all replicas into the rotation, then kill one per shard
+        for _ in range(4):
+            assert set(index.query(query)) == expected
+        assert index.kill_replica(0, replica_id=0) == 1
+        assert index.kill_replica(1, replica_id=1) == 1
+        assert index.failed_replicas() == [(0, 0), (1, 1)]
+        for _ in range(4):
+            assert set(index.query(query)) == expected
+            assert index.query_count(query) == len(expected)
+        _, stats = index.query_with_stats(query)
+        assert stats.extra["replicas_failed"] == 2.0
+        index.close()
+
+    def test_failover_marks_raising_replica_and_retries(self):
+        collection = _collection()
+        index = ShardedIndex(
+            collection, backend="hintm_opt", num_shards=1, replication_factor=2
+        )
+        query = Query(0, 20_000)
+        expected = _oracle(collection, query)
+        replica_set = index._epoch.replica_sets[0]
+        replica_set.ensure_all()
+        exploding = _Exploding(replica_set._replicas[1])
+        replica_set._replicas[1] = exploding
+        exploding.arm()
+        # round-robin will route onto the exploding replica within two probes;
+        # the failover must answer correctly and take the replica out
+        for _ in range(4):
+            assert set(index.query(query)) == expected
+        assert index.failed_replicas() == [(0, 1)]
+        failures = index.recent_failures()
+        assert failures and failures[-1].shard_id == 0
+        assert "injected replica failure" in failures[-1].error
+        index.close()
+
+    def test_semantic_errors_do_not_trigger_failover(self):
+        collection = _collection()
+        index = ShardedIndex(
+            collection, backend="hintm_opt", num_shards=1, replication_factor=2
+        )
+        from repro.core.errors import InvalidQueryError
+
+        with pytest.raises(InvalidQueryError):
+            index.query(Query(10, 5))
+        assert index.failed_replicas() == []
+        index.close()
+
+    def test_updates_reach_every_replica(self):
+        collection = _collection()
+        index = ShardedIndex(
+            collection, backend="hintm_hybrid", num_shards=2, replication_factor=2
+        )
+        fresh = Interval(10_000, 100, 9_900)  # spans both shards
+        index.insert(fresh)
+        assert index.delete(3)
+        query = Query(0, 10_500)
+        expected = (_oracle(collection, query) | {10_000}) - {3}
+        # kill each replica in turn: the survivor must hold the updates too
+        assert set(index.query(query)) == expected
+        index.kill_replica(0, replica_id=0)
+        index.kill_replica(1, replica_id=0)
+        assert set(index.query(query)) == expected
+        index.close()
+
+    def test_rebuild_failed_replicas_heals_with_live_contents(self):
+        collection = _collection()
+        index = ShardedIndex(
+            collection, backend="hintm_hybrid", num_shards=2, replication_factor=2
+        )
+        fresh = Interval(10_000, 100, 9_900)
+        index.insert(fresh)
+        index.kill_replica(0, replica_id=1)
+        healed = index.rebuild_failed_replicas()
+        assert healed == [(0, 1)]
+        assert index.failed_replicas() == []
+        # drive enough probes to hit the healed replica; updates must be there
+        query = Query(0, 10_500)
+        expected = _oracle(collection, query) | {10_000}
+        for _ in range(6):
+            assert set(index.query(query)) == expected
+        index.close()
+
+    def test_maintenance_pass_heals_failed_replicas(self):
+        collection = _collection()
+        store = ShardedStore.open(
+            collection, "hintm_hybrid", num_shards=2, replication_factor=2
+        )
+        store.index.kill_replica(1, replica_id=0)
+        report = store.maintain()
+        assert report.replicas_rebuilt == [(1, 0)]
+        assert "healed replicas" in report.summary()
+        assert store.index.failed_replicas() == []
+        store.close()
+
+    def test_repartition_restores_full_replication(self):
+        collection = _collection()
+        index = ShardedIndex(
+            collection, backend="hintm_hybrid", num_shards=2, replication_factor=2
+        )
+        index.insert(Interval(10_000, 9_000, 9_100))
+        index.kill_replica(0, replica_id=0)
+        assert index.repartition(strategy="balanced")
+        assert index.failed_replicas() == []
+        assert all(all(row) for row in index.replica_health())
+        index.close()
+
+    def test_concurrent_replicated_queries_stay_correct(self):
+        collection = _collection(n=600)
+        index = ShardedIndex(
+            collection,
+            backend="hintm_opt",
+            num_shards=2,
+            replication_factor=2,
+            routing="least_loaded",
+        )
+        queries = generate_queries(
+            collection, QueryWorkloadConfig(count=20, extent_fraction=0.05, seed=11)
+        )
+        expected = {q: _oracle(collection, q) for q in queries}
+        failures = []
+
+        def worker():
+            try:
+                for _ in range(10):
+                    for query in queries:
+                        if set(index.query(query)) != expected[query]:
+                            failures.append(query)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        index.close()
+
+
+# --------------------------------------------------------------------------- #
+# store-level plumbing
+# --------------------------------------------------------------------------- #
+class TestReplicatedStore:
+    def test_open_with_replication_forces_sharded_store(self):
+        store = IntervalStore.open(
+            _collection(), "hintm_opt", num_shards=1, replication_factor=2
+        )
+        assert isinstance(store, ShardedStore)
+        assert store.index.replication_factor == 2
+        store.close()
+
+    def test_open_rejects_bad_replication(self):
+        with pytest.raises(ValueError, match="replication_factor"):
+            IntervalStore.open(_collection(), replication_factor=0)
+
+    def test_result_generation_moves_on_updates_and_epochs(self):
+        store = IntervalStore.open(
+            _collection(), "hintm_hybrid", num_shards=2, replication_factor=2
+        )
+        before = store.result_generation()
+        store.insert(Interval(10_000, 10, 20))
+        after_insert = store.result_generation()
+        assert after_insert > before
+        store.delete(10_000)
+        after_delete = store.result_generation()
+        assert after_delete > after_insert
+        if store.index.repartition(strategy="balanced"):
+            assert store.result_generation() > after_delete
+        store.close()
+
+    def test_plain_store_generation_tracks_store_updates(self):
+        store = IntervalStore.from_pairs([(1, 5), (3, 9)], backend="hintm_hybrid")
+        before = store.result_generation()
+        store.insert(Interval(7, 2, 4))
+        assert store.result_generation() == before + 1
+        assert store.delete(7)
+        assert store.result_generation() == before + 2
+        assert not store.delete(12345)  # a miss does not move the generation
+        assert store.result_generation() == before + 2
+
+
+# --------------------------------------------------------------------------- #
+# worker-pool failover (process fan-out degrading to in-process execution)
+# --------------------------------------------------------------------------- #
+class TestWorkerPoolFailover:
+    def _queries(self, collection, count=8):
+        return generate_queries(
+            collection, QueryWorkloadConfig(count=count, extent_fraction=0.2, seed=7)
+        )
+
+    @pytest.mark.skipif(
+        not __import__("repro.core.interval", fromlist=["HAS_SHARED_MEMORY"]).HAS_SHARED_MEMORY,
+        reason="no multiprocessing.shared_memory",
+    )
+    def test_broken_pool_fails_over_in_process(self):
+        from repro.engine.executor import ProcessExecutor
+
+        class _BrokenPool(ProcessExecutor):
+            """A process executor whose parallel map always dies."""
+
+            def __init__(self):
+                super().__init__(workers=2)
+                self.broken_maps = 0
+
+            def map(self, fn, items):
+                work = list(items)
+                if len(work) > 1:  # the parallel path "loses its workers"
+                    self.broken_maps += 1
+                    raise BrokenPipeError("worker died mid-batch")
+                return super().map(fn, work)
+
+        collection = _collection(n=500)
+        executor = _BrokenPool()
+        index = ShardedIndex(
+            collection, backend="hintm_opt", num_shards=4, executor=executor
+        )
+        try:
+            queries = self._queries(collection)
+            assert index._process_fanout_ready()
+            answers = index.query_batch(queries)
+            # the batch answered correctly despite the dead pool...
+            for query, ids in zip(queries, answers):
+                assert set(ids) == _oracle(collection, query)
+            assert executor.broken_maps == 1
+            # ...the failure is recorded as a pool-level replica failure...
+            failures = index.recent_failures()
+            assert failures and failures[-1].shard_id == -1
+            assert "worker died" in failures[-1].error
+            # ...and fan-out stays disabled (no retry storm on a dead pool)
+            assert not index._process_fanout_ready()
+            index.query_batch(queries)
+            assert executor.broken_maps == 1
+            # a snapshot refresh heals fan-out (fresh pool, fresh residency)
+            assert index.refresh_snapshot()
+            assert index._process_fanout_ready()
+        finally:
+            index.close()
+            executor.close()
+
+
+class TestKilledSoleReplica:
+    """A killed sole replica goes dark -- never silently stale (regression)."""
+
+    def test_killed_unreplicated_shard_raises_until_healed(self):
+        collection = _collection()
+        index = ShardedIndex(
+            collection, backend="hintm_hybrid", num_shards=4, replication_factor=1
+        )
+        lo, hi = collection.span()
+        fresh = Interval(10_000, lo, lo + 10)  # lands in shard 0
+        index.insert(fresh)
+        query = Query(lo, lo + 50)
+        assert 10_000 in index.query(query)
+        index.kill_replica(0, replica_id=0)
+        # the shard must not resurrect itself from the pre-insert epoch
+        # source (which would silently drop the insert) -- it goes dark
+        with pytest.raises(RuntimeError, match="must heal"):
+            index.query(query)
+        healed = index.rebuild_failed_replicas()
+        assert healed == [(0, 0)]
+        assert 10_000 in index.query(query)  # the live rebuild has the insert
+        index.close()
+
+
+class TestAcquireFailover:
+    """Failover covers the lazy build, not just the probe (regression)."""
+
+    def test_failed_lazy_build_retries_next_replica(self):
+        primary = object()
+        builds = {"count": 0}
+
+        def build():
+            builds["count"] += 1
+            raise MemoryError("replica build failed")
+
+        replica_set = ShardReplicaSet(0, 2, build=build, primary=primary)
+        # the round-robin pick lands on the unbuilt slot within two
+        # acquires; its build blows up, the slot leaves rotation, and the
+        # acquire answers from the healthy primary instead of propagating
+        for _ in range(4):
+            replica_id, index = replica_set.acquire()
+            assert index is primary
+            replica_set.release(replica_id)
+        assert replica_set.failed_ids() == [1]
+        assert builds["count"] == 1  # the dead slot is not retried forever
+
+    def test_all_builds_failing_still_raises(self):
+        def build():
+            raise MemoryError("no replicas can build")
+
+        replica_set = ShardReplicaSet(0, 2, build=build)
+        with pytest.raises(RuntimeError, match="all 2 replicas"):
+            replica_set.acquire()
+
+
+class TestSelectRouting:
+    def test_least_loaded_select_rotates_on_ties(self):
+        # select() (the fluent shards_for path) tracks no in-flight load,
+        # so every counter ties -- the pick must still rotate instead of
+        # pinning all traffic to replica 0
+        replica_set = ShardReplicaSet(
+            0, 3, build=lambda: object(), routing="least_loaded"
+        )
+        seen = {replica_set.select()[0] for _ in range(9)}
+        assert seen == {0, 1, 2}
+
+
+class TestKillReplicaDegenerateGuard:
+    def test_unreplicated_single_shard_kill_is_refused(self):
+        # K == 1, R == 1 keeps no locator: the killed primary would be the
+        # only record of absorbed updates, so no rebuild source would exist
+        index = ShardedIndex(_collection(), num_shards=1, replication_factor=1)
+        with pytest.raises(ValueError, match="no locator"):
+            index.kill_replica(0, replica_id=0)
+        index.close()
+
+    def test_replicated_single_shard_kill_still_works(self):
+        index = ShardedIndex(_collection(), num_shards=1, replication_factor=2)
+        assert index.kill_replica(0, replica_id=0) == 1
+        assert index.rebuild_failed_replicas() == [(0, 0)]
+        index.close()
+
+
+class TestEpochSourceRetention:
+    def test_eager_unreplicated_install_drops_the_source(self):
+        # nothing can lazily build in this configuration; pinning the build
+        # collection for the index's lifetime would be dead memory
+        index = ShardedIndex(_collection(), num_shards=4, replication_factor=1)
+        assert index._epoch.source is None
+        index.close()
+
+    def test_replicated_install_keeps_the_source_for_lazy_builds(self):
+        index = ShardedIndex(_collection(), num_shards=2, replication_factor=2)
+        assert index._epoch.source is not None
+        index.close()

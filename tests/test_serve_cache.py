@@ -1,0 +1,122 @@
+"""The invalidation-aware result cache: generation keying, LRU, stats."""
+
+import threading
+
+import pytest
+
+from repro.serve.cache import ResultCache, normalize_query_key, resolve_cache
+
+
+class TestNormalizeQueryKey:
+    def test_kind_separates_result_shapes(self):
+        assert normalize_query_key(1, 5, "ids") != normalize_query_key(1, 5, "count")
+
+    def test_same_query_same_key(self):
+        assert normalize_query_key(1, 5) == normalize_query_key(1, 5)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        key = normalize_query_key(1, 5)
+        assert cache.get(key, 0) is ResultCache.MISS
+        cache.put(key, 0, [1, 2, 3])
+        assert cache.get(key, 0) == [1, 2, 3]
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_generation_bump_invalidates_by_construction(self):
+        cache = ResultCache(capacity=4)
+        key = normalize_query_key(1, 5)
+        cache.put(key, 7, "generation-7 answer")
+        assert cache.get(key, 7) == "generation-7 answer"
+        # an update moved the generation: the entry is dead, dropped, counted
+        assert cache.get(key, 8) is ResultCache.MISS
+        stats = cache.stats()
+        assert stats.invalidated == 1
+        assert stats.size == 0
+        # refill at the new generation works as usual
+        cache.put(key, 8, "generation-8 answer")
+        assert cache.get(key, 8) == "generation-8 answer"
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 0, 1)
+        cache.put("b", 0, 2)
+        assert cache.get("a", 0) == 1  # refresh a; b becomes the LRU
+        cache.put("c", 0, 3)
+        assert cache.get("b", 0) is ResultCache.MISS
+        assert cache.get("a", 0) == 1
+        assert cache.stats().evictions == 1
+
+    def test_capacity_zero_disables_caching(self):
+        cache = ResultCache(capacity=0)
+        assert not cache.enabled
+        cache.put("a", 0, 1)
+        assert len(cache) == 0
+        assert cache.get("a", 0) is ResultCache.MISS
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ResultCache(capacity=-1)
+
+    def test_cached_falsy_values_are_not_misses(self):
+        cache = ResultCache(capacity=4)
+        cache.put("empty", 0, [])
+        assert cache.get("empty", 0) == []
+
+    def test_clear(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", 0, 1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_hit_rate(self):
+        cache = ResultCache(capacity=4)
+        assert cache.stats().hit_rate == 0.0
+        cache.put("a", 0, 1)
+        cache.get("a", 0)
+        cache.get("b", 0)
+        assert cache.stats().hit_rate == pytest.approx(0.5)
+
+    def test_thread_safety_under_mixed_generations(self):
+        cache = ResultCache(capacity=64)
+        errors = []
+
+        def worker(generation):
+            try:
+                for i in range(500):
+                    key = normalize_query_key(i % 32, i % 32 + 5)
+                    cache.put(key, generation, (generation, i))
+                    value = cache.get(key, generation)
+                    if value is not ResultCache.MISS and value[0] != generation:
+                        errors.append(value)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(g,)) for g in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+
+class TestResolveCache:
+    def test_default_is_enabled(self):
+        cache = resolve_cache(None)
+        assert cache.enabled and cache.capacity == 1024
+
+    def test_int_is_capacity(self):
+        assert resolve_cache(16).capacity == 16
+        assert not resolve_cache(0).enabled
+
+    def test_instance_passes_through(self):
+        cache = ResultCache(capacity=2)
+        assert resolve_cache(cache) is cache
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_cache(True)
+        with pytest.raises(TypeError):
+            resolve_cache("big")

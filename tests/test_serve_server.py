@@ -1,0 +1,416 @@
+"""The asyncio query server: endpoints, caching, admission control, drain."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.interval import Interval, IntervalCollection, Query
+from repro.engine import IntervalStore
+from repro.serve.client import ServeClient, ServerError, ServerOverloaded
+from repro.serve.server import QueryServer, start_server_thread
+
+
+def _collection(n=300, seed=5):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    starts = rng.integers(0, 10_000, n)
+    ends = starts + rng.integers(0, 400, n)
+    return IntervalCollection.from_pairs(
+        [(int(s), int(e)) for s, e in zip(starts, ends)]
+    )
+
+
+def _oracle(collection, start, end):
+    return {
+        int(i)
+        for i, s, e in zip(collection.ids, collection.starts, collection.ends)
+        if s <= end and start <= e
+    }
+
+
+@pytest.fixture()
+def served():
+    collection = _collection()
+    store = IntervalStore.open(
+        collection, "hintm_hybrid", num_shards=2, replication_factor=2
+    )
+    handle = start_server_thread(store, cache=128)
+    client = ServeClient(port=handle.port)
+    yield collection, store, client
+    client.close()
+    handle.stop()
+    store.close()
+
+
+class TestEndpoints:
+    def test_query_matches_oracle(self, served):
+        collection, _, client = served
+        for start, end in ((0, 2_000), (5_000, 5_100), (9_000, 20_000)):
+            response = client.query(start, end)
+            assert set(response["ids"]) == _oracle(collection, start, end)
+            assert response["count"] == len(response["ids"])
+
+    def test_count_only(self, served):
+        collection, _, client = served
+        response = client.query(0, 6_000, count_only=True)
+        assert response == {"count": len(_oracle(collection, 0, 6_000))}
+
+    def test_stabbing(self, served):
+        collection, _, client = served
+        response = client.stab(5_000)
+        assert set(response["ids"]) == _oracle(collection, 5_000, 5_000)
+
+    def test_batch_matches_oracle(self, served):
+        collection, _, client = served
+        pairs = [(0, 1_000), (2_000, 4_000), (0, 1_000)]
+        results = client.batch(pairs)
+        assert len(results) == 3
+        for (start, end), result in zip(pairs, results):
+            assert set(result["ids"]) == _oracle(collection, start, end)
+        counts = client.batch(pairs, count_only=True)
+        for (start, end), result in zip(pairs, counts):
+            assert result["count"] == len(_oracle(collection, start, end))
+
+    def test_get_with_query_string(self, served):
+        _, _, client = served
+        response = client._request("GET", "/query?start=0&end=1000&count_only=1")
+        assert "count" in response and "ids" not in response
+
+    def test_health_and_stats(self, served):
+        _, store, client = served
+        assert client.health() == {"status": "ok"}
+        stats = client.stats()
+        assert stats["backend"] == "sharded"
+        assert stats["intervals"] == len(store)
+        assert stats["epoch"] == store.index.epoch
+        assert stats["replica_health"] == store.index.replica_health()
+        assert stats["cache"]["capacity"] == 128
+
+    def test_unknown_endpoint_404(self, served):
+        _, _, client = served
+        with pytest.raises(ServerError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_malformed_requests_400(self, served):
+        _, _, client = served
+        with pytest.raises(ServerError) as excinfo:
+            client._request("POST", "/query", {"start": 3})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServerError) as excinfo:
+            client._request("POST", "/query", {"start": 9, "end": 3})
+        assert excinfo.value.status == 400  # InvalidQueryError -> client error
+        with pytest.raises(ServerError) as excinfo:
+            client._request("POST", "/batch", {"queries": []})
+        assert excinfo.value.status == 400
+
+
+class TestCacheIntegration:
+    def test_repeats_hit_the_cache(self, served):
+        _, _, client = served
+        first = client.query(0, 3_000)
+        before = client.stats()["cache"]
+        second = client.query(0, 3_000)
+        after = client.stats()["cache"]
+        assert second == first
+        assert after["hits"] == before["hits"] + 1
+
+    def test_insert_invalidates_cached_answer(self, served):
+        collection, _, client = served
+        baseline = set(client.query(4_000, 4_500)["ids"])
+        client.query(4_000, 4_500)  # cached now
+        client.insert(77_000, 4_100, 4_200)
+        response = client.query(4_000, 4_500)
+        assert set(response["ids"]) == baseline | {77_000}
+        assert client.stats()["cache"]["invalidated"] >= 1
+
+    def test_delete_invalidates_cached_answer(self, served):
+        collection, _, client = served
+        victim = next(iter(_oracle(collection, 0, 20_000)))
+        before = set(client.query(0, 20_000)["ids"])
+        assert client.delete(victim)["deleted"]
+        after = set(client.query(0, 20_000)["ids"])
+        assert after == before - {victim}
+
+    def test_maintain_endpoint_moves_generation(self, served):
+        _, store, client = served
+        client.insert(88_000, 100, 200)
+        generation = client.stats()["result_generation"]
+        response = client.maintain(force=True)
+        assert "summary" in response
+        assert response["generation"] >= generation
+
+    def test_batch_fills_and_uses_cache(self, served):
+        collection, _, client = served
+        pairs = [(0, 2_500), (3_000, 5_500)]
+        client.batch(pairs)
+        before = client.stats()["cache"]
+        client.batch(pairs)
+        after = client.stats()["cache"]
+        assert after["hits"] >= before["hits"] + 2
+
+    def test_cache_stats_mirrored_into_query_stats(self, served):
+        _, store, client = served
+        client.query(0, 3_333)
+        client.query(0, 3_333)
+        stats = store.query().overlapping(0, 3_333).stats()
+        assert stats.extra["cache_hits"] >= 1.0
+        assert stats.extra["cache_size"] >= 1.0
+
+
+class TestAdmissionControl:
+    def test_overload_rejected_with_503(self):
+        collection = _collection()
+        store = IntervalStore.open(collection, "hintm_opt", num_shards=2)
+        # a store whose batches park until released: every admitted request
+        # stays in flight, so the second concurrent request must bounce
+        gate = threading.Event()
+        original = store.run_batch
+
+        def slow_run_batch(queries, count_only=False):
+            gate.wait(timeout=10)
+            return original(queries, count_only=count_only)
+
+        store.run_batch = slow_run_batch
+        handle = start_server_thread(store, cache=0, max_pending=1)
+        rejected = []
+        answered = []
+
+        def fire():
+            client = ServeClient(port=handle.port)
+            try:
+                answered.append(client.query(0, 1_000))
+            except ServerOverloaded as exc:
+                rejected.append(exc)
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=fire) for _ in range(4)]
+        try:
+            for thread in threads:
+                thread.start()
+                time.sleep(0.05)  # let each request reach admission in order
+            gate.set()
+            for thread in threads:
+                thread.join(timeout=10)
+            assert rejected, "admission control never rejected under overload"
+            assert answered, "every request was rejected -- nothing served"
+            assert all(exc.status == 503 for exc in rejected)
+            assert all(
+                exc.payload.get("error") == "overloaded" for exc in rejected
+            )
+            stats = ServeClient(port=handle.port).stats()
+            assert stats["rejected"] == len(rejected)
+        finally:
+            gate.set()
+            handle.stop()
+            store.close()
+
+    def test_rejections_carry_retry_after(self):
+        collection = _collection()
+        store = IntervalStore.open(collection, "hintm_opt")
+        gate = threading.Event()
+        original = store.run_batch
+        store.run_batch = lambda q, count_only=False: (
+            gate.wait(10),
+            original(q, count_only=count_only),
+        )[1]
+        handle = start_server_thread(store, cache=0, max_pending=1)
+        try:
+            background = threading.Thread(
+                target=lambda: ServeClient(port=handle.port).query(0, 10)
+            )
+            background.start()
+            time.sleep(0.1)
+            with pytest.raises(ServerOverloaded) as excinfo:
+                ServeClient(port=handle.port).query(0, 10)
+            assert excinfo.value.payload["retry_after"] == 1
+            gate.set()
+            background.join(timeout=10)
+        finally:
+            gate.set()
+            handle.stop()
+            store.close()
+
+
+class TestLifecycle:
+    def test_drain_finishes_inflight_then_refuses(self):
+        collection = _collection()
+        store = IntervalStore.open(collection, "hintm_opt")
+        release = threading.Event()
+        original = store.run_batch
+
+        def slow_run_batch(queries, count_only=False):
+            release.wait(timeout=10)
+            return original(queries, count_only=count_only)
+
+        store.run_batch = slow_run_batch
+        handle = start_server_thread(store, cache=0)
+        answers = []
+        worker = threading.Thread(
+            target=lambda: answers.append(ServeClient(port=handle.port).query(0, 9_999))
+        )
+        worker.start()
+        time.sleep(0.15)  # the request is admitted and parked in the store
+
+        stopper = threading.Thread(target=handle.stop)
+        stopper.start()
+        time.sleep(0.15)  # stop() is now draining, waiting on the request
+        release.set()
+        worker.join(timeout=10)
+        stopper.join(timeout=10)
+        # the in-flight request completed despite the concurrent drain...
+        assert answers and set(answers[0]["ids"]) == _oracle(collection, 0, 9_999)
+        # ...and the listener is gone afterwards
+        with pytest.raises(OSError):
+            ServeClient(port=handle.port, timeout=1).health()
+        store.close()
+
+    def test_batching_coalesces_concurrent_queries(self):
+        collection = _collection()
+        store = IntervalStore.open(collection, "hintm_opt", num_shards=2)
+        handle = start_server_thread(store, cache=0, batch_window=0.01, max_batch=32)
+        try:
+            expected = {
+                (a, b): _oracle(collection, a, b)
+                for a, b in ((0, 1_000), (1_000, 2_000), (2_000, 3_000), (3_000, 4_000))
+            }
+            failures = []
+
+            def fire(start, end):
+                client = ServeClient(port=handle.port)
+                try:
+                    for _ in range(5):
+                        got = set(client.query(start, end)["ids"])
+                        if got != expected[(start, end)]:
+                            failures.append((start, end))
+                finally:
+                    client.close()
+
+            threads = [
+                threading.Thread(target=fire, args=pair) for pair in expected
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not failures
+            stats = ServeClient(port=handle.port).stats()
+            assert stats["batched_queries"] >= stats["batches"] >= 1
+        finally:
+            handle.stop()
+            store.close()
+
+    def test_server_parameter_validation(self):
+        store = IntervalStore.from_pairs([(1, 2)])
+        with pytest.raises(ValueError, match="max_pending"):
+            QueryServer(store, max_pending=0)
+        with pytest.raises(ValueError, match="max_batch"):
+            QueryServer(store, max_batch=0)
+        store.close()
+
+
+class TestRequestLimits:
+    def test_oversized_body_rejected_with_413(self):
+        import http.client
+
+        from repro.serve.server import MAX_BODY_BYTES
+
+        store = IntervalStore.from_pairs([(1, 5), (3, 9)])
+        handle = start_server_thread(store, cache=0)
+        try:
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", handle.port, timeout=10
+            )
+            # claim an absurd body without sending it: the server must
+            # reject on the header alone, never buffer toward the claim
+            connection.putrequest("POST", "/query")
+            connection.putheader("Content-Type", "application/json")
+            connection.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 413
+            assert b"exceeds" in response.read()
+            connection.close()
+            # the server is still healthy for well-behaved clients
+            client = ServeClient(port=handle.port)
+            assert client.health() == {"status": "ok"}
+            client.close()
+        finally:
+            handle.stop()
+            store.close()
+
+    def test_update_requests_are_not_blind_retried(self):
+        # the classification, not the network failure: /insert and /delete
+        # must never be in the client's re-send set
+        assert "/insert" not in ServeClient._RETRYABLE_PATHS
+        assert "/delete" not in ServeClient._RETRYABLE_PATHS
+        assert "/maintain" not in ServeClient._RETRYABLE_PATHS
+        assert "/query" in ServeClient._RETRYABLE_PATHS
+
+
+class TestHttpContract:
+    def test_mutations_require_post(self, served):
+        _, store, client = served
+        size = len(store)
+        with pytest.raises(ServerError) as excinfo:
+            client._request("GET", "/insert?id=123456&start=0&end=5")
+        assert excinfo.value.status == 405
+        with pytest.raises(ServerError) as excinfo:
+            client._request("GET", "/delete?id=0")
+        assert excinfo.value.status == 405
+        with pytest.raises(ServerError) as excinfo:
+            client._request("GET", "/maintain")
+        assert excinfo.value.status == 405
+        assert len(store) == size  # nothing mutated
+
+    def test_validation_errors_do_not_inflate_rejected(self, served):
+        _, _, client = served
+        before = client.stats()
+        with pytest.raises(ServerError):
+            client._request("POST", "/query", {"start": 3})  # 400
+        after = client.stats()
+        assert after["rejected"] == before["rejected"]
+        assert after["errors"] == before["errors"] + 1
+
+    def test_large_batch_chunks_through_max_batch(self):
+        collection = _collection()
+        store = IntervalStore.open(collection, "hintm_opt", num_shards=2)
+        handle = start_server_thread(store, cache=0, max_batch=8)
+        try:
+            client = ServeClient(port=handle.port)
+            pairs = [(i * 10, i * 10 + 500) for i in range(50)]
+            results = client.batch(pairs)
+            for (start, end), result in zip(pairs, results):
+                assert set(result["ids"]) == _oracle(collection, start, end)
+            stats = client.stats()
+            # 50 misses through max_batch=8 -> ceil(50/8)=7 run_batch calls
+            assert stats["batches"] == 7
+            assert stats["batched_queries"] == 50
+            client.close()
+        finally:
+            handle.stop()
+            store.close()
+
+
+class TestBatchAdmissionWeight:
+    def test_batch_heavier_than_max_pending_is_rejected_as_client_error(self):
+        collection = _collection()
+        store = IntervalStore.open(collection, "hintm_opt", num_shards=2)
+        # weight = ceil(queries / max_batch) chunks; 5 chunks > max_pending=4
+        handle = start_server_thread(store, cache=0, max_batch=2, max_pending=4)
+        try:
+            client = ServeClient(port=handle.port)
+            with pytest.raises(ServerError) as excinfo:
+                client.batch([(i, i + 10) for i in range(10)])
+            assert excinfo.value.status == 400
+            assert "split the batch" in str(excinfo.value)
+            # a batch that fits the bound still answers
+            results = client.batch([(0, 1_000), (2_000, 3_000)])
+            assert len(results) == 2
+            client.close()
+        finally:
+            handle.stop()
+            store.close()

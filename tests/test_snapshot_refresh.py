@@ -80,7 +80,7 @@ class TestRefreshAcrossThePool:
         try:
             queries = _workload(taxis_like_collection)
             index.query_batch(queries)  # workers build resident shards
-            first_token = index._residency_spec().token
+            first_token = index._residency_spec(index._epoch).token
             assert index.snapshot_generation == 0
             assert index._process_fanout_ready()
 
@@ -100,7 +100,7 @@ class TestRefreshAcrossThePool:
             assert report.snapshot_refreshed
             assert report.generation == index.snapshot_generation == 1
             assert index._process_fanout_ready()
-            second_token = index._residency_spec().token
+            second_token = index._residency_spec(index._epoch).token
             assert second_token != first_token
 
             answers = index.query_batch(queries)

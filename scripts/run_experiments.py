@@ -27,6 +27,7 @@ from repro.bench.reporting import (
     render_ingest_maintenance,
     render_process_scaling,
     render_serving_throughput,
+    render_standing_query,
 )
 
 
@@ -228,6 +229,14 @@ def main(argv=None) -> int:
         "serving_throughput": lambda: render_serving_throughput(
             experiments.serving_throughput(
                 cardinality=args.cardinality, num_queries=max(40, n_queries)
+            )
+        ),
+        "standing_query": lambda: render_standing_query(
+            experiments.standing_query(
+                cardinality=args.cardinality,
+                # the delivery stream deletes from a stride slice of the
+                # collection, so scale the update count with the data
+                num_updates=max(20, min(200, args.cardinality // 25)),
             )
         ),
     }

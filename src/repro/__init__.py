@@ -94,8 +94,10 @@ from repro.serve import (
     ResultCache,
     ServeClient,
     ServerHandle,
+    StreamClient,
     start_server_thread,
 )
+from repro.stream import StandingQueryManager, Subscription, SubscriptionRegistry
 
 __version__ = "1.0.0"
 
@@ -135,7 +137,11 @@ __all__ = [
     "ShardPlan",
     "ShardedIndex",
     "ShardedStore",
+    "StandingQueryManager",
+    "StreamClient",
     "SubdividedHINTm",
+    "Subscription",
+    "SubscriptionRegistry",
     "SyntheticConfig",
     "ThreadedExecutor",
     "TimelineIndex",

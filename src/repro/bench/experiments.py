@@ -1201,3 +1201,236 @@ def serving_throughput(
             }
         )
     return {"serving": serving_rows, "failover": failover_rows}
+
+
+# --------------------------------------------------------------------------- #
+# Standing queries -- matching cost and delta-delivery overhead
+# --------------------------------------------------------------------------- #
+def standing_query(
+    collection: Optional[IntervalCollection] = None,
+    *,
+    cardinality: int = 20_000,
+    num_subscriptions: int = 10_000,
+    num_updates: int = 200,
+    reeval_updates: int = 3,
+    extent_fraction: float = 0.005,
+    sample_folds: int = 10,
+    backend: str = "hintm_hybrid",
+    seed: int = 7,
+) -> Dict[str, List[dict]]:
+    """The standing-query subsystem's two headline measurements.
+
+    **Matching cost** (``"matching"`` rows): with ``num_subscriptions``
+    standing queries registered, the per-update cost of discovering which
+    subscriptions an insert/delete affects, three ways -- the
+    interval-indexed :class:`~repro.stream.registry.SubscriptionRegistry`
+    probe (one overlap query plus per-candidate refinement, O(affected)),
+    a linear scan of every subscription, and the naive standing-query
+    implementation that re-runs all ``S`` queries against the store and
+    diffs each result with its previous answer.  Before timing, the
+    indexed and linear ``affected()`` sets are asserted identical on every
+    probe, and the re-evaluation diff is asserted to discover exactly the
+    indexed ``affected()`` set -- the index buys speed, never a different
+    notification set.
+
+    **Delta delivery** (``"delivery"`` rows): the same interleaved
+    insert/delete stream driven through a store bare and through one with a
+    :class:`~repro.stream.deltas.StandingQueryManager` carrying all
+    ``num_subscriptions`` subscriptions, recording the end-to-end update
+    throughput with delta emission attached.  A sample of subscriptions is
+    then folded (snapshot + polled deltas) and asserted equal to a fresh
+    probe of the final store -- the delivery path stays exact under load.
+
+    Returns ``{"matching": [...], "delivery": [...]}`` row dicts.
+    """
+    import numpy as np
+
+    from repro.engine.store import IntervalStore
+    from repro.stream import StandingQueryManager
+    from repro.stream.registry import SubscriptionRegistry
+
+    if collection is None:
+        collection = generate_real_like(
+            REAL_DATASET_PROFILES["TAXIS"], cardinality=cardinality, seed=seed
+        )
+    sub_queries = _query_workload(
+        collection, num_subscriptions, extent_fraction, seed=seed + 1
+    )
+
+    indexed = SubscriptionRegistry()
+    linear = SubscriptionRegistry(index_threshold=10**9)
+    for query in sub_queries:
+        indexed.register(query)
+        linear.register(query)
+    if not indexed.indexed or linear.indexed:
+        raise RuntimeError(
+            "registry setup inverted: the indexed registry must build its "
+            "interval index and the linear one must not"
+        )
+
+    # probe updates: fresh data-shaped intervals (a delete probes with the
+    # stored interval -- identical matching cost, so inserts suffice here)
+    rng = np.random.default_rng(seed + 2)
+    lo, hi = collection.span()
+    durations = collection.durations()
+    next_id = int(collection.ids.max()) + 1
+    probes = [
+        Interval(
+            next_id + i,
+            (start := int(rng.integers(lo, hi))),
+            min(start + int(durations[int(rng.integers(0, len(durations)))]), hi),
+        )
+        for i in range(num_updates)
+    ]
+
+    # correctness before timing: indexed and linear discover the same set
+    affected_by_probe: List[set] = []
+    for probe in probes:
+        got = {s.subscription_id for s in indexed.affected(probe)}
+        want = {s.subscription_id for s in linear.affected(probe)}
+        if got != want:  # explicit: must survive python -O
+            raise RuntimeError(
+                f"indexed affected() diverged from the linear scan on "
+                f"{probe}: {len(got)} vs {len(want)} subscriptions"
+            )
+        affected_by_probe.append(got)
+
+    def _per_update_seconds(registry: SubscriptionRegistry) -> float:
+        started = time.perf_counter()
+        for probe in probes:
+            registry.affected(probe)
+        return (time.perf_counter() - started) / len(probes)
+
+    indexed_s = _per_update_seconds(indexed)
+    linear_s = _per_update_seconds(linear)
+
+    # the naive baseline: apply the update, re-run every standing query,
+    # diff with the previous answer to find the changed subscriptions
+    store = IntervalStore.open(collection, backend)
+    try:
+        previous = [
+            frozenset(store.query().overlapping(q.start, q.end).ids())
+            for q in sub_queries
+        ]
+        reeval_probes = probes[: max(1, reeval_updates)]
+        started = time.perf_counter()
+        changed_sets: List[set] = []
+        for probe in reeval_probes:
+            store.insert(probe)
+            changed = set()
+            for position, query in enumerate(sub_queries):
+                result = frozenset(
+                    store.query().overlapping(query.start, query.end).ids()
+                )
+                if result != previous[position]:
+                    changed.add(position)
+                    previous[position] = result
+            changed_sets.append(changed)
+        reeval_s = (time.perf_counter() - started) / len(reeval_probes)
+    finally:
+        store.close()
+    # subscription ids are assigned in registration order, so the diff's
+    # positional set compares directly against affected() ids
+    for position, changed in enumerate(changed_sets):
+        if changed != affected_by_probe[position]:
+            raise RuntimeError(
+                f"re-evaluation diff found {len(changed)} changed standing "
+                f"queries but affected() notified {len(affected_by_probe[position])} "
+                f"on {probes[position]}"
+            )
+
+    matching_rows = [
+        {
+            "mode": mode,
+            "subscriptions": num_subscriptions,
+            "updates": measured,
+            "ms_per_update": seconds * 1000.0,
+            "updates_per_s": 1.0 / seconds if seconds else 0.0,
+            "exact": True,
+            "speedup": reeval_s / seconds if seconds else 0.0,
+        }
+        for mode, seconds, measured in (
+            ("re-evaluate all", reeval_s, len(reeval_probes)),
+            ("linear scan", linear_s, len(probes)),
+            ("indexed registry", indexed_s, len(probes)),
+        )
+    ]
+
+    # ---- delta delivery: update throughput with the engine attached ----- #
+    stream = _interleaved_update_stream(
+        collection, min(num_updates, len(collection.ids) // 4), seed=seed % 8
+    )
+
+    def _drive(with_manager: bool) -> dict:
+        store = IntervalStore.open(collection, backend)
+        manager = None
+        subscribed: List[Tuple[int, int, set]] = []
+        try:
+            if with_manager:
+                manager = StandingQueryManager(store)
+                for query in sub_queries:
+                    result = manager.subscribe(query.start, query.end)
+                    subscribed.append(
+                        (
+                            result.subscription.subscription_id,
+                            result.generation,
+                            set(result.ids),
+                        )
+                    )
+            started = time.perf_counter()
+            for kind, payload in stream:
+                if kind == "insert":
+                    store.insert(payload)
+                else:
+                    store.delete(payload)
+            elapsed = time.perf_counter() - started
+            deltas = 0.0
+            if manager is not None:
+                deltas = manager.gauges()["deltas_emitted"]
+                # fold a sample: snapshot + deltas must equal a fresh probe
+                step = max(1, len(subscribed) // max(1, sample_folds))
+                for sid, generation, ids in subscribed[::step][:sample_folds]:
+                    poll = manager.poll(sid, after_generation=generation)
+                    if poll.resync_required:
+                        ids = set(manager.resync(sid).ids)
+                    else:
+                        for record in poll.records:
+                            ids.difference_update(record.removed)
+                            ids.update(record.added)
+                    query = manager.registry.get(sid).query
+                    fresh = set(
+                        store.query().overlapping(query.start, query.end).ids()
+                    )
+                    if ids != fresh:
+                        raise RuntimeError(
+                            f"folded subscription {sid} diverged from a fresh "
+                            f"probe: {len(ids)} vs {len(fresh)} ids"
+                        )
+            return {
+                "ops": len(stream),
+                "ops_per_s": len(stream) / elapsed if elapsed else 0.0,
+                "deltas_emitted": deltas,
+                "exact": True,
+            }
+        finally:
+            store.close()
+
+    bare = _drive(with_manager=False)
+    attached = _drive(with_manager=True)
+    delivery_rows = [
+        {
+            "mode": "plain store",
+            **bare,
+            "overhead": 1.0,
+        },
+        {
+            "mode": f"{num_subscriptions} subscribers",
+            **attached,
+            "overhead": (
+                bare["ops_per_s"] / attached["ops_per_s"]
+                if attached["ops_per_s"]
+                else 0.0
+            ),
+        },
+    ]
+    return {"matching": matching_rows, "delivery": delivery_rows}

@@ -165,3 +165,46 @@ def format_series(
             row.append(values[position] if position < len(values) else float("nan"))
         rows.append(row)
     return format_table(title, columns, rows)
+
+
+def render_standing_query(result: Mapping[str, Sequence[Mapping]]) -> str:
+    """Render :func:`repro.bench.experiments.standing_query`'s two tables.
+
+    Shared by ``scripts/run_experiments.py`` and
+    ``benchmarks/bench_standing_query.py`` so the CI report and the saved
+    benchmark report cannot drift apart.
+    """
+    matching = format_table(
+        "Standing-query matching -- per-update cost of discovering affected "
+        "subscriptions (speedup vs re-running every standing query)",
+        ["mode", "S", "updates", "ms/update", "updates/s", "exact", "speedup"],
+        [
+            [
+                r["mode"],
+                r["subscriptions"],
+                r["updates"],
+                r["ms_per_update"],
+                r["updates_per_s"],
+                r["exact"],
+                r["speedup"],
+            ]
+            for r in result["matching"]
+        ],
+    )
+    delivery = format_table(
+        "Delta delivery -- insert/delete throughput with the delta engine "
+        "attached (folded deltas asserted equal to fresh probes)",
+        ["mode", "ops", "ops/s", "overhead vs plain", "deltas emitted", "exact"],
+        [
+            [
+                r["mode"],
+                r["ops"],
+                r["ops_per_s"],
+                r["overhead"],
+                r["deltas_emitted"],
+                r["exact"],
+            ]
+            for r in result["delivery"]
+        ],
+    )
+    return matching + "\n\n" + delivery

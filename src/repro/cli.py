@@ -30,6 +30,9 @@ Examples::
     # shards, admission control, invalidation-aware result cache)
     python -m repro serve data.csv --port 8080 --shards 4 --replication 2
 
+    # register a standing query on a running server and follow its deltas
+    python -m repro subscribe --port 8080 --start 100 --end 200
+
     # the available backends (engine registry)
     python -m repro list-backends
 
@@ -247,8 +250,44 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="S",
                        help="run the background maintenance daemon every S "
                             "seconds during idle windows (default: off)")
+    serve.add_argument("--cache-swr", action="store_true",
+                       help="stale-while-revalidate: serve a stale cached body "
+                            "once per generation while recomputing in the "
+                            "background")
+    serve.add_argument("--streaming", action="store_true",
+                       help="enable the chunked streaming variant of "
+                            "/poll-deltas (long-poll always works)")
     add_execution_args(serve)
     serve.set_defaults(shards=4)
+
+    subscribe = subparsers.add_parser(
+        "subscribe",
+        help="register a standing query on a running server and follow its deltas",
+    )
+    subscribe.add_argument("--host", default="127.0.0.1",
+                           help="server address (default: %(default)s)")
+    subscribe.add_argument("--port", type=int, default=8080,
+                           help="server port (default: %(default)s)")
+    sub_group = subscribe.add_mutually_exclusive_group(required=True)
+    sub_group.add_argument("--stab", type=int, help="standing stabbing query point")
+    sub_group.add_argument("--start", type=int,
+                           help="standing range query start (use with --end)")
+    subscribe.add_argument("--end", type=int, help="standing range query end")
+    subscribe.add_argument("--relation", default=None, metavar="NAME",
+                           help="restrict matches to one Allen relation with "
+                                "the query range (e.g. during, overlaps)")
+    subscribe.add_argument("--min-duration", type=int, default=0,
+                           help="only intervals at least this long match")
+    subscribe.add_argument("--max-duration", type=int, default=None,
+                           help="only intervals at most this long match")
+    subscribe.add_argument("--poll-timeout", type=float, default=10.0, metavar="S",
+                           help="seconds one long-poll round waits "
+                                "(default: %(default)s)")
+    subscribe.add_argument("--duration", type=float, default=None, metavar="S",
+                           help="stop after S seconds (default: until Ctrl-C)")
+    subscribe.add_argument("--stream", action="store_true",
+                           help="use the chunked streaming transport (the "
+                                "server must run with --streaming)")
 
     subparsers.add_parser("list-backends", help="list the registered index backends")
 
@@ -577,6 +616,7 @@ def _print_maintenance_state(label: str, state: dict) -> None:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve.cache import ResultCache
     from repro.serve.server import QueryServer
 
     collection = _load(args.csv, args.header)
@@ -597,10 +637,13 @@ def _command_serve(args: argparse.Namespace) -> int:
         store,
         host=args.host,
         port=args.port,
-        cache=args.cache_size,
+        cache=ResultCache(
+            capacity=args.cache_size, stale_while_revalidate=args.cache_swr
+        ),
         max_pending=args.max_pending,
         max_batch=args.max_batch,
         batch_window=args.batch_window,
+        streaming=args.streaming,
     )
     print(
         f"# serving {len(store)} intervals ({_describe_store(store)}, "
@@ -614,6 +657,54 @@ def _command_serve(args: argparse.Namespace) -> int:
         )
     finally:
         store.close()
+    return 0
+
+
+def _command_subscribe(args: argparse.Namespace) -> int:
+    from repro.serve.client import StreamClient
+
+    if args.stab is None and args.end is None:
+        raise SystemExit("error: --start requires --end")
+    client = StreamClient(host=args.host, port=args.port)
+    deadline = (time.monotonic() + args.duration) if args.duration else None
+    with client:
+        snapshot = client.subscribe(
+            args.start,
+            args.end,
+            stab=args.stab,
+            relation=args.relation,
+            min_duration=args.min_duration,
+            max_duration=args.max_duration,
+        )
+        print(
+            f"# subscription {snapshot['subscription_id']} @ generation "
+            f"{snapshot['generation']}: {snapshot['count']} matching intervals"
+        )
+        print("# snapshot:", " ".join(str(i) for i in sorted(client.ids())))
+        try:
+            while deadline is None or time.monotonic() < deadline:
+                if args.stream:
+                    events = client.stream(timeout=args.poll_timeout)
+                else:
+                    events = iter([client.poll(timeout=args.poll_timeout)])
+                for event in events:
+                    if event.get("resynced"):
+                        print(
+                            f"# resynced @ generation {client.generation}: "
+                            f"{len(client.ids())} matching intervals"
+                        )
+                        continue
+                    for delta in event.get("deltas", ()):
+                        print(
+                            f"generation {delta['generation']}"
+                            f"{' (coalesced)' if delta.get('coalesced') else ''}: "
+                            f"+{delta['added']} -{delta['removed']} "
+                            f"-> {len(client.ids())} matching"
+                        )
+        except KeyboardInterrupt:  # pragma: no cover - interactive path
+            pass
+        client.unsubscribe()
+        print(f"# unsubscribed after {client.resyncs} resyncs")
     return 0
 
 
@@ -696,6 +787,7 @@ _COMMANDS = {
     "bench": _command_bench,
     "maintain": _command_maintain,
     "serve": _command_serve,
+    "subscribe": _command_subscribe,
     "list-backends": _command_list_backends,
     "stats": _command_stats,
     "generate": _command_generate,

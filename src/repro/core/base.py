@@ -83,6 +83,11 @@ class QueryStats:
             "replicas_failed",
             "cache_hits",
             "cache_size",
+            "cache_stale_served",
+            "subscriptions_active",
+            "deltas_emitted",
+            "deltas_coalesced",
+            "catchup_resyncs",
         }
     )
 
@@ -278,6 +283,14 @@ class IntervalIndex(abc.ABC):
         raise NotImplementedError(
             f"{type(self).__name__} does not retain full intervals for relation queries"
         )
+
+    def _resolve_interval(self, interval_id: int) -> "Interval | None":
+        """The live interval for one id, or None.
+
+        The listener-attached delete path resolves the victim's span on
+        every op, so update-capable backends override this with an O(1)
+        probe; the default materialises the full lookup."""
+        return self._interval_lookup().get(interval_id)
 
 
 def _deep_sizeof(obj: object, _seen: set | None = None) -> int:

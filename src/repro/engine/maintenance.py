@@ -820,7 +820,28 @@ class MaintenanceCoordinator:
             self._queries_at_last_maintain = self._query_ops()
             report.seconds = time.perf_counter() - started
             self._reports.append(report)
+            self._emit_maintained()
             return report
+
+    def _emit_maintained(self) -> None:
+        """Tell update listeners a pass finished (a ``sync``, never a delta).
+
+        Journal folds, replica heals and snapshot refreshes reorganise
+        state without changing the queryable contents; standing-query
+        clients long-polling the serving tier still want the wakeup so
+        their acked generation can advance past any epoch publications the
+        pass made.  Re-partitions already emitted their own ``sync`` at
+        publication time; a second one at the same generation is idempotent
+        for every listener (no membership change is attached).
+        """
+        emit = getattr(self._index, "_emit_update", None)
+        listeners = getattr(self._index, "_update_listeners", None)
+        if emit is None or not listeners:
+            return
+        generation = getattr(self._index, "result_generation", None)
+        if generation is None:
+            return
+        emit("maintained", None, int(generation))
 
     def _built_replicas(self, shard_id: int) -> List:
         """Every built replica of one shard (just the primary when unreplicated)."""

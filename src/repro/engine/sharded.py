@@ -88,7 +88,7 @@ import os
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -306,6 +306,14 @@ class ShardedIndex(IntervalIndex):
         #: query server mirrors its cache counters here so
         #: ``store.query(...).stats()`` surfaces serving state too
         self.stats_extras: Dict[str, float] = {}
+        #: update listeners: ``listener(op, interval, generation)`` fired
+        #: after an insert/delete commits (op ``"insert"``/``"delete"``,
+        #: post-commit generation) and after an epoch publication (op
+        #: ``"sync"``, interval ``None``) -- the standing-query delta engine
+        #: hangs off these (:mod:`repro.stream.deltas`).  Fired under the
+        #: maintenance lock, so events arrive in generation order; with no
+        #: listener registered the update paths pay one truthiness check.
+        self._update_listeners: List[Callable[[str, Optional[Interval], int], None]] = []
 
         self._shared: Optional[SharedCollectionBuffer] = None
         self._residency: Optional[ShardResidencySpec] = None
@@ -389,6 +397,11 @@ class ShardedIndex(IntervalIndex):
         # the epoch they pinned, new readers get this one, nobody sees a mix
         self._epoch = epoch
         self._mutations += 1
+        if self._update_listeners:
+            # the generation moved but the contents did not: a "sync", not a
+            # delta -- standing queries must not see phantom changes from an
+            # epoch publication
+            self._emit_update("sync", None, self._mutations)
         if lazy:
             self._republish_snapshot(collection)
 
@@ -500,6 +513,36 @@ class ShardedIndex(IntervalIndex):
         invalidation protocol (see :class:`repro.serve.cache.ResultCache`).
         """
         return self._mutations
+
+    # ------------------------------------------------------------------ #
+    # update listeners (the standing-query delta engine's hook)
+    # ------------------------------------------------------------------ #
+    def add_update_listener(
+        self, listener: Callable[[str, Optional[Interval], int], None]
+    ) -> None:
+        """Observe content mutations: ``listener(op, interval, generation)``.
+
+        ``op`` is ``"insert"``/``"delete"`` (fired after the mutation
+        committed, with the post-commit :attr:`result_generation`) or
+        ``"sync"`` (an epoch publication -- repartition -- moved the
+        generation without changing the queryable contents; ``interval`` is
+        ``None``).  Listeners run under the maintenance lock, so they see
+        events in exact generation order; they must not block or re-enter
+        update methods.
+        """
+        self._update_listeners.append(listener)
+
+    def remove_update_listener(
+        self, listener: Callable[[str, Optional[Interval], int], None]
+    ) -> None:
+        try:
+            self._update_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _emit_update(self, op: str, interval: Optional[Interval], generation: int) -> None:
+        for listener in list(self._update_listeners):
+            listener(op, interval, generation)
 
     @property
     def maintenance_lock(self) -> "threading.RLock":
@@ -1086,6 +1129,8 @@ class ShardedIndex(IntervalIndex):
             self._dirty = True
             self._mutations += 1
             self.updates_since_partition += 1
+            if self._update_listeners:
+                self._emit_update("insert", interval, self._mutations)
             self._touch(0)
 
     def delete(self, interval_id: int) -> bool:
@@ -1103,12 +1148,21 @@ class ShardedIndex(IntervalIndex):
         with self._maintenance_lock:
             epoch = self._epoch
             if epoch.locator is None:  # K == 1, R == 1: delegate to the only shard
+                victim: Optional[Interval] = None
+                if self._update_listeners:
+                    # listeners need the deleted span to route the delta;
+                    # without a locator the only source is the shard itself
+                    victim = (
+                        epoch.replica_sets[0].primary()._resolve_interval(interval_id)
+                    )
                 found = epoch.replica_sets[0].primary().delete(interval_id)
                 if found:
                     self._size -= 1
                     self._dirty = True
                     self._mutations += 1
                     self.updates_since_partition += 1
+                    if self._update_listeners:
+                        self._emit_update("delete", victim, self._mutations)
                     self._touch(0)
                 return found
             span = epoch.locator.get(interval_id)
@@ -1127,6 +1181,10 @@ class ShardedIndex(IntervalIndex):
                 self._dirty = True
                 self._mutations += 1
                 self.updates_since_partition += 1
+                if self._update_listeners:
+                    self._emit_update(
+                        "delete", Interval(interval_id, span[0], span[1]), self._mutations
+                    )
                 self._touch(0)
             return found
 
@@ -1158,6 +1216,13 @@ class ShardedIndex(IntervalIndex):
         for shard in self.shards:
             lookup.update(shard._interval_lookup())
         return lookup
+
+    def _resolve_interval(self, interval_id: int) -> Optional[Interval]:
+        epoch = self._epoch
+        if epoch.locator is not None:
+            span = epoch.locator.get(interval_id)
+            return None if span is None else Interval(interval_id, span[0], span[1])
+        return epoch.replica_sets[0].primary()._resolve_interval(interval_id)
 
 
 class ShardedStore(IntervalStore):

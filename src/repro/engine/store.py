@@ -19,7 +19,7 @@ with a model-tuned ``m``) behind construction helpers, the
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.allen import AllenRelation
 from repro.core.base import IntervalIndex, QueryStats
@@ -151,6 +151,9 @@ class IntervalStore:
         #: store-level content-version counter, for indexes that do not track
         #: their own (see :meth:`result_generation`)
         self._mutations = 0
+        #: store-level update listeners (plain backends; sharded stores emit
+        #: from the index instead -- see :meth:`add_update_listener`)
+        self._update_listeners: List[Callable[[str, Optional[Interval], int], None]] = []
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -350,13 +353,54 @@ class IntervalStore:
         """Insert one interval (raises on static backends)."""
         self._index.insert(interval)
         self._mutations += 1
+        if self._update_listeners:
+            self._emit_update("insert", interval, self.result_generation())
 
     def delete(self, interval_id: int) -> bool:
         """Delete an interval by id; True when the id was live."""
+        victim: Optional[Interval] = None
+        if self._update_listeners:
+            # resolve the span before the index forgets it: listeners (the
+            # standing-query delta engine) route the delta by the deleted
+            # interval's range
+            victim = self._index._resolve_interval(interval_id)
         found = self._index.delete(interval_id)
         if found:
             self._mutations += 1
+            if self._update_listeners:
+                self._emit_update("delete", victim, self.result_generation())
         return found
+
+    # ------------------------------------------------------------------ #
+    # update listeners (the standing-query delta engine's hook)
+    # ------------------------------------------------------------------ #
+    def add_update_listener(
+        self, listener: Callable[[str, Optional[Interval], int], None]
+    ) -> None:
+        """Observe mutations routed through this store.
+
+        ``listener(op, interval, generation)`` fires after an insert/delete
+        committed, with the post-commit :meth:`result_generation`.  Updates
+        applied to the raw index behind the store's back are invisible here
+        (the same contract the result cache has); concurrent writers must
+        be serialised externally -- the query server's update lock does.
+        Sharded stores should attach to
+        :meth:`repro.engine.sharded.ShardedIndex.add_update_listener`
+        instead, whose events also carry epoch publications.
+        """
+        self._update_listeners.append(listener)
+
+    def remove_update_listener(
+        self, listener: Callable[[str, Optional[Interval], int], None]
+    ) -> None:
+        try:
+            self._update_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _emit_update(self, op: str, interval: Optional[Interval], generation: int) -> None:
+        for listener in list(self._update_listeners):
+            listener(op, interval, generation)
 
     # ------------------------------------------------------------------ #
     # serving hooks (result-cache invalidation)

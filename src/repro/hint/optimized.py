@@ -716,3 +716,11 @@ class OptimizedHINTm(IntervalIndex):
             for sid in self._interval_starts
             if sid not in self._tombstones
         }
+
+    def _resolve_interval(self, interval_id: int) -> Optional[Interval]:
+        if interval_id in self._tombstones:
+            return None
+        start = self._interval_starts.get(interval_id)
+        if start is None:
+            return None
+        return Interval(interval_id, start, self._interval_ends[interval_id])

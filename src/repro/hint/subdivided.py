@@ -517,3 +517,8 @@ class SubdividedHINTm(IntervalIndex):
             for sid, interval in self._intervals.items()
             if sid not in self._tombstones
         }
+
+    def _resolve_interval(self, interval_id: int) -> Optional[Interval]:
+        if interval_id in self._tombstones:
+            return None
+        return self._intervals.get(interval_id)

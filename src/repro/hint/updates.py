@@ -19,7 +19,7 @@ a freshly built main index, which is what a periodic batch update does.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.base import IntervalIndex, QueryStats
 from repro.core.domain import Domain
@@ -84,6 +84,16 @@ class HybridHINTm(IntervalIndex):
         #: a maintenance thread rebuilds concurrently.  Queries stay
         #: lock-free (they read whichever pair is current).
         self._update_lock = threading.RLock()
+        #: content-version counter: bumped on every insert/delete (never on
+        #: :meth:`rebuild`, which reorganises without changing the answer
+        #: set) -- the authoritative :attr:`result_generation` source for
+        #: stores wrapping this index
+        self._mutations = 0
+        #: update listeners: ``listener(op, interval, generation)`` fired
+        #: under the update lock after an insert/delete commits, and with op
+        #: ``"rebuild"`` (interval ``None``) after a batch rebuild swaps the
+        #: components -- the standing-query delta engine's raw-index hook
+        self._update_listeners: List[Callable[[str, Optional[Interval], int], None]] = []
 
     @classmethod
     def build(
@@ -127,6 +137,36 @@ class HybridHINTm(IntervalIndex):
         """How many times the main index has been rebuilt."""
         return self._rebuilds
 
+    @property
+    def result_generation(self) -> int:
+        """Monotonic content-version token (see
+        :meth:`repro.engine.store.IntervalStore.result_generation`)."""
+        return self._mutations
+
+    # ------------------------------------------------------------------ #
+    # update listeners (the standing-query delta engine's raw-index hook)
+    # ------------------------------------------------------------------ #
+    def add_update_listener(
+        self, listener: Callable[[str, Optional[Interval], int], None]
+    ) -> None:
+        """Observe this index's mutations; see
+        :meth:`repro.engine.sharded.ShardedIndex.add_update_listener` for
+        the event contract (here ``"rebuild"`` plays the ``"sync"`` role:
+        the components were swapped, the answer set did not change)."""
+        self._update_listeners.append(listener)
+
+    def remove_update_listener(
+        self, listener: Callable[[str, Optional[Interval], int], None]
+    ) -> None:
+        try:
+            self._update_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _emit_update(self, op: str, interval: Optional[Interval], generation: int) -> None:
+        for listener in list(self._update_listeners):
+            listener(op, interval, generation)
+
     # ------------------------------------------------------------------ #
     # updates
     # ------------------------------------------------------------------ #
@@ -134,6 +174,9 @@ class HybridHINTm(IntervalIndex):
         """Insert into the delta index; optionally trigger a batch rebuild."""
         with self._update_lock:
             self._delta.insert(interval)
+            self._mutations += 1
+            if self._update_listeners:
+                self._emit_update("insert", interval, self._mutations)
             if (
                 self._rebuild_threshold is not None
                 and len(self._main) > 0
@@ -144,9 +187,17 @@ class HybridHINTm(IntervalIndex):
     def delete(self, interval_id: int) -> bool:
         """Delete from whichever component holds the interval (tombstones)."""
         with self._update_lock:
-            if self._delta.delete(interval_id):
-                return True
-            return self._main.delete(interval_id)
+            victim: Optional[Interval] = None
+            if self._update_listeners:
+                # resolve the span before the tombstone lands: listeners
+                # route the delta by the deleted interval's range
+                victim = self._resolve_interval(interval_id)
+            found = self._delta.delete(interval_id) or self._main.delete(interval_id)
+            if found:
+                self._mutations += 1
+                if self._update_listeners:
+                    self._emit_update("delete", victim, self._mutations)
+            return found
 
     def rebuild(self) -> None:
         """Merge the delta into a freshly built main index (batch update)."""
@@ -167,6 +218,10 @@ class HybridHINTm(IntervalIndex):
             )
             self._components = (main, delta)  # one swap: readers stay consistent
             self._rebuilds += 1
+            if self._update_listeners:
+                # the answer set did not change: a reorganisation marker,
+                # not a delta (and no generation bump)
+                self._emit_update("rebuild", None, self._mutations)
 
     # ------------------------------------------------------------------ #
     # queries
@@ -209,3 +264,8 @@ class HybridHINTm(IntervalIndex):
         lookup = main._interval_lookup()
         lookup.update(delta._interval_lookup())
         return lookup
+
+    def _resolve_interval(self, interval_id: int) -> Optional[Interval]:
+        main, delta = self._components
+        found = delta._resolve_interval(interval_id)
+        return found if found is not None else main._resolve_interval(interval_id)

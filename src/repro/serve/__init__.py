@@ -14,11 +14,20 @@ under concurrent traffic (see the README's "Serving" section):
   ``store.run_batch`` and graceful drain (:mod:`repro.serve.server`);
 * an **invalidation-aware result cache** -- LRU keyed on normalized query +
   content generation, so updates and maintenance invalidate by construction
-  (:mod:`repro.serve.cache`).
+  (:mod:`repro.serve.cache`), with an optional stale-while-revalidate mode;
+* **standing-query push** -- ``/subscribe`` + ``/poll-deltas`` over the
+  same server, backed by :mod:`repro.stream`'s delta engine;
+  :class:`StreamClient` folds the delta batches client-side.
 """
 
-from repro.serve.cache import CacheStats, ResultCache, normalize_query_key, resolve_cache
-from repro.serve.client import ServeClient, ServerError, ServerOverloaded
+from repro.serve.cache import (
+    CacheStats,
+    ResultCache,
+    StaleResult,
+    normalize_query_key,
+    resolve_cache,
+)
+from repro.serve.client import ServeClient, ServerError, ServerOverloaded, StreamClient
 from repro.serve.server import QueryServer, ServerHandle, start_server_thread
 
 __all__ = [
@@ -29,6 +38,8 @@ __all__ = [
     "ServerError",
     "ServerHandle",
     "ServerOverloaded",
+    "StaleResult",
+    "StreamClient",
     "normalize_query_key",
     "resolve_cache",
     "start_server_thread",

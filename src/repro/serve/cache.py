@@ -23,7 +23,30 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Optional, Tuple
 
-__all__ = ["CacheStats", "ResultCache", "normalize_query_key", "resolve_cache"]
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "StaleResult",
+    "normalize_query_key",
+    "resolve_cache",
+]
+
+
+class StaleResult:
+    """A stale-generation entry served under stale-while-revalidate.
+
+    Returned (instead of the raw value) by :meth:`ResultCache.get` when the
+    cache runs in SWR mode and the entry's generation stamp is behind the
+    current one: the caller serves ``value`` immediately and schedules a
+    background recompute to refresh the entry.  Each entry is served stale
+    at most once per generation -- the second lookup at the same current
+    generation misses, so a failed revalidation cannot pin a stale answer.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        self.value = value
 
 
 def normalize_query_key(
@@ -50,6 +73,8 @@ class CacheStats:
         evictions: entries dropped by the LRU capacity bound.
         size: entries currently held.
         capacity: the LRU bound.
+        stale_served: lookups answered with a stale body under
+            stale-while-revalidate (counted as neither hit nor miss).
     """
 
     hits: int
@@ -58,6 +83,7 @@ class CacheStats:
     evictions: int
     size: int
     capacity: int
+    stale_served: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -73,6 +99,12 @@ class ResultCache:
         capacity: maximum entries held; 0 disables the cache entirely
             (every lookup misses, nothing is stored), which is how the
             server's ``--cache-size 0`` and the uncached benchmark legs run.
+        stale_while_revalidate: when True, a lookup that finds a
+            stale-generation entry serves its body once (wrapped in
+            :class:`StaleResult`, so the caller schedules a background
+            recompute) instead of dropping it -- trading one
+            generation-stale answer for not paying recompute latency on the
+            first post-update touch of a hot query.
     """
 
     __slots__ = (
@@ -83,21 +115,31 @@ class ResultCache:
         "_misses",
         "_invalidated",
         "_evictions",
+        "_swr",
+        "_stale_served",
     )
 
     #: sentinel distinguishing "miss" from a cached falsy value
     MISS = object()
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(
+        self, capacity: int = 1024, stale_while_revalidate: bool = False
+    ) -> None:
         if capacity < 0:
             raise ValueError(f"cache capacity must be >= 0, got {capacity}")
         self._capacity = capacity
-        self._entries: "OrderedDict[Hashable, Tuple[int, object]]" = OrderedDict()
+        # entry: (generation stamp, value, generation the entry was last
+        # served stale at -- None until SWR touches it)
+        self._entries: "OrderedDict[Hashable, Tuple[int, object, Optional[int]]]" = (
+            OrderedDict()
+        )
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._invalidated = 0
         self._evictions = 0
+        self._swr = stale_while_revalidate
+        self._stale_served = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -114,25 +156,46 @@ class ResultCache:
         """Lifetime hit count (lock-free read: a gauge, not an invariant)."""
         return self._hits
 
+    @property
+    def stale_while_revalidate(self) -> bool:
+        """True when stale entries are served once while recomputing."""
+        return self._swr
+
+    @property
+    def stale_served(self) -> int:
+        """Lifetime stale-serve count (lock-free gauge read)."""
+        return self._stale_served
+
     def __len__(self) -> int:
         return len(self._entries)
 
     # ------------------------------------------------------------------ #
     def get(self, key: Hashable, generation: int) -> object:
-        """The cached value, or :attr:`MISS`.
+        """The cached value, :attr:`MISS`, or a :class:`StaleResult`.
 
         A hit requires the entry's generation stamp to equal ``generation``
         (the store's *current* token, read by the caller just before the
-        lookup); a stale entry counts as an invalidation, is dropped, and
-        misses.
+        lookup).  A stale entry normally counts as an invalidation, is
+        dropped, and misses; under stale-while-revalidate it is instead
+        served once per generation as a :class:`StaleResult` -- the caller
+        serves the wrapped body and schedules the recompute that will
+        :meth:`put` a fresh entry.
         """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
                 return self.MISS
-            stamped, value = entry
+            stamped, value, served_stale_at = entry
             if stamped != generation:
+                if self._swr and served_stale_at != generation:
+                    # serve the stale body exactly once per generation; the
+                    # marker makes the next same-generation lookup miss, so
+                    # a lost revalidation cannot pin this answer forever
+                    self._entries[key] = (stamped, value, generation)
+                    self._entries.move_to_end(key)
+                    self._stale_served += 1
+                    return StaleResult(value)
                 # an update/epoch moved the generation: the entry is dead by
                 # construction -- drop it so one hot query cannot pin a
                 # stale answer in memory
@@ -155,7 +218,7 @@ class ResultCache:
         if self._capacity == 0:
             return
         with self._lock:
-            self._entries[key] = (generation, value)
+            self._entries[key] = (generation, value, None)
             self._entries.move_to_end(key)
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
@@ -174,6 +237,7 @@ class ResultCache:
                 evictions=self._evictions,
                 size=len(self._entries),
                 capacity=self._capacity,
+                stale_served=self._stale_served,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -4,15 +4,20 @@ One :class:`ServeClient` wraps one keep-alive ``http.client.HTTPConnection``;
 it is not thread-safe -- give each client thread its own instance (the
 connection is the unit of HTTP pipelining, and the benchmarks measure
 per-connection request/response round-trips on purpose).
+
+:class:`StreamClient` layers the standing-query protocol on top: it
+subscribes, keeps the live result set locally by folding delta batches from
+``/poll-deltas`` (long-poll or chunked streaming), and transparently
+resyncs when the server's bounded delta log could no longer replay the gap.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["ServeClient", "ServerError", "ServerOverloaded"]
+__all__ = ["ServeClient", "ServerError", "ServerOverloaded", "StreamClient"]
 
 
 class ServerError(RuntimeError):
@@ -58,7 +63,7 @@ class ServeClient:
     #: (/insert, /delete, /maintain) are NOT here -- the first attempt may
     #: have been applied before the connection died, and a blind re-send
     #: would double-apply it
-    _RETRYABLE_PATHS = ("/query", "/batch", "/stats", "/health")
+    _RETRYABLE_PATHS = ("/query", "/batch", "/stats", "/health", "/poll-deltas")
 
     def _request(
         self, method: str, path: str, payload: Optional[Dict[str, object]] = None
@@ -99,25 +104,56 @@ class ServeClient:
     # ------------------------------------------------------------------ #
     # endpoints
     # ------------------------------------------------------------------ #
-    def query(self, start: int, end: int, count_only: bool = False) -> Dict[str, object]:
-        """One range query; ``{"ids": [...], "count": n}`` (or just count)."""
-        return self._request(
-            "POST", "/query", {"start": start, "end": end, "count_only": count_only}
-        )
+    def query(
+        self,
+        start: int,
+        end: int,
+        count_only: bool = False,
+        *,
+        relation: Optional[str] = None,
+        stats: bool = False,
+    ) -> Dict[str, object]:
+        """One range query; ``{"ids": [...], "count": n}`` (or just count).
+
+        ``relation`` restricts results to one Allen relation with the query
+        range; ``stats`` adds the per-query ``QueryStats`` counters.
+        """
+        payload: Dict[str, object] = {
+            "start": start,
+            "end": end,
+            "count_only": count_only,
+        }
+        if relation is not None:
+            payload["relation"] = relation
+        if stats:
+            payload["stats"] = True
+        return self._request("POST", "/query", payload)
 
     def stab(self, point: int) -> Dict[str, object]:
         """One stabbing query."""
         return self._request("POST", "/query", {"stab": point})
 
     def batch(
-        self, pairs: Sequence[Tuple[int, int]], count_only: bool = False
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        count_only: bool = False,
+        *,
+        relation: Optional[str] = None,
+        stats: bool = False,
     ) -> List[Dict[str, object]]:
-        """A whole workload in one request; per-query result dicts."""
-        response = self._request(
-            "POST",
-            "/batch",
-            {"queries": [[s, e] for s, e in pairs], "count_only": count_only},
-        )
+        """A whole workload in one request; per-query result dicts.
+
+        ``relation``/``stats`` apply to every query in the batch.
+        """
+        payload: Dict[str, object] = {
+            "queries": [[s, e] for s, e in pairs],
+            "count_only": count_only,
+        }
+        if relation is not None:
+            payload["relation"] = relation
+        if stats:
+            payload["stats"] = True
+        response = self._request("POST", "/batch", payload)
         return response["results"]
 
     def insert(self, interval_id: int, start: int, end: int) -> Dict[str, object]:
@@ -136,3 +172,257 @@ class ServeClient:
 
     def health(self) -> Dict[str, object]:
         return self._request("GET", "/health")
+
+    # ------------------------------------------------------------------ #
+    # standing queries (raw protocol; StreamClient wraps these)
+    # ------------------------------------------------------------------ #
+    def subscribe(
+        self,
+        start: Optional[int] = None,
+        end: Optional[int] = None,
+        *,
+        stab: Optional[int] = None,
+        relation: Optional[str] = None,
+        min_duration: int = 0,
+        max_duration: Optional[int] = None,
+        subscription_id: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Register a standing query (or resync one via ``subscription_id``).
+
+        Returns ``{"subscription_id", "generation", "ids", "count"}`` -- the
+        consistent snapshot deltas are folded onto.
+        """
+        if subscription_id is not None:
+            return self._request(
+                "POST", "/subscribe", {"subscription_id": subscription_id}
+            )
+        payload: Dict[str, object] = {}
+        if stab is not None:
+            payload["stab"] = stab
+        else:
+            payload["start"] = start
+            payload["end"] = end
+        if relation is not None:
+            payload["relation"] = relation
+        if min_duration:
+            payload["min_duration"] = min_duration
+        if max_duration is not None:
+            payload["max_duration"] = max_duration
+        return self._request("POST", "/subscribe", payload)
+
+    def unsubscribe(self, subscription_id: int) -> Dict[str, object]:
+        return self._request(
+            "POST", "/unsubscribe", {"subscription_id": subscription_id}
+        )
+
+    def poll_deltas(
+        self, subscription_id: int, after: int, timeout: float = 30.0
+    ) -> Dict[str, object]:
+        """One long-poll round against a subscription's delta log."""
+        return self._request(
+            "POST",
+            "/poll-deltas",
+            {"subscription_id": subscription_id, "after": after, "timeout": timeout},
+        )
+
+
+class StreamClient:
+    """A standing-query consumer that keeps its result set live.
+
+    Wraps one :class:`ServeClient`: :meth:`subscribe` installs the standing
+    query and stores its snapshot locally; each :meth:`poll` (long-poll) or
+    :meth:`stream` (chunked) round folds the delivered delta batches into
+    the local id set and advances the acked generation.  When the server
+    answers ``resync_required`` -- its bounded delta log was coalesced or
+    truncated past our ack, or the subscription is gone after a server
+    restart with a fresh manager -- the client re-snapshots transparently
+    and bumps :attr:`resyncs`.
+
+    Not thread-safe (same contract as :class:`ServeClient`).
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 60.0
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._client = ServeClient(host, port, timeout=timeout)
+        self._subscription_id: Optional[int] = None
+        self._generation = -1
+        self._ids: set = set()
+        self._resyncs = 0
+        # the subscribe arguments, kept for re-subscription after the
+        # server forgot us (restart with a fresh manager)
+        self._spec: Optional[Dict[str, object]] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def subscription_id(self) -> Optional[int]:
+        return self._subscription_id
+
+    @property
+    def generation(self) -> int:
+        """The last-acked generation (what the next poll sends as ``after``)."""
+        return self._generation
+
+    @property
+    def resyncs(self) -> int:
+        """Snapshot replacements forced by log truncation/loss."""
+        return self._resyncs
+
+    def ids(self) -> frozenset:
+        """The standing query's current result set (locally maintained)."""
+        return frozenset(self._ids)
+
+    def close(self) -> None:
+        self._client.close()
+
+    def __enter__(self) -> "StreamClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def subscribe(
+        self,
+        start: Optional[int] = None,
+        end: Optional[int] = None,
+        *,
+        stab: Optional[int] = None,
+        relation: Optional[str] = None,
+        min_duration: int = 0,
+        max_duration: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Install the standing query and adopt its snapshot."""
+        self._spec = {
+            "start": start,
+            "end": end,
+            "stab": stab,
+            "relation": relation,
+            "min_duration": min_duration,
+            "max_duration": max_duration,
+        }
+        response = self._client.subscribe(
+            start,
+            end,
+            stab=stab,
+            relation=relation,
+            min_duration=min_duration,
+            max_duration=max_duration,
+        )
+        self._adopt(response)
+        return response
+
+    def unsubscribe(self) -> Dict[str, object]:
+        if self._subscription_id is None:
+            raise RuntimeError("not subscribed")
+        response = self._client.unsubscribe(self._subscription_id)
+        self._subscription_id = None
+        return response
+
+    def poll(self, timeout: float = 30.0) -> Dict[str, object]:
+        """One long-poll round; folds any deltas, resyncs when required.
+
+        Returns the server's poll body (after folding); a transparent
+        resync surfaces as ``{"resynced": True, ...snapshot fields}``.
+        """
+        if self._subscription_id is None:
+            raise RuntimeError("not subscribed")
+        try:
+            response = self._client.poll_deltas(
+                self._subscription_id, after=self._generation, timeout=timeout
+            )
+        except ServerError as exc:
+            if exc.status == 404 and exc.payload.get("resync_required"):
+                return self._resync()
+            raise
+        if response.get("resync_required"):
+            return self._resync()
+        self._apply(response)
+        return response
+
+    def stream(self, timeout: float = 30.0) -> Iterator[Dict[str, object]]:
+        """Yield delta batches live from the chunked streaming endpoint.
+
+        One streaming request lasts up to ``timeout`` seconds (capped by
+        the server's ``poll_timeout``); each yielded batch has already been
+        folded into :meth:`ids`.  Ends early on ``resync_required`` (after
+        transparently resyncing, yielding the resync event last).
+        """
+        if self._subscription_id is None:
+            raise RuntimeError("not subscribed")
+        connection = http.client.HTTPConnection(
+            self._host, self._port, timeout=timeout + 10.0
+        )
+        body = json.dumps(
+            {
+                "subscription_id": self._subscription_id,
+                "after": self._generation,
+                "timeout": timeout,
+                "stream": True,
+            }
+        ).encode()
+        try:
+            connection.request(
+                "POST",
+                "/poll-deltas",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                decoded = json.loads(raw) if raw else {}
+                raise ServerError(response.status, decoded)
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                event = json.loads(line)
+                if event.get("resync_required"):
+                    yield self._resync()
+                    break
+                self._apply(event)
+                yield event
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------ #
+    def _apply(self, response: Dict[str, object]) -> None:
+        for delta in response.get("deltas", ()):
+            self._ids.difference_update(delta.get("removed", ()))
+            self._ids.update(delta.get("added", ()))
+        self._generation = max(self._generation, int(response.get("generation", -1)))
+
+    def _adopt(self, response: Dict[str, object]) -> None:
+        self._subscription_id = int(response["subscription_id"])
+        self._generation = int(response["generation"])
+        self._ids = set(response["ids"])
+
+    def _resync(self) -> Dict[str, object]:
+        """Replace the local state with a fresh server-side snapshot.
+
+        Tries an in-place resync of the existing subscription first; when
+        the server no longer knows it (restarted with a fresh manager),
+        falls back to re-subscribing with the original query.
+        """
+        self._resyncs += 1
+        try:
+            response = self._client.subscribe(subscription_id=self._subscription_id)
+        except ServerError as exc:
+            if exc.status != 404 or self._spec is None:
+                raise
+            spec = self._spec
+            response = self._client.subscribe(
+                spec["start"],
+                spec["end"],
+                stab=spec["stab"],
+                relation=spec["relation"],
+                min_duration=spec["min_duration"],
+                max_duration=spec["max_duration"],
+            )
+        self._adopt(response)
+        result = dict(response)
+        result["resynced"] = True
+        return result

@@ -39,10 +39,31 @@ Endpoints (all JSON):
 ``POST /insert``             ``{"id": i, "start": s, "end": e}``
 ``POST /delete``             ``{"id": i}``
 ``POST /maintain``           one maintenance pass (``{"force": bool}``)
+``POST /subscribe``          register a standing query (``start``/``end`` or
+                             ``stab``, optional ``relation``,
+                             ``min_duration``, ``max_duration``); with
+                             ``subscription_id``: resync an existing one
+``POST /unsubscribe``        ``{"subscription_id": i}``
+``GET/POST /poll-deltas``    long-poll one subscription's delta log
+                             (``subscription_id``, ``after`` = last-acked
+                             generation, ``timeout`` seconds; ``stream``
+                             switches to the chunked variant when the
+                             server enables it)
 ``GET /stats``               serving counters, cache stats, epoch + replica
-                             health
+                             health, subscription gauges
 ``GET /health``              liveness (``200``, or ``503`` while draining)
 ===========================  ==================================================
+
+``/query`` and ``/batch`` also accept ``relation`` (an Allen relation name,
+see :class:`repro.core.allen.AllenRelation`) and ``stats`` (truthy: include
+per-query :class:`~repro.core.base.QueryStats` in the response).
+
+Standing queries ride the same store hooks as the cache: a
+:class:`~repro.stream.deltas.StandingQueryManager` observes inserts/deletes,
+routes each to the affected subscriptions through an interval-indexed
+registry, and the server long-polls (or chunk-streams) the per-subscription
+delta logs with bounded queues, net-effect coalescing under backpressure and
+an explicit resync signal -- see :mod:`repro.stream`.
 """
 
 from __future__ import annotations
@@ -54,10 +75,17 @@ import time
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro.core.base import QueryStats
 from repro.core.errors import ReproError
 from repro.core.interval import Interval, Query
 from repro.engine.store import IntervalStore
-from repro.serve.cache import ResultCache, normalize_query_key, resolve_cache
+from repro.serve.cache import (
+    ResultCache,
+    StaleResult,
+    normalize_query_key,
+    resolve_cache,
+)
+from repro.stream import StandingQueryManager, UnknownSubscriptionError, parse_relation
 
 __all__ = ["QueryServer", "ServerHandle", "start_server_thread"]
 
@@ -99,6 +127,18 @@ class QueryServer:
             first query of a batch; 0 (default) drains greedily, adding no
             latency for a lone client.
         drain_timeout: seconds :meth:`stop` waits for admitted requests.
+        stream: a :class:`~repro.stream.deltas.StandingQueryManager` to
+            serve subscriptions from (pass the previous server's manager to
+            survive a restart with exact catch-up); ``None`` creates one
+            lazily on the first ``/subscribe``.
+        streaming: enable the chunked-transfer variant of ``/poll-deltas``
+            (``stream: true`` in the request); long-poll stays the default.
+        max_pollers: most ``/poll-deltas`` requests waiting at once -- they
+            park on an event instead of holding admission slots, so they
+            get their own bound (503 past it).
+        poll_timeout: hard cap in seconds on one long-poll wait (and on one
+            chunked streaming response); clients ask for less via
+            ``timeout``.
     """
 
     def __init__(
@@ -112,11 +152,17 @@ class QueryServer:
         max_batch: int = 64,
         batch_window: float = 0.0,
         drain_timeout: float = 10.0,
+        stream: "StandingQueryManager | None" = None,
+        streaming: bool = False,
+        max_pollers: int = 256,
+        poll_timeout: float = 30.0,
     ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_pollers < 1:
+            raise ValueError(f"max_pollers must be >= 1, got {max_pollers}")
         self._store = store
         self._host = host
         self._port = port
@@ -125,6 +171,10 @@ class QueryServer:
         self._max_batch = max_batch
         self._batch_window = batch_window
         self._drain_timeout = drain_timeout
+        self._stream = stream
+        self._streaming = streaming
+        self._max_pollers = max_pollers
+        self._poll_timeout = poll_timeout
 
         self._server: Optional[asyncio.base_events.Server] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -137,6 +187,13 @@ class QueryServer:
         self._inflight = 0  # admitted query requests (loop thread only)
         self._draining = False
         self._started_at: Optional[float] = None
+        #: per-subscription long-poll wakeups (loop thread only); set by the
+        #: delta engine's notifier via call_soon_threadsafe
+        self._stream_waiters: Dict[int, asyncio.Event] = {}
+        self._pollers = 0  # parked /poll-deltas requests (loop thread only)
+        #: background revalidation tasks (SWR cache refills), held so the
+        #: event loop cannot garbage-collect them mid-flight
+        self._revalidations: set = set()
 
         # serving counters (loop thread only; snapshotted by /stats)
         self._requests = 0
@@ -157,6 +214,16 @@ class QueryServer:
     @property
     def cache(self) -> ResultCache:
         return self._cache
+
+    @property
+    def stream(self) -> Optional[StandingQueryManager]:
+        """The standing-query manager (None until the first /subscribe).
+
+        Hand this to the next server's ``stream=`` to survive a restart
+        with exact catch-up: the manager stays attached to the store while
+        the server is down, so its logs keep accumulating deltas.
+        """
+        return self._stream
 
     @property
     def port(self) -> int:
@@ -197,7 +264,19 @@ class QueryServer:
                 "size": cache.size,
                 "capacity": cache.capacity,
                 "hit_rate": cache.hit_rate,
+                "stale_served": cache.stale_served,
+                "stale_while_revalidate": self._cache.stale_while_revalidate,
             },
+            "stream": (
+                self._stream.gauges()
+                if self._stream is not None
+                else {
+                    "subscriptions_active": 0.0,
+                    "deltas_emitted": 0.0,
+                    "deltas_coalesced": 0.0,
+                    "catchup_resyncs": 0.0,
+                }
+            ),
         }
         index = self._store.index
         if hasattr(index, "epoch"):
@@ -223,6 +302,11 @@ class QueryServer:
         self._port = self._server.sockets[0].getsockname()[1]
         self._batcher = asyncio.ensure_future(self._batch_loop())
         self._started_at = time.time()
+        if self._stream is not None:
+            # a manager handed over from a previous server: its logs kept
+            # accumulating deltas while we were down, so reconnecting
+            # clients catch up from their last-acked generation
+            self._stream.add_notifier(self._on_deltas)
 
     async def stop(self, drain: bool = True) -> None:
         """Stop accepting work, optionally drain in-flight requests, close.
@@ -233,6 +317,14 @@ class QueryServer:
         abandoned with the connections.
         """
         self._draining = True
+        # drain-on-stop for the push transport: parked long-polls (and
+        # chunked streams) wake, flush whatever their logs hold and answer;
+        # the manager itself stays attached to the store so a successor
+        # server can serve exact catch-up from the same logs
+        for waiter in list(self._stream_waiters.values()):
+            waiter.set()
+        if self._stream is not None:
+            self._stream.remove_notifier(self._on_deltas)
         if drain and self._inflight:
             try:
                 await asyncio.wait_for(self._idle.wait(), self._drain_timeout)
@@ -413,6 +505,9 @@ class QueryServer:
                     status, payload = 500, _encode(
                         {"error": f"{type(exc).__name__}: {exc}"}
                     )
+                if isinstance(payload, _StreamBody):
+                    await self._stream_response(writer, payload)
+                    continue
                 writer.write(
                     b"HTTP/1.1 %d %s\r\n"
                     b"Content-Type: application/json\r\n"
@@ -475,7 +570,9 @@ class QueryServer:
             return await self._handle_query(payload)
         if path == "/batch":
             return await self._handle_batch(payload)
-        if path in ("/insert", "/delete", "/maintain"):
+        if path == "/poll-deltas":
+            return await self._handle_poll(payload)
+        if path in ("/insert", "/delete", "/maintain", "/subscribe", "/unsubscribe"):
             if method != "POST":
                 # mutations must never ride on "safe" methods: a browser
                 # prefetch or monitoring GET must not change the index
@@ -486,6 +583,8 @@ class QueryServer:
                 "/insert": self._handle_insert,
                 "/delete": self._handle_delete,
                 "/maintain": self._handle_maintain,
+                "/subscribe": self._handle_subscribe,
+                "/unsubscribe": self._handle_unsubscribe,
             }[path]
             return await handler(payload)
         return 404, _encode({"error": f"no such endpoint: {path}"})
@@ -530,6 +629,7 @@ class QueryServer:
         if extras is not None:
             extras["cache_hits"] = float(self._cache.hits)
             extras["cache_size"] = float(len(self._cache))
+            extras["cache_stale_served"] = float(self._cache.stale_served)
 
     # ------------------------------------------------------------------ #
     # endpoints
@@ -546,39 +646,169 @@ class QueryServer:
         count_only = _truthy(payload.get("count_only", False))
         return query, count_only
 
+    @staticmethod
+    def _parse_refinement(payload: Dict[str, object]):
+        """The optional ``relation`` + ``stats`` refinements of a query."""
+        relation = payload.get("relation")
+        try:
+            relation = parse_relation(relation) if relation else None
+        except ReproError as exc:
+            raise _Reject(400, str(exc)) from exc
+        return relation, _truthy(payload.get("stats", False))
+
+    @staticmethod
+    def _query_kind(count_only: bool, relation, with_stats: bool) -> str:
+        """Cache-key kind separating result shapes over the same range."""
+        kind = "count" if count_only else "ids"
+        if relation is not None:
+            kind += f":{relation.value}"
+        if with_stats:
+            kind += ":stats"
+        return kind
+
     async def _handle_query(self, payload: Dict[str, object]):
         query, count_only = self._parse_query(payload)
+        relation, with_stats = self._parse_refinement(payload)
         self._queries += 1
         key = normalize_query_key(
-            query.start, query.end, "count" if count_only else "ids"
+            query.start, query.end, self._query_kind(count_only, relation, with_stats)
         )
         if self._cache.enabled:
             cached = self._cache.get(key, self._store.result_generation())
+            if isinstance(cached, StaleResult):
+                # stale-while-revalidate: answer with the stale body now,
+                # recompute off the request path (admission willing)
+                self._schedule_revalidation(key, query, count_only, relation, with_stats)
+                self._publish_stats_extras()
+                return 200, cached.value
             if cached is not ResultCache.MISS:
                 self._publish_stats_extras()
                 return 200, cached
         self._admit()
         try:
-            future: asyncio.Future = self._loop.create_future()
-            await self._pending.put((query, count_only, future))
-            generation, answer = await future
+            if relation is not None or with_stats:
+                # relation/instrumented queries bypass the batcher: they run
+                # through the fluent builder, which run_batch has no lane for
+                generation, answer = await self._loop.run_in_executor(
+                    None, self._execute_refined, query, count_only, relation, with_stats
+                )
+                body = _encode(answer)
+            else:
+                future: asyncio.Future = self._loop.create_future()
+                await self._pending.put((query, count_only, future))
+                generation, answer = await future
+                body = _encode(
+                    {"count": answer}
+                    if count_only
+                    else {"ids": answer, "count": len(answer)}
+                )
         finally:
             self._release()
-        body = _encode(
-            {"count": answer} if count_only else {"ids": answer, "count": len(answer)}
-        )
         self._cache.put(key, generation, body)
         self._publish_stats_extras()
         return 200, body
+
+    def _refined_answer(
+        self, query: Query, count_only: bool, relation, with_stats: bool
+    ) -> Dict[str, object]:
+        """One relation/instrumented query through the fluent builder."""
+        builder = self._store.query().overlapping(query.start, query.end)
+        if relation is not None:
+            builder = builder.relation(relation)
+        result = builder.build()
+        ids = result.ids()
+        answer: Dict[str, object] = (
+            {"count": len(ids)} if count_only else {"ids": ids, "count": len(ids)}
+        )
+        if relation is not None:
+            answer["relation"] = relation.value
+        if with_stats:
+            stats = _stats_dict(result.stats())
+            if relation is not None:
+                # the probe's counters stand, but "results" reports what
+                # this query answered -- the post-refinement ids
+                stats["results"] = len(ids)
+            answer["stats"] = stats
+        return answer
+
+    def _execute_refined(
+        self, query: Query, count_only: bool, relation, with_stats: bool
+    ) -> Tuple[int, Dict[str, object]]:
+        """Worker-thread execution of one relation/instrumented query."""
+        generation = self._store.result_generation()
+        return generation, self._refined_answer(query, count_only, relation, with_stats)
+
+    def _execute_refined_chunk(
+        self, queries: List[Query], count_only: bool, relation, with_stats: bool
+    ) -> Tuple[int, List[Dict[str, object]]]:
+        """Worker-thread execution of one refined /batch chunk.
+
+        Like :meth:`_execute_batch`, the generation is read before any
+        probe so cached answers can only be stamped conservatively.
+        """
+        generation = self._store.result_generation()
+        return generation, [
+            self._refined_answer(query, count_only, relation, with_stats)
+            for query in queries
+        ]
+
+    def _schedule_revalidation(
+        self, key, query: Query, count_only: bool, relation, with_stats: bool
+    ) -> None:
+        """Refresh a stale-served entry in the background.
+
+        The recompute respects admission control: under overload it is
+        simply skipped -- the entry was marked served-stale, so the next
+        touch misses and recomputes on the request path instead.
+        """
+        try:
+            self._admit()
+        except _Reject:
+            return
+
+        async def _revalidate() -> None:
+            try:
+                if relation is not None or with_stats:
+                    generation, answer = await self._loop.run_in_executor(
+                        None,
+                        self._execute_refined,
+                        query,
+                        count_only,
+                        relation,
+                        with_stats,
+                    )
+                    body = _encode(answer)
+                else:
+                    future: asyncio.Future = self._loop.create_future()
+                    await self._pending.put((query, count_only, future))
+                    generation, answer = await future
+                    body = _encode(
+                        {"count": answer}
+                        if count_only
+                        else {"ids": answer, "count": len(answer)}
+                    )
+                self._cache.put(key, generation, body)
+            except Exception:  # noqa: BLE001 - a lost refresh only costs a miss
+                pass
+            finally:
+                self._release()
+
+        task = self._loop.create_task(_revalidate())
+        self._revalidations.add(task)
+        task.add_done_callback(self._revalidations.discard)
 
     async def _handle_batch(self, payload: Dict[str, object]):
         pairs = payload.get("queries")
         if not isinstance(pairs, list) or not pairs:
             raise _Reject(400, "batch needs a non-empty 'queries' list")
         count_only = _truthy(payload.get("count_only", False))
+        # relation/stats apply batch-wide: every query in the request is
+        # refined the same way (mixed batches are two requests)
+        relation, with_stats = self._parse_refinement(payload)
+        refined = relation is not None or with_stats
         queries = [Query(int(start), int(end)) for start, end in pairs]
         self._queries += len(queries)
-        kind = "count" if count_only else "ids"
+        kind = self._query_kind(count_only, relation, with_stats)
         generation = self._store.result_generation()
         answers: List[object] = [None] * len(queries)
         missing: List[int] = []
@@ -589,7 +819,12 @@ class QueryServer:
                 if self._cache.enabled
                 else ResultCache.MISS
             )
-            if cached is ResultCache.MISS:
+            if isinstance(cached, StaleResult):
+                answers[position] = cached.value
+                self._schedule_revalidation(
+                    key, query, count_only, relation, with_stats
+                )
+            elif cached is ResultCache.MISS:
                 missing.append(position)
             else:
                 answers[position] = cached
@@ -610,21 +845,34 @@ class QueryServer:
             filled: List[Tuple[int, object]] = []
             try:
                 for chunk in chunks:
-                    batch = [(queries[i], count_only, None) for i in chunk]
-                    chunk_generation, chunk_values = await self._loop.run_in_executor(
-                        None, self._execute_batch, batch
-                    )
+                    if refined:
+                        chunk_generation, chunk_values = await self._loop.run_in_executor(
+                            None,
+                            self._execute_refined_chunk,
+                            [queries[i] for i in chunk],
+                            count_only,
+                            relation,
+                            with_stats,
+                        )
+                    else:
+                        batch = [(queries[i], count_only, None) for i in chunk]
+                        chunk_generation, chunk_values = await self._loop.run_in_executor(
+                            None, self._execute_batch, batch
+                        )
                     filled.extend((chunk_generation, value) for value in chunk_values)
                     self._batches += 1
                     self._batched_queries += len(chunk)
             finally:
                 self._release(len(chunks))
             for position, (fill_generation, value) in zip(missing, filled):
-                body = _encode(
-                    {"count": value}
-                    if count_only
-                    else {"ids": value, "count": len(value)}
-                )
+                if refined:
+                    body = _encode(value)  # already a full answer dict
+                else:
+                    body = _encode(
+                        {"count": value}
+                        if count_only
+                        else {"ids": value, "count": len(value)}
+                    )
                 answers[position] = body
                 self._cache.put(
                     normalize_query_key(
@@ -693,6 +941,253 @@ class QueryServer:
             }
         )
 
+    # ------------------------------------------------------------------ #
+    # standing queries: subscribe / unsubscribe / poll-deltas
+    # ------------------------------------------------------------------ #
+    def _stream_manager(self) -> StandingQueryManager:
+        """The manager, created lazily on the first /subscribe."""
+        if self._stream is None:
+            self._stream = StandingQueryManager(self._store)
+            self._stream.add_notifier(self._on_deltas)
+        return self._stream
+
+    def _on_deltas(self, subscription_id: int) -> None:
+        """Delta-engine notifier: wake that subscription's parked pollers.
+
+        Fires on whatever thread ran the insert/delete; hop to the loop
+        thread (and swallow the race with loop shutdown).
+        """
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(self._wake_pollers, subscription_id)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass
+
+    def _wake_pollers(self, subscription_id: int) -> None:
+        waiter = self._stream_waiters.get(subscription_id)
+        if waiter is not None:
+            waiter.set()
+
+    async def _handle_subscribe(self, payload: Dict[str, object]):
+        manager = self._stream_manager()
+        resync_id = payload.get("subscription_id")
+        self._admit()
+        try:
+            # under the update lock: the snapshot is then exactly consistent
+            # with its generation even on plain (unsharded) stores, whose
+            # writes the server serialises through this lock
+            async with self._update_lock:
+                if resync_id is not None:
+                    result = await self._loop.run_in_executor(
+                        None, manager.resync, int(resync_id)
+                    )
+                else:
+                    query, _ = self._parse_query(payload)
+                    relation, _ = self._parse_refinement(payload)
+                    min_duration = int(payload.get("min_duration", 0))
+                    raw_max = payload.get("max_duration")
+                    max_duration = int(raw_max) if raw_max is not None else None
+                    result = await self._loop.run_in_executor(
+                        None,
+                        lambda: manager.subscribe(
+                            query.start,
+                            query.end,
+                            relation=relation,
+                            min_duration=min_duration,
+                            max_duration=max_duration,
+                        ),
+                    )
+        except UnknownSubscriptionError as exc:
+            self._errors += 1
+            return 404, _encode({"error": str(exc), "resync_required": True})
+        finally:
+            self._release()
+        return 200, _encode(
+            {
+                "subscription_id": result.subscription.subscription_id,
+                "generation": result.generation,
+                "ids": list(result.ids),
+                "count": len(result.ids),
+                "relation": (
+                    result.subscription.relation.value
+                    if result.subscription.relation is not None
+                    else None
+                ),
+            }
+        )
+
+    async def _handle_unsubscribe(self, payload: Dict[str, object]):
+        if "subscription_id" not in payload:
+            raise _Reject(400, "unsubscribe needs 'subscription_id'")
+        subscription_id = int(payload["subscription_id"])
+        removed = self._stream.unsubscribe(subscription_id) if self._stream else False
+        waiter = self._stream_waiters.pop(subscription_id, None)
+        if waiter is not None:
+            waiter.set()  # parked pollers wake and observe the 404
+        return 200, _encode(
+            {"unsubscribed": bool(removed), "subscription_id": subscription_id}
+        )
+
+    async def _handle_poll(self, payload: Dict[str, object]):
+        if "subscription_id" not in payload:
+            raise _Reject(400, "poll-deltas needs 'subscription_id'")
+        subscription_id = int(payload["subscription_id"])
+        after = int(payload.get("after", -1))
+        timeout = min(
+            float(payload.get("timeout", self._poll_timeout)), self._poll_timeout
+        )
+        if self._stream is None:
+            self._errors += 1
+            return 404, _encode(
+                {
+                    "error": f"unknown subscription {subscription_id}",
+                    "resync_required": True,
+                }
+            )
+        if self._pollers >= self._max_pollers:
+            raise _Reject(503, "too many pollers", retry_after=1)
+        if _truthy(payload.get("stream", False)):
+            if not self._streaming:
+                raise _Reject(
+                    400, "chunked streaming is disabled on this server"
+                )
+            # handled by _client_connected as a chunked response
+            return 200, _StreamBody(subscription_id, after, timeout)
+        deadline = self._loop.time() + timeout
+        self._pollers += 1
+        try:
+            while True:
+                waiter = self._stream_waiters.get(subscription_id)
+                if waiter is None:
+                    waiter = self._stream_waiters[subscription_id] = asyncio.Event()
+                # clear BEFORE polling: a delta landing between the poll and
+                # the wait sets the event and the wait returns immediately --
+                # the other order can sleep through a wakeup
+                waiter.clear()
+                try:
+                    result = self._stream.poll(
+                        subscription_id, after_generation=after
+                    )
+                except UnknownSubscriptionError as exc:
+                    self._errors += 1
+                    return 404, _encode(
+                        {"error": str(exc), "resync_required": True}
+                    )
+                if result.records or result.resync_required or self._draining:
+                    break
+                remaining = deadline - self._loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    await asyncio.wait_for(waiter.wait(), remaining)
+                except asyncio.TimeoutError:
+                    continue  # re-poll once: the empty answer must carry a
+                    # generation current at return time, not pre-wait
+        finally:
+            self._pollers -= 1
+        return 200, _encode(self._poll_body(subscription_id, result))
+
+    @staticmethod
+    def _poll_body(subscription_id: int, result) -> Dict[str, object]:
+        return {
+            "subscription_id": subscription_id,
+            "generation": result.generation,
+            "resync_required": result.resync_required,
+            "deltas": [
+                {
+                    "seq": record.seq,
+                    "generation": record.generation,
+                    "added": list(record.added),
+                    "removed": list(record.removed),
+                    "coalesced": record.coalesced,
+                }
+                for record in result.records
+            ],
+        }
+
+    async def _stream_response(
+        self, writer: asyncio.StreamWriter, stream: "_StreamBody"
+    ) -> None:
+        """The chunked variant of /poll-deltas: one JSON object per chunk.
+
+        Runs until the client's timeout (capped by ``poll_timeout``), the
+        server drains, or the subscription needs a resync; ends with the
+        terminating zero chunk so keep-alive survives the response.
+        """
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"\r\n"
+        )
+        subscription_id = stream.subscription_id
+        after = stream.after
+        deadline = self._loop.time() + stream.timeout
+        self._pollers += 1
+        try:
+            while True:
+                waiter = self._stream_waiters.get(subscription_id)
+                if waiter is None:
+                    waiter = self._stream_waiters[subscription_id] = asyncio.Event()
+                waiter.clear()
+                try:
+                    result = self._stream.poll(
+                        subscription_id, after_generation=after
+                    )
+                except UnknownSubscriptionError as exc:
+                    # newline-terminated payloads let clients readline() over
+                    # the decoded stream without seeing chunk boundaries
+                    _write_chunk(
+                        writer,
+                        _encode({"error": str(exc), "resync_required": True}) + b"\n",
+                    )
+                    break
+                if result.records or result.resync_required:
+                    _write_chunk(
+                        writer,
+                        _encode(self._poll_body(subscription_id, result)) + b"\n",
+                    )
+                    await writer.drain()
+                    if result.resync_required:
+                        break
+                    after = result.generation
+                if self._draining:
+                    break
+                remaining = deadline - self._loop.time()
+                if remaining <= 0:
+                    # heartbeat: an idle stream still hands the client the
+                    # current generation, so its next request's `after` is
+                    # fresh and barriers on generation cannot stall
+                    if result.generation > after:
+                        _write_chunk(
+                            writer,
+                            _encode(self._poll_body(subscription_id, result))
+                            + b"\n",
+                        )
+                        await writer.drain()
+                    break
+                try:
+                    await asyncio.wait_for(waiter.wait(), remaining)
+                except asyncio.TimeoutError:
+                    continue  # re-poll once: the heartbeat must be fresh
+        finally:
+            self._pollers -= 1
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+
+class _StreamBody:
+    """Internal: a /poll-deltas answer to be written as a chunked stream."""
+
+    __slots__ = ("subscription_id", "after", "timeout")
+
+    def __init__(self, subscription_id: int, after: int, timeout: float) -> None:
+        self.subscription_id = subscription_id
+        self.after = after
+        self.timeout = timeout
+
 
 # --------------------------------------------------------------------------- #
 # wire helpers
@@ -728,6 +1223,25 @@ def _truthy(value: object) -> bool:
     if isinstance(value, str):
         return value.lower() in ("1", "true", "yes", "on")
     return bool(value)
+
+
+def _write_chunk(writer: asyncio.StreamWriter, data: bytes) -> None:
+    """One HTTP/1.1 chunked-transfer frame (hex length, CRLF-framed)."""
+    writer.write(b"%x\r\n" % len(data))
+    writer.write(data)
+    writer.write(b"\r\n")
+
+
+def _stats_dict(stats: QueryStats) -> Dict[str, object]:
+    """JSON-friendly view of one query's :class:`QueryStats`."""
+    return {
+        "results": stats.results,
+        "comparisons": stats.comparisons,
+        "partitions_accessed": stats.partitions_accessed,
+        "partitions_compared": stats.partitions_compared,
+        "candidates": stats.candidates,
+        "extra": dict(stats.extra),
+    }
 
 
 # --------------------------------------------------------------------------- #

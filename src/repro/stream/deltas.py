@@ -1,0 +1,382 @@
+"""The incremental delta engine behind standing queries.
+
+A :class:`StandingQueryManager` attaches one update listener to a store
+(:class:`~repro.engine.sharded.ShardedIndex` when the store is sharded --
+its listener fires under the maintenance lock with the authoritative
+post-commit generation -- or the plain :class:`~repro.engine.store.IntervalStore`
+otherwise) and turns every insert/delete into per-subscription deltas:
+
+1. the mutated interval is routed through the
+   :class:`~repro.stream.registry.SubscriptionRegistry`'s matching index --
+   one overlap probe, O(affected subscriptions);
+2. each affected subscription's :class:`~repro.stream.log.DeltaLog` gets a
+   ``(generation, added_ids, removed_ids)`` record;
+3. registered notifiers (the query server's long-poll wakeups) fire for the
+   affected subscription ids.
+
+Maintenance is the part that must *not* produce deltas: journal folds,
+snapshot refreshes and re-partitions republish epoch state and may bump the
+result generation, but the queryable contents are unchanged -- the engine
+records the generation advance (``sync`` events) and emits nothing, so
+replaying a subscription's deltas across a fold/repartition neither
+duplicates nor drops a change.
+
+Exactness contract: folding a subscription's deltas up to generation ``g``
+onto its subscribe-time snapshot equals re-running the standing query at
+``g``.  Concurrent writers to a *plain* (unsharded) store must be
+serialised externally (the query server's update lock does this); sharded
+stores serialise updates internally through the maintenance lock.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import ReproError
+from repro.core.interval import Interval, Query
+from repro.stream.log import DeltaLog, DeltaRecord
+from repro.stream.registry import Subscription, SubscriptionRegistry
+
+__all__ = [
+    "PollResult",
+    "StandingQueryManager",
+    "SubscribeResult",
+    "UnknownSubscriptionError",
+]
+
+
+class UnknownSubscriptionError(ReproError):
+    """Polled or unsubscribed an id the manager does not know."""
+
+    def __init__(self, subscription_id: int):
+        super().__init__(f"unknown subscription {subscription_id}")
+        self.subscription_id = subscription_id
+
+
+@dataclass(frozen=True)
+class SubscribeResult:
+    """A new (or resynced) subscription plus its consistent snapshot."""
+
+    subscription: Subscription
+    generation: int
+    ids: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class PollResult:
+    """One catch-up read of a subscription's delta log.
+
+    ``generation`` is the token to ack on the next poll: every delta at or
+    below it has been delivered (records list) or was already acked.
+    ``resync_required`` means exact catch-up is impossible (the log was
+    truncated or coalesced past the ack) -- re-subscribe / resync instead
+    of folding.
+    """
+
+    records: List[DeltaRecord]
+    generation: int
+    resync_required: bool
+
+
+class StandingQueryManager:
+    """Subscriptions, delta emission and catch-up over one store.
+
+    Args:
+        store: the :class:`~repro.engine.store.IntervalStore` (or sharded
+            store) to watch.  Updates must flow through the store (or the
+            query server) -- the same contract the result cache has.
+        registry: optionally a pre-configured
+            :class:`~repro.stream.registry.SubscriptionRegistry`.
+        log_capacity / max_coalesced_ids: per-subscription
+            :class:`~repro.stream.log.DeltaLog` bounds.
+    """
+
+    def __init__(
+        self,
+        store,
+        *,
+        registry: Optional[SubscriptionRegistry] = None,
+        log_capacity: int = 256,
+        max_coalesced_ids: int = 4096,
+    ) -> None:
+        self._store = store
+        self._registry = registry if registry is not None else SubscriptionRegistry()
+        self._log_capacity = log_capacity
+        self._max_coalesced_ids = max_coalesced_ids
+        self._logs: Dict[int, DeltaLog] = {}
+        self._lock = threading.RLock()
+        self._notifiers: List[Callable[[int], None]] = []
+        self._seen_generation = -1
+        self._deltas_emitted = 0
+        self._catchup_resyncs = 0
+        self._coalesced_retired = 0  # coalesce ops of removed logs
+        self._coalesced_live = 0  # running sum over the live logs: the
+        # update path publishes gauges per op, so this must stay O(1)
+        self._emitter = None
+        self.attach()
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+    def attach(self) -> None:
+        """Register the update listener (sharded index preferred: its
+        events carry the authoritative post-commit generation)."""
+        if self._emitter is not None:
+            return
+        index = getattr(self._store, "index", None)
+        if index is not None and hasattr(index, "add_update_listener"):
+            emitter = index
+        elif hasattr(self._store, "add_update_listener"):
+            emitter = self._store
+        else:
+            raise ReproError(
+                f"store {self._store!r} exposes no update listener hook; "
+                "standing queries need one to observe inserts/deletes"
+            )
+        emitter.add_update_listener(self._on_update)
+        self._emitter = emitter
+
+    def detach(self) -> None:
+        """Unregister the listener (subscriptions and logs are kept)."""
+        if self._emitter is not None:
+            self._emitter.remove_update_listener(self._on_update)
+            self._emitter = None
+
+    close = detach
+
+    @property
+    def store(self):
+        return self._store
+
+    @property
+    def registry(self) -> SubscriptionRegistry:
+        return self._registry
+
+    def add_notifier(self, notifier: Callable[[int], None]) -> None:
+        """``notifier(subscription_id)`` fires after new deltas land.
+
+        Called outside the manager lock but possibly under the store's
+        update serialisation -- keep it non-blocking (the query server
+        schedules an event-loop wakeup)."""
+        self._notifiers.append(notifier)
+
+    def remove_notifier(self, notifier: Callable[[int], None]) -> None:
+        with contextlib.suppress(ValueError):
+            self._notifiers.remove(notifier)
+
+    # ------------------------------------------------------------------ #
+    # the delta engine: one listener event -> per-subscription records
+    # ------------------------------------------------------------------ #
+    def _on_update(self, op: str, interval: Optional[Interval], generation: int) -> None:
+        if op not in ("insert", "delete"):
+            # maintenance republished epoch state: the generation moved but
+            # the queryable contents did not -- record the advance, emit no
+            # deltas (folding across it must not duplicate or drop changes)
+            with self._lock:
+                self._seen_generation = max(self._seen_generation, generation)
+            return
+        if interval is None:  # a delete whose span could not be resolved
+            return
+        affected = self._registry.affected(interval)
+        if not affected:
+            with self._lock:
+                self._seen_generation = max(self._seen_generation, generation)
+            return
+        notify: List[int] = []
+        with self._lock:
+            self._seen_generation = max(self._seen_generation, generation)
+            for subscription in affected:
+                log = self._logs.get(subscription.subscription_id)
+                if log is None:
+                    continue
+                before = log.coalesce_ops
+                if op == "insert":
+                    log.append(generation, (interval.id,), ())
+                else:
+                    log.append(generation, (), (interval.id,))
+                self._coalesced_live += log.coalesce_ops - before
+                self._deltas_emitted += 1
+                notify.append(subscription.subscription_id)
+            self._publish_gauges_locked()
+        for subscription_id in notify:
+            for notifier in list(self._notifiers):
+                notifier(subscription_id)
+
+    # ------------------------------------------------------------------ #
+    # subscriptions
+    # ------------------------------------------------------------------ #
+    def _snapshot_lock(self):
+        """The store's update-serialisation lock, when it has one.
+
+        Holding it across (read generation, run query, register) makes the
+        snapshot exactly consistent with the generation.  Plain stores have
+        no such lock; their subscribe race is self-healing -- a delta
+        already contained in the snapshot re-applies idempotently under set
+        semantics -- but concurrent writers should be serialised externally
+        (the query server does)."""
+        index = getattr(self._store, "index", None)
+        lock = getattr(index, "maintenance_lock", None)
+        if lock is None:
+            # the hybrid index serialises its updates through this lock;
+            # holding it across the snapshot gives the same exactness
+            lock = getattr(index, "_update_lock", None)
+        return lock if lock is not None else contextlib.nullcontext()
+
+    def subscribe(
+        self,
+        start: Optional[int] = None,
+        end: Optional[int] = None,
+        *,
+        stab: Optional[int] = None,
+        relation=None,
+        min_duration: int = 0,
+        max_duration: Optional[int] = None,
+        predicate=None,
+    ) -> SubscribeResult:
+        """Register a standing query; returns it with a consistent snapshot."""
+        if stab is not None:
+            query = Query.stabbing(int(stab))
+        elif start is not None and end is not None:
+            query = Query(int(start), int(end))
+        else:
+            raise ReproError("subscribe needs start and end (or stab)")
+        with self._snapshot_lock():
+            with self._lock:
+                subscription = self._registry.register(
+                    query,
+                    relation=relation,
+                    min_duration=min_duration,
+                    max_duration=max_duration,
+                    predicate=predicate,
+                )
+                self._logs[subscription.subscription_id] = DeltaLog(
+                    capacity=self._log_capacity,
+                    max_coalesced_ids=self._max_coalesced_ids,
+                )
+                generation, ids = self._snapshot(subscription)
+                self._seen_generation = max(self._seen_generation, generation)
+                self._publish_gauges_locked()
+        return SubscribeResult(subscription=subscription, generation=generation, ids=ids)
+
+    def resync(self, subscription_id: int) -> SubscribeResult:
+        """Fresh snapshot for an existing subscription; resets its log.
+
+        The answer to a ``resync_required`` poll: the client replaces its
+        local result set with the returned snapshot and resumes folding
+        deltas from the returned generation.
+        """
+        with self._snapshot_lock():
+            with self._lock:
+                subscription = self._registry.get(subscription_id)
+                if subscription is None:
+                    raise UnknownSubscriptionError(subscription_id)
+                old = self._logs.get(subscription_id)
+                if old is not None:
+                    self._coalesced_retired += old.coalesce_ops
+                    self._coalesced_live -= old.coalesce_ops
+                self._logs[subscription_id] = DeltaLog(
+                    capacity=self._log_capacity,
+                    max_coalesced_ids=self._max_coalesced_ids,
+                )
+                generation, ids = self._snapshot(subscription)
+                self._seen_generation = max(self._seen_generation, generation)
+        return SubscribeResult(subscription=subscription, generation=generation, ids=ids)
+
+    def _snapshot(self, subscription: Subscription) -> Tuple[int, Tuple[int, ...]]:
+        generation = int(self._store.result_generation())
+        query = subscription.query
+        builder = self._store.query().overlapping(query.start, query.end)
+        if subscription.relation is not None:
+            builder = builder.relation(subscription.relation)
+        ids = builder.ids()
+        if (
+            subscription.min_duration
+            or subscription.max_duration is not None
+            or subscription.predicate is not None
+        ):
+            lookup = self._store.index._interval_lookup()
+            ids = [
+                i
+                for i in ids
+                if (found := lookup.get(i)) is not None and subscription.matches(found)
+            ]
+        return generation, tuple(sorted(ids))
+
+    def unsubscribe(self, subscription_id: int) -> bool:
+        with self._lock:
+            log = self._logs.pop(subscription_id, None)
+            if log is not None:
+                self._coalesced_retired += log.coalesce_ops
+                self._coalesced_live -= log.coalesce_ops
+            removed = self._registry.unregister(subscription_id)
+            self._publish_gauges_locked()
+            return removed
+
+    # ------------------------------------------------------------------ #
+    # catch-up
+    # ------------------------------------------------------------------ #
+    def poll(self, subscription_id: int, after_generation: int = -1) -> PollResult:
+        """Deltas newer than the client's last-acked generation.
+
+        Acked records are pruned (the ack doubles as a consumption
+        confirmation); the returned generation is what the client acks
+        next.  ``resync_required`` means the log can no longer replay the
+        gap exactly -- call :meth:`resync`.
+        """
+        with self._lock:
+            log = self._logs.get(subscription_id)
+            if log is None:
+                raise UnknownSubscriptionError(subscription_id)
+            log.ack(after_generation)
+            records, resync = log.since(after_generation)
+            if resync:
+                self._catchup_resyncs += 1
+                self._publish_gauges_locked()
+                return PollResult(
+                    records=[], generation=after_generation, resync_required=True
+                )
+            generation = max(
+                after_generation,
+                self._seen_generation,
+                records[-1].generation if records else -1,
+            )
+            return PollResult(
+                records=records, generation=generation, resync_required=False
+            )
+
+    def pending(self, subscription_id: int) -> int:
+        """Records currently retained for one subscription."""
+        with self._lock:
+            log = self._logs.get(subscription_id)
+            return len(log) if log is not None else 0
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def gauges(self) -> Dict[str, float]:
+        with self._lock:
+            return self._gauges_locked()
+
+    def _gauges_locked(self) -> Dict[str, float]:
+        coalesced = self._coalesced_retired + self._coalesced_live
+        return {
+            "subscriptions_active": float(len(self._registry)),
+            "deltas_emitted": float(self._deltas_emitted),
+            "deltas_coalesced": float(coalesced),
+            "catchup_resyncs": float(self._catchup_resyncs),
+        }
+
+    def _publish_gauges_locked(self) -> None:
+        extras = getattr(getattr(self._store, "index", None), "stats_extras", None)
+        if extras is not None:
+            extras.update(self._gauges_locked())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"StandingQueryManager(subscriptions={len(self._registry)}, "
+            f"deltas_emitted={self._deltas_emitted}, "
+            f"seen_generation={self._seen_generation})"
+        )

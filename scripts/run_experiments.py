@@ -24,6 +24,7 @@ from repro.bench import experiments
 from repro.bench.reporting import (
     format_series,
     format_table,
+    render_batch_kernels,
     render_ingest_maintenance,
     render_process_scaling,
     render_serving_throughput,
@@ -216,6 +217,15 @@ def main(argv=None) -> int:
         "process_scaling": lambda: render_process_scaling(
             experiments.process_scaling(
                 cardinality=args.cardinality, num_queries=n_queries
+            )
+        ),
+        "batch_kernels": lambda: render_batch_kernels(
+            experiments.batch_kernels(
+                cardinality=args.cardinality,
+                num_queries=n_queries,
+                # the update stream's stride-partitioned delete victims need
+                # cardinality/8 >= num_updates/2, so scale with the data
+                num_updates=max(2, min(400, args.cardinality // 100)),
             )
         ),
         "ingest_maintenance": lambda: render_ingest_maintenance(

@@ -8,6 +8,12 @@ every round cross-checks a sample of queries and counts against the oracle,
 and a maintenance pass (normal or forced, alternating) runs between rounds.
 Any divergence -- ids, counts, or index size -- raises, failing the job.
 
+A second phase soaks the batch kernels' per-worker healing: a
+process-executor store with pending updates answers batched counts while a
+killer thread SIGKILLs pool workers mid-batch; every batch must stay
+oracle-equal, retries must be recorded, and the index-wide fan-out
+kill-switch must never trip (``--kill-rounds 0`` skips the phase).
+
 Usage::
 
     PYTHONPATH=src python scripts/soak_ingest.py --rounds 20
@@ -16,12 +22,15 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
+import signal
 import sys
+import threading
 import time
 
 import numpy as np
 
-from repro.core.interval import Interval, Query
+from repro.core.interval import HAS_SHARED_MEMORY, Interval, Query
 from repro.datasets.real_like import REAL_DATASET_PROFILES, generate_real_like
 from repro.engine import IntervalStore
 from repro.engine.maintenance import MaintenanceConfig
@@ -35,6 +44,81 @@ def _oracle_query(live: dict, query: Query) -> set:
     }
 
 
+def _worker_kill_soak(args) -> None:
+    """Batched counts under SIGKILLed pool workers: exact answers, no trip."""
+    if not HAS_SHARED_MEMORY:
+        print("worker-kill soak: skipped (no multiprocessing.shared_memory)")
+        return
+    rng = np.random.default_rng(args.seed + 1)
+    collection = generate_real_like(
+        REAL_DATASET_PROFILES["TAXIS"], cardinality=args.cardinality, seed=args.seed + 1
+    )
+    lo, hi = collection.span()
+    store = IntervalStore.open(
+        collection, "hintm_hybrid", num_shards=args.shards, num_bits=8,
+        executor="processes", workers=2,
+    )
+    index = store.index
+    live = {
+        int(i): (int(s), int(e))
+        for i, s, e in zip(collection.ids, collection.starts, collection.ends)
+    }
+    # pending updates first, so the kernels being killed are the delta-folding
+    # path, not the clean-snapshot fast case
+    next_id = int(collection.ids.max()) + 1
+    for op in range(args.ops_per_round):
+        if op % 2 == 0:
+            start = int(rng.integers(lo, hi))
+            end = start + int(rng.integers(0, max(1, (hi - lo) // 100)))
+            store.insert(Interval(next_id, start, end))
+            live[next_id] = (start, end)
+            next_id += 1
+        else:
+            victim = int(rng.choice(list(live)))
+            store.delete(victim)
+            del live[victim]
+    queries = []
+    for _ in range(50):
+        a = int(rng.integers(lo, hi))
+        queries.append(Query(a, a + int(rng.integers(0, hi - lo))))
+    expected = [len(_oracle_query(live, q)) for q in queries]
+    if store.count_batch(queries) != expected:  # warm the pool, check baseline
+        raise SystemExit("worker-kill soak: counts diverged before any kill")
+
+    batches = 0
+    for round_no in range(args.kill_rounds):
+        pids = sorted(index.worker_residencies())
+        if not pids:
+            raise SystemExit(f"kill round {round_no}: no worker residencies to kill")
+        victim_pid = pids[round_no % len(pids)]
+        killer = threading.Timer(0.02, os.kill, args=(victim_pid, signal.SIGKILL))
+        killer.start()
+        deadline = time.perf_counter() + 0.5
+        while killer.is_alive() or time.perf_counter() < deadline:
+            batches += 1
+            if store.count_batch(queries) != expected:
+                raise SystemExit(
+                    f"kill round {round_no}: counts diverged after killing "
+                    f"worker {victim_pid}"
+                )
+        killer.join()
+        if index._fanout_disabled:
+            raise SystemExit(
+                f"kill round {round_no}: fan-out kill-switch tripped -- a "
+                "single dead worker must heal per-worker"
+            )
+    if not index.kernel_retries:
+        raise SystemExit("worker-kill soak: no retry was ever recorded")
+    if not index._process_fanout_ready(counting=True):
+        raise SystemExit("worker-kill soak: kernel fan-out not ready at the end")
+    print(
+        f"worker-kill soak ok: {args.kill_rounds} kills across {batches} "
+        f"oracle-checked batches, {index.kernel_retries} task retries, "
+        f"fan-out still live"
+    )
+    store.close()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rounds", type=int, default=20)
@@ -43,6 +127,9 @@ def main(argv=None) -> int:
     parser.add_argument("--checks-per-round", type=int, default=10)
     parser.add_argument("--shards", type=int, default=4)
     parser.add_argument("--policy", default="threshold")
+    parser.add_argument("--kill-rounds", type=int, default=3,
+                        help="worker-kill soak rounds after the update soak "
+                             "(0 disables the phase)")
     parser.add_argument("--seed", type=int, default=7)
     args = parser.parse_args(argv)
 
@@ -109,6 +196,8 @@ def main(argv=None) -> int:
         f"deltas={state.get('delta_per_shard')}, cuts={state.get('cuts')}"
     )
     store.close()
+    if args.kill_rounds > 0:
+        _worker_kill_soak(args)
     return 0
 
 

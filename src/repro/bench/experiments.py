@@ -55,6 +55,7 @@ __all__ = [
     "table10_updates",
     "shard_scaling",
     "process_scaling",
+    "batch_kernels",
     "ingest_maintenance",
     "serving_throughput",
     "COMPETITOR_CONFIGS",
@@ -756,6 +757,113 @@ def _interleaved_update_stream(
         else:
             stream.append(("delete", int(victims[i // 2])))
     return stream
+
+
+def _measure_batch_qps(run, num_queries: int, repeats: int) -> float:
+    """Best-of-``repeats`` throughput of one whole-batch callable."""
+    best = float("inf")
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - begin)
+    return num_queries / best if best > 0 else 0.0
+
+
+def batch_kernels(
+    collection: Optional[IntervalCollection] = None,
+    *,
+    cardinality: int = 100_000,
+    num_queries: int = 400,
+    num_shards: int = 4,
+    backends: Sequence[str] = ("hintm",),
+    workers: Optional[int] = None,
+    extent_fraction: float = 0.02,
+    num_updates: int = 400,
+    repeats: int = 3,
+    seed: int = 7,
+) -> Dict[str, List[dict]]:
+    """Worker-side counting kernels vs the parent-side home-shard path.
+
+    Both contenders answer the same batched ``query_count`` workload over
+    the same K-shard index contents **with pending updates applied** (the
+    regime the kernels were built for): the parent-side rows run the
+    per-query home-shard sums in the calling process -- folding the ingest
+    journal there -- while the kernel rows fan ``count_batch`` tasks out to
+    the process pool, shipping each task the since-publication delta log so
+    the workers fold and bisect over *their* resident columns.  Answers
+    are asserted equal before timing; the kernel path is asserted to have
+    actually run (``count_ops["kernel_batch"]``), and its fan-out health
+    (delta depth, retries, disabled flag) rides along in the rows.
+
+    Returns ``{"count": [...]}`` row dicts (``path`` is ``"parent"`` or
+    ``"kernels"``; ``speedup`` is relative to the backend's parent row).
+    """
+    if collection is None:
+        collection = generate_real_like(
+            REAL_DATASET_PROFILES["TAXIS"], cardinality=cardinality, seed=seed
+        )
+    queries = _query_workload(collection, num_queries, extent_fraction, seed=seed)
+    if workers is None:
+        import os
+
+        workers = max(2, min(os.cpu_count() or 1, num_shards))
+    rows: List[dict] = []
+    for backend in backends:
+        processes = ProcessExecutor(workers)
+        parent = ShardedIndex(
+            collection, backend=backend, num_shards=num_shards, executor=SerialExecutor()
+        )
+        kernel = ShardedIndex(
+            collection, backend=backend, num_shards=num_shards, executor=processes
+        )
+        try:
+            for op, payload in _interleaved_update_stream(collection, num_updates, seed):
+                for index in (parent, kernel):
+                    if op == "insert":
+                        index.insert(payload)  # type: ignore[arg-type]
+                    else:
+                        index.delete(payload)  # type: ignore[arg-type]
+            # one untimed pass warms the pool: workers attach the snapshot,
+            # build their count columns and cache the delta fold
+            kernel.query_count_batch(queries)
+            expected = parent.query_count_batch(queries)
+            got = kernel.query_count_batch(queries)
+            if got != expected:  # explicit: must survive python -O
+                diverged = sum(1 for a, b in zip(got, expected) if a != b)
+                raise RuntimeError(
+                    f"kernel counts diverged from the parent path on "
+                    f"{diverged}/{len(queries)} queries ({backend})"
+                )
+            if not kernel.count_ops["kernel_batch"]:
+                raise RuntimeError("the counting-kernel path never ran")
+            parent_qps = _measure_batch_qps(
+                lambda: parent.query_count_batch(queries), len(queries), repeats
+            )
+            kernel_qps = _measure_batch_qps(
+                lambda: kernel.query_count_batch(queries), len(queries), repeats
+            )
+            state = kernel.maintenance_state()
+            for path, qps in (("parent", parent_qps), ("kernels", kernel_qps)):
+                rows.append(
+                    {
+                        "backend": backend,
+                        "num_shards": kernel.num_shards,
+                        "path": path,
+                        "workers": workers if path == "kernels" else 1,
+                        "throughput": qps,
+                        "speedup": qps / parent_qps if parent_qps else 0.0,
+                        "delta_ops": state["kernel_delta_depth"] if path == "kernels" else 0,
+                        "kernel_retries": state["kernel_retries"] if path == "kernels" else 0,
+                        "fanout_disabled": bool(state["fanout_disabled"])
+                        if path == "kernels"
+                        else False,
+                    }
+                )
+        finally:
+            parent.close()
+            kernel.close()
+            processes.close()
+    return {"count": rows}
 
 
 def ingest_maintenance(

@@ -60,6 +60,7 @@ from repro.datasets.io import load_intervals_csv, save_intervals_csv
 from repro.datasets.real_like import REAL_DATASET_PROFILES, generate_real_like
 from repro.datasets.synthetic import SyntheticConfig, generate_synthetic
 from repro.engine import IntervalStore, available_backends, backend_specs, get_spec
+from repro.engine._procworker import KERNEL_KINDS
 from repro.engine.executor import EXECUTOR_KINDS, available_cores
 from repro.engine.maintenance import MAINTENANCE_POLICIES, recommend_shard_count
 from repro.engine.replication import ROUTING_POLICIES
@@ -731,6 +732,11 @@ def _command_list_backends(args: argparse.Namespace) -> int:
     print("executors (--executor on query/batch/bench/maintain):")
     for name, blurb in EXECUTOR_KINDS:
         print(f"  {name:<10s} {blurb}")
+    print()
+    print("batch kernels (process executor; worker-resident, delta-shipped, "
+          "replica-aware retry + per-worker healing):")
+    for name, blurb in KERNEL_KINDS:
+        print(f"  {name:<12s} {blurb}")
     print()
     print("maintenance rebuild policies (repro maintain --policy, "
           "--maintenance on batch/bench):")

@@ -88,6 +88,8 @@ class QueryStats:
             "deltas_emitted",
             "deltas_coalesced",
             "catchup_resyncs",
+            "fanout_disabled",
+            "kernel_retries",
         }
     )
 
@@ -176,6 +178,19 @@ class IntervalIndex(abc.ABC):
     def query_exists(self, query: Query) -> bool:
         """True iff at least one interval overlaps ``query``."""
         return self.query_count(query) > 0
+
+    def query_count_batch(self, queries: Sequence[Query]) -> List[int]:
+        """Per-query overlap counts for a whole workload, in order.
+
+        The default evaluates :meth:`query_count` one by one; composite
+        indexes override with genuinely batched evaluation (the sharded
+        index fans counting kernels out to its worker pool).
+        """
+        return [self.query_count(query) for query in queries]
+
+    def query_exists_batch(self, queries: Sequence[Query]) -> List[bool]:
+        """Per-query existence probes for a whole workload, in order."""
+        return [self.query_exists(query) for query in queries]
 
     def query_batch(self, queries: Sequence[Query]) -> List[List[int]]:
         """Answer many range queries in one call.

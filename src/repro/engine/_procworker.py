@@ -2,17 +2,23 @@
 
 The sharded layer's process fan-out keeps the expensive state **resident in
 the workers**: each worker process attaches to the collection's
-shared-memory columns once, builds the shard indexes it is asked about once,
-and caches both for the lifetime of the pool.  A task is then just
+shared-memory columns once, builds the shard indexes *and* the per-shard
+sorted count columns it is asked about once, and caches everything for the
+lifetime of the pool.  A task is one :data:`KERNEL_KINDS` batch kernel
 
-    ``(spec, shard_id, positions, query_starts, query_ends)``
+    ``(spec, kind, shard_id, positions, a, b, modes, deltas)``
 
 where ``spec`` is a ~100-byte :class:`ShardResidencySpec` (a shared-memory
-handle plus the shard plan and backend configuration) and the three arrays
-describe the queries routed to that shard.  Results travel back as compact
-``int64`` id arrays -- no :class:`~repro.core.interval.Interval` objects,
-no index structures, no re-pickled collections ever cross the process
-boundary.
+handle plus the shard plan and backend configuration) and the arrays
+describe the queries routed to that shard.  ``ids_batch`` answers each
+routed query against the worker-built shard index; ``count_batch`` and
+``exists_batch`` run the home-shard counting bisections as *one vectorised
+pass* over the worker-resident sorted columns -- first folding any pending
+update ``deltas`` the parent shipped with the task, so counting kernels
+stay exact (and fan-out stays enabled) between snapshot publications.
+Results travel back as compact ``int64`` arrays -- no
+:class:`~repro.core.interval.Interval` objects, no index structures, no
+re-pickled collections ever cross the process boundary.
 
 Everything here is module-level so that it imports cleanly under the
 ``spawn`` start method (workers re-import this module instead of inheriting
@@ -21,20 +27,46 @@ the parent's memory).
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.interval import Query, SharedCollectionHandle, attach_shared_collection
 
-__all__ = ["ShardResidencySpec", "resident_tokens", "run_shard_task"]
+__all__ = [
+    "KERNEL_KINDS",
+    "MODE_ENDS_GE",
+    "MODE_OVERLAP",
+    "MODE_STARTS_IN",
+    "ShardResidencySpec",
+    "resident_summary",
+    "resident_tokens",
+    "run_kernel_task",
+    "run_shard_task",
+]
 
 #: worker-global cache of residencies, keyed by the owning index's token;
 #: bounded so a long-lived pool serving many stores cannot grow unboundedly
 _RESIDENTS: "OrderedDict[str, _Residency]" = OrderedDict()
 _MAX_RESIDENTS = 4
+
+#: ``(name, one-line description)`` of every batch kernel a worker executes,
+#: in the order the CLI help and ``list-backends`` present them
+KERNEL_KINDS: Tuple[Tuple[str, str], ...] = (
+    ("ids_batch", "per-query result ids from the worker-built shard index"),
+    ("count_batch", "home-shard counts: fold shipped deltas, then vectorised bisect"),
+    ("exists_batch", "count_batch clamped to 0/1 per shard contribution"),
+)
+
+#: counting-kernel modes, one per position of a count/exists task.  The
+#: parent assigns them from the query's shard plan (see the home-shard
+#: counting description in :mod:`repro.engine.sharded`):
+MODE_OVERLAP = 0  #: single-shard plan: ``count(start <= b) - count(end < a)``
+MODE_ENDS_GE = 1  #: first shard of a multi-shard plan: ``count(end >= a)``
+MODE_STARTS_IN = 2  #: later shard of a multi-shard plan: ``count(a <= start <= b)``
 
 
 @dataclass(frozen=True)
@@ -69,8 +101,32 @@ class ShardResidencySpec:
     generation: int = 0
 
 
+def _fold_column(
+    column: np.ndarray, adds: np.ndarray, removes: np.ndarray
+) -> np.ndarray:
+    """One sorted column with ``adds`` inserted and ``removes`` deleted.
+
+    The worker-side mirror of
+    :meth:`repro.engine.maintenance.CountColumns._fold_column` (adds before
+    removes, so a value inserted and deleted between publications cancels;
+    duplicate removes offset by their rank within the equal-value group).
+    No lock: each worker process is single-threaded.
+    """
+    if len(adds):
+        values = np.sort(adds)
+        column = np.insert(column, np.searchsorted(column, values), values)
+    if len(removes):
+        values = np.sort(removes)
+        first = np.searchsorted(column, values, side="left")
+        rank = np.arange(len(values)) - np.searchsorted(values, values, side="left")
+        column = np.delete(column, first + rank)
+    return column
+
+
 class _Residency:
-    """One index's worker-resident state: attached columns + cached shards."""
+    """One index's worker-resident state: attached columns, cached shard
+    indexes, and per-shard sorted count columns plus their pending-delta
+    folds (keyed by the delta sequence the parent shipped)."""
 
     def __init__(self, spec: ShardResidencySpec) -> None:
         self._collection, self._shm = attach_shared_collection(spec.handle)
@@ -78,30 +134,68 @@ class _Residency:
         self._backend = spec.backend
         self._opts = dict(spec.opts)
         self._shards: Dict[int, object] = {}
+        #: per-shard base count columns ``(sorted starts, sorted ends)``,
+        #: built once from the snapshot collection
+        self._columns: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        #: per-shard folded columns ``(delta_seq, starts, ends)`` -- the base
+        #: columns with the parent's since-publication deltas applied.  The
+        #: parent ships the *full* delta set each task, so one cached fold
+        #: per sequence number answers every task at that sequence.
+        self._folded: Dict[int, Tuple[int, np.ndarray, np.ndarray]] = {}
         self.uid = spec.uid
         self.generation = spec.generation
+
+    def _shard_piece(self, shard_id: int):
+        # local import keeps module import light for spawn start-up
+        from repro.engine.sharding import shard_mask
+
+        if len(self._cuts) == 0:
+            return self._collection
+        return self._collection.take(
+            shard_mask(self._collection, self._cuts, shard_id)
+        )
 
     def shard_index(self, shard_id: int):
         """Build (once) and return the backend index for one shard."""
         index = self._shards.get(shard_id)
         if index is None:
-            # local imports keep module import light for spawn start-up
             from repro.engine.registry import create_index
-            from repro.engine.sharding import shard_mask
 
-            piece = (
-                self._collection
-                if len(self._cuts) == 0
-                else self._collection.take(
-                    shard_mask(self._collection, self._cuts, shard_id)
-                )
-            )
-            index = create_index(self._backend, piece, **self._opts)
+            index = create_index(self._backend, self._shard_piece(shard_id), **self._opts)
             self._shards[shard_id] = index
         return index
 
+    def count_columns(
+        self, shard_id: int, deltas: Optional[Tuple]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One shard's sorted ``(starts, ends)`` with pending deltas folded.
+
+        ``deltas`` is ``None`` (clean snapshot) or
+        ``(seq, add_starts, add_ends, del_starts, del_ends)`` -- every
+        update the parent absorbed since publication, shipped with the
+        task.  The fold is cached per sequence number, so a burst of tasks
+        at the same delta depth folds once.
+        """
+        base = self._columns.get(shard_id)
+        if base is None:
+            piece = self._shard_piece(shard_id)
+            base = (np.sort(piece.starts), np.sort(piece.ends))
+            self._columns[shard_id] = base
+        if deltas is None:
+            return base
+        seq, add_starts, add_ends, del_starts, del_ends = deltas
+        cached = self._folded.get(shard_id)
+        if cached is not None and cached[0] == seq:
+            return cached[1], cached[2]
+        starts = _fold_column(base[0], add_starts, del_starts)
+        ends = _fold_column(base[1], add_ends, del_ends)
+        self._folded[shard_id] = (seq, starts, ends)
+        return starts, ends
+
     def close(self) -> None:
         self._shards.clear()
+        self._columns.clear()
+        self._folded.clear()
         self._collection = None
         if self._shm is not None:
             self._shm.close()
@@ -142,14 +236,25 @@ def resident_tokens(_: object = None) -> Tuple[str, ...]:
     return tuple(_RESIDENTS.keys())
 
 
+def resident_summary(_: object = None) -> Tuple[int, Tuple[str, ...]]:
+    """``(pid, resident tokens)`` of *this* worker process.
+
+    Like :func:`resident_tokens` but keyed by worker pid, so mapping it
+    over a pool yields a per-worker view of residency generations (the
+    ``/stats`` endpoint and ``maintenance_state`` surface it; repeats from
+    the same worker deduplicate on pid).
+    """
+    return os.getpid(), tuple(_RESIDENTS.keys())
+
+
 def run_shard_task(
     task: Tuple[ShardResidencySpec, int, np.ndarray, np.ndarray, np.ndarray],
 ) -> Tuple[int, np.ndarray, List[np.ndarray]]:
-    """Answer one shard's slice of a batch inside a worker process.
+    """Answer one shard's slice of a materialising batch inside a worker.
 
-    Args:
-        task: ``(spec, shard_id, positions, query_starts, query_ends)``;
-            ``positions`` are the batch positions of the routed queries.
+    The original (pre-kernel) task shape, kept as the ``ids_batch``
+    entry point: ``(spec, shard_id, positions, query_starts, query_ends)``;
+    ``positions`` are the batch positions of the routed queries.
 
     Returns:
         ``(shard_id, positions, id_arrays)`` with one compact ``int64``
@@ -162,3 +267,54 @@ def run_shard_task(
         for start, end in zip(query_starts, query_ends)
     ]
     return shard_id, positions, answers
+
+
+def run_kernel_task(task: Tuple) -> Tuple[int, np.ndarray, object]:
+    """Execute one batch kernel against this worker's resident shard state.
+
+    ``task`` is ``(spec, kind, shard_id, positions, a, b, modes, deltas)``:
+
+    * ``kind == "ids_batch"``: ``a``/``b`` are the query starts/ends;
+      ``modes``/``deltas`` are unused.  Returns per-query id arrays from
+      the worker-built shard index (requires a clean snapshot -- the
+      parent never routes a materialising batch here while dirty).
+    * ``kind == "count_batch"`` / ``"exists_batch"``: each position
+      carries a counting primitive (``modes``) and its bounds ``a``/``b``;
+      the kernel folds the shipped pending-update ``deltas`` into the
+      shard's sorted count columns (cached per delta sequence), then
+      answers every position with vectorised ``searchsorted`` bisections
+      -- one compact ``int64`` array back, no per-query Python.
+      ``exists_batch`` clamps each per-shard contribution to 0/1 (the
+      parent ORs contributions across shards).
+
+    Returns ``(shard_id, positions, answers)``.
+    """
+    spec, kind, shard_id, positions, a, b, modes, deltas = task
+    residency = _residency_for(spec)
+    if kind == "ids_batch":
+        index = residency.shard_index(shard_id)
+        answers = [
+            np.asarray(index.query(Query(int(start), int(end))), dtype=np.int64)
+            for start, end in zip(a, b)
+        ]
+        return shard_id, positions, answers
+    if kind not in ("count_batch", "exists_batch"):
+        raise ValueError(f"unknown kernel kind {kind!r}")
+    starts, ends = residency.count_columns(shard_id, deltas)
+    counts = np.zeros(len(positions), dtype=np.int64)
+    mask = modes == MODE_OVERLAP
+    if mask.any():
+        counts[mask] = np.searchsorted(starts, b[mask], side="right") - np.searchsorted(
+            ends, a[mask], side="left"
+        )
+    mask = modes == MODE_ENDS_GE
+    if mask.any():
+        counts[mask] = len(ends) - np.searchsorted(ends, a[mask], side="left")
+    mask = modes == MODE_STARTS_IN
+    if mask.any():
+        counts[mask] = np.searchsorted(starts, b[mask], side="right") - np.searchsorted(
+            starts, a[mask], side="left"
+        )
+    if kind == "exists_batch":
+        counts = (counts > 0).astype(np.int64)
+    return shard_id, positions, counts

@@ -29,7 +29,7 @@ __all__ = ["BatchResult", "execute_batch"]
 
 def _count_chunk(index: IntervalIndex, chunk: List[Query]) -> List[int]:
     """Per-worker count evaluation; module-level so process pools can pickle it."""
-    return [index.query_count(query) for query in chunk]
+    return index.query_count_batch(chunk)
 
 
 @dataclass
@@ -94,7 +94,9 @@ def execute_batch(
             counted = executor.map(functools.partial(_count_chunk, index), chunks)
             counts = [count for chunk in counted for count in chunk]
         else:
-            counts = [index.query_count(query) for query in workload]
+            # the batched hook, not a per-query loop: composite indexes
+            # (sharded) answer it with worker-resident counting kernels
+            counts = index.query_count_batch(workload)
     else:
         if parallel:
             chunks = split_chunks(workload, executor.workers)

@@ -30,6 +30,7 @@ from __future__ import annotations
 import abc
 import multiprocessing
 import os
+from concurrent.futures import Future
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from concurrent.futures import ThreadPoolExecutor as _ThreadPool
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar, Union
@@ -110,6 +111,35 @@ class Executor(abc.ABC):
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         """Apply ``fn`` to every item, preserving order."""
 
+    def submit(self, fn: Callable[[T], R], item: T) -> "Future[R]":
+        """Schedule one task and return its future.
+
+        The per-task entry point the sharded layer's kernel dispatcher
+        drives: unlike :meth:`map`, a failed task surfaces on *its own*
+        future, so the dispatcher can retry or fail over individual tasks
+        instead of losing the whole batch.  The default runs inline and
+        returns an already-completed future; pooled executors submit to
+        their pool.
+        """
+        future: "Future[R]" = Future()
+        try:
+            future.set_result(fn(item))
+        except BaseException as exc:  # the future carries it, mirroring pools
+            future.set_exception(exc)
+        return future
+
+    def respawn(self) -> None:
+        """Drop pooled workers so the next use starts fresh ones (idempotent).
+
+        The per-worker healing hook: after a worker process dies (killed,
+        OOM, broken pipe) the pool is unusable, but the *executor* is not --
+        respawning discards the broken pool and the next ``map``/``submit``
+        lazily brings up fresh workers, which rebuild their resident state
+        on demand.  The default simply delegates to :meth:`close` (pools
+        here are created lazily, so a closed executor respawns on use).
+        """
+        self.close()
+
     def close(self) -> None:
         """Release any pooled resources (idempotent)."""
 
@@ -161,6 +191,15 @@ class ThreadedExecutor(Executor):
                 max_workers=self._workers, thread_name_prefix="repro-exec"
             )
         return list(self._pool.map(fn, work))
+
+    def submit(self, fn: Callable[[T], R], item: T) -> "Future[R]":
+        if self._workers == 1:
+            return super().submit(fn, item)
+        if self._pool is None:
+            self._pool = _ThreadPool(
+                max_workers=self._workers, thread_name_prefix="repro-exec"
+            )
+        return self._pool.submit(fn, item)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -218,11 +257,26 @@ class ProcessExecutor(Executor):
         work = list(items)
         if self._workers == 1 or len(work) <= 1:
             return [fn(item) for item in work]
+        return list(self._ensure_pool().map(fn, work))
+
+    def submit(self, fn: Callable[[T], R], item: T) -> "Future[R]":
+        """Submit one task to the pool (inline only in the 1-worker case).
+
+        Unlike :meth:`map`'s trivial-work path, a lone submitted task still
+        goes to the pool: kernel tasks must run *in a worker* (that is
+        where the resident shard state lives), never build duplicate
+        residencies in the parent.
+        """
+        if self._workers == 1:
+            return super().submit(fn, item)
+        return self._ensure_pool().submit(fn, item)
+
+    def _ensure_pool(self) -> _ProcessPool:
         if self._pool is None:
             self._pool = _ProcessPool(
                 max_workers=self._workers, mp_context=self._context
             )
-        return list(self._pool.map(fn, work))
+        return self._pool
 
     def close(self) -> None:
         if self._pool is not None:

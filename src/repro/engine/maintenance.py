@@ -19,7 +19,13 @@ This module is the missing layer.  Four pieces compose:
   *lazily*, on the next multi-shard count or an explicit
   :meth:`IngestJournal.fold` -- one vectorised merge instead of one
   reallocation per operation.  ``eager=True`` keeps the old
-  per-op-``np.insert`` behaviour for comparison benchmarks.
+  per-op-``np.insert`` behaviour for comparison benchmarks.  Fold
+  ownership is split by execution path: these parent-side columns serve
+  the in-process counting path, while batched counts over a process
+  executor fold *in the workers* -- each counting kernel ships the
+  since-publication delta log and :func:`repro.engine._procworker._fold_column`
+  (the worker-side mirror of :meth:`CountColumns._fold_column`) applies it
+  to the worker-resident columns, cached per delta sequence.
 * :class:`RebuildPolicy` implementations -- **when** a hybrid shard's delta
   is merged back into its main index: :class:`ThresholdRebuildPolicy`
   (the paper's delta-fraction rule, per shard) and
@@ -606,6 +612,10 @@ class MaintenanceReport:
         skew: measured shard-size skew (max/mean) before the pass.
         snapshot_refreshed: True when a new shared-memory snapshot was
             published (process fan-out restored).
+        kernel_deltas_cleared: pending-update delta ops the counting
+            kernels were shipping per task, retired by this pass's
+            snapshot publication (the fresh snapshot folds them in, so
+            the per-task delta log restarts empty).
         generation: snapshot residency-token generation after the pass.
         seconds: wall-clock duration of the pass.
     """
@@ -617,6 +627,7 @@ class MaintenanceReport:
     cuts: Tuple[int, ...] = ()
     skew: float = 0.0
     snapshot_refreshed: bool = False
+    kernel_deltas_cleared: int = 0
     generation: int = 0
     seconds: float = 0.0
 
@@ -641,7 +652,10 @@ class MaintenanceReport:
         if self.repartitioned:
             parts.append(f"re-partitioned (skew {self.skew:.2f}, cuts {list(self.cuts)})")
         if self.snapshot_refreshed:
-            parts.append(f"snapshot refreshed (generation {self.generation})")
+            refreshed = f"snapshot refreshed (generation {self.generation}"
+            if self.kernel_deltas_cleared:
+                refreshed += f", retired {self.kernel_deltas_cleared} kernel delta ops"
+            parts.append(refreshed + ")")
         if len(parts) == 1 and not self.folded_ops:
             parts = ["nothing to do"]
         return "; ".join(parts) + f" in {self.seconds * 1000:.1f}ms"
@@ -927,10 +941,21 @@ class MaintenanceCoordinator:
                     self._last_rebuild[health.shard_id] = time.time()
                     report.rebuilt_shards.append(health.shard_id)
         report.cuts = tuple(index.plan.cuts)
-        # snapshot refresh: restore process fan-out after updates
+        # snapshot refresh: restore the materialising process fan-out after
+        # updates.  Counting kernels never waited for this pass -- they ship
+        # the per-shard delta log with each task and fold it worker-side --
+        # so the refresh *retires* that log (the fresh snapshot includes
+        # every logged op) rather than re-enabling anything for them.
         if config.refresh_snapshot and not report.repartitioned:
             if index.update_dirty or force:
+                pending_kernel_ops = (
+                    index.kernel_delta_depth()
+                    if hasattr(index, "kernel_delta_depth")
+                    else 0
+                )
                 report.snapshot_refreshed = index.refresh_snapshot()
+                if report.snapshot_refreshed:
+                    report.kernel_deltas_cleared = pending_kernel_ops
         elif report.repartitioned:
             # repartition republishes internally (process executors on
             # shared-memory platforms); a live snapshot after the install

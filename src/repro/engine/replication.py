@@ -246,6 +246,43 @@ class ShardReplicaSet:
             if self._inflight[replica_id] > 0:
                 self._inflight[replica_id] -= 1
 
+    def probe(
+        self,
+        op: Callable[[IntervalIndex], object],
+        on_failure: Optional[Callable[[int, Exception], None]] = None,
+        semantic: Tuple[type, ...] = (),
+    ) -> object:
+        """Run ``op`` against one healthy replica, with transparent failover.
+
+        The unreplicated case (R == 1) is a straight call with no routing
+        bookkeeping -- exactly the pre-replication hot path.  With R > 1
+        the probe routes per the set's policy; a replica that raises is
+        marked failed (``on_failure(replica_id, exc)`` lets the owner
+        record it for maintenance to rebuild) and the probe retries
+        transparently on the next healthy replica, re-raising only once
+        none remains.  Exception types listed in ``semantic`` are the
+        query's fault, not the replica's: they propagate without touching
+        health.  This is the single failover loop shared by the sharded
+        index's in-process probes and the kernel dispatcher's task
+        fallback path.
+        """
+        if self.factor == 1:
+            return op(self.primary())
+        while True:
+            replica_id, index = self.acquire()
+            try:
+                return op(index)
+            except semantic:
+                raise
+            except Exception as exc:
+                survivors = self.mark_failed(replica_id)
+                if on_failure is not None:
+                    on_failure(replica_id, exc)
+                if not survivors:
+                    raise
+            finally:
+                self.release(replica_id)
+
     def _select_locked(self) -> int:
         healthy = [r for r, ok in enumerate(self._healthy) if ok]
         if not healthy:

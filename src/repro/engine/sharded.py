@@ -37,18 +37,26 @@ new one, both complete.  In-place updates (insert/delete) mutate the current
 epoch under the maintenance lock; a reader pinned to that epoch sees them
 with the usual single-object update visibility, exactly as before.
 
-**Process fan-out.**  With a :class:`~repro.engine.executor.ProcessExecutor`
-the shard indexes live *inside the worker processes*
+**Process fan-out: batch kernels.**  With a
+:class:`~repro.engine.executor.ProcessExecutor` the shard indexes *and* the
+per-shard sorted count columns live inside the worker processes
 (:mod:`repro.engine._procworker`): the collection's columns are published
 once through ``multiprocessing.shared_memory``, each worker attaches and
-builds the shards it is asked about on first use, and per-task payloads are
-just ``(shard_id, query arrays)`` -- results return as compact id arrays.
-This sidesteps the GIL for pure-Python backends (the HINT^m family) where
-the thread pool cannot.  Updates invalidate the published snapshot, so an
-updated index transparently falls back to in-process execution -- as does a
-batch whose worker pool dies mid-flight (the error is recorded as a replica
-failure and fan-out stays disabled until the next snapshot refresh heals
-it).
+builds the state it is asked about on first use, and per-task payloads are
+one batch kernel -- ``ids_batch`` (per-query id arrays from the
+worker-built shard index), or ``count_batch``/``exists_batch`` (home-shard
+counting as vectorised bisections over the worker-resident columns).  This
+sidesteps the GIL for pure-Python backends (the HINT^m family) where the
+thread pool cannot, and it moves the per-query counting Python *and* the
+journal folds out of the parent: counting kernels ship the pending update
+deltas accumulated since the last snapshot publication with each task, so
+an update-dirty index keeps its counting fan-out (materialising batches
+still fall back in-process until :meth:`ShardedIndex.refresh_snapshot`).
+Task routing is replica-aware: a kernel task that fails is retried against
+a respawned pool (fresh workers re-attach the snapshot and rebuild their
+residencies -- per-worker healing), and only when every worker path is
+exhausted does the task fall back to the epoch's in-process replica sets
+and the index-wide fan-out flag trip until the next refresh.
 
 **Home-shard counting.**  Boundary-spanning intervals are duplicated, so a
 multi-shard count used to materialise ids and deduplicate.  Instead, the
@@ -102,7 +110,14 @@ from repro.core.interval import (
     Query,
     SharedCollectionBuffer,
 )
-from repro.engine._procworker import ShardResidencySpec, run_shard_task
+from repro.engine._procworker import (
+    MODE_ENDS_GE,
+    MODE_OVERLAP,
+    MODE_STARTS_IN,
+    ShardResidencySpec,
+    resident_summary,
+    run_kernel_task,
+)
 from repro.engine.batch import BatchResult, execute_batch
 from repro.engine.executor import (
     Executor,
@@ -124,6 +139,11 @@ _TOKENS = itertools.count()
 
 #: how many replica/worker failures the index keeps for diagnostics
 _FAILURE_HISTORY = 64
+
+#: per-shard cap on the pending-update delta log shipped with counting
+#: kernels; past it the log is dropped and counting batches run the parent
+#: path until the next snapshot publication (which folds everything anyway)
+_KERNEL_DELTA_CAP = 4096
 
 
 class Epoch:
@@ -285,8 +305,23 @@ class ShardedIndex(IntervalIndex):
         #: by construction (see :mod:`repro.serve.cache`)
         self._mutations = 0
         #: worker-pool failures disable process fan-out until the next
-        #: snapshot refresh replaces the pool's resident state
+        #: snapshot refresh replaces the pool's resident state -- but only
+        #: after per-worker healing (respawn + retry) is exhausted
         self._fanout_disabled = False
+        #: kernel tasks that failed once and were retried against a healed
+        #: pool (cumulative; surfaced in stats extras and /stats)
+        self.kernel_retries = 0
+        #: per-shard pending-update delta log since the last snapshot
+        #: publication, shipped with counting kernels so updates do not
+        #: disable the counting fan-out.  ``None`` when no snapshot is
+        #: published or the log overflowed ``_KERNEL_DELTA_CAP``; else a
+        #: list of ``(add_starts, add_ends, del_starts, del_ends)`` plain
+        #: Python lists, one per shard.  Appended under the maintenance
+        #: lock; read lock-free via consistent prefixes (appends are
+        #: atomic under the GIL and starts are appended before ends).
+        self._kernel_deltas: Optional[
+            List[Tuple[List[int], List[int], List[int], List[int]]]
+        ] = None
         #: most recent replica/worker failures (shard_id -1 = worker pool)
         self._failures: Deque[ReplicaFailure] = deque(maxlen=_FAILURE_HISTORY)
         #: :func:`time.time` of the last snapshot publication, ``None``
@@ -301,7 +336,11 @@ class ShardedIndex(IntervalIndex):
         #: how ``query_count`` answered: backend fast path vs home-shard
         #: sums.  A diagnostic, not a synchronised counter -- increments can
         #: be lost when counts fan out across a thread pool.
-        self.count_ops: Dict[str, int] = {"single_shard": 0, "home_shard": 0}
+        self.count_ops: Dict[str, int] = {
+            "single_shard": 0,
+            "home_shard": 0,
+            "kernel_batch": 0,
+        }
         #: extra gauges merged into every instrumented query's stats; the
         #: query server mirrors its cache counters here so
         #: ``store.query(...).stats()`` surfaces serving state too
@@ -448,6 +487,13 @@ class ShardedIndex(IntervalIndex):
         self._residency = None
         self._dirty = False
         self._fanout_disabled = False  # a fresh pool/snapshot heals dead workers
+        # the snapshot now reflects every committed update: restart the
+        # delta log counting kernels ship with their tasks
+        self._kernel_deltas = (
+            [([], [], [], []) for _ in range(self._epoch.plan.num_shards)]
+            if self._shared is not None
+            else None
+        )
         if old is not None:
             old.unlink()
 
@@ -803,6 +849,9 @@ class ShardedIndex(IntervalIndex):
             "update_dirty": self._dirty,
             "updates_since_partition": self.updates_since_partition,
             "last_refresh": self.last_refresh,
+            "fanout_disabled": self._fanout_disabled,
+            "kernel_retries": self.kernel_retries,
+            "kernel_delta_depth": self.kernel_delta_depth(),
         }
 
     # ------------------------------------------------------------------ #
@@ -823,6 +872,7 @@ class ShardedIndex(IntervalIndex):
                 self._shared.unlink()
                 self._shared = None
                 self._residency = None
+            self._kernel_deltas = None
 
     def __enter__(self) -> "ShardedIndex":
         return self
@@ -854,27 +904,16 @@ class ShardedIndex(IntervalIndex):
         probe retries transparently on the next healthy replica.  Semantic
         errors (:class:`repro.core.errors.ReproError`) are the query's
         fault, not the replica's: they propagate without touching health.
+        The loop itself lives on :meth:`ShardReplicaSet.probe`, where the
+        kernel dispatcher's task-fallback path shares it.
         """
-        replica_set = epoch.replica_sets[shard_id]
-        if replica_set.factor == 1:
-            return op(replica_set.primary())
-        while True:
-            replica_id, index = replica_set.acquire()
-            try:
-                return op(index)
-            except ReproError:
-                raise
-            except Exception as exc:
-                survivors = replica_set.mark_failed(replica_id)
-                self._failures.append(
-                    ReplicaFailure(
-                        shard_id, replica_id, f"{type(exc).__name__}: {exc}"
-                    )
-                )
-                if not survivors:
-                    raise
-            finally:
-                replica_set.release(replica_id)
+        return epoch.replica_sets[shard_id].probe(
+            op,
+            on_failure=lambda replica_id, exc: self._failures.append(
+                ReplicaFailure(shard_id, replica_id, f"{type(exc).__name__}: {exc}")
+            ),
+            semantic=(ReproError,),
+        )
 
     def query(self, query: Query) -> List[int]:
         self._touch()
@@ -891,7 +930,9 @@ class ShardedIndex(IntervalIndex):
 
     def query_count(self, query: Query) -> int:
         self._touch()
-        epoch = self._epoch
+        return self._query_count_epoch(self._epoch, query)
+
+    def _query_count_epoch(self, epoch: Epoch, query: Query) -> int:
         first, last = epoch.plan.shard_range(query.start, query.end)
         if first == last:
             # single-shard plans keep the backend's counting fast path
@@ -910,29 +951,66 @@ class ShardedIndex(IntervalIndex):
             total += epoch.journal.count_starts_in(shard, cuts[shard - 1], query.end)
         return total
 
+    def query_count_batch(self, queries: Sequence[Query]) -> List[int]:
+        """Batched counts; rides worker kernels when process fan-out is up.
+
+        Counting kernels ship the pending-update delta log with each task,
+        so -- unlike materialising batches -- an update-dirty index keeps
+        its fan-out.  Any kernel path failure degrades per (query, shard)
+        to the in-process home-shard path, never to a wrong answer.
+        """
+        workload = list(queries)
+        self._touch(len(workload))
+        epoch = self._epoch
+        if len(workload) > 1 and self._process_fanout_ready(counting=True):
+            counts = self._count_batch_processes(epoch, workload, exists=False)
+            if counts is not None:
+                return counts
+        return [self._query_count_epoch(epoch, query) for query in workload]
+
     def query_exists(self, query: Query) -> bool:
         self._touch()
-        epoch = self._epoch
+        return self._query_exists_epoch(self._epoch, query)
+
+    def _query_exists_epoch(self, epoch: Epoch, query: Query) -> bool:
         first, last = epoch.plan.shard_range(query.start, query.end)
         return any(
             self._probe(epoch, shard, lambda index: index.query_exists(query))
             for shard in range(first, last + 1)
         )
 
-    def _process_fanout_ready(self) -> bool:
+    def query_exists_batch(self, queries: Sequence[Query]) -> List[bool]:
+        """Batched existence probes over the same kernel path as counts."""
+        workload = list(queries)
+        self._touch(len(workload))
+        epoch = self._epoch
+        if len(workload) > 1 and self._process_fanout_ready(counting=True):
+            answers = self._count_batch_processes(epoch, workload, exists=True)
+            if answers is not None:
+                return answers
+        return [self._query_exists_epoch(epoch, query) for query in workload]
+
+    def _process_fanout_ready(self, counting: bool = False) -> bool:
         """True while worker-resident batches are sound.
 
         Requires a process executor with real parallelism, a live
         shared-memory snapshot to hand to workers (absent on platforms
         without ``multiprocessing.shared_memory``, and gone once
         :meth:`close` unlinked it -- collections are never re-pickled per
-        task), no updates since publication (worker-resident shards would
-        be stale), and no unhealed worker-pool failure.
+        task), and no unhealed worker-pool failure (healing is per-worker:
+        the flag only trips once respawn-and-retry is exhausted).
+
+        Materialising (``ids_batch``) fan-out additionally needs a clean
+        snapshot -- worker-resident shard *indexes* would be stale after an
+        update.  Counting kernels do not: they ship the since-publication
+        delta log with each task and fold it worker-side, so ``counting``
+        batches stay fanned out while dirty (until the log overflows
+        ``_KERNEL_DELTA_CAP``, which :meth:`_kernel_snapshot` detects).
         """
         return (
             isinstance(self._executor, ProcessExecutor)
             and self._executor.workers > 1
-            and not self._dirty
+            and (counting or not self._dirty)
             and not self._fanout_disabled
             and self._shared is not None
         )
@@ -996,19 +1074,129 @@ class ShardedIndex(IntervalIndex):
             self._residency = spec
         return spec
 
+    def _kernel_snapshot(
+        self, epoch: Epoch
+    ) -> Optional[Tuple[ShardResidencySpec, List[Optional[Tuple]]]]:
+        """Consistent (residency spec, per-shard shipped deltas) pair, or None.
+
+        The delta log is appended lock-free relative to readers (updates
+        hold the maintenance lock, batches do not), so this takes a
+        seqlock-style snapshot: read the generation, assemble consistent
+        list prefixes (``min(len(starts), len(ends))`` -- starts append
+        before ends, so the shorter side is always a committed pair), then
+        re-check that neither a publication nor a log drop raced the read.
+        Returns ``None`` when counting kernels cannot run soundly: no log
+        (overflowed past ``_KERNEL_DELTA_CAP``, or snapshot gone), a
+        repartition racing the pinned epoch, or three straight torn reads.
+        """
+        for _ in range(3):
+            generation = self._generation
+            log = self._kernel_deltas
+            if (
+                log is None
+                or epoch is not self._epoch
+                or self._fanout_disabled
+                or self._shared is None
+                or len(log) != epoch.plan.num_shards
+            ):
+                return None
+            shipped: List[Optional[Tuple]] = []
+            for add_starts, add_ends, del_starts, del_ends in log:
+                added = min(len(add_starts), len(add_ends))
+                removed = min(len(del_starts), len(del_ends))
+                if added + removed == 0:
+                    shipped.append(None)
+                else:
+                    shipped.append(
+                        (
+                            added + removed,  # the worker's fold-cache key
+                            np.asarray(add_starts[:added], dtype=np.int64),
+                            np.asarray(add_ends[:added], dtype=np.int64),
+                            np.asarray(del_starts[:removed], dtype=np.int64),
+                            np.asarray(del_ends[:removed], dtype=np.int64),
+                        )
+                    )
+            try:
+                spec = self._residency_spec(epoch)
+            except AttributeError:  # lost the race with close() unlinking
+                return None
+            if (
+                spec.generation == generation
+                and self._generation == generation
+                and self._kernel_deltas is log
+            ):
+                return spec, shipped
+        return None
+
+    def _dispatch_kernel_tasks(
+        self, tasks: List[Tuple]
+    ) -> Tuple[List[Optional[Tuple]], List[int]]:
+        """Run kernel tasks on the worker pool with per-worker healing.
+
+        Returns ``(results, failed)``: per-task results positionally
+        aligned with ``tasks`` (``None`` where a task failed), plus the
+        indices of tasks no worker path could answer.  A first failure
+        round records the error, respawns the pool (fresh workers
+        re-attach the shared snapshot and rebuild their residencies on
+        first use) and resubmits only the failed tasks; the index-wide
+        fan-out flag trips only when the retry round fails too.  Respawn
+        is safe for shared executors: a broken process pool is unusable
+        for *every* index sharing it, and pools recreate lazily on next
+        use, so churning it heals all of them.  Callers answer the
+        still-failed tasks against the epoch's in-process replica sets,
+        so a mid-batch worker kill degrades per worker, never to a wrong
+        or missing answer.
+        """
+        results: List[Optional[Tuple]] = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        for attempt in (0, 1):
+            failed: List[int] = []
+            error: Optional[str] = None
+            try:
+                futures = [
+                    (index, self._executor.submit(run_kernel_task, tasks[index]))
+                    for index in pending
+                ]
+            except ReproError:
+                raise
+            except Exception as exc:  # pool already broken at submit time
+                failed = list(pending)
+                error = f"{type(exc).__name__}: {exc}"
+            else:
+                for index, future in futures:
+                    try:
+                        results[index] = future.result()
+                    except ReproError:
+                        raise
+                    except Exception as exc:
+                        failed.append(index)
+                        if error is None:
+                            error = f"{type(exc).__name__}: {exc}"
+            if not failed:
+                return results, []
+            self._failures.append(
+                ReplicaFailure(-1, -1, error or "worker kernel task failed")
+            )
+            pending = failed
+            if attempt == 0:
+                self.kernel_retries += len(failed)
+                self._executor.respawn()
+        self._fanout_disabled = True
+        return results, pending
+
     def _query_batch_processes(
         self, epoch: Epoch, workload: List[Query]
     ) -> List[List[int]]:
-        """Fan a batch out to worker-resident shards.
+        """Fan a materialising batch out as ``ids_batch`` kernel tasks.
 
         Queries are grouped by the shard they overlap; each task ships only
-        ``(spec, shard_id, positions, starts, ends)`` and returns compact id
-        arrays.  Multi-shard answers are merged (in domain order, for
-        determinism) and deduplicated in the parent.  A worker pool dying
-        mid-batch (killed replica process, broken pipe) fails over to
-        in-process execution against the epoch's replica sets: the batch
-        still answers, the failure is recorded, and fan-out stays disabled
-        until the next snapshot refresh brings a fresh pool up.
+        ``(spec, "ids_batch", shard_id, positions, starts, ends, None,
+        None)`` and returns compact id arrays.  Multi-shard answers are
+        merged with one ``np.concatenate`` + ``np.unique`` per query and
+        converted to Python ints once at the edge.  Tasks that exhaust
+        every worker path (see :meth:`_dispatch_kernel_tasks`) fall back
+        per (query, shard) to the epoch's in-process replica sets: the
+        batch still answers, degraded only where the pool failed.
         """
         starts = np.fromiter((q.start for q in workload), dtype=np.int64, count=len(workload))
         ends = np.fromiter((q.end for q in workload), dtype=np.int64, count=len(workload))
@@ -1019,47 +1207,199 @@ class ShardedIndex(IntervalIndex):
                 per_shard.setdefault(shard, []).append(position)
         spec = self._residency_spec(epoch)
         # split each shard's slice so there is work for every pool worker
-        # even when K < workers
+        # even when K < workers -- a batch confined to one shard still fans
+        # its queries out instead of serialising in the parent
         slices_per_shard = max(1, -(-self._executor.workers // max(1, len(per_shard))))
-        tasks = []
+        tasks: List[Tuple] = []
         for shard, positions in sorted(per_shard.items()):
             pos = np.asarray(positions, dtype=np.int64)
             for piece in np.array_split(pos, min(slices_per_shard, len(pos))):
                 if len(piece):
-                    tasks.append((spec, shard, piece, starts[piece], ends[piece]))
-        if len(tasks) <= 1:
-            # a lone task would run inline in the parent (ProcessExecutor's
-            # trivial-work path), building a duplicate worker residency
-            # there; the local shards answer it with no transport at all
+                    tasks.append(
+                        (spec, "ids_batch", shard, piece, starts[piece], ends[piece], None, None)
+                    )
+        if len(tasks) <= 1 and len(workload) <= 1:
+            # a lone single-shard query is not worth a pool round trip; the
+            # local shards answer it with no transport at all.  A lone task
+            # holding *several* queries (a batch confined to one shard) was
+            # already split above, and a surviving lone task still runs in a
+            # worker -- ProcessExecutor.submit never inlines pooled work
             return [self._query_epoch(epoch, query) for query in workload]
-        try:
-            mapped = self._executor.map(run_shard_task, tasks)
-        except ReproError:
-            raise
-        except Exception as exc:
-            # worker/residency failover: a broken pool never recovers on its
-            # own, so close it (when owned -- the next parallel use respawns
-            # it lazily), disable fan-out until a snapshot refresh, and
-            # answer this batch in-process
-            self._failures.append(
-                ReplicaFailure(-1, -1, f"{type(exc).__name__}: {exc}")
-            )
-            self._fanout_disabled = True
-            if self._owns_executor:
-                self._executor.close()
-            return [self._query_epoch(epoch, query) for query in workload]
+        mapped, failed = self._dispatch_kernel_tasks(tasks)
         per_query: List[List[Tuple[int, np.ndarray]]] = [[] for _ in workload]
-        for shard, positions, answers in mapped:
+        for result in mapped:
+            if result is None:
+                continue
+            shard, positions, answers = result
             for position, ids in zip(positions, answers):
                 per_query[int(position)].append((shard, ids))
+        for task_index in failed:
+            # every worker path was exhausted for this slice: answer its
+            # (query, shard) pairs against the epoch's replica sets, which
+            # keep their own failover
+            _, _, shard, positions, piece_starts, piece_ends, _, _ = tasks[task_index]
+            for position, q_start, q_end in zip(positions, piece_starts, piece_ends):
+                probe = Query(int(q_start), int(q_end))
+                ids = self._probe(epoch, shard, lambda index: index.query(probe))
+                per_query[int(position)].append(
+                    (shard, np.asarray(ids, dtype=np.int64))
+                )
         results: List[List[int]] = []
         for parts in per_query:
             if len(parts) == 1:
                 results.append(parts[0][1].tolist())
             else:
-                parts.sort(key=lambda item: item[0])
-                results.append(merge_unique_ids(ids.tolist() for _, ids in parts))
+                merged = np.unique(np.concatenate([ids for _, ids in parts]))
+                results.append(merged.tolist())
         return results
+
+    def _count_batch_processes(
+        self, epoch: Epoch, workload: List[Query], exists: bool
+    ) -> Optional[List[int]]:
+        """Fan batched counts/exists out as worker-resident counting kernels.
+
+        The batch is planned with one vectorised pass: queries are grouped
+        per shard into home-shard *modes* -- a single-shard query probes
+        its only shard with ``MODE_OVERLAP`` (exact ``starts<=end`` minus
+        ``ends<start`` bisection), a multi-shard query probes its first
+        shard with ``MODE_ENDS_GE`` and every later shard with
+        ``MODE_STARTS_IN`` from that shard's cut -- so every duplicated
+        copy is counted exactly once, in the first shard it is at home in.
+        Each shard group is split across the pool and shipped with the
+        shard's pending-update deltas; workers fold the deltas into cached
+        columns and answer with one ``int64`` count vector per task, which
+        the parent merges by position with ``np.bincount``.  Failed tasks
+        (after per-worker healing) degrade per query to the in-process
+        path.  Returns ``None`` when no sound kernel snapshot exists --
+        the caller runs the parent-side path.
+        """
+        snapshot = self._kernel_snapshot(epoch)
+        if snapshot is None:
+            return None
+        spec, deltas = snapshot
+        total_queries = len(workload)
+        q_starts = np.fromiter(
+            (q.start for q in workload), dtype=np.int64, count=total_queries
+        )
+        q_ends = np.fromiter(
+            (q.end for q in workload), dtype=np.int64, count=total_queries
+        )
+        cuts = np.asarray(epoch.plan.cuts, dtype=np.int64)
+        first = np.searchsorted(cuts, q_starts, side="right")
+        last = np.searchsorted(cuts, q_ends, side="right")
+        single = first == last
+        positions = np.arange(total_queries, dtype=np.int64)
+        groups: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        for shard in range(epoch.plan.num_shards):
+            parts_pos, parts_a, parts_b, parts_m = [], [], [], []
+            mask = single & (first == shard)
+            if mask.any():
+                parts_pos.append(positions[mask])
+                parts_a.append(q_starts[mask])
+                parts_b.append(q_ends[mask])
+                parts_m.append(np.full(int(mask.sum()), MODE_OVERLAP, dtype=np.uint8))
+            mask = ~single & (first == shard)
+            if mask.any():
+                parts_pos.append(positions[mask])
+                parts_a.append(q_starts[mask])
+                parts_b.append(q_ends[mask])
+                parts_m.append(np.full(int(mask.sum()), MODE_ENDS_GE, dtype=np.uint8))
+            if shard > 0:
+                mask = (first < shard) & (last >= shard)
+                if mask.any():
+                    parts_pos.append(positions[mask])
+                    parts_a.append(
+                        np.full(int(mask.sum()), cuts[shard - 1], dtype=np.int64)
+                    )
+                    parts_b.append(q_ends[mask])
+                    parts_m.append(
+                        np.full(int(mask.sum()), MODE_STARTS_IN, dtype=np.uint8)
+                    )
+            if parts_pos:
+                groups.append(
+                    (
+                        shard,
+                        np.concatenate(parts_pos),
+                        np.concatenate(parts_a),
+                        np.concatenate(parts_b),
+                        np.concatenate(parts_m),
+                    )
+                )
+        if not groups:
+            return None
+        kind = "exists_batch" if exists else "count_batch"
+        slices_per_shard = max(1, -(-self._executor.workers // len(groups)))
+        tasks: List[Tuple] = []
+        for shard, pos, lo, hi, modes in groups:
+            for piece in np.array_split(
+                np.arange(len(pos)), min(slices_per_shard, len(pos))
+            ):
+                if len(piece):
+                    tasks.append(
+                        (
+                            spec,
+                            kind,
+                            shard,
+                            pos[piece],
+                            lo[piece],
+                            hi[piece],
+                            modes[piece],
+                            deltas[shard],
+                        )
+                    )
+        mapped, failed = self._dispatch_kernel_tasks(tasks)
+        totals = np.zeros(total_queries, dtype=np.int64)
+        for result in mapped:
+            if result is None:
+                continue
+            _, pos, counts = result
+            totals[pos] += counts
+        degraded: set = set()
+        for task_index in failed:
+            degraded.update(int(p) for p in tasks[task_index][3])
+        for position in degraded:
+            # partial per-shard contributions are discarded: the serial
+            # answer below is whole-query, so overwrite, never add
+            query = workload[position]
+            if exists:
+                totals[position] = 1 if self._query_exists_epoch(epoch, query) else 0
+            else:
+                totals[position] = self._query_count_epoch(epoch, query)
+        self.count_ops["kernel_batch"] += total_queries - len(degraded)
+        if exists:
+            return [bool(value) for value in totals]
+        return [int(value) for value in totals]
+
+    def kernel_delta_depth(self) -> int:
+        """Pending delta ops shipped with counting kernels (all shards)."""
+        log = self._kernel_deltas
+        if log is None:
+            return 0
+        return sum(
+            len(add_starts) + len(del_starts)
+            for add_starts, _, del_starts, _ in log
+        )
+
+    def worker_residencies(self) -> Dict[int, Tuple[str, ...]]:
+        """Best-effort per-worker map of resident snapshot tokens, by pid.
+
+        Samples the pool by mapping :func:`resident_summary` over more
+        items than there are workers; a non-process executor, a serial
+        pool, or a broken pool yields ``{}`` (observability must never
+        take the serving path down).
+        """
+        if (
+            not isinstance(self._executor, ProcessExecutor)
+            or self._executor.workers < 2
+        ):
+            return {}
+        try:
+            samples = self._executor.map(
+                resident_summary, list(range(self._executor.workers * 2))
+            )
+        except Exception:
+            return {}
+        return {int(pid): tuple(tokens) for pid, tokens in samples}
 
     def query_with_stats(self, query: Query) -> Tuple[List[int], QueryStats]:
         self._touch()
@@ -1091,6 +1431,8 @@ class ShardedIndex(IntervalIndex):
         stats.extra["replicas_failed"] = float(
             sum(len(replica_set.failed_ids()) for replica_set in epoch.replica_sets)
         )
+        stats.extra["fanout_disabled"] = float(self._fanout_disabled)
+        stats.extra["kernel_retries"] = float(self.kernel_retries)
         if self.stats_extras:
             stats.extra.update(self.stats_extras)
         return stats
@@ -1098,6 +1440,40 @@ class ShardedIndex(IntervalIndex):
     # ------------------------------------------------------------------ #
     # updates (routed to every replica of the owning shards)
     # ------------------------------------------------------------------ #
+    def _record_kernel_delta(
+        self, op: str, first: int, last: int, start: int, end: int
+    ) -> None:
+        """Append one committed update to the per-shard kernel delta log.
+
+        Called under the maintenance lock after the owning shards accepted
+        the update.  Appends are plain list appends (atomic under the GIL)
+        with starts before ends, so lock-free readers taking prefix
+        snapshots always see committed pairs.  Past ``_KERNEL_DELTA_CAP``
+        per shard the whole log is dropped -- counting kernels then fall
+        back to the parent path until the next snapshot publication, which
+        folds everything and restarts the log.
+        """
+        log = self._kernel_deltas
+        if log is None:
+            return
+        if last >= len(log):  # racing a repartition: the log restarts anyway
+            self._kernel_deltas = None
+            return
+        for shard in range(first, last + 1):
+            add_starts, add_ends, del_starts, del_ends = log[shard]
+            if op == "insert":
+                if len(add_starts) >= _KERNEL_DELTA_CAP:
+                    self._kernel_deltas = None
+                    return
+                add_starts.append(int(start))
+                add_ends.append(int(end))
+            else:
+                if len(del_starts) >= _KERNEL_DELTA_CAP:
+                    self._kernel_deltas = None
+                    return
+                del_starts.append(int(start))
+                del_ends.append(int(end))
+
     def insert(self, interval: Interval) -> None:
         """Insert into every replica of every shard the interval overlaps.
 
@@ -1125,6 +1501,7 @@ class ShardedIndex(IntervalIndex):
                 epoch.locator[interval.id] = (interval.start, interval.end)
             if epoch.journal is not None:
                 epoch.journal.record_insert(first, last, interval.start, interval.end)
+            self._record_kernel_delta("insert", first, last, interval.start, interval.end)
             self._size += 1
             self._dirty = True
             self._mutations += 1
@@ -1149,14 +1526,18 @@ class ShardedIndex(IntervalIndex):
             epoch = self._epoch
             if epoch.locator is None:  # K == 1, R == 1: delegate to the only shard
                 victim: Optional[Interval] = None
-                if self._update_listeners:
-                    # listeners need the deleted span to route the delta;
-                    # without a locator the only source is the shard itself
+                if self._update_listeners or self._kernel_deltas is not None:
+                    # listeners and the kernel delta log need the deleted
+                    # span; without a locator the only source is the shard
                     victim = (
                         epoch.replica_sets[0].primary()._resolve_interval(interval_id)
                     )
                 found = epoch.replica_sets[0].primary().delete(interval_id)
                 if found:
+                    if victim is not None:
+                        self._record_kernel_delta(
+                            "delete", 0, 0, victim.start, victim.end
+                        )
                     self._size -= 1
                     self._dirty = True
                     self._mutations += 1
@@ -1177,6 +1558,7 @@ class ShardedIndex(IntervalIndex):
                 del epoch.locator[interval_id]
                 if epoch.journal is not None:
                     epoch.journal.record_delete(first, last, span[0], span[1])
+                self._record_kernel_delta("delete", first, last, span[0], span[1])
                 self._size -= 1
                 self._dirty = True
                 self._mutations += 1
@@ -1310,10 +1692,11 @@ class ShardedStore(IntervalStore):
 
         Materialising batches parallelise inside
         :meth:`ShardedIndex.query_batch`.  Count-only batches go through
-        per-query ``query_count``: multi-shard counts are O(log n)
-        home-shard sums in the parent, so only in-process executors (whose
-        work is the single-shard backend fast paths) are worth fanning them
-        over -- a process pool would re-ship the index per chunk.
+        :meth:`ShardedIndex.query_count_batch`: with a process executor
+        that rides the worker-resident counting kernels (delta-shipped,
+        replica-aware -- chunking in the parent would bypass them), while
+        in-process executors still chunk the workload across threads to
+        parallelise the single-shard backend fast paths.
         """
         executor = (
             self.index.executor

@@ -346,6 +346,18 @@ class IntervalStore:
             self._index, queries, count_only=count_only, executor=self._executor
         )
 
+    def count_batch(self, queries: Sequence[Query]) -> List[int]:
+        """Per-query overlap counts for a workload, positionally aligned.
+
+        Routes through the index's batched hook, so a sharded index over a
+        process executor answers with worker-resident counting kernels.
+        """
+        return self._index.query_count_batch(list(queries))
+
+    def exists_batch(self, queries: Sequence[Query]) -> List[bool]:
+        """Per-query existence probes for a workload, positionally aligned."""
+        return self._index.query_exists_batch(list(queries))
+
     # ------------------------------------------------------------------ #
     # updates (delegated; backends may not support them)
     # ------------------------------------------------------------------ #

@@ -284,6 +284,17 @@ class QueryServer:
         if hasattr(index, "replica_health"):
             state["replica_health"] = index.replica_health()
             state["failed_replicas"] = index.failed_replicas()
+        if hasattr(index, "kernel_retries"):
+            # batch-kernel fan-out health (sharded indexes over a pool)
+            state["fanout_disabled"] = bool(index._fanout_disabled)
+            state["kernel_retries"] = int(index.kernel_retries)
+            state["kernel_delta_depth"] = int(index.kernel_delta_depth())
+        if hasattr(index, "worker_residencies"):
+            # best-effort: {} while the pool is down or not a process pool
+            state["worker_residencies"] = {
+                str(pid): list(tokens)
+                for pid, tokens in index.worker_residencies().items()
+            }
         return state
 
     # ------------------------------------------------------------------ #

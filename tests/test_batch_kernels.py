@@ -1,0 +1,337 @@
+"""Worker-side batch kernels: equivalence, delta shipping, per-worker healing.
+
+The kernel PR's correctness matrix:
+
+* batched count/exists/ids answers equal the serial oracle across backends,
+  shard counts and both start methods -- including with pending updates,
+  which counting kernels absorb by folding the shipped delta log
+  worker-side instead of falling back to the parent;
+* a killed worker degrades *per worker*: the pool respawns, the batch
+  retries and answers correctly, and the index-wide ``_fanout_disabled``
+  flag only trips when every worker path is exhausted;
+* a batch confined to one shard still splits across the pool (the old
+  lone-task fallback ran it serially in the parent);
+* fan-out health (``fanout_disabled``, ``kernel_retries``, delta depth,
+  per-worker residencies) is surfaced through stats extras and
+  ``maintenance_state``.
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.interval import HAS_SHARED_MEMORY, Interval, Query
+from repro.engine import (
+    ProcessExecutor,
+    ShardedIndex,
+    ShardedStore,
+    available_backends,
+    get_spec,
+)
+from repro.engine.sharded import _KERNEL_DELTA_CAP
+
+pytestmark = pytest.mark.skipif(
+    not HAS_SHARED_MEMORY, reason="no multiprocessing.shared_memory"
+)
+
+ALL_BACKENDS = [name for name in available_backends() if not get_spec(name).composite]
+
+SMALL_KWARGS = {
+    "grid1d": {"num_partitions": 32},
+    "timeline": {"num_checkpoints": 16},
+    "period": {"num_coarse_partitions": 8, "num_levels": 3},
+    "hintm": {"num_bits": 7},
+    "hintm_sub": {"num_bits": 7},
+    "hintm_opt": {"num_bits": 7},
+    "hintm_hybrid": {"num_bits": 7},
+}
+
+
+@pytest.fixture(scope="module")
+def pool():
+    executor = ProcessExecutor(2)
+    yield executor
+    executor.close()
+
+
+def _count_workload(collection, rng, count=40):
+    lo, hi = collection.span()
+    spread = max((hi - lo) // 2, 1)
+    queries = []
+    for _ in range(count):
+        start = int(rng.integers(lo - 10, hi + 10))
+        queries.append(Query(start, start + int(rng.integers(0, spread))))
+    return queries
+
+
+class TestCountingKernelEquivalence:
+    """Kernel counts/exists == the serial oracle, shard plan by shard plan."""
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_every_backend_at_k4(self, synthetic_collection, rng, pool, backend):
+        kwargs = dict(SMALL_KWARGS.get(backend, {}))
+        index = ShardedIndex(
+            synthetic_collection, backend=backend, num_shards=4, executor=pool, **kwargs
+        )
+        try:
+            queries = _count_workload(synthetic_collection, rng)
+            expected = [len(synthetic_collection.query_ids(q)) for q in queries]
+            assert index.query_count_batch(queries) == expected, backend
+            assert index.query_exists_batch(queries) == [
+                count > 0 for count in expected
+            ], backend
+            assert index.count_ops["kernel_batch"] > 0
+        finally:
+            index.close()
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 7])
+    def test_shard_counts(self, synthetic_collection, rng, pool, num_shards):
+        index = ShardedIndex(
+            synthetic_collection, backend="naive", num_shards=num_shards, executor=pool
+        )
+        try:
+            queries = _count_workload(synthetic_collection, rng)
+            assert index.query_count_batch(queries) == [
+                len(synthetic_collection.query_ids(q)) for q in queries
+            ], num_shards
+        finally:
+            index.close()
+
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_start_methods_with_pending_updates(self, synthetic_collection, rng, method):
+        if method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"start method {method!r} unavailable")
+        with ProcessExecutor(2, start_method=method) as executor:
+            index = ShardedIndex(
+                synthetic_collection, backend="naive", num_shards=4, executor=executor
+            )
+            try:
+                lo, hi = synthetic_collection.span()
+                next_id = int(synthetic_collection.ids.max()) + 1
+                for i in range(60):
+                    start = int(rng.integers(lo, hi))
+                    index.insert(Interval(next_id + i, start, start + 500))
+                for victim in synthetic_collection.ids[:30]:
+                    assert index.delete(int(victim))
+                assert index.update_dirty  # materialising fan-out is stale...
+                assert index.kernel_delta_depth() > 0  # ...kernels are not
+                queries = _count_workload(synthetic_collection, rng)
+                before = index.count_ops["kernel_batch"]
+                counts = index.query_count_batch(queries)
+                serial = [index._query_count_epoch(index._epoch, q) for q in queries]
+                assert counts == serial
+                assert index.count_ops["kernel_batch"] > before
+                assert not index._fanout_disabled
+            finally:
+                index.close()
+
+    def test_delta_log_overflow_falls_back_to_parent(self, synthetic_collection, rng, pool):
+        index = ShardedIndex(
+            synthetic_collection, backend="naive", num_shards=4, executor=pool
+        )
+        try:
+            # simulate a cap'd log: the snapshot refuses and the parent path
+            # answers -- correctly -- until the next publication
+            index._kernel_deltas = None
+            queries = _count_workload(synthetic_collection, rng, count=10)
+            before = index.count_ops["kernel_batch"]
+            assert index.query_count_batch(queries) == [
+                len(synthetic_collection.query_ids(q)) for q in queries
+            ]
+            assert index.count_ops["kernel_batch"] == before
+            assert index.refresh_snapshot()  # publication restarts the log
+            assert index._kernel_deltas is not None
+            index.query_count_batch(queries)
+            assert index.count_ops["kernel_batch"] > before
+        finally:
+            index.close()
+
+    def test_cap_drops_log_after_many_updates(self, synthetic_collection, pool):
+        index = ShardedIndex(
+            synthetic_collection, backend="naive", num_shards=2, executor=pool
+        )
+        try:
+            lo, hi = synthetic_collection.span()
+            next_id = int(synthetic_collection.ids.max()) + 1
+            mid = (lo + hi) // 2
+            for i in range(_KERNEL_DELTA_CAP + 1):
+                index.insert(Interval(next_id + i, mid, mid + 1))
+            assert index._kernel_deltas is None
+            assert index.kernel_delta_depth() == 0
+        finally:
+            index.close()
+
+
+class TestMaterialisingKernels:
+    """ids_batch via the kernel dispatcher, including the single-shard split."""
+
+    def test_single_shard_batch_splits_across_workers(self, synthetic_collection, rng):
+        class _CountingPool(ProcessExecutor):
+            def __init__(self):
+                super().__init__(workers=2)
+                self.submitted = 0
+
+            def submit(self, fn, item):
+                self.submitted += 1
+                return super().submit(fn, item)
+
+        executor = _CountingPool()
+        index = ShardedIndex(
+            synthetic_collection, backend="naive", num_shards=4, executor=executor
+        )
+        try:
+            # confine every query to the first shard's range
+            cuts = index.plan.cuts
+            lo, _ = synthetic_collection.span()
+            hi = int(cuts[0]) - 1
+            queries = [
+                Query(int(a), min(int(a) + 40, hi))
+                for a in rng.integers(lo, hi - 40, size=8)
+            ]
+            for q in queries:
+                first, last = index.plan.shard_range(q.start, q.end)
+                assert first == last == 0
+            answers = index.query_batch(queries)
+            assert executor.submitted >= 2, (
+                "a single-shard batch with several queries must split across "
+                "the pool, not run serially in the parent"
+            )
+            for q, ids in zip(queries, answers):
+                assert sorted(ids) == sorted(synthetic_collection.query_ids(q).tolist())
+        finally:
+            index.close()
+            executor.close()
+
+    def test_multi_shard_merge_is_sorted_and_unique(self, synthetic_collection, rng, pool):
+        index = ShardedIndex(
+            synthetic_collection, backend="naive", num_shards=4, executor=pool
+        )
+        try:
+            lo, hi = synthetic_collection.span()
+            broad = [Query(lo, hi), Query(lo + 1, hi - 1), Query(lo, (lo + hi) // 2)]
+            padding = _count_workload(synthetic_collection, rng, count=5)
+            answers = index.query_batch(broad + padding)
+            for q, ids in zip(broad, answers):
+                assert ids == sorted(set(ids))  # np.unique merge: sorted, deduped
+                assert ids == sorted(synthetic_collection.query_ids(q).tolist())
+        finally:
+            index.close()
+
+
+class TestPerWorkerHealing:
+    """A dead worker degrades per worker, never index-wide."""
+
+    def _index(self, collection, executor):
+        return ShardedIndex(collection, backend="naive", num_shards=4, executor=executor)
+
+    def test_killed_worker_heals_and_answers(self, synthetic_collection, rng):
+        executor = ProcessExecutor(2)
+        index = self._index(synthetic_collection, executor)
+        try:
+            queries = _count_workload(synthetic_collection, rng)
+            expected = [len(synthetic_collection.query_ids(q)) for q in queries]
+            index.query_count_batch(queries)  # warm the pool
+            pids = list(index.worker_residencies().keys())
+            assert pids, "expected worker residencies after a warm batch"
+            os.kill(pids[0], signal.SIGKILL)
+            time.sleep(0.2)
+            assert index.query_count_batch(queries) == expected
+            assert index.kernel_retries > 0
+            assert not index._fanout_disabled, (
+                "a single worker kill must heal per-worker, not trip the "
+                "index-wide fan-out flag"
+            )
+            # the healed pool keeps serving both kernel families
+            answers = index.query_batch(queries)
+            for q, ids in zip(queries, answers):
+                assert sorted(ids) == sorted(synthetic_collection.query_ids(q).tolist())
+            assert not index._fanout_disabled
+        finally:
+            index.close()
+            executor.close()
+
+    def test_fanout_trips_only_when_every_path_is_exhausted(
+        self, synthetic_collection, rng
+    ):
+        class _DeadPool(ProcessExecutor):
+            """Submits fail before and after respawn: no worker path left."""
+
+            def __init__(self):
+                super().__init__(workers=2)
+                self.respawns = 0
+
+            def submit(self, fn, item):
+                raise BrokenPipeError("worker died mid-batch")
+
+            def respawn(self):
+                self.respawns += 1
+                super().respawn()
+
+        executor = _DeadPool()
+        index = self._index(synthetic_collection, executor)
+        try:
+            queries = _count_workload(synthetic_collection, rng, count=12)
+            counts = index.query_count_batch(queries)
+            # the batch still answers -- per (query, shard) fallback ...
+            assert counts == [
+                len(synthetic_collection.query_ids(q)) for q in queries
+            ]
+            # ... healing was attempted first, then the flag tripped
+            assert executor.respawns == 1
+            assert index.kernel_retries > 0
+            assert index._fanout_disabled
+            failures = index.recent_failures()
+            assert failures and failures[-1].shard_id == -1
+        finally:
+            index.close()
+            executor.close()
+
+
+class TestKernelObservability:
+    def test_stats_and_state_surface_fanout_health(self, synthetic_collection, rng, pool):
+        index = ShardedIndex(
+            synthetic_collection, backend="naive", num_shards=4, executor=pool
+        )
+        try:
+            _, stats = index.query_with_stats(Query(*synthetic_collection.span()))
+            assert stats.extra["fanout_disabled"] == 0.0
+            assert stats.extra["kernel_retries"] == 0.0
+            state = index.maintenance_state()
+            assert state["fanout_disabled"] is False
+            assert state["kernel_retries"] == 0
+            assert state["kernel_delta_depth"] == 0
+            index.query_count_batch(_count_workload(synthetic_collection, rng))
+            residencies = index.worker_residencies()
+            assert residencies, "a warm pool should report resident tokens"
+            for pid, tokens in residencies.items():
+                assert isinstance(pid, int)
+            # the pool is shared across tests, so other uids may be resident
+            # too -- but at least one worker must hold *this* index's columns
+            assert any(
+                index._uid in token
+                for tokens in residencies.values()
+                for token in tokens
+            )
+        finally:
+            index.close()
+
+    def test_store_count_batches_ride_kernels(self, synthetic_collection, rng, pool):
+        store = ShardedStore.open(
+            synthetic_collection, "naive", num_shards=4, executor=pool
+        )
+        try:
+            queries = _count_workload(synthetic_collection, rng, count=16)
+            before = store.index.count_ops["kernel_batch"]
+            batch = store.run_batch(queries, count_only=True)
+            assert store.index.count_ops["kernel_batch"] > before
+            assert batch.counts == [
+                len(synthetic_collection.query_ids(q)) for q in queries
+            ]
+            # the convenience surfaces route the same way
+            assert store.count_batch(queries) == batch.counts
+            assert store.exists_batch(queries) == [c > 0 for c in batch.counts]
+        finally:
+            store.close()

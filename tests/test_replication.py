@@ -380,18 +380,21 @@ class TestWorkerPoolFailover:
         from repro.engine.executor import ProcessExecutor
 
         class _BrokenPool(ProcessExecutor):
-            """A process executor whose parallel map always dies."""
+            """A process executor whose pooled submits always die -- even
+            after a respawn, so every worker path is exhausted."""
 
             def __init__(self):
                 super().__init__(workers=2)
-                self.broken_maps = 0
+                self.broken_submits = 0
+                self.respawns = 0
 
-            def map(self, fn, items):
-                work = list(items)
-                if len(work) > 1:  # the parallel path "loses its workers"
-                    self.broken_maps += 1
-                    raise BrokenPipeError("worker died mid-batch")
-                return super().map(fn, work)
+            def submit(self, fn, item):
+                self.broken_submits += 1
+                raise BrokenPipeError("worker died mid-batch")
+
+            def respawn(self):
+                self.respawns += 1
+                super().respawn()
 
         collection = _collection(n=500)
         executor = _BrokenPool()
@@ -405,15 +408,20 @@ class TestWorkerPoolFailover:
             # the batch answered correctly despite the dead pool...
             for query, ids in zip(queries, answers):
                 assert set(ids) == _oracle(collection, query)
-            assert executor.broken_maps == 1
+            assert executor.broken_submits > 0
+            # ...per-worker healing respawned the pool and retried first...
+            assert executor.respawns == 1
+            assert index.kernel_retries > 0
             # ...the failure is recorded as a pool-level replica failure...
             failures = index.recent_failures()
             assert failures and failures[-1].shard_id == -1
             assert "worker died" in failures[-1].error
-            # ...and fan-out stays disabled (no retry storm on a dead pool)
+            # ...and only once the retry round died too is fan-out disabled
+            # (no retry storm on a permanently dead pool)
             assert not index._process_fanout_ready()
+            submits = executor.broken_submits
             index.query_batch(queries)
-            assert executor.broken_maps == 1
+            assert executor.broken_submits == submits
             # a snapshot refresh heals fan-out (fresh pool, fresh residency)
             assert index.refresh_snapshot()
             assert index._process_fanout_ready()

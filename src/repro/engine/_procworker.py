@@ -126,7 +126,7 @@ def _fold_column(
 class _Residency:
     """One index's worker-resident state: attached columns, cached shard
     indexes, and per-shard sorted count columns plus their pending-delta
-    folds (keyed by the delta sequence the parent shipped)."""
+    folds (keyed by the delta-shape pair the parent shipped)."""
 
     def __init__(self, spec: ShardResidencySpec) -> None:
         self._collection, self._shm = attach_shared_collection(spec.handle)
@@ -137,11 +137,12 @@ class _Residency:
         #: per-shard base count columns ``(sorted starts, sorted ends)``,
         #: built once from the snapshot collection
         self._columns: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
-        #: per-shard folded columns ``(delta_seq, starts, ends)`` -- the base
+        #: per-shard folded columns ``(delta_key, starts, ends)`` -- the base
         #: columns with the parent's since-publication deltas applied.  The
-        #: parent ships the *full* delta set each task, so one cached fold
-        #: per sequence number answers every task at that sequence.
-        self._folded: Dict[int, Tuple[int, np.ndarray, np.ndarray]] = {}
+        #: parent ships the *full* delta set each task keyed by its
+        #: ``(adds, dels)`` length pair, so one cached fold per key answers
+        #: every task at that delta depth.
+        self._folded: Dict[int, Tuple[Tuple[int, int], np.ndarray, np.ndarray]] = {}
         self.uid = spec.uid
         self.generation = spec.generation
 
@@ -171,10 +172,12 @@ class _Residency:
         """One shard's sorted ``(starts, ends)`` with pending deltas folded.
 
         ``deltas`` is ``None`` (clean snapshot) or
-        ``(seq, add_starts, add_ends, del_starts, del_ends)`` -- every
+        ``(key, add_starts, add_ends, del_starts, del_ends)`` -- every
         update the parent absorbed since publication, shipped with the
-        task.  The fold is cached per sequence number, so a burst of tasks
-        at the same delta depth folds once.
+        task.  ``key`` is the parent's ``(len(adds), len(dels))`` pair
+        (a *pair*, not a sum: ``(n+1, m)`` and ``(n, m+1)`` are different
+        folds); the fold is cached per key, so a burst of tasks at the
+        same delta depth folds once.
         """
         base = self._columns.get(shard_id)
         if base is None:
@@ -183,13 +186,13 @@ class _Residency:
             self._columns[shard_id] = base
         if deltas is None:
             return base
-        seq, add_starts, add_ends, del_starts, del_ends = deltas
+        key, add_starts, add_ends, del_starts, del_ends = deltas
         cached = self._folded.get(shard_id)
-        if cached is not None and cached[0] == seq:
+        if cached is not None and cached[0] == key:
             return cached[1], cached[2]
         starts = _fold_column(base[0], add_starts, del_starts)
         ends = _fold_column(base[1], add_ends, del_ends)
-        self._folded[shard_id] = (seq, starts, ends)
+        self._folded[shard_id] = (key, starts, ends)
         return starts, ends
 
     def close(self) -> None:

@@ -30,6 +30,7 @@ from __future__ import annotations
 import abc
 import multiprocessing
 import os
+import threading
 from concurrent.futures import Future
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from concurrent.futures import ThreadPoolExecutor as _ThreadPool
@@ -128,15 +129,30 @@ class Executor(abc.ABC):
             future.set_exception(exc)
         return future
 
-    def respawn(self) -> None:
+    def pool_token(self) -> int:
+        """Opaque identity of the current pooled state.
+
+        Callers capture it before submitting work and hand it back to
+        :meth:`respawn` on failure, so healing can tell "my pool broke"
+        from "someone already replaced the pool while my batch was in
+        flight".  The default (poolless) executor never changes state.
+        """
+        return 0
+
+    def respawn(self, token: Optional[int] = None) -> None:
         """Drop pooled workers so the next use starts fresh ones (idempotent).
 
         The per-worker healing hook: after a worker process dies (killed,
         OOM, broken pipe) the pool is unusable, but the *executor* is not --
         respawning discards the broken pool and the next ``map``/``submit``
         lazily brings up fresh workers, which rebuild their resident state
-        on demand.  The default simply delegates to :meth:`close` (pools
-        here are created lazily, so a closed executor respawns on use).
+        on demand.  ``token`` (from :meth:`pool_token`, captured before the
+        failed submit) coordinates healing on *shared* executors: when the
+        pool was already replaced since the token was read, the call is a
+        no-op -- the caller just retries on the fresh pool instead of
+        shutting down a pool other indexes are actively using.  The default
+        simply delegates to :meth:`close` (pools here are created lazily,
+        so a closed executor respawns on use).
         """
         self.close()
 
@@ -243,6 +259,9 @@ class ProcessExecutor(Executor):
             else multiprocessing.get_context()
         )
         self._pool: Optional[_ProcessPool] = None
+        #: bumped whenever the pool is replaced; see :meth:`pool_token`
+        self._pool_epoch = 0
+        self._heal_lock = threading.Lock()
 
     @property
     def workers(self) -> int:
@@ -278,10 +297,32 @@ class ProcessExecutor(Executor):
             )
         return self._pool
 
+    def pool_token(self) -> int:
+        return self._pool_epoch
+
+    def respawn(self, token: Optional[int] = None) -> None:
+        """Replace the worker pool, coordinated across sharing indexes.
+
+        When ``token`` (the :meth:`pool_token` the caller read before its
+        failed submit) no longer matches, another user of this executor
+        already healed the pool -- skip the shutdown so their fresh workers
+        (and any in-flight batches) survive, and let the caller simply
+        retry.  Without a token the respawn is unconditional.
+        """
+        with self._heal_lock:
+            if token is not None and token != self._pool_epoch:
+                return
+            self._pool_epoch += 1
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._heal_lock:
+            self._pool_epoch += 1
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
 
 #: string spec -> executor class, for :func:`resolve_executor` and the CLI

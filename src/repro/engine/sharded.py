@@ -322,6 +322,12 @@ class ShardedIndex(IntervalIndex):
         self._kernel_deltas: Optional[
             List[Tuple[List[int], List[int], List[int], List[int]]]
         ] = None
+        #: writer-side sequence for the delta log's seqlock: bumped (under
+        #: the maintenance lock) after every committed append, read by
+        #: :meth:`_kernel_snapshot` before and after assembling its
+        #: prefixes so a read torn by a concurrent update is retried
+        #: instead of shipped
+        self._kernel_delta_version = 0
         #: most recent replica/worker failures (shard_id -1 = worker pool)
         self._failures: Deque[ReplicaFailure] = deque(maxlen=_FAILURE_HISTORY)
         #: :func:`time.time` of the last snapshot publication, ``None``
@@ -1081,16 +1087,23 @@ class ShardedIndex(IntervalIndex):
 
         The delta log is appended lock-free relative to readers (updates
         hold the maintenance lock, batches do not), so this takes a
-        seqlock-style snapshot: read the generation, assemble consistent
-        list prefixes (``min(len(starts), len(ends))`` -- starts append
-        before ends, so the shorter side is always a committed pair), then
-        re-check that neither a publication nor a log drop raced the read.
-        Returns ``None`` when counting kernels cannot run soundly: no log
-        (overflowed past ``_KERNEL_DELTA_CAP``, or snapshot gone), a
-        repartition racing the pinned epoch, or three straight torn reads.
+        seqlock-style snapshot: read the writer's version counter and the
+        generation, assemble consistent list prefixes
+        (``min(len(starts), len(ends))`` -- starts append before ends, so
+        the shorter side is always a committed pair), then re-check that
+        no committed append (version bump), publication, or log drop raced
+        the read.  The version re-check is what makes the *cross-list*
+        read sound: without it, an insert and its delete both committing
+        between the add-prefix and del-prefix reads would ship a delete
+        with no matching add, and the worker fold would remove a wrong
+        element.  Returns ``None`` when counting kernels cannot run
+        soundly: no log (overflowed past ``_KERNEL_DELTA_CAP``, or
+        snapshot gone), a repartition racing the pinned epoch, or three
+        straight torn reads.
         """
         for _ in range(3):
             generation = self._generation
+            version = self._kernel_delta_version
             log = self._kernel_deltas
             if (
                 log is None
@@ -1109,7 +1122,10 @@ class ShardedIndex(IntervalIndex):
                 else:
                     shipped.append(
                         (
-                            added + removed,  # the worker's fold-cache key
+                            # the worker's fold-cache key: the (adds, dels)
+                            # *pair*, never their sum -- (n+1, m) and
+                            # (n, m+1) are different folds
+                            (added, removed),
                             np.asarray(add_starts[:added], dtype=np.int64),
                             np.asarray(add_ends[:added], dtype=np.int64),
                             np.asarray(del_starts[:removed], dtype=np.int64),
@@ -1124,6 +1140,7 @@ class ShardedIndex(IntervalIndex):
                 spec.generation == generation
                 and self._generation == generation
                 and self._kernel_deltas is log
+                and self._kernel_delta_version == version
             ):
                 return spec, shipped
         return None
@@ -1139,10 +1156,13 @@ class ShardedIndex(IntervalIndex):
         round records the error, respawns the pool (fresh workers
         re-attach the shared snapshot and rebuild their residencies on
         first use) and resubmits only the failed tasks; the index-wide
-        fan-out flag trips only when the retry round fails too.  Respawn
-        is safe for shared executors: a broken process pool is unusable
-        for *every* index sharing it, and pools recreate lazily on next
-        use, so churning it heals all of them.  Callers answer the
+        fan-out flag trips only when the retry round fails too.  On a
+        *shared* executor the respawn is token-coordinated (see
+        :meth:`Executor.respawn`): if another index already replaced the
+        pool while this batch was in flight -- which is exactly what made
+        our submits fail -- we skip the redundant shutdown and just retry
+        on the fresh pool, so sharing indexes heal each other instead of
+        tripping each other's kill-switches.  Callers answer the
         still-failed tasks against the epoch's in-process replica sets,
         so a mid-batch worker kill degrades per worker, never to a wrong
         or missing answer.
@@ -1150,6 +1170,7 @@ class ShardedIndex(IntervalIndex):
         results: List[Optional[Tuple]] = [None] * len(tasks)
         pending = list(range(len(tasks)))
         for attempt in (0, 1):
+            pool_token = self._executor.pool_token()
             failed: List[int] = []
             error: Optional[str] = None
             try:
@@ -1180,7 +1201,7 @@ class ShardedIndex(IntervalIndex):
             pending = failed
             if attempt == 0:
                 self.kernel_retries += len(failed)
-                self._executor.respawn()
+                self._executor.respawn(pool_token)
         self._fanout_disabled = True
         return results, pending
 
@@ -1192,7 +1213,11 @@ class ShardedIndex(IntervalIndex):
         Queries are grouped by the shard they overlap; each task ships only
         ``(spec, "ids_batch", shard_id, positions, starts, ends, None,
         None)`` and returns compact id arrays.  Multi-shard answers are
-        merged with one ``np.concatenate`` + ``np.unique`` per query and
+        merged with one ``np.concatenate`` + first-occurrence
+        ``np.unique`` per query, in shard order -- the same first-seen
+        dedup order ``merge_unique_ids`` gives the serial paths, so a
+        query answers with identically ordered ids whether it ran through
+        a kernel batch, ``query()``, or the in-process fallback -- and
         converted to Python ints once at the edge.  Tasks that exhaust
         every worker path (see :meth:`_dispatch_kernel_tasks`) fall back
         per (query, shard) to the epoch's in-process replica sets: the
@@ -1249,8 +1274,13 @@ class ShardedIndex(IntervalIndex):
             if len(parts) == 1:
                 results.append(parts[0][1].tolist())
             else:
-                merged = np.unique(np.concatenate([ids for _, ids in parts]))
-                results.append(merged.tolist())
+                # shard-ordered first-seen dedup, matching merge_unique_ids
+                # on the serial paths (parts arrive out of shard order when
+                # a failed task degraded to the replica-set fallback)
+                parts.sort(key=lambda part: part[0])
+                merged = np.concatenate([ids for _, ids in parts])
+                _, first_seen = np.unique(merged, return_index=True)
+                results.append(merged[np.sort(first_seen)].tolist())
         return results
 
     def _count_batch_processes(
@@ -1448,10 +1478,13 @@ class ShardedIndex(IntervalIndex):
         Called under the maintenance lock after the owning shards accepted
         the update.  Appends are plain list appends (atomic under the GIL)
         with starts before ends, so lock-free readers taking prefix
-        snapshots always see committed pairs.  Past ``_KERNEL_DELTA_CAP``
-        per shard the whole log is dropped -- counting kernels then fall
-        back to the parent path until the next snapshot publication, which
-        folds everything and restarts the log.
+        snapshots always see committed pairs; the version bump *after* the
+        appends is the seqlock's writer side -- a reader whose before/after
+        version reads differ saw a potentially torn log and retries (see
+        :meth:`_kernel_snapshot`).  Past ``_KERNEL_DELTA_CAP`` per shard
+        the whole log is dropped -- counting kernels then fall back to the
+        parent path until the next snapshot publication, which folds
+        everything and restarts the log.
         """
         log = self._kernel_deltas
         if log is None:
@@ -1473,6 +1506,7 @@ class ShardedIndex(IntervalIndex):
                     return
                 del_starts.append(int(start))
                 del_ends.append(int(end))
+        self._kernel_delta_version += 1
 
     def insert(self, interval: Interval) -> None:
         """Insert into every replica of every shard the interval overlaps.
@@ -1538,6 +1572,14 @@ class ShardedIndex(IntervalIndex):
                         self._record_kernel_delta(
                             "delete", 0, 0, victim.start, victim.end
                         )
+                    else:
+                        # the shard dropped a copy whose span could not be
+                        # resolved: nothing can patch the worker-resident
+                        # columns, so drop the delta log -- counting
+                        # kernels fall back to the exact parent path until
+                        # the next publication instead of serving counts
+                        # that still include the deleted interval
+                        self._kernel_deltas = None
                     self._size -= 1
                     self._dirty = True
                     self._mutations += 1

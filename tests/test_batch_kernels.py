@@ -164,6 +164,61 @@ class TestCountingKernelEquivalence:
         finally:
             index.close()
 
+    def test_delta_key_is_pair_and_writer_versions_appends(
+        self, synthetic_collection, pool
+    ):
+        """Seqlock regression: every committed append bumps the writer-side
+        version, and the shipped fold-cache key is the (adds, dels) *pair*
+        -- a torn (n, m+1) state and a consistent (n+1, m) state must never
+        share a cache key."""
+        index = ShardedIndex(
+            synthetic_collection, backend="naive", num_shards=2, executor=pool
+        )
+        try:
+            lo, _ = synthetic_collection.span()
+            next_id = int(synthetic_collection.ids.max()) + 1
+            before = index._kernel_delta_version
+            index.insert(Interval(next_id, lo, lo + 1))
+            assert index._kernel_delta_version == before + 1
+            snap = index._kernel_snapshot(index._epoch)
+            assert snap is not None
+            keys = [deltas[0] for deltas in snap[1] if deltas is not None]
+            assert keys == [(1, 0)]
+            assert index.delete(next_id)
+            assert index._kernel_delta_version == before + 2
+            snap = index._kernel_snapshot(index._epoch)
+            keys = [deltas[0] for deltas in snap[1] if deltas is not None]
+            assert keys == [(1, 1)]
+        finally:
+            index.close()
+
+    def test_unresolvable_delete_drops_delta_log(
+        self, synthetic_collection, rng, pool, monkeypatch
+    ):
+        """K == 1, R == 1: no locator, so the deleted span comes from the
+        shard's interval lookup.  When that lookup fails but the delete
+        succeeds, the delta log can no longer patch the worker-resident
+        columns -- it must be dropped so counting batches fall back to the
+        exact parent path instead of serving stale counts."""
+        index = ShardedIndex(
+            synthetic_collection, backend="naive", num_shards=1, executor=pool
+        )
+        try:
+            assert index._epoch.locator is None
+            assert index._kernel_deltas is not None
+            primary = index._epoch.replica_sets[0].primary()
+            monkeypatch.setattr(primary, "_resolve_interval", lambda interval_id: None)
+            victim = int(synthetic_collection.ids[0])
+            assert index.delete(victim)
+            assert index._kernel_deltas is None
+            queries = _count_workload(synthetic_collection, rng, count=10)
+            assert index.query_count_batch(queries) == [
+                len(set(synthetic_collection.query_ids(q).tolist()) - {victim})
+                for q in queries
+            ]
+        finally:
+            index.close()
+
 
 class TestMaterialisingKernels:
     """ids_batch via the kernel dispatcher, including the single-shard split."""
@@ -205,7 +260,7 @@ class TestMaterialisingKernels:
             index.close()
             executor.close()
 
-    def test_multi_shard_merge_is_sorted_and_unique(self, synthetic_collection, rng, pool):
+    def test_multi_shard_merge_matches_serial_order(self, synthetic_collection, rng, pool):
         index = ShardedIndex(
             synthetic_collection, backend="naive", num_shards=4, executor=pool
         )
@@ -215,8 +270,12 @@ class TestMaterialisingKernels:
             padding = _count_workload(synthetic_collection, rng, count=5)
             answers = index.query_batch(broad + padding)
             for q, ids in zip(broad, answers):
-                assert ids == sorted(set(ids))  # np.unique merge: sorted, deduped
-                assert ids == sorted(synthetic_collection.query_ids(q).tolist())
+                assert len(ids) == len(set(ids))  # deduped across shards
+                # order-identical to the serial path (merge_unique_ids
+                # first-seen order), so answers do not flip ordering when
+                # fan-out is disabled or a task degrades
+                assert ids == index.query(q)
+                assert sorted(ids) == sorted(synthetic_collection.query_ids(q).tolist())
         finally:
             index.close()
 
@@ -266,9 +325,9 @@ class TestPerWorkerHealing:
             def submit(self, fn, item):
                 raise BrokenPipeError("worker died mid-batch")
 
-            def respawn(self):
+            def respawn(self, token=None):
                 self.respawns += 1
-                super().respawn()
+                super().respawn(token)
 
         executor = _DeadPool()
         index = self._index(synthetic_collection, executor)
@@ -287,6 +346,22 @@ class TestPerWorkerHealing:
             assert failures and failures[-1].shard_id == -1
         finally:
             index.close()
+            executor.close()
+
+    def test_shared_pool_respawn_is_token_coordinated(self):
+        """A stale pool token must not churn a pool another index already
+        healed -- the failing index just retries on the fresh workers."""
+        executor = ProcessExecutor(2)
+        try:
+            token = executor.pool_token()
+            executor.respawn()  # another index healed the shared pool first
+            healed = executor.pool_token()
+            assert healed != token
+            executor.respawn(token)  # stale observation: must be a no-op
+            assert executor.pool_token() == healed
+            executor.respawn(healed)  # current observation: heals as usual
+            assert executor.pool_token() != healed
+        finally:
             executor.close()
 
 

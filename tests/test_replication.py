@@ -392,9 +392,9 @@ class TestWorkerPoolFailover:
                 self.broken_submits += 1
                 raise BrokenPipeError("worker died mid-batch")
 
-            def respawn(self):
+            def respawn(self, token=None):
                 self.respawns += 1
-                super().respawn()
+                super().respawn(token)
 
         collection = _collection(n=500)
         executor = _BrokenPool()

@@ -25,6 +25,7 @@ from repro.bench.reporting import (
     format_series,
     format_table,
     render_batch_kernels,
+    render_durable_ingest,
     render_ingest_maintenance,
     render_process_scaling,
     render_serving_throughput,
@@ -230,6 +231,14 @@ def main(argv=None) -> int:
         ),
         "ingest_maintenance": lambda: render_ingest_maintenance(
             experiments.ingest_maintenance(
+                cardinality=args.cardinality,
+                # the stream's stride-partitioned delete victims need
+                # cardinality/8 >= num_updates/2, so scale down with the data
+                num_updates=max(2, min(2_000, args.cardinality // 10)),
+            )
+        ),
+        "durable_ingest": lambda: render_durable_ingest(
+            experiments.durable_ingest(
                 cardinality=args.cardinality,
                 # the stream's stride-partitioned delete victims need
                 # cardinality/8 >= num_updates/2, so scale down with the data

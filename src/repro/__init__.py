@@ -89,11 +89,19 @@ from repro.queries import (
     generate_queries,
     generate_stabbing_queries,
 )
+from repro.durability import (
+    CheckpointError,
+    DurabilityDegradedError,
+    DurabilityError,
+    DurabilityManager,
+    WalCorruptionError,
+)
 from repro.serve import (
     QueryServer,
     ResultCache,
     ServeClient,
     ServerHandle,
+    ServerUnavailableError,
     StreamClient,
     start_server_thread,
 )
@@ -105,10 +113,14 @@ __all__ = [
     "AllenRelation",
     "BackendSpec",
     "BatchResult",
+    "CheckpointError",
     "ComparisonFreeHINT",
     "CostModel",
     "DatasetStatistics",
     "Domain",
+    "DurabilityDegradedError",
+    "DurabilityError",
+    "DurabilityManager",
     "Executor",
     "Grid1D",
     "HINTm",
@@ -134,6 +146,7 @@ __all__ = [
     "SerialExecutor",
     "ServeClient",
     "ServerHandle",
+    "ServerUnavailableError",
     "ShardPlan",
     "ShardedIndex",
     "ShardedStore",
@@ -147,6 +160,7 @@ __all__ = [
     "TimelineIndex",
     "UnknownBackendError",
     "UnsupportedQueryError",
+    "WalCorruptionError",
     "available_backends",
     "backend_specs",
     "collect_workload_statistics",

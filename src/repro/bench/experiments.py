@@ -57,6 +57,7 @@ __all__ = [
     "process_scaling",
     "batch_kernels",
     "ingest_maintenance",
+    "durable_ingest",
     "serving_throughput",
     "COMPETITOR_CONFIGS",
 ]
@@ -1009,6 +1010,117 @@ def ingest_maintenance(
         index.close()
         executor.close()
     return {"ingest": ingest_rows, "refresh": refresh_rows}
+
+
+def durable_ingest(
+    collection: Optional[IntervalCollection] = None,
+    *,
+    cardinality: int = 60_000,
+    num_updates: int = 1_500,
+    backend: str = "hintm_hybrid",
+    num_shards: int = 1,
+    repeats: int = 3,
+    seed: int = 7,
+) -> List[dict]:
+    """WAL overhead on interleaved insert/delete ingest throughput.
+
+    One ``no-wal`` baseline row plus one row per fsync policy
+    (``off``/``interval``/``always``), each the best-of-``repeats``
+    ops/second over the same :func:`_interleaved_update_stream` against a
+    fresh store.  Every row carries ``slowdown`` -- the baseline throughput
+    divided by the row's -- which is the number the durability contract
+    bounds: under ``fsync="interval"`` the WAL must stay within 2x of
+    WAL-off ingest (gated by ``tests/test_durable_ingest_benchmark.py``).
+
+    Correctness brackets the timing, as everywhere in this module: after
+    each durable mode's final repeat the WAL directory is reopened and the
+    recovered live id set must equal the stream applied to the base
+    collection -- the WAL buys crash-safety, never a divergent replay.
+    """
+    import shutil
+    import tempfile
+
+    from repro.engine import IntervalStore
+
+    if collection is None:
+        collection = generate_real_like(
+            REAL_DATASET_PROFILES["TAXIS"], cardinality=cardinality, seed=seed
+        )
+
+    def expected_live_ids(stream) -> set:
+        live = {int(i) for i in collection.ids}
+        for kind, payload in stream:
+            if kind == "insert":
+                live.add(payload.id)
+            else:
+                live.discard(payload)
+        return live
+
+    def recovered_live_ids(wal_dir: str) -> set:
+        lo, hi = collection.span()
+        store = IntervalStore.open(
+            collection,
+            backend,
+            num_shards=num_shards,
+            wal_dir=wal_dir,
+            fsync="off",
+        )
+        try:
+            return {int(i) for i in store.query().overlapping(lo, hi).ids()}
+        finally:
+            store.close()
+
+    modes = [("no-wal", None)] + [
+        (f"fsync-{policy}", policy) for policy in ("off", "interval", "always")
+    ]
+    rows: List[dict] = []
+    for mode, fsync in modes:
+        best = 0.0
+        recovered_exact = True
+        for repeat in range(max(1, repeats)):
+            stream = _interleaved_update_stream(collection, num_updates, seed=repeat)
+            wal_dir = tempfile.mkdtemp(prefix="repro-durable-bench-") if fsync else None
+            try:
+                kwargs = {"wal_dir": wal_dir, "fsync": fsync} if fsync else {}
+                store = IntervalStore.open(
+                    collection, backend, num_shards=num_shards, **kwargs
+                )
+                start = time.perf_counter()
+                for kind, payload in stream:
+                    if kind == "insert":
+                        store.insert(payload)
+                    else:
+                        store.delete(payload)
+                elapsed = time.perf_counter() - start
+                store.close()
+                if elapsed > 0:
+                    best = max(best, len(stream) / elapsed)
+                # recovery exactness check on the last repeat of each
+                # durable mode: replaying the WAL must rebuild the stream
+                if fsync and repeat == max(1, repeats) - 1:
+                    if recovered_live_ids(wal_dir) != expected_live_ids(stream):
+                        raise RuntimeError(
+                            f"durable_ingest[{mode}]: recovered live set "
+                            f"diverged from the applied stream"
+                        )
+            finally:
+                if wal_dir:
+                    shutil.rmtree(wal_dir, ignore_errors=True)
+        rows.append(
+            {
+                "mode": mode,
+                "fsync": fsync,
+                "backend": backend,
+                "num_shards": num_shards,
+                "ops": num_updates * max(1, repeats),
+                "ops_per_s": best,
+                "recovered_exact": recovered_exact,
+            }
+        )
+    baseline = rows[0]["ops_per_s"]
+    for row in rows:
+        row["slowdown"] = baseline / row["ops_per_s"] if row["ops_per_s"] else 0.0
+    return rows
 
 
 def _measure_op_throughput(fn, queries: Sequence[Query], repeats: int) -> float:

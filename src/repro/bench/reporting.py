@@ -8,6 +8,7 @@ __all__ = [
     "format_table",
     "format_series",
     "render_batch_kernels",
+    "render_durable_ingest",
     "render_ingest_maintenance",
     "render_process_scaling",
     "render_serving_throughput",
@@ -159,6 +160,32 @@ def render_ingest_maintenance(result: Mapping[str, Sequence[Mapping]]) -> str:
         ],
     )
     return ingest + "\n\n" + refresh
+
+
+def render_durable_ingest(rows: Sequence[Mapping]) -> str:
+    """Render :func:`repro.bench.experiments.durable_ingest`'s table.
+
+    Shared by ``scripts/run_experiments.py`` and
+    ``benchmarks/bench_durable_ingest.py`` so the CI report and the saved
+    benchmark report cannot drift apart.
+    """
+    return format_table(
+        "Durable ingest -- WAL overhead on interleaved insert/delete "
+        "(slowdown vs the WAL-off baseline)",
+        ["mode", "backend", "K", "ops", "ops/s", "recovered exact", "slowdown"],
+        [
+            [
+                r["mode"],
+                r["backend"],
+                r["num_shards"],
+                r["ops"],
+                r["ops_per_s"],
+                r["recovered_exact"],
+                r["slowdown"],
+            ]
+            for r in rows
+        ],
+    )
 
 
 def render_serving_throughput(result: Mapping[str, Sequence[Mapping]]) -> str:

@@ -1,0 +1,46 @@
+"""Durable ingest: write-ahead log, checkpoints, recovery, fault injection.
+
+``IntervalStore.open(wal_dir=...)`` is the public entry point -- it routes
+through :func:`~repro.durability.manager.open_durable`, which recovers any
+existing checkpoint + log tail before handing back the store.  See the
+README's "Durability & crash recovery" section for the fsync policies,
+checkpoint cadence and degraded-mode semantics.
+"""
+
+from repro.core.errors import (
+    CheckpointError,
+    DurabilityDegradedError,
+    DurabilityError,
+    WalCorruptionError,
+)
+from repro.durability import faults
+from repro.durability.checkpoint import load_checkpoint, write_checkpoint
+from repro.durability.manager import DurabilityManager, open_durable
+from repro.durability.wal import (
+    FSYNC_POLICIES,
+    ReplayReport,
+    WalRecord,
+    WalWriter,
+    list_segments,
+    replay_wal,
+    wal_state,
+)
+
+__all__ = [
+    "CheckpointError",
+    "DurabilityDegradedError",
+    "DurabilityError",
+    "DurabilityManager",
+    "FSYNC_POLICIES",
+    "ReplayReport",
+    "WalCorruptionError",
+    "WalRecord",
+    "WalWriter",
+    "faults",
+    "list_segments",
+    "load_checkpoint",
+    "open_durable",
+    "replay_wal",
+    "wal_state",
+    "write_checkpoint",
+]

@@ -1,0 +1,121 @@
+"""Atomic checkpoints: the WAL's truncation point.
+
+A checkpoint serialises the store's live collection, its result
+generation, and the serialisable standing-query subscriptions to one JSON
+file.  Publication is atomic -- write a temp file, fsync it, ``os.replace``
+onto the final name, fsync the directory -- so a crash at *any* of the
+named crash points leaves either the previous checkpoint or the new one,
+never a torn hybrid.  Once a checkpoint is durable, every WAL segment
+older than the writer's current segment is dead (all its records are at or
+below the checkpoint generation) and is unlinked by the manager's
+retention pass.
+
+A checkpoint file that exists but cannot be parsed (empty, truncated by
+outside interference, wrong version) raises
+:class:`~repro.core.errors.CheckpointError`: atomic publication means our
+own crash model cannot produce one, so recovery refuses instead of
+silently replaying from an arbitrary baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.errors import CheckpointError
+from repro.durability import faults
+
+__all__ = ["CHECKPOINT_FILE", "load_checkpoint", "write_checkpoint"]
+
+CHECKPOINT_FILE = "checkpoint.json"
+_VERSION = 1
+
+_REQUIRED_KEYS = ("version", "generation", "intervals", "subscriptions", "wal_seq")
+
+
+def checkpoint_path(directory: "Path | str") -> Path:
+    return Path(directory) / CHECKPOINT_FILE
+
+
+def write_checkpoint(
+    directory: "Path | str",
+    *,
+    generation: int,
+    intervals: List[List[int]],
+    subscriptions: List[Dict[str, object]],
+    wal_seq: int,
+) -> Path:
+    """Atomically publish a checkpoint; returns its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    faults.fire("checkpoint.begin")
+    payload = {
+        "version": _VERSION,
+        "generation": int(generation),
+        "intervals": intervals,
+        "subscriptions": subscriptions,
+        "wal_seq": int(wal_seq),
+    }
+    final = checkpoint_path(directory)
+    tmp = final.with_suffix(".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, separators=(",", ":"))
+        handle.flush()
+        os.fsync(handle.fileno())
+    faults.fire("checkpoint.after_tmp_write")
+    os.replace(tmp, final)
+    # fsync the directory so the rename itself is durable
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    faults.fire("checkpoint.after_publish")
+    return final
+
+
+def load_checkpoint(directory: "Path | str") -> Optional[Dict[str, object]]:
+    """The current checkpoint payload, or ``None`` when none was ever written.
+
+    Raises :class:`CheckpointError` on a present-but-unreadable file --
+    deterministic refusal, never a silent empty baseline.  A leftover
+    ``checkpoint.tmp`` (crash before publish) is ignored and removed.
+    """
+    directory = Path(directory)
+    tmp = checkpoint_path(directory).with_suffix(".tmp")
+    if tmp.exists():
+        # an unpublished temp from a crash mid-checkpoint: the previous
+        # checkpoint (or none) is still authoritative
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+    path = checkpoint_path(directory)
+    if not path.exists():
+        return None
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CheckpointError(f"cannot read {path.name}: {exc}") from exc
+    if not raw.strip():
+        raise CheckpointError(
+            f"{path.name} exists but is empty; checkpoints are published "
+            "atomically, so this is damage outside the crash model -- "
+            "remove the file to recover from the WAL alone"
+        )
+    try:
+        payload = json.loads(raw)
+    except ValueError as exc:
+        raise CheckpointError(f"{path.name} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or any(
+        key not in payload for key in _REQUIRED_KEYS
+    ):
+        raise CheckpointError(f"{path.name} is missing required checkpoint fields")
+    if payload["version"] != _VERSION:
+        raise CheckpointError(
+            f"{path.name} has checkpoint version {payload['version']!r}; "
+            f"this build reads version {_VERSION}"
+        )
+    return payload

@@ -1,0 +1,502 @@
+"""The durability manager: WAL + checkpoint lifecycle for one store.
+
+One :class:`DurabilityManager` sits between an
+:class:`~repro.engine.store.IntervalStore` and its WAL directory:
+
+* the store's ``insert``/``delete`` call :meth:`log_insert` /
+  :meth:`log_delete` *before* mutating the index (append-before-apply:
+  a crash after the append replays the op; a crash before it means the op
+  was never acknowledged);
+* generation *syncs* (epoch publications, maintenance passes) are logged
+  from an update listener, so replay restores the exact generation
+  sequence -- the token :class:`~repro.serve.client.StreamClient` acks;
+* :meth:`checkpoint` serialises the live collection + generation +
+  subscription registry, rotates the WAL and unlinks dead segments;
+* an ``OSError`` from the log flips the store into **degraded** mode:
+  reads keep working, further writes raise
+  :class:`~repro.core.errors.DurabilityDegradedError` instead of running
+  without durability, and the flag is surfaced through
+  ``maintenance_state()`` and the serving tier.
+
+:func:`open_durable` is the recovery entry point
+(``IntervalStore.open(wal_dir=...)`` routes here): load the checkpoint,
+replay the log tail with truncate-at-first-bad-record semantics, restore
+the standing-query subscriptions, and hand back a store whose contents,
+generation and subscriptions equal the pre-crash acknowledged state.
+
+Concurrent writers must be serialised externally (the query server's
+update lock does), the same contract the store's update listeners and the
+result cache already have -- the predicted post-commit generation in each
+WAL record relies on log and apply happening in the same order.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.errors import DurabilityDegradedError, ReproError
+from repro.core.interval import Interval, IntervalCollection
+from repro.durability import faults
+from repro.durability.checkpoint import load_checkpoint, write_checkpoint
+from repro.durability.wal import (
+    WalRecord,
+    WalWriter,
+    encode_frame,
+    list_segments,
+    replay_wal,
+    segment_path,
+    wal_state,
+)
+
+__all__ = ["DurabilityManager", "open_durable"]
+
+
+def _generation_floor(store, value: int) -> None:
+    """Force the store's authoritative generation counter to >= ``value``.
+
+    Indexes that own their generation (sharded, hybrid) back it with a
+    ``_mutations`` counter; plain stores count on themselves.  Forward-only
+    (``max``), so replay can call it per record.
+    """
+    if value < 0:
+        return
+    index = store.index
+    if getattr(index, "result_generation", None) is not None:
+        index._mutations = max(int(index._mutations), int(value))
+    else:
+        store._mutations = max(store._mutations, int(value))
+
+
+class DurabilityManager:
+    """WAL appends, checkpoints and degraded-mode state for one store."""
+
+    def __init__(
+        self,
+        store,
+        directory: "Path | str",
+        *,
+        fsync: str = "interval",
+        fsync_interval: float = 0.1,
+        segment_bytes: int = 4 * 1024 * 1024,
+        start_seq: int = 0,
+        checkpoint_generation: int = -1,
+    ) -> None:
+        self._store = store
+        self._directory = Path(directory)
+        self._lock = threading.RLock()
+        self._writer = WalWriter(
+            directory,
+            fsync=fsync,
+            fsync_interval=fsync_interval,
+            segment_bytes=segment_bytes,
+            start_seq=start_seq,
+        )
+        self._degraded = False
+        self._degraded_reason: Optional[str] = None
+        self._replaying = False
+        self._stream = None  # StandingQueryManager, when one exists
+        self._closed = False
+        self.last_checkpoint_generation = int(checkpoint_generation)
+        self.checkpoints = 0
+        self.replayed_records = 0
+        self.replay_skipped = 0
+        self.replay_truncated_bytes = 0
+        self._sync_listener_target = None
+        self._attach_sync_listener()
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+    def _attach_sync_listener(self) -> None:
+        """Log generation syncs so replay restores the exact sequence."""
+        index = getattr(self._store, "index", None)
+        target = index if hasattr(index, "add_update_listener") else self._store
+        if hasattr(target, "add_update_listener"):
+            target.add_update_listener(self._on_store_event)
+            self._sync_listener_target = target
+
+    def _on_store_event(self, op: str, interval, generation: int) -> None:
+        # inserts/deletes were logged before they applied; everything else
+        # ("sync", "maintained", "rebuild") is a generation advance without
+        # a content change, logged so replay lands on the same token
+        if op in ("insert", "delete") or self._replaying:
+            return
+        with self._lock:
+            if self._degraded or self._closed:
+                return
+            try:
+                self._writer.append(
+                    WalRecord(
+                        op="sync",
+                        interval_id=0,
+                        start=0,
+                        end=0,
+                        generation=int(generation),
+                    )
+                )
+            except OSError as exc:
+                # never raise into a maintenance pass: degrade visibly and
+                # let the next explicit write surface the error
+                self._degrade(exc)
+
+    def attach_stream(self, stream) -> None:
+        """Register the standing-query manager whose subscriptions
+        checkpoints should capture (called by the manager itself on
+        construction over a durable store)."""
+        self._stream = stream
+
+    @property
+    def stream(self):
+        return self._stream
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    @property
+    def fsync_policy(self) -> str:
+        return self._writer.fsync_policy
+
+    @property
+    def degraded(self) -> bool:
+        return self._degraded
+
+    @property
+    def degraded_reason(self) -> Optional[str]:
+        return self._degraded_reason
+
+    def state(self) -> Dict[str, object]:
+        """WAL/checkpoint gauges for ``maintenance_state()`` and ``/stats``."""
+        segments, total_bytes = wal_state(self._directory)
+        return {
+            "wal_dir": str(self._directory),
+            "wal_segments": segments,
+            "wal_bytes": total_bytes,
+            "fsync_policy": self._writer.fsync_policy,
+            "last_checkpoint_generation": self.last_checkpoint_generation,
+            "durability_degraded": self._degraded,
+            "degraded_reason": self._degraded_reason,
+            "checkpoints": self.checkpoints,
+            "replayed_records": self.replayed_records,
+            "replay_skipped": self.replay_skipped,
+        }
+
+    # ------------------------------------------------------------------ #
+    # the append-before-apply hooks (called by IntervalStore)
+    # ------------------------------------------------------------------ #
+    def _degrade(self, exc: OSError) -> None:
+        self._degraded = True
+        self._degraded_reason = str(exc)
+
+    def _check_writable(self) -> None:
+        if self._degraded:
+            raise DurabilityDegradedError(
+                "store refuses writes: the write-ahead log could not persist "
+                f"an earlier record ({self._degraded_reason}); reads still "
+                "work -- reopen from the WAL directory to recover"
+            )
+
+    def log_insert(self, interval: Interval) -> None:
+        """Append the insert record (predicted post-commit generation)."""
+        if self._replaying:
+            return
+        with self._lock:
+            self._check_writable()
+            frame = encode_frame(
+                "insert",
+                interval.id,
+                interval.start,
+                interval.end,
+                int(self._store.result_generation()) + 1,
+            )
+            try:
+                self._writer.append_frame(frame)
+            except OSError as exc:
+                self._degrade(exc)
+                raise DurabilityDegradedError(
+                    f"WAL append failed ({exc}); store is now degraded and "
+                    "refuses further writes"
+                ) from exc
+
+    def log_delete(self, interval_id: int, victim: Optional[Interval]) -> None:
+        """Append the delete record (span recorded when resolvable)."""
+        if self._replaying:
+            return
+        with self._lock:
+            self._check_writable()
+            frame = encode_frame(
+                "delete",
+                int(interval_id),
+                victim.start if victim is not None else 0,
+                victim.end if victim is not None else 0,
+                int(self._store.result_generation()) + 1,
+            )
+            try:
+                self._writer.append_frame(frame)
+            except OSError as exc:
+                self._degrade(exc)
+                raise DurabilityDegradedError(
+                    f"WAL append failed ({exc}); store is now degraded and "
+                    "refuses further writes"
+                ) from exc
+
+    def sync(self) -> None:
+        """Force-fsync the current segment (e.g. before acknowledging a
+        batch under ``fsync="interval"``)."""
+        with self._lock:
+            try:
+                self._writer.sync()
+            except OSError as exc:
+                self._degrade(exc)
+                raise DurabilityDegradedError(
+                    f"WAL fsync failed ({exc}); store is now degraded"
+                ) from exc
+
+    # ------------------------------------------------------------------ #
+    # checkpointing + retention
+    # ------------------------------------------------------------------ #
+    def _snapshot_lock(self):
+        index = getattr(self._store, "index", None)
+        lock = getattr(index, "maintenance_lock", None)
+        if lock is None:
+            lock = getattr(index, "_update_lock", None)
+        return lock if lock is not None else contextlib.nullcontext()
+
+    def _live_rows(self) -> List[List[int]]:
+        index = self._store.index
+        if hasattr(index, "live_collection"):
+            collection = index.live_collection()
+            return [
+                [int(i), int(s), int(e)]
+                for i, s, e in zip(collection.ids, collection.starts, collection.ends)
+            ]
+        lookup = index._interval_lookup()
+        return [
+            [int(v.id), int(v.start), int(v.end)]
+            for v in sorted(lookup.values(), key=lambda v: v.id)
+        ]
+
+    def _serialise_subscriptions(self) -> List[Dict[str, object]]:
+        if self._stream is None:
+            return []
+        rows: List[Dict[str, object]] = []
+        registry = self._stream.registry
+        for subscription_id in registry.ids():
+            subscription = registry.get(subscription_id)
+            if subscription is None or subscription.predicate is not None:
+                # python predicates are not serialisable; such subscriptions
+                # do not survive a restart (the client re-subscribes)
+                continue
+            rows.append(
+                {
+                    "subscription_id": subscription.subscription_id,
+                    "start": subscription.query.start,
+                    "end": subscription.query.end,
+                    "relation": (
+                        subscription.relation.value
+                        if subscription.relation is not None
+                        else None
+                    ),
+                    "min_duration": subscription.min_duration,
+                    "max_duration": subscription.max_duration,
+                }
+            )
+        return rows
+
+    def checkpoint(self) -> Dict[str, object]:
+        """Serialise live state, rotate the WAL, unlink dead segments.
+
+        Runs under the store's update-serialisation lock, so the collection,
+        the generation and every WAL record are mutually consistent: after
+        the rotate, every record in an older segment is at or below the
+        checkpoint generation -- those segments are dead once the
+        checkpoint file is durably published.
+        """
+        with self._snapshot_lock():
+            with self._lock:
+                self._check_writable()
+                generation = int(self._store.result_generation())
+                rows = self._live_rows()
+                subscriptions = self._serialise_subscriptions()
+                try:
+                    self._writer.sync()
+                    boundary = self._writer.rotate()
+                    write_checkpoint(
+                        self._directory,
+                        generation=generation,
+                        intervals=rows,
+                        subscriptions=subscriptions,
+                        wal_seq=boundary,
+                    )
+                except OSError as exc:
+                    self._degrade(exc)
+                    raise DurabilityDegradedError(
+                        f"checkpoint failed ({exc}); store is now degraded"
+                    ) from exc
+                removed = self._retain(boundary)
+                self.last_checkpoint_generation = generation
+                self.checkpoints += 1
+        return {
+            "generation": generation,
+            "intervals": len(rows),
+            "subscriptions": len(subscriptions),
+            "wal_segments_removed": removed,
+        }
+
+    def _retain(self, boundary_seq: int) -> int:
+        """Unlink every segment older than ``boundary_seq``; returns count."""
+        removed = 0
+        for seq, path in list_segments(self._directory):
+            if seq >= boundary_seq:
+                continue
+            faults.fire("truncate.before_unlink")
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue  # a stuck segment is waste, not corruption
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # replay (recovery tail application)
+    # ------------------------------------------------------------------ #
+    def replay(self, records: List[WalRecord]) -> int:
+        """Re-apply the log tail through the store, in order.
+
+        The generation counter is floored to each record's predicted value
+        before applying, so update listeners (the restored standing-query
+        delta engine) observe the *original* generations -- exactly what a
+        reconnecting ``StreamClient`` acked.  Records a changed backend can
+        no longer apply are counted in :attr:`replay_skipped`, never
+        silently dropped.
+        """
+        store = self._store
+        applied = 0
+        self._replaying = True
+        try:
+            for record in records:
+                faults.fire("replay.before_apply")
+                if record.op == "sync":
+                    _generation_floor(store, record.generation)
+                    continue
+                _generation_floor(store, record.generation - 1)
+                try:
+                    if record.op == "insert":
+                        store.insert(
+                            Interval(record.interval_id, record.start, record.end)
+                        )
+                    else:
+                        store.delete(record.interval_id)
+                    applied += 1
+                except (ReproError, NotImplementedError):
+                    self.replay_skipped += 1
+        finally:
+            self._replaying = False
+        self.replayed_records += applied
+        return applied
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._sync_listener_target is not None:
+            with contextlib.suppress(Exception):
+                self._sync_listener_target.remove_update_listener(
+                    self._on_store_event
+                )
+            self._sync_listener_target = None
+        with contextlib.suppress(OSError):
+            self._writer.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"DurabilityManager(dir={str(self._directory)!r}, "
+            f"fsync={self.fsync_policy!r}, degraded={self._degraded}, "
+            f"checkpoint_generation={self.last_checkpoint_generation})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# recovery entry point (IntervalStore.open(wal_dir=...) routes here)
+# ---------------------------------------------------------------------- #
+def open_durable(
+    open_fn,
+    collection: IntervalCollection,
+    backend: str,
+    *,
+    wal_dir: "Path | str",
+    fsync: str = "interval",
+    fsync_interval: float = 0.1,
+    segment_bytes: int = 4 * 1024 * 1024,
+    open_kwargs: Optional[Dict[str, object]] = None,
+):
+    """Open (or recover) a durable store over ``wal_dir``.
+
+    A directory with existing durable state wins over the passed
+    ``collection`` -- the checkpoint's intervals plus the replayed log tail
+    *are* the store; the collection argument only seeds a fresh directory.
+    Returns the store with a :class:`DurabilityManager` attached
+    (``store.durability``) and, when the checkpoint carried subscriptions,
+    a restored standing-query manager (``store.restored_stream``) whose
+    delta logs serve polls from the pre-crash acked generations.
+    """
+    directory = Path(wal_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = load_checkpoint(directory)  # CheckpointError on damage
+    records, report = replay_wal(directory)  # WalCorruptionError on damage
+    segments = list_segments(directory)
+    next_seq = segments[-1][0] + 1 if segments else 0
+
+    checkpoint_generation = int(payload["generation"]) if payload else -1
+    if payload is not None:
+        base = IntervalCollection.from_intervals(
+            Interval(int(i), int(s), int(e)) for i, s, e in payload["intervals"]
+        )
+    else:
+        base = collection
+
+    store = open_fn(base, backend, **(open_kwargs or {}))
+    _generation_floor(store, checkpoint_generation)
+    manager = DurabilityManager(
+        store,
+        directory,
+        fsync=fsync,
+        fsync_interval=fsync_interval,
+        segment_bytes=segment_bytes,
+        start_seq=next_seq,
+        checkpoint_generation=checkpoint_generation,
+    )
+    manager.replay_truncated_bytes = report.truncated_bytes
+    store._durability = manager
+    index = store.index
+    try:
+        index.durability_manager = manager
+    except AttributeError:  # __slots__ backends: state stays on the store
+        pass
+
+    subscriptions = payload["subscriptions"] if payload else []
+    if subscriptions:
+        from repro.stream.deltas import StandingQueryManager
+
+        stream = StandingQueryManager.restore(
+            store, subscriptions, generation=checkpoint_generation
+        )
+        store._restored_stream = stream
+
+    tail = [r for r in records if r.generation > checkpoint_generation]
+    replayed = manager.replay(tail)
+    if store._restored_stream is not None:
+        store._restored_stream.note_generation(int(store.result_generation()))
+    if payload is None or replayed or report.truncated_bytes:
+        # fresh directory, or a tail was replayed: publish a checkpoint so
+        # the next open starts from a compact baseline (and a fresh dir is
+        # never without one)
+        manager.checkpoint()
+    return store

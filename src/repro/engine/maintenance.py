@@ -582,6 +582,9 @@ class MaintenanceConfig:
             skew never triggers -- it reflects the chosen strategy).
         refresh_snapshot: republish the shared-memory snapshot after a pass
             that left the index update-dirty (process executors only).
+        checkpoint: end every pass by writing a durability checkpoint and
+            truncating dead WAL segments (durable stores only -- a no-op
+            when the target has no :class:`~repro.durability.manager.DurabilityManager`).
         idle_seconds: background thread only maintains after the index has
             been idle this long.
         interval_seconds: background thread wake-up period.
@@ -593,6 +596,7 @@ class MaintenanceConfig:
     repartition: bool = True
     skew_threshold: float = 1.5
     refresh_snapshot: bool = True
+    checkpoint: bool = False
     idle_seconds: float = 0.5
     interval_seconds: float = 5.0
 
@@ -616,6 +620,11 @@ class MaintenanceReport:
             kernels were shipping per task, retired by this pass's
             snapshot publication (the fresh snapshot folds them in, so
             the per-task delta log restarts empty).
+        checkpointed: True when the pass wrote a durability checkpoint.
+        checkpoint_generation: the checkpointed ``result_generation``
+            (meaningful only when ``checkpointed``).
+        wal_segments_truncated: dead WAL segments unlinked by the
+            checkpoint's retention pass.
         generation: snapshot residency-token generation after the pass.
         seconds: wall-clock duration of the pass.
     """
@@ -628,6 +637,9 @@ class MaintenanceReport:
     skew: float = 0.0
     snapshot_refreshed: bool = False
     kernel_deltas_cleared: int = 0
+    checkpointed: bool = False
+    checkpoint_generation: int = -1
+    wal_segments_truncated: int = 0
     generation: int = 0
     seconds: float = 0.0
 
@@ -640,6 +652,7 @@ class MaintenanceReport:
             + len(self.replicas_rebuilt)
             + (1 if self.repartitioned else 0)
             + (1 if self.snapshot_refreshed else 0)
+            + (1 if self.checkpointed else 0)
         )
 
     def summary(self) -> str:
@@ -656,6 +669,11 @@ class MaintenanceReport:
             if self.kernel_deltas_cleared:
                 refreshed += f", retired {self.kernel_deltas_cleared} kernel delta ops"
             parts.append(refreshed + ")")
+        if self.checkpointed:
+            parts.append(
+                f"checkpointed @ generation {self.checkpoint_generation} "
+                f"({self.wal_segments_truncated} WAL segments truncated)"
+            )
         if len(parts) == 1 and not self.folded_ops:
             parts = ["nothing to do"]
         return "; ".join(parts) + f" in {self.seconds * 1000:.1f}ms"
@@ -688,6 +706,9 @@ class MaintenanceCoordinator:
         policy: Union[RebuildPolicy, str, None] = None,
     ) -> None:
         self._index = getattr(target, "index", target)
+        # keep the store too (when one was passed): checkpoint integration
+        # reaches the durability manager through it
+        self._target = target
         # opt the index into activity timestamps: the hot query paths skip
         # the clock read until someone actually watches for idle windows
         if hasattr(self._index, "activity_tracking"):
@@ -813,16 +834,24 @@ class MaintenanceCoordinator:
             state.update(index.maintenance_state())
         else:
             state["delta_size"] = int(getattr(index, "delta_size", 0))
+        durability = self._durability_manager()
+        if durability is not None and "wal_segments" not in state:
+            # plain durable stores: the sharded path already merged these
+            # through ShardedIndex.maintenance_state()
+            state.update(durability.state())
         return state
 
     # ------------------------------------------------------------------ #
     # the maintenance pass
     # ------------------------------------------------------------------ #
-    def maintain(self, force: bool = False) -> MaintenanceReport:
+    def maintain(self, force: bool = False, checkpoint: bool = False) -> MaintenanceReport:
         """Run one full maintenance pass; returns what it did.
 
         ``force`` rebuilds every shard with a non-empty delta, re-publishes
         the snapshot even when clean, but still re-partitions only on skew.
+        ``checkpoint`` (or ``config.checkpoint``) ends the pass by writing
+        a durability checkpoint and truncating dead WAL segments -- a
+        silent no-op when the target store is not durable.
         """
         with self._lock:
             started = time.perf_counter()
@@ -832,10 +861,34 @@ class MaintenanceCoordinator:
             else:
                 self._maintain_plain(report, force)
             self._queries_at_last_maintain = self._query_ops()
+            self._emit_maintained()
+            if checkpoint or self._config.checkpoint:
+                self._checkpoint(report)
             report.seconds = time.perf_counter() - started
             self._reports.append(report)
-            self._emit_maintained()
             return report
+
+    def _durability_manager(self):
+        """The target store's durability manager, when the store is durable."""
+        manager = getattr(self._target, "durability", None)
+        if manager is None:
+            manager = getattr(self._index, "durability_manager", None)
+        return manager
+
+    def _checkpoint(self, report: MaintenanceReport) -> None:
+        """Checkpoint the durable store after the pass reorganised it.
+
+        Runs *after* :meth:`_emit_maintained` so the checkpointed
+        generation includes the pass's own sync advance -- a client acked
+        at the post-maintenance generation is covered by this checkpoint.
+        """
+        manager = self._durability_manager()
+        if manager is None:
+            return
+        result = manager.checkpoint()
+        report.checkpointed = True
+        report.checkpoint_generation = int(result["generation"])
+        report.wal_segments_truncated = int(result["wal_segments_removed"])
 
     def _emit_maintained(self) -> None:
         """Tell update listeners a pass finished (a ``sync``, never a delta).

@@ -832,6 +832,14 @@ class ShardedIndex(IntervalIndex):
         """Ingest/maintenance snapshot: pending depths, deltas, generations."""
         epoch = self._epoch
         journal = epoch.journal
+        state = self._maintenance_state_base(epoch, journal)
+        durability = getattr(self, "durability_manager", None)
+        if durability is not None:
+            # WAL/checkpoint gauges of a durable store (open(wal_dir=...))
+            state.update(durability.state())
+        return state
+
+    def _maintenance_state_base(self, epoch, journal) -> Dict[str, object]:
         return {
             "num_shards": epoch.plan.num_shards,
             "cuts": tuple(epoch.plan.cuts),
@@ -1755,6 +1763,8 @@ class ShardedStore(IntervalStore):
             # join, so an in-flight pass cannot republish a snapshot that
             # index.close() is about to unlink (see IntervalStore.close)
             self._maintenance.stop(wait=True)
+        if self._durability is not None:
+            self._durability.close()
         self.index.close()
 
     def __enter__(self) -> "ShardedStore":

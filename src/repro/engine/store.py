@@ -148,6 +148,12 @@ class IntervalStore:
         )
         self._executor = resolve_executor(executor, workers)
         self._maintenance = None  # lazily created MaintenanceCoordinator
+        #: the WAL/checkpoint manager of a durable store (``open(wal_dir=...)``)
+        self._durability = None
+        #: a StandingQueryManager recovered from a checkpoint's subscription
+        #: registry (hand it to ``QueryServer(stream=...)`` so StreamClients
+        #: catch up from their last ack instead of resyncing)
+        self._restored_stream = None
         #: store-level content-version counter, for indexes that do not track
         #: their own (see :meth:`result_generation`)
         self._mutations = 0
@@ -170,6 +176,8 @@ class IntervalStore:
         executor: "Executor | int | str | None" = None,
         replication_factor: int = 1,
         routing: str = "round_robin",
+        wal_dir: "str | None" = None,
+        fsync: str = "interval",
         **opts,
     ) -> "IntervalStore":
         """Index ``collection`` with a registered backend.
@@ -202,7 +210,35 @@ class IntervalStore:
         :mod:`repro.engine.replication`); it forces the sharded execution
         architecture even at ``num_shards=1``, since replication lives in
         the sharded layer.
+
+        ``wal_dir`` makes the store *durable*: every insert/delete is
+        appended to a checksummed write-ahead log in that directory before
+        it mutates the index, and an existing directory is **recovered** --
+        checkpoint plus log tail replayed, ``result_generation`` and
+        standing-query subscriptions restored -- in which case the durable
+        state wins over the passed ``collection``.  ``fsync`` picks the
+        durability/throughput trade (``"always"``/``"interval"``/``"off"``,
+        see :mod:`repro.durability.wal`).
         """
+        if wal_dir is not None:
+            from repro.durability.manager import open_durable
+
+            return open_durable(
+                cls.open,
+                collection,
+                backend,
+                wal_dir=wal_dir,
+                fsync=fsync,
+                open_kwargs=dict(
+                    num_shards=num_shards,
+                    strategy=strategy,
+                    workers=workers,
+                    executor=executor,
+                    replication_factor=replication_factor,
+                    routing=routing,
+                    **opts,
+                ),
+            )
         if num_shards == "auto":
             from repro.engine.maintenance import recommend_shard_count
 
@@ -282,6 +318,21 @@ class IntervalStore:
         """The executor driving :meth:`run_batch`."""
         return self._executor
 
+    @property
+    def durability(self):
+        """The :class:`~repro.durability.manager.DurabilityManager` of a
+        durable store (``open(wal_dir=...)``), ``None`` otherwise."""
+        return self._durability
+
+    @property
+    def restored_stream(self):
+        """A :class:`~repro.stream.deltas.StandingQueryManager` recovered
+        from the checkpoint's subscription registry, ``None`` when the
+        store was not recovered (or had no subscriptions).  Hand it to
+        ``QueryServer(stream=...)`` so reconnecting ``StreamClient``\\s
+        catch up from their last acked generation instead of resyncing."""
+        return self._restored_stream
+
     def __len__(self) -> int:
         return len(self._index)
 
@@ -307,6 +358,8 @@ class IntervalStore:
             # otherwise republish a shared-memory snapshot after close()
             # unlinked it, leaking the segment until interpreter exit
             self._maintenance.stop(wait=True)
+        if self._durability is not None:
+            self._durability.close()
         if self._owns_executor:
             self._executor.close()
 
@@ -362,7 +415,14 @@ class IntervalStore:
     # updates (delegated; backends may not support them)
     # ------------------------------------------------------------------ #
     def insert(self, interval: Interval) -> None:
-        """Insert one interval (raises on static backends)."""
+        """Insert one interval (raises on static backends).
+
+        Durable stores append the op to the write-ahead log *before* the
+        index mutates: a crash after the append replays it on the next
+        open, a crash before it means the insert was never acknowledged.
+        """
+        if self._durability is not None:
+            self._durability.log_insert(interval)
         self._index.insert(interval)
         self._mutations += 1
         if self._update_listeners:
@@ -371,11 +431,13 @@ class IntervalStore:
     def delete(self, interval_id: int) -> bool:
         """Delete an interval by id; True when the id was live."""
         victim: Optional[Interval] = None
-        if self._update_listeners:
+        if self._update_listeners or self._durability is not None:
             # resolve the span before the index forgets it: listeners (the
             # standing-query delta engine) route the delta by the deleted
-            # interval's range
+            # interval's range, and the WAL records it for debuggability
             victim = self._index._resolve_interval(interval_id)
+        if self._durability is not None:
+            self._durability.log_delete(interval_id, victim)
         found = self._index.delete(interval_id)
         if found:
             self._mutations += 1
@@ -453,12 +515,20 @@ class IntervalStore:
         if config is not None or policy is not None or self._maintenance is None:
             if self._maintenance is not None:
                 self._maintenance.stop(wait=False)
+            # hand the coordinator the store, not the raw index: checkpoint
+            # integration needs the store's durability manager
             self._maintenance = MaintenanceCoordinator(
-                self._index, config=config, policy=policy
+                self, config=config, policy=policy
             )
         return self._maintenance
 
-    def maintain(self, force: bool = False):
+    def maintain(self, force: bool = False, checkpoint: bool = False):
         """Run one maintenance pass; returns the
-        :class:`~repro.engine.maintenance.MaintenanceReport`."""
-        return self.maintenance().maintain(force=force)
+        :class:`~repro.engine.maintenance.MaintenanceReport`.
+
+        ``checkpoint=True`` additionally serialises the live collection +
+        generation + subscription registry to the durable store's
+        checkpoint file and truncates dead WAL segments (requires
+        ``open(wal_dir=...)``).
+        """
+        return self.maintenance().maintain(force=force, checkpoint=checkpoint)

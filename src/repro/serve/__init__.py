@@ -27,7 +27,13 @@ from repro.serve.cache import (
     normalize_query_key,
     resolve_cache,
 )
-from repro.serve.client import ServeClient, ServerError, ServerOverloaded, StreamClient
+from repro.serve.client import (
+    ServeClient,
+    ServerError,
+    ServerOverloaded,
+    ServerUnavailableError,
+    StreamClient,
+)
 from repro.serve.server import QueryServer, ServerHandle, start_server_thread
 
 __all__ = [
@@ -38,6 +44,7 @@ __all__ = [
     "ServerError",
     "ServerHandle",
     "ServerOverloaded",
+    "ServerUnavailableError",
     "StaleResult",
     "StreamClient",
     "normalize_query_key",

@@ -15,9 +15,19 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
+import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["ServeClient", "ServerError", "ServerOverloaded", "StreamClient"]
+from repro.core.errors import ReproError
+
+__all__ = [
+    "ServeClient",
+    "ServerError",
+    "ServerOverloaded",
+    "ServerUnavailableError",
+    "StreamClient",
+]
 
 
 class ServerError(RuntimeError):
@@ -33,18 +43,65 @@ class ServerOverloaded(ServerError):
     """503: admission control rejected the request (back off and retry)."""
 
 
+class ServerUnavailableError(ReproError, ConnectionError):
+    """The server could not be reached (after the client's bounded retries).
+
+    Replaces the raw ``OSError``/``http.client`` exceptions the transport
+    produces; the client's socket has already been torn down when this is
+    raised.  Subclasses ``ConnectionError`` so existing callers that caught
+    connection failures keep working.
+    """
+
+    def __init__(self, host: str, port: int, attempts: int, cause: Exception):
+        super().__init__(
+            f"query server {host}:{port} unavailable after {attempts} "
+            f"attempt{'s' if attempts != 1 else ''}: {cause}"
+        )
+        self.host = host
+        self.port = port
+        self.attempts = attempts
+        self.cause = cause
+
+
 class ServeClient:
     """JSON-over-HTTP client for one :class:`repro.serve.server.QueryServer`.
 
     Args:
         host / port: the server address (see ``ServerHandle.port``).
-        timeout: per-request socket timeout in seconds.
+        timeout: per-request socket timeout in seconds (long-poll requests
+            stretch it to cover their server-side wait).
+        retries: connection attempts per idempotent request before giving
+            up with :class:`ServerUnavailableError` (the socket is torn
+            down first).  Non-idempotent updates never auto-retry -- the
+            first attempt may have been applied before the connection died.
+        backoff: base of the jittered exponential backoff between retries
+            (``backoff * 2**n`` seconds plus up to 50% jitter, capped at
+            ``backoff_cap``).
+        retry_overloaded: also retry 503 admission rejections, honouring
+            the server's ``Retry-After`` hint.  Off by default: admission
+            control *wants* the caller to decide (shed load, try another
+            replica); long-lived consumers like :class:`StreamClient` turn
+            it on.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30.0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = 30.0,
+        *,
+        retries: int = 2,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+        retry_overloaded: bool = False,
+    ):
         self._host = host
         self._port = port
         self._timeout = timeout
+        self._retries = max(0, int(retries))
+        self._backoff = max(0.0, float(backoff))
+        self._backoff_cap = max(self._backoff, float(backoff_cap))
+        self._retry_overloaded = bool(retry_overloaded)
         self._connection: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------------ #
@@ -65,41 +122,73 @@ class ServeClient:
     #: would double-apply it
     _RETRYABLE_PATHS = ("/query", "/batch", "/stats", "/health", "/poll-deltas")
 
+    def _sleep_backoff(self, attempt: int, floor: float = 0.0) -> None:
+        """Jittered exponential backoff before retry number ``attempt``."""
+        delay = min(self._backoff_cap, self._backoff * (2 ** attempt))
+        delay = max(floor, delay)
+        if delay > 0:
+            # up to 50% jitter de-synchronises clients retrying in lockstep
+            time.sleep(delay * (1.0 + random.random() * 0.5))
+
     def _request(
-        self, method: str, path: str, payload: Optional[Dict[str, object]] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]] = None,
+        *,
+        timeout: Optional[float] = None,
     ) -> Dict[str, object]:
-        if self._connection is None:
-            self._connection = http.client.HTTPConnection(
-                self._host, self._port, timeout=self._timeout
-            )
         body = json.dumps(payload).encode() if payload is not None else None
         headers = {"Content-Type": "application/json"} if body else {}
         retryable = method == "GET" or any(
             path.split("?", 1)[0] == prefix for prefix in self._RETRYABLE_PATHS
         )
-        try:
-            self._connection.request(method, path, body=body, headers=headers)
-            response = self._connection.getresponse()
-            raw = response.read()
-        except (http.client.HTTPException, ConnectionError, OSError):
-            # a dropped keep-alive connection (server drained, idle timeout)
-            # is re-established once for read-only requests; non-idempotent
-            # updates propagate the failure -- the caller must decide
-            self.close()
-            if not retryable:
-                raise
-            self._connection = http.client.HTTPConnection(
-                self._host, self._port, timeout=self._timeout
-            )
-            self._connection.request(method, path, body=body, headers=headers)
-            response = self._connection.getresponse()
-            raw = response.read()
-        decoded = json.loads(raw) if raw else {}
-        if response.status == 503:
-            raise ServerOverloaded(response.status, decoded)
-        if response.status >= 400:
-            raise ServerError(response.status, decoded)
-        return decoded
+        request_timeout = timeout if timeout is not None else self._timeout
+        # connection resets retry only for idempotent paths; updates
+        # (/insert, /delete, /maintain) fail fast -- the first attempt may
+        # have been applied before the connection died, and a blind
+        # re-send would double-apply it
+        attempts = (1 + self._retries) if retryable else 1
+        attempt = 0
+        while True:
+            if self._connection is None:
+                self._connection = http.client.HTTPConnection(
+                    self._host, self._port, timeout=request_timeout
+                )
+            elif self._connection.timeout != request_timeout:
+                # per-request timeout override (long-polls stretch it)
+                self._connection.timeout = request_timeout
+                if self._connection.sock is not None:
+                    self._connection.sock.settimeout(request_timeout)
+            try:
+                self._connection.request(method, path, body=body, headers=headers)
+                response = self._connection.getresponse()
+                raw = response.read()
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                # a dropped keep-alive connection (server drained, idle
+                # timeout, restart): tear the socket down, back off, retry
+                # within the bound -- then surface a typed error, never a
+                # raw OSError with a half-open socket behind it
+                self.close()
+                attempt += 1
+                if attempt >= attempts:
+                    raise ServerUnavailableError(
+                        self._host, self._port, attempt, exc
+                    ) from exc
+                self._sleep_backoff(attempt - 1)
+                continue
+            decoded = json.loads(raw) if raw else {}
+            if response.status == 503:
+                if self._retry_overloaded and attempt + 1 < attempts:
+                    attempt += 1
+                    retry_after = decoded.get("retry_after")
+                    floor = float(retry_after) if retry_after else 0.0
+                    self._sleep_backoff(attempt - 1, floor=floor)
+                    continue
+                raise ServerOverloaded(response.status, decoded)
+            if response.status >= 400:
+                raise ServerError(response.status, decoded)
+            return decoded
 
     # ------------------------------------------------------------------ #
     # endpoints
@@ -218,11 +307,16 @@ class ServeClient:
     def poll_deltas(
         self, subscription_id: int, after: int, timeout: float = 30.0
     ) -> Dict[str, object]:
-        """One long-poll round against a subscription's delta log."""
+        """One long-poll round against a subscription's delta log.
+
+        The socket timeout is stretched past the requested long-poll wait,
+        so a quiet subscription is not misread as a dead server.
+        """
         return self._request(
             "POST",
             "/poll-deltas",
             {"subscription_id": subscription_id, "after": after, "timeout": timeout},
+            timeout=max(self._timeout, timeout + 10.0),
         )
 
 
@@ -242,11 +336,28 @@ class StreamClient:
     """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 60.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = 60.0,
+        *,
+        retries: int = 2,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
     ) -> None:
         self._host = host
         self._port = port
-        self._client = ServeClient(host, port, timeout=timeout)
+        # a stream consumer is long-lived and idempotent end to end (polls
+        # re-send the last ack), so it opts into 503 retries too
+        self._client = ServeClient(
+            host,
+            port,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            backoff_cap=backoff_cap,
+            retry_overloaded=True,
+        )
         self._subscription_id: Optional[int] = None
         self._generation = -1
         self._ids: set = set()
@@ -364,13 +475,19 @@ class StreamClient:
             }
         ).encode()
         try:
-            connection.request(
-                "POST",
-                "/poll-deltas",
-                body=body,
-                headers={"Content-Type": "application/json"},
-            )
-            response = connection.getresponse()
+            try:
+                connection.request(
+                    "POST",
+                    "/poll-deltas",
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                # the dedicated streaming connection has no retry loop (the
+                # caller re-enters stream() with the preserved ack); still
+                # surface the same typed error the request path does
+                raise ServerUnavailableError(self._host, self._port, 1, exc) from exc
             if response.status >= 400:
                 raw = response.read()
                 decoded = json.loads(raw) if raw else {}

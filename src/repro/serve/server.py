@@ -76,7 +76,7 @@ from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.core.base import QueryStats
-from repro.core.errors import ReproError
+from repro.core.errors import DurabilityDegradedError, ReproError
 from repro.core.interval import Interval, Query
 from repro.engine.store import IntervalStore
 from repro.serve.cache import (
@@ -275,9 +275,15 @@ class QueryServer:
                     "deltas_emitted": 0.0,
                     "deltas_coalesced": 0.0,
                     "catchup_resyncs": 0.0,
+                    "poller_lag": 0.0,
+                    "slowest_poller_lag": 0.0,
                 }
             ),
         }
+        durability = getattr(self._store, "durability", None)
+        if durability is not None:
+            state["durability"] = durability.state()
+            state["durability_degraded"] = durability.degraded
         index = self._store.index
         if hasattr(index, "epoch"):
             state["epoch"] = index.epoch
@@ -573,8 +579,20 @@ class QueryServer:
             for key, values in parse_qs(parts.query).items():
                 payload.setdefault(key, values[0])
         if path == "/health":
+            # degraded (WAL can no longer persist writes) stays 200: reads
+            # still work, so load balancers keep routing them -- the flag
+            # tells operators writes are being refused
+            durability = getattr(self._store, "durability", None)
+            degraded = durability is not None and durability.degraded
             status = 503 if self._draining else 200
-            return status, _encode({"status": "draining" if self._draining else "ok"})
+            body: Dict[str, object] = {
+                "status": "draining"
+                if self._draining
+                else ("degraded" if degraded else "ok")
+            }
+            if durability is not None:
+                body["durability_degraded"] = degraded
+            return status, _encode(body)
         if path == "/stats":
             return 200, _encode(self.serving_stats())
         if path == "/query":
@@ -907,6 +925,11 @@ class QueryServer:
         try:
             async with self._update_lock:
                 await self._loop.run_in_executor(None, self._store.insert, interval)
+        except DurabilityDegradedError as exc:
+            # the WAL could not persist the record: refuse the write
+            # loudly (503, no Retry-After -- degraded does not self-heal)
+            # instead of acknowledging an update a crash would lose
+            raise _Reject(503, str(exc)) from exc
         finally:
             self._release()
         self._updates += 1
@@ -924,6 +947,8 @@ class QueryServer:
                 found = await self._loop.run_in_executor(
                     None, self._store.delete, interval_id
                 )
+        except DurabilityDegradedError as exc:
+            raise _Reject(503, str(exc)) from exc
         finally:
             self._release()
         self._updates += 1

@@ -117,6 +117,62 @@ class StandingQueryManager:
         # update path publishes gauges per op, so this must stay O(1)
         self._emitter = None
         self.attach()
+        # durable stores checkpoint the subscription registry: tell the
+        # durability manager whose subscriptions to serialise
+        durability = getattr(store, "durability", None)
+        if durability is not None:
+            durability.attach_stream(self)
+
+    # ------------------------------------------------------------------ #
+    # recovery
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def restore(
+        cls,
+        store,
+        subscriptions,
+        *,
+        generation: int,
+        log_capacity: int = 256,
+        max_coalesced_ids: int = 4096,
+    ) -> "StandingQueryManager":
+        """Rebuild a manager from a checkpoint's subscription rows.
+
+        Each restored subscription keeps its pre-crash id and gets a fresh
+        delta log whose truncation floor is the checkpoint ``generation``:
+        a client acked at or past it catches up exactly from the replayed
+        WAL tail (the restore runs *before* replay, so replay's listener
+        events land in these logs with their original generations); one
+        acked below it gets an explicit ``resync_required``.
+        """
+        manager = cls(
+            store,
+            log_capacity=log_capacity,
+            max_coalesced_ids=max_coalesced_ids,
+        )
+        with manager._lock:
+            for row in subscriptions:
+                query = Query(int(row["start"]), int(row["end"]))
+                subscription = manager._registry.restore(
+                    int(row["subscription_id"]),
+                    query,
+                    relation=row.get("relation"),
+                    min_duration=int(row.get("min_duration", 0) or 0),
+                    max_duration=row.get("max_duration"),
+                )
+                log = DeltaLog(
+                    capacity=log_capacity, max_coalesced_ids=max_coalesced_ids
+                )
+                log.mark_truncated(int(generation))
+                manager._logs[subscription.subscription_id] = log
+            manager._seen_generation = max(manager._seen_generation, int(generation))
+            manager._publish_gauges_locked()
+        return manager
+
+    def note_generation(self, generation: int) -> None:
+        """Advance the seen generation (recovery calls this after replay)."""
+        with self._lock:
+            self._seen_generation = max(self._seen_generation, int(generation))
 
     # ------------------------------------------------------------------ #
     # wiring
@@ -362,11 +418,23 @@ class StandingQueryManager:
 
     def _gauges_locked(self) -> Dict[str, float]:
         coalesced = self._coalesced_retired + self._coalesced_live
+        # per-poller backpressure: records still retained per subscription
+        # = how far its consumer lags behind the head (acked records are
+        # pruned on every poll, so an up-to-date poller holds zero)
+        slowest = 0
+        total_lag = 0
+        for log in self._logs.values():
+            lag = len(log)
+            total_lag += lag
+            if lag > slowest:
+                slowest = lag
         return {
             "subscriptions_active": float(len(self._registry)),
             "deltas_emitted": float(self._deltas_emitted),
             "deltas_coalesced": float(coalesced),
             "catchup_resyncs": float(self._catchup_resyncs),
+            "poller_lag": float(total_lag),
+            "slowest_poller_lag": float(slowest),
         }
 
     def _publish_gauges_locked(self) -> None:

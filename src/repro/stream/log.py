@@ -190,6 +190,17 @@ class DeltaLog:
             return [], True
         return records, False
 
+    def mark_truncated(self, generation: int) -> None:
+        """Declare generations at or below ``generation`` unreplayable.
+
+        The recovery path uses this on restored subscription logs: deltas
+        up to the checkpoint generation were delivered (or lost) before the
+        crash and cannot be regenerated, so a client acked *below* the
+        checkpoint must resync, while one acked at or past it catches up
+        from the replayed tail exactly.
+        """
+        self._truncated_generation = max(self._truncated_generation, int(generation))
+
     def ack(self, acked_generation: int) -> int:
         """Drop records the client confirmed; returns how many were pruned."""
         pruned = 0

@@ -170,6 +170,51 @@ class SubscriptionRegistry:
                 self._build_index()
             return subscription
 
+    def restore(
+        self,
+        subscription_id: int,
+        query: Query,
+        *,
+        relation: "AllenRelation | str | None" = None,
+        min_duration: int = 0,
+        max_duration: Optional[int] = None,
+    ) -> Subscription:
+        """Re-register a checkpointed subscription under its original id.
+
+        The recovery path replays the subscription registry from a
+        checkpoint; keeping the pre-crash ids is what lets a reconnecting
+        client keep polling the subscription it already holds.  Fresh
+        registrations continue past the highest restored id.
+        """
+        relation = parse_relation(relation)
+        with self._lock:
+            if subscription_id in self._subscriptions:
+                raise ReproError(
+                    f"subscription {subscription_id} already registered; "
+                    "restore() is for recovery into a fresh registry"
+                )
+            subscription = Subscription(
+                subscription_id=int(subscription_id),
+                query=query,
+                relation=relation,
+                min_duration=min_duration,
+                max_duration=max_duration,
+            )
+            self._next_id = max(self._next_id, subscription.subscription_id + 1)
+            self._subscriptions[subscription.subscription_id] = subscription
+            if not subscription.range_prunable:
+                self._unbounded[subscription.subscription_id] = subscription
+            elif self._store is not None:
+                self._store.insert(
+                    Interval(subscription.subscription_id, query.start, query.end)
+                )
+            elif (
+                len(self._subscriptions) - len(self._unbounded)
+                >= self._index_threshold
+            ):
+                self._build_index()
+            return subscription
+
     def unregister(self, subscription_id: int) -> bool:
         """Remove a subscription; True when it existed."""
         with self._lock:

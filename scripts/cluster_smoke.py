@@ -1,0 +1,364 @@
+#!/usr/bin/env python
+"""Cluster smoke: concurrent clients through the front-tier router,
+oracle-checked, with replica kills and follower promotions between rounds.
+
+The CI job runs this under a timeout guard.  A 2-shard topology goes up
+in-process, each shard as three nodes:
+
+* a **leader** shard server over a durable (WAL-backed) store,
+* a **spare** replica over a plain in-memory copy (kept in sync by the
+  write router's all-replica broadcast),
+* a **follower** -- a :class:`~repro.cluster.follower.ClusterFollower`
+  bootstrapped from the leader's checkpoint and continuously replaying its
+  shipped WAL; its read-only server is a routable read replica.
+
+Rounds then alternate read and fault phases:
+
+* **concurrent reads** -- client threads (each with its own
+  :class:`ClusterRouter`, small front-tier cache) fire a skewed hot/cold
+  mix of range, count and existence queries; every answer is checked
+  against a brute-force oracle over the live set;
+* **updates** -- inserts/deletes broadcast through a write router to every
+  writable replica, the oracle updated in lockstep; followers must catch
+  up (applied generation == leader generation) before the next read phase;
+* **faults between rounds** -- maintenance on a leader (forcing WAL
+  rotation, hence follower resyncs), killing a spare replica (reads must
+  fail over), and stopping a leader outright followed by HTTP promotion of
+  its follower (reads fail over to the promoted node; writes re-route to
+  it).  Dead endpoints stay in the read topology on purpose -- every later
+  read exercises failover past them.
+
+Any divergence raises, failing the job.
+
+Usage::
+
+    PYTHONPATH=src python scripts/cluster_smoke.py --rounds 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.cluster import ClusterFollower, ClusterRouter, ClusterTopology  # noqa: E402
+from repro.cluster.shard_server import start_shard_server_thread  # noqa: E402
+from repro.core.interval import Query  # noqa: E402
+from repro.datasets.real_like import REAL_DATASET_PROFILES, generate_real_like  # noqa: E402
+from repro.engine import IntervalStore  # noqa: E402
+from repro.engine.sharding import ShardPlan, shard_mask  # noqa: E402
+from repro.serve.client import ServeClient  # noqa: E402
+
+
+def _oracle_ids(live: dict, query: Query) -> set:
+    return {
+        interval_id
+        for interval_id, (start, end) in live.items()
+        if start <= query.end and query.start <= end
+    }
+
+
+class _Shard:
+    """One shard's nodes: durable leader, in-memory spare, warm follower."""
+
+    def __init__(self, shard_id, rows, backend, wal_dir):
+        self.shard_id = shard_id
+        self.leader_store = IntervalStore.open(
+            rows, backend, wal_dir=str(wal_dir), fsync="always"
+        )
+        self.leader = start_shard_server_thread(
+            self.leader_store, host="127.0.0.1", port=0, shard_id=shard_id
+        )
+        self.spare_store = IntervalStore.open(rows, backend)
+        self.spare = start_shard_server_thread(
+            self.spare_store, host="127.0.0.1", port=0, shard_id=shard_id
+        )
+        self.follower = ClusterFollower(
+            "127.0.0.1", self.leader.port, backend=backend,
+            shard_id=shard_id, poll_timeout=2.0,
+        ).start()
+        self.leader_alive = True
+        self.spare_alive = True
+        self.promoted = False
+
+    def read_endpoints(self):
+        # dead endpoints stay listed: later reads must fail over past them
+        return [
+            ("127.0.0.1", self.leader.port),
+            ("127.0.0.1", self.spare.port),
+            ("127.0.0.1", self.follower.port),
+        ]
+
+    def write_endpoints(self):
+        endpoints = []
+        if self.leader_alive:
+            endpoints.append(("127.0.0.1", self.leader.port))
+        if self.spare_alive:
+            endpoints.append(("127.0.0.1", self.spare.port))
+        if self.promoted:
+            endpoints.append(("127.0.0.1", self.follower.port))
+        return endpoints
+
+    def writable_count(self):
+        return len(self.write_endpoints())
+
+    def serving_generation(self):
+        if self.promoted:
+            return self.follower.applied_generation()
+        return int(self.leader_store.result_generation())
+
+    def await_follower(self, timeout=30.0):
+        """Shipping is asynchronous: block until the standby caught up."""
+        if self.promoted or not self.leader_alive:
+            return
+        target = int(self.leader_store.result_generation())
+        deadline = time.monotonic() + timeout
+        while self.follower.applied_generation() < target:
+            if time.monotonic() > deadline:
+                raise SystemExit(
+                    f"shard {self.shard_id}: follower stuck at "
+                    f"{self.follower.applied_generation()} < {target} "
+                    f"(resyncs={self.follower.resyncs}, "
+                    f"errors={self.follower.feed_errors})"
+                )
+            time.sleep(0.005)
+
+    def kill_spare(self):
+        self.spare.stop()
+        self.spare_alive = False
+
+    def promote(self):
+        """Stop the leader, then take over via the follower's own HTTP."""
+        self.await_follower()
+        self.leader.stop()
+        self.leader_store.close()
+        self.leader_alive = False
+        with ServeClient("127.0.0.1", self.follower.port, timeout=30.0) as client:
+            promotion = client.request("POST", "/promote")
+            info = client.request("GET", "/cluster-info")
+        if info.get("role") != "leader" or info.get("read_only"):
+            raise SystemExit(f"shard {self.shard_id}: promotion did not flip: {info}")
+        self.promoted = True
+        return promotion
+
+    def close(self):
+        self.follower.stop()
+        for handle, alive in ((self.leader, self.leader_alive),
+                              (self.spare, self.spare_alive)):
+            if alive:
+                handle.stop()
+        if self.leader_alive:
+            self.leader_store.close()
+        self.spare_store.close()
+
+
+def _read_worker(topology, workload, live, counters, failures, cache_size):
+    try:
+        with ClusterRouter(topology, cache=cache_size, cooldown=0.1) as router:
+            for query, mode in workload:
+                expected = _oracle_ids(live, query)
+                if mode == "count":
+                    got = router.query(query.start, query.end, count_only=True)
+                    if got["count"] != len(expected):
+                        ids = set(router.query(query.start, query.end)["ids"])
+                        failures.append(
+                            f"count({query}) = {got['count']}, oracle "
+                            f"{len(expected)} (ids diff "
+                            f"+{sorted(ids - expected)[:5]} "
+                            f"-{sorted(expected - ids)[:5]})"
+                        )
+                elif mode == "exists":
+                    if router.exists(query.start, query.end) != bool(expected):
+                        failures.append(f"exists({query}) diverged")
+                else:
+                    got = router.query(query.start, query.end)
+                    if set(got["ids"]) != expected:
+                        diff = set(got["ids"]) ^ expected
+                        failures.append(f"ids({query}) diverged on {sorted(diff)[:5]}")
+                counters.append(1)
+    except Exception as exc:  # noqa: BLE001 - surfaced by the main thread
+        failures.append(f"client crashed: {exc!r}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=6)
+    parser.add_argument("--cardinality", type=int, default=4_000)
+    parser.add_argument("--clients", type=int, default=3)
+    parser.add_argument("--queries-per-client", type=int, default=30)
+    parser.add_argument("--updates-per-round", type=int, default=24)
+    parser.add_argument("--backend", default="hintm_hybrid")
+    parser.add_argument("--cache-size", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(args.seed)
+    collection = generate_real_like(
+        REAL_DATASET_PROFILES["TAXIS"], cardinality=args.cardinality, seed=args.seed
+    )
+    lo, hi = (int(v) for v in collection.span())
+    live = {
+        int(i): (int(s), int(e))
+        for i, s, e in zip(collection.ids, collection.starts, collection.ends)
+    }
+    next_id = int(collection.ids.max()) + 1
+
+    plan = ShardPlan.for_collection(collection, 2)
+    base = Path(tempfile.mkdtemp(prefix="cluster-smoke-"))
+    shards = [
+        _Shard(
+            shard,
+            collection.take(shard_mask(collection, plan.cuts, shard)),
+            args.backend,
+            base / f"wal-{shard}",
+        )
+        for shard in range(plan.num_shards)
+    ]
+
+    def read_topology():
+        return ClusterTopology.build(
+            plan.cuts, [shard.read_endpoints() for shard in shards]
+        )
+
+    def write_topology():
+        return ClusterTopology.build(
+            plan.cuts, [shard.write_endpoints() for shard in shards]
+        )
+
+    print(
+        f"# cluster: {plan.num_shards} shards x 3 nodes, "
+        f"{len(live)} intervals, cuts={plan.cuts}",
+        flush=True,
+    )
+
+    hot = []
+    for _ in range(4):
+        a = int(rng.integers(lo, hi))
+        hot.append(Query(a, a + int(rng.integers(0, (hi - lo) // 5))))
+
+    # the fault schedule walks each shard through maintain -> spare kill ->
+    # leader stop + follower promotion, one step per round
+    faults = [
+        ("maintain", 0), ("kill-spare", 0), ("promote", 0),
+        ("maintain", 1), ("kill-spare", 1), ("promote", 1),
+    ]
+
+    started = time.perf_counter()
+    served_total = 0
+    failovers_total = 0
+    try:
+        for round_no in range(args.rounds):
+            workload = []
+            for _ in range(args.queries_per_client):
+                if rng.random() < 0.6:
+                    query = hot[int(rng.integers(0, len(hot)))]
+                else:
+                    a = int(rng.integers(lo, hi))
+                    query = Query(a, a + int(rng.integers(0, hi - lo)))
+                mode = ("ids", "count", "exists")[int(rng.integers(0, 3))]
+                workload.append((query, mode))
+
+            counters, failures = [], []
+            topology = read_topology()
+            threads = [
+                threading.Thread(
+                    target=_read_worker,
+                    args=(topology, workload, live, counters, failures,
+                          args.cache_size),
+                )
+                for _ in range(args.clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if failures:
+                raise SystemExit(f"round {round_no}: {failures[0]}")
+            served_total += len(counters)
+
+            # update phase: broadcast through the write router; every
+            # writable replica of the covering shards must ack
+            with ClusterRouter(write_topology(), cache=0) as admin:
+                for op in range(args.updates_per_round):
+                    if op % 2 == 0:
+                        start = int(rng.integers(lo, hi))
+                        end = start + int(rng.integers(0, max(1, (hi - lo) // 50)))
+                        first, last = plan.shard_range(start, end)
+                        expected_acks = sum(
+                            shards[s].writable_count() for s in range(first, last + 1)
+                        )
+                        acked = admin.insert(next_id, start, end)["replicas"]
+                        if acked != expected_acks:
+                            raise SystemExit(
+                                f"round {round_no}: insert acked {acked} of "
+                                f"{expected_acks} writable replicas"
+                            )
+                        live[next_id] = (start, end)
+                        next_id += 1
+                    else:
+                        victim = int(rng.choice(list(live)))
+                        admin.delete(victim)
+                        del live[victim]
+                failovers_total += admin.stats()["failovers"]
+
+            fault = faults[round_no % len(faults)]
+            kind, shard_id = fault
+            shard = shards[shard_id]
+            if kind == "maintain" and shard.leader_alive:
+                # WAL rotation + retention: the follower's cursor dies and
+                # it must resync from a fresh checkpoint
+                with ServeClient("127.0.0.1", shard.leader.port) as leader:
+                    leader.maintain(force=True)
+                print(f"# round {round_no}: maintained shard {shard_id} leader",
+                      flush=True)
+            elif kind == "kill-spare" and shard.spare_alive:
+                shard.kill_spare()
+                print(f"# round {round_no}: killed shard {shard_id} spare",
+                      flush=True)
+            elif kind == "promote" and not shard.promoted:
+                promotion = shard.promote()
+                print(
+                    f"# round {round_no}: promoted shard {shard_id} follower "
+                    f"(generation {promotion.get('generation')}, "
+                    f"resyncs={shard.follower.resyncs})",
+                    flush=True,
+                )
+
+            # shipping is async: standbys must catch up before reads trust
+            # the oracle again
+            for shard in shards:
+                shard.await_follower()
+
+        # final full sweep: every shard's serving node agrees with the oracle
+        with ClusterRouter(read_topology(), cache=0) as router:
+            got = set(router.query(lo - 1, hi + 1)["ids"])
+            want = set(live)
+            if got != want:
+                raise SystemExit(
+                    f"final sweep diverged: +{sorted(got - want)[:5]} "
+                    f"-{sorted(want - got)[:5]}"
+                )
+            failovers_total += router.stats()["failovers"]
+    finally:
+        for shard in shards:
+            shard.close()
+
+    promoted = sum(1 for shard in shards if shard.promoted)
+    elapsed = time.perf_counter() - started
+    print(
+        f"# OK: {served_total} oracle-checked responses over {args.rounds} "
+        f"rounds in {elapsed:.1f}s ({promoted} follower promotions, "
+        f"{failovers_total} replica failovers)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

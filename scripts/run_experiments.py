@@ -25,6 +25,7 @@ from repro.bench.reporting import (
     format_series,
     format_table,
     render_batch_kernels,
+    render_cluster_routing,
     render_durable_ingest,
     render_ingest_maintenance,
     render_process_scaling,
@@ -247,6 +248,11 @@ def main(argv=None) -> int:
         ),
         "serving_throughput": lambda: render_serving_throughput(
             experiments.serving_throughput(
+                cardinality=args.cardinality, num_queries=max(40, n_queries)
+            )
+        ),
+        "cluster_routing": lambda: render_cluster_routing(
+            experiments.cluster_routing(
                 cardinality=args.cardinality, num_queries=max(40, n_queries)
             )
         ),

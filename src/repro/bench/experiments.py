@@ -1654,3 +1654,146 @@ def standing_query(
         },
     ]
     return {"matching": matching_rows, "delivery": delivery_rows}
+
+
+# --------------------------------------------------------------------------- #
+# Cluster routing -- front-tier fan-out, distributed cache, replica failover
+# --------------------------------------------------------------------------- #
+def cluster_routing(
+    collection: Optional[IntervalCollection] = None,
+    *,
+    cardinality: int = 20_000,
+    num_queries: int = 240,
+    distinct: int = 12,
+    extent_fraction: float = 0.05,
+    num_shards: int = 2,
+    replicas: int = 2,
+    cache_capacity: int = 512,
+    backend: str = "hintm",
+    seed: int = 7,
+) -> Dict[str, List[dict]]:
+    """The cluster tier's two headline measurements.
+
+    **Routed throughput** (``"routing"`` rows): the same skewed hot-query
+    workload driven through a :class:`~repro.cluster.router.ClusterRouter`
+    over real HTTP shard servers twice -- once with the front-tier result
+    cache disabled and once enabled.  Every miss fans out one
+    ``/shard-batch`` round-trip per overlapping shard and merges in domain
+    order; every hit is answered at the front tier, keyed on the per-shard
+    generation tokens piggybacked by the shard servers.  Before timing,
+    one hot answer is asserted equal to a single whole-collection store's.
+
+    **Replica failover** (``"failover"`` rows): the cached workload again,
+    killing one replica of the hottest shard halfway through.  The router
+    fails over to the surviving replica; afterwards every hot query is
+    re-asserted against the single-store truth.
+
+    Returns ``{"routing": [...], "failover": [...]}`` row dicts.
+    """
+    import numpy as np
+
+    from repro.cluster import ClusterRouter, ClusterTopology, start_shard_server_thread
+    from repro.engine.sharding import ShardPlan, shard_mask
+    from repro.engine.store import IntervalStore
+
+    if collection is None:
+        collection = generate_real_like(
+            REAL_DATASET_PROFILES["TAXIS"], cardinality=cardinality, seed=seed
+        )
+    hot = _query_workload(collection, distinct, extent_fraction, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    weights = 1.0 / np.arange(1, len(hot) + 1)
+    weights /= weights.sum()
+    stream = [hot[i] for i in rng.choice(len(hot), size=num_queries, p=weights)]
+
+    plan = ShardPlan.for_collection(collection, num_shards)
+    handles: List[List[object]] = []
+    addresses: List[List[Tuple[str, int]]] = []
+    truth = IntervalStore.open(collection, backend)
+    try:
+        for shard in range(plan.num_shards):
+            rows = collection.take(shard_mask(collection, plan.cuts, shard))
+            row = []
+            for _ in range(replicas):
+                row.append(
+                    start_shard_server_thread(
+                        IntervalStore.open(rows, backend),
+                        host="127.0.0.1",
+                        port=0,
+                        shard_id=shard,
+                    )
+                )
+            handles.append(row)
+            addresses.append([("127.0.0.1", handle.port) for handle in row])
+        topology = ClusterTopology.build(plan.cuts, addresses)
+        expected = {
+            (q.start, q.end): sorted(truth.query().overlapping(q.start, q.end).ids())
+            for q in hot
+        }
+
+        def drive(router: ClusterRouter, queries: Sequence[Query]) -> float:
+            began = time.perf_counter()
+            for query in queries:
+                router.query(query.start, query.end)
+            return time.perf_counter() - began
+
+        routing_rows: List[dict] = []
+        baseline = 0.0
+        for mode, capacity in (("uncached", 0), ("cached", cache_capacity)):
+            with ClusterRouter(topology, cache=capacity) as router:
+                served = sorted(router.query(hot[0].start, hot[0].end)["ids"])
+                if served != expected[(hot[0].start, hot[0].end)]:
+                    raise RuntimeError(
+                        f"routed ids diverged from the single store on {hot[0]} "
+                        f"({len(served)} ids)"
+                    )
+                seconds = drive(router, stream)
+                stats = router.stats()
+            throughput = len(stream) / seconds if seconds else 0.0
+            if mode == "uncached":
+                baseline = throughput
+            routing_rows.append(
+                {
+                    "mode": mode,
+                    "requests": len(stream),
+                    "qps": throughput,
+                    "hit_rate": stats["cache"]["hits"]
+                    / max(1, stats["cache"]["hits"] + stats["cache"]["misses"]),
+                    "speedup": throughput / baseline if baseline else 0.0,
+                }
+            )
+
+        failover_rows: List[dict] = []
+        victim_shard = plan.shard_of(hot[0].start)
+        # cache disabled so every request actually probes replicas -- a
+        # cached front tier would ride out the kill without ever noticing
+        with ClusterRouter(topology, cache=0, cooldown=0.2) as router:
+            half = len(stream) // 2
+            first_seconds = drive(router, stream[:half])
+            handles[victim_shard][0].stop()  # the kill lands mid-workload
+            second_seconds = drive(router, stream[half:])
+            correct = all(
+                sorted(router.query(q.start, q.end)["ids"])
+                == expected[(q.start, q.end)]
+                for q in hot
+            )
+            failovers = router.stats()["failovers"]
+        for stage, seconds, requests in (
+            ("all replicas", first_seconds, half),
+            ("one replica killed", second_seconds, len(stream) - half),
+        ):
+            failover_rows.append(
+                {
+                    "stage": stage,
+                    "qps": requests / seconds if seconds else 0.0,
+                    "victim_shard": victim_shard,
+                    "failovers": failovers,
+                    "correct": correct,
+                }
+            )
+    finally:
+        truth.close()
+        for row in handles:
+            for handle in row:
+                handle.stop()
+    return {"routing": routing_rows, "failover": failover_rows}

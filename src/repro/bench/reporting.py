@@ -8,6 +8,7 @@ __all__ = [
     "format_table",
     "format_series",
     "render_batch_kernels",
+    "render_cluster_routing",
     "render_durable_ingest",
     "render_ingest_maintenance",
     "render_process_scaling",
@@ -214,6 +215,30 @@ def render_serving_throughput(result: Mapping[str, Sequence[Mapping]]) -> str:
         ],
     )
     return serving + "\n\n" + failover
+
+
+def render_cluster_routing(result: Mapping[str, Sequence[Mapping]]) -> str:
+    """Render :func:`repro.bench.experiments.cluster_routing`'s two tables."""
+    routing = format_table(
+        "Cluster routing -- skewed workload through the front-tier router "
+        "over HTTP shard servers (speedup of the generation-stamped "
+        "distributed cache vs uncached fan-out)",
+        ["mode", "requests", "req/s", "cache hit rate", "speedup"],
+        [
+            [r["mode"], r["requests"], r["qps"], r["hit_rate"], r["speedup"]]
+            for r in result["routing"]
+        ],
+    )
+    failover = format_table(
+        "Replica failover -- killing one replica of the hottest shard "
+        "mid-workload (correctness asserted against a single store)",
+        ["stage", "req/s", "victim shard", "failovers", "correct"],
+        [
+            [r["stage"], r["qps"], r["victim_shard"], r["failovers"], r["correct"]]
+            for r in result["failover"]
+        ],
+    )
+    return routing + "\n\n" + failover
 
 
 def format_series(

@@ -33,6 +33,14 @@ Examples::
     # register a standing query on a running server and follow its deltas
     python -m repro subscribe --port 8080 --start 100 --end 200
 
+    # serve one shard of a cluster topology (slices the CSV to the shard's
+    # residents), route queries across the whole cluster, keep a follower
+    # warm off the leader's WAL, and promote it after a leader failure
+    python -m repro cluster-serve topology.json data.csv --shard 0 --wal-dir wal0
+    python -m repro route topology.json --start 100 --end 200
+    python -m repro follow --leader-port 9000 --listen-port 9100
+    python -m repro promote --port 9100
+
     # the available backends (engine registry)
     python -m repro list-backends
 
@@ -274,9 +282,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stale-while-revalidate: serve a stale cached body "
                             "once per generation while recomputing in the "
                             "background")
+    serve.add_argument("--cache-ttl", type=float, default=None, metavar="S",
+                       help="expire cached bodies older than S seconds even at "
+                            "an unchanged generation (composes with --cache-swr; "
+                            "default: no TTL)")
     serve.add_argument("--streaming", action="store_true",
                        help="enable the chunked streaming variant of "
                             "/poll-deltas (long-poll always works)")
+    serve.add_argument("--max-poller-lag", type=int, default=None, metavar="N",
+                       help="standing-query backpressure: a subscription whose "
+                            "poller lags more than N retained delta records has "
+                            "its log dropped and resyncs explicitly (default: "
+                            "observe only)")
     add_execution_args(serve)
     add_durability_args(serve)
     serve.set_defaults(shards=4)
@@ -301,6 +318,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="only intervals at least this long match")
     subscribe.add_argument("--max-duration", type=int, default=None,
                            help="only intervals at most this long match")
+    subscribe.add_argument("--filter", default=None, metavar="JSON",
+                           help="JSON predicate spec compiled server-side, "
+                                "e.g. '{\"field\": \"duration\", \"op\": \">=\", "
+                                "\"value\": 10}' with and/or/not combinators "
+                                "over start/end/duration")
     subscribe.add_argument("--poll-timeout", type=float, default=10.0, metavar="S",
                            help="seconds one long-poll round waits "
                                 "(default: %(default)s)")
@@ -309,6 +331,90 @@ def build_parser() -> argparse.ArgumentParser:
     subscribe.add_argument("--stream", action="store_true",
                            help="use the chunked streaming transport (the "
                                 "server must run with --streaming)")
+
+    cluster_serve = subparsers.add_parser(
+        "cluster-serve",
+        help="serve one shard replica of a cluster topology (slices the CSV "
+             "to the shard's residents)",
+    )
+    cluster_serve.add_argument("topology", type=Path,
+                               help="cluster topology JSON (cuts + replica "
+                                    "endpoints per shard)")
+    cluster_serve.add_argument("csv", type=Path, help="full intervals file; "
+                               "the shard's resident slice is cut locally")
+    cluster_serve.add_argument("--header", action="store_true",
+                               help="skip the first CSV row")
+    cluster_serve.add_argument("--shard", type=int, required=True, metavar="N",
+                               help="which shard of the topology this node serves")
+    cluster_serve.add_argument("--replica", type=int, default=0, metavar="R",
+                               help="which replica slot; picks the bind "
+                                    "host/port from the topology (default: 0)")
+    cluster_serve.add_argument("--port", type=int, default=None,
+                               help="override the topology's bind port "
+                                    "(0 picks a free one)")
+    cluster_serve.add_argument("--index", choices=index_choices,
+                               default="hintm_hybrid", metavar="BACKEND",
+                               help="backend name (default: %(default)s)")
+    cluster_serve.add_argument("--num-bits", type=int, default=None)
+    cluster_serve.add_argument("--cache-size", type=int, default=1024, metavar="N",
+                               help="result-cache capacity (default: %(default)s)")
+    cluster_serve.add_argument("--max-pending", type=int, default=64, metavar="N")
+    cluster_serve.add_argument("--max-batch", type=int, default=64, metavar="N")
+    add_durability_args(cluster_serve)
+
+    route = subparsers.add_parser(
+        "route",
+        help="run queries against a cluster topology through the front-tier "
+             "router (fan-out, merge, replica failover)",
+    )
+    route.add_argument("topology", type=Path, help="cluster topology JSON")
+    route_group = route.add_mutually_exclusive_group(required=True)
+    route_group.add_argument("--stab", type=int, help="stabbing query point")
+    route_group.add_argument("--start", type=int,
+                             help="range query start (use with --end)")
+    route.add_argument("--end", type=int, help="range query end")
+    route.add_argument("--count-only", action="store_true",
+                       help="sum per-shard home counts instead of shipping ids")
+    route.add_argument("--repeat", type=int, default=1, metavar="N",
+                       help="send the query N times (exercises the router "
+                            "cache; default: 1)")
+    route.add_argument("--cache-size", type=int, default=1024, metavar="N",
+                       help="router result-cache capacity; 0 disables "
+                            "(default: %(default)s)")
+    route.add_argument("--cache-ttl", type=float, default=None, metavar="S",
+                       help="expire router-cached answers older than S seconds "
+                            "(default: no TTL)")
+
+    follow = subparsers.add_parser(
+        "follow",
+        help="run a warm standby: bootstrap from a leader checkpoint, tail "
+             "its WAL, serve reads, take over on promote",
+    )
+    follow.add_argument("--leader-host", default="127.0.0.1",
+                        help="leader shard server host (default: %(default)s)")
+    follow.add_argument("--leader-port", type=int, required=True,
+                        help="leader shard server port")
+    follow.add_argument("--listen-host", default="127.0.0.1",
+                        help="bind address of the follower's read-only server")
+    follow.add_argument("--listen-port", type=int, default=0,
+                        help="bind port; 0 picks a free one (default: 0)")
+    follow.add_argument("--index", choices=index_choices, default="hintm_hybrid",
+                        metavar="BACKEND",
+                        help="follower store backend (default: %(default)s)")
+    follow.add_argument("--shard", type=int, default=0, metavar="N",
+                        help="topology shard this standby covers (default: 0)")
+    follow.add_argument("--poll-timeout", type=float, default=5.0, metavar="S",
+                        help="long-poll window per /wal-feed round "
+                             "(default: %(default)s)")
+
+    promote = subparsers.add_parser(
+        "promote",
+        help="flip a read-only follower into the serving leader (POST /promote)",
+    )
+    promote.add_argument("--host", default="127.0.0.1",
+                         help="follower server host (default: %(default)s)")
+    promote.add_argument("--port", type=int, required=True,
+                         help="follower server port")
 
     subparsers.add_parser("list-backends", help="list the registered index backends")
 
@@ -684,12 +790,15 @@ def _command_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         cache=ResultCache(
-            capacity=args.cache_size, stale_while_revalidate=args.cache_swr
+            capacity=args.cache_size,
+            stale_while_revalidate=args.cache_swr,
+            ttl=args.cache_ttl,
         ),
         max_pending=args.max_pending,
         max_batch=args.max_batch,
         batch_window=args.batch_window,
         streaming=args.streaming,
+        max_poller_lag=args.max_poller_lag,
         # a recovery-restored standing-query manager (subscriptions and
         # their ack positions survive the restart); None = lazy fresh one
         stream=store.restored_stream,
@@ -710,10 +819,18 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 
 def _command_subscribe(args: argparse.Namespace) -> int:
+    import json as _json
+
     from repro.serve.client import StreamClient
 
     if args.stab is None and args.end is None:
         raise SystemExit("error: --start requires --end")
+    filter_spec = None
+    if args.filter is not None:
+        try:
+            filter_spec = _json.loads(args.filter)
+        except ValueError as exc:
+            raise SystemExit(f"error: --filter is not valid JSON: {exc}")
     client = StreamClient(host=args.host, port=args.port)
     deadline = (time.monotonic() + args.duration) if args.duration else None
     with client:
@@ -724,6 +841,7 @@ def _command_subscribe(args: argparse.Namespace) -> int:
             relation=args.relation,
             min_duration=args.min_duration,
             max_duration=args.max_duration,
+            filter=filter_spec,
         )
         print(
             f"# subscription {snapshot['subscription_id']} @ generation "
@@ -754,6 +872,146 @@ def _command_subscribe(args: argparse.Namespace) -> int:
             pass
         client.unsubscribe()
         print(f"# unsubscribed after {client.resyncs} resyncs")
+    return 0
+
+
+def _command_cluster_serve(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterTopology, ShardServer
+    from repro.engine.sharding import shard_mask
+
+    topology = ClusterTopology.load(args.topology)
+    if not 0 <= args.shard < topology.num_shards:
+        raise SystemExit(
+            f"error: --shard {args.shard} out of range for "
+            f"{topology.num_shards}-shard topology"
+        )
+    replicas = topology.replicas_for(args.shard)
+    if not 0 <= args.replica < len(replicas):
+        raise SystemExit(
+            f"error: --replica {args.replica} out of range; shard "
+            f"{args.shard} lists {len(replicas)} replicas"
+        )
+    endpoint = replicas[args.replica]
+    collection = _load(args.csv, args.header)
+    plan = topology.plan()
+    sliced = collection.take(shard_mask(collection, plan.cuts, args.shard))
+    store = _open_store(
+        args.index,
+        collection=sliced,
+        num_bits=args.num_bits,
+        wal_dir=args.wal_dir,
+        fsync=args.fsync,
+    )
+    server = ShardServer(
+        store,
+        host=endpoint.host,
+        port=endpoint.port if args.port is None else args.port,
+        shard_id=args.shard,
+        plan=plan,
+        cache=args.cache_size,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+        stream=store.restored_stream,
+    )
+    print(
+        f"# shard {args.shard} replica {args.replica}: {len(store)} resident "
+        f"intervals of {len(collection)} ({_describe_store(store)}) -- "
+        "Ctrl-C to drain and stop"
+    )
+    try:
+        server.run(
+            on_started=lambda s: print(f"# listening on {s.address}", flush=True)
+        )
+    finally:
+        store.close()
+    return 0
+
+
+def _command_route(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterRouter, ClusterTopology
+    from repro.serve.cache import ResultCache
+
+    if args.stab is None and args.end is None:
+        raise SystemExit("error: --start requires --end")
+    start, end = (args.stab, args.stab) if args.stab is not None else (args.start, args.end)
+    topology = ClusterTopology.load(args.topology)
+    cache = ResultCache(capacity=args.cache_size, ttl=args.cache_ttl)
+    with ClusterRouter(topology, cache=cache) as router:
+        elapsed = []
+        for _ in range(max(1, args.repeat)):
+            t0 = time.perf_counter()
+            answer = router.query(start, end, count_only=args.count_only)
+            elapsed.append(time.perf_counter() - t0)
+        first, last = topology.plan().shard_range(start, end)
+        print(
+            f"# topology: {topology.num_shards} shards, query overlaps "
+            f"shards {first}..{last}"
+        )
+        if args.count_only:
+            print(f"count: {answer['count']}")
+        else:
+            print(f"count: {answer['count']}")
+            print("ids:", " ".join(str(i) for i in answer["ids"]))
+        stats = router.stats()
+        print(
+            f"# {len(elapsed)} round(s): first {elapsed[0] * 1e3:.2f} ms, "
+            f"last {elapsed[-1] * 1e3:.2f} ms; cache hits "
+            f"{stats['cache']['hits']}, probes {stats['probes']}, "
+            f"failovers {stats['failovers']}"
+        )
+    return 0
+
+
+def _command_follow(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterFollower
+
+    follower = ClusterFollower(
+        args.leader_host,
+        args.leader_port,
+        backend=args.index,
+        shard_id=args.shard,
+        host=args.listen_host,
+        port=args.listen_port,
+        poll_timeout=args.poll_timeout,
+    )
+    follower.start()
+    print(
+        f"# following {args.leader_host}:{args.leader_port} from generation "
+        f"{follower.applied_generation()}; read-only replica listening on "
+        f"http://{args.listen_host}:{follower.port}",
+        flush=True,
+    )
+    print("# promote with: repro promote --port "
+          f"{follower.port} (or POST /promote)", flush=True)
+    try:
+        while not follower.promoted:
+            time.sleep(0.5)
+        print(
+            f"# promoted at generation {follower.applied_generation()}; "
+            "serving as leader -- Ctrl-C to stop",
+            flush=True,
+        )
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        follower.stop()
+    return 0
+
+
+def _command_promote(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient, ServerError
+
+    with ServeClient(host=args.host, port=args.port) as client:
+        try:
+            result = client.request("POST", "/promote")
+        except ServerError as exc:
+            raise SystemExit(f"error: promote refused: {exc}")
+        print(
+            f"promoted: role={result.get('role')} "
+            f"generation={result.get('generation')}"
+        )
     return 0
 
 
@@ -809,6 +1067,16 @@ def _command_list_backends(args: argparse.Namespace) -> int:
           "tails heal, mid-sequence damage refuses")
     print("  degraded     a failing WAL flips the store read-only (503 on "
           "updates) until reopened from the WAL directory")
+    print()
+    print("cluster tier (repro cluster-serve / route / follow / promote):")
+    print("  shard server one node owning a shard's residents; adds "
+          "/shard-batch, /cluster-info, /checkpoint, /wal-feed, /promote")
+    print("  router       front tier: plan with the shared cuts, fan out, "
+          "merge with domain-order dedup, fail over between replicas")
+    print("  route cache  keyed on (query, per-shard generation tokens) "
+          "piggybacked on every response; --cache-ttl bounds staleness")
+    print("  follower     warm standby: leader checkpoint bootstrap + "
+          "continuous WAL replay; /promote serves the applied prefix")
     return 0
 
 
@@ -853,6 +1121,10 @@ _COMMANDS = {
     "maintain": _command_maintain,
     "serve": _command_serve,
     "subscribe": _command_subscribe,
+    "cluster-serve": _command_cluster_serve,
+    "route": _command_route,
+    "follow": _command_follow,
+    "promote": _command_promote,
     "list-backends": _command_list_backends,
     "stats": _command_stats,
     "generate": _command_generate,

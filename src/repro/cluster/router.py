@@ -1,0 +1,413 @@
+"""Front-tier router: plan, fan out, merge, fail over, cache.
+
+A :class:`ClusterRouter` gives clients the single-store query API over a
+:class:`~repro.cluster.topology.ClusterTopology` of remote shard servers:
+
+* **planning** -- the topology's :class:`~repro.engine.sharding.ShardPlan`
+  maps each query range to the shards it overlaps, exactly as the
+  in-process sharded executor does;
+* **fan-out + merge** -- overlapping shards are probed concurrently over
+  keep-alive :class:`~repro.serve.client.ServeClient` connections
+  (``/shard-batch``), and id answers merge with
+  :func:`repro.engine.results.merge_unique_ids` -- the same first-seen,
+  domain-order dedup a local ``MergedResultSet`` applies.  Counts never
+  ship ids: the *first* overlapping shard counts every resident match and
+  each later shard ``j`` counts only intervals it is the home of
+  (``start >= cuts[j-1]``), so the per-shard counts sum exactly;
+* **failover** -- replicas of one shard are interchangeable.  Probes
+  rotate round-robin; a connect failure, 503 or 5xx marks the replica
+  failed for a cooldown (recorded as a
+  :class:`~repro.engine.replication.ReplicaFailure` row, the same contract
+  as in-process replica sets) and the probe moves to the next replica.
+  Once every replica of a shard has failed, :class:`NoHealthyReplicaError`
+  carries the per-replica record;
+* **distributed result cache** -- answers are cached keyed on
+  ``(query, stamp)`` where the stamp is the tuple of ``(shard,
+  generation)`` tokens piggybacked on the shard responses.  Any later
+  response from a shard (a query, an update ack) that moves its known
+  generation invalidates every cached answer that shard contributed to --
+  no invalidation channel beyond the tokens already on the wire.  A
+  TTL-mode cache (:class:`~repro.serve.cache.ResultCache` ``ttl=...``)
+  additionally bounds staleness against updates the router never saw.
+
+A router instance is **not thread-safe** (same contract as
+``ServeClient``): give each client thread its own router.  The internal
+fan-out pool is only ever used by the single caller's query.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ReproError
+from repro.engine.replication import ReplicaFailure
+from repro.engine.results import merge_unique_ids
+from repro.cluster.topology import ClusterTopology, Endpoint
+from repro.serve.cache import ResultCache, normalize_query_key, resolve_cache
+from repro.serve.client import (
+    ServeClient,
+    ServerError,
+    ServerOverloaded,
+    ServerUnavailableError,
+)
+
+__all__ = ["ClusterRouter", "ClusterUpdateError", "NoHealthyReplicaError"]
+
+
+class NoHealthyReplicaError(ReproError, ConnectionError):
+    """Every replica of one shard failed to answer a probe."""
+
+    def __init__(self, shard_id: int, failures: Sequence[ReplicaFailure]):
+        detail = "; ".join(
+            f"replica {f.replica_id}: {f.error}" for f in failures
+        ) or "no replicas attempted"
+        super().__init__(f"shard {shard_id}: no healthy replica ({detail})")
+        self.shard_id = shard_id
+        self.failures = list(failures)
+
+
+class ClusterUpdateError(ReproError):
+    """An update could not be applied on every replica it routes to.
+
+    Replicas that did answer have applied it; the listed ones diverged and
+    need repair (restart from WAL, or replace) before serving again.
+    """
+
+    def __init__(self, failures: Sequence[ReplicaFailure]):
+        detail = "; ".join(
+            f"shard {f.shard_id} replica {f.replica_id}: {f.error}" for f in failures
+        )
+        super().__init__(f"update failed on {len(failures)} replica(s): {detail}")
+        self.failures = list(failures)
+
+
+class ClusterRouter:
+    """Route single-store queries across a topology of shard servers.
+
+    Args:
+        topology: the cluster layout (or a path handled by the caller via
+            :meth:`ClusterTopology.load`).
+        cache: router-level result cache -- a :class:`ResultCache`
+            (e.g. ``ResultCache(4096, ttl=5.0)``), a capacity int (0
+            disables), or ``None`` for the default.
+        timeout: per-request socket timeout handed to every shard client.
+        retries: per-client connection retries (failover across replicas
+            happens above this, so the default keeps them low).
+        cooldown: seconds a failed replica sits out before probes try it
+            again (all-failed shards retry immediately -- a wrongly
+            condemned replica must be able to resurrect).
+        max_workers: fan-out pool width; default covers every shard.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        *,
+        cache: "ResultCache | int | None" = None,
+        timeout: float = 30.0,
+        retries: int = 1,
+        cooldown: float = 5.0,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self._topology = topology
+        self._plan = topology.plan()
+        self._cache = resolve_cache(cache)
+        self._timeout = timeout
+        self._retries = max(0, int(retries))
+        self._cooldown = max(0.0, float(cooldown))
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers or max(2, topology.num_shards),
+            thread_name_prefix="repro-router",
+        )
+        self._clients: Dict[Tuple[int, int], ServeClient] = {}
+        self._rr: List[int] = [0] * topology.num_shards
+        self._failed_until: Dict[Tuple[int, int], float] = {}
+        self._failures: List[ReplicaFailure] = []
+        #: highest generation seen per shard (from response piggybacks)
+        self._generations: Dict[int, int] = {}
+        self._queries = 0
+        self._probes = 0
+        self._failovers = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def topology(self) -> ClusterTopology:
+        return self._topology
+
+    @property
+    def cache(self) -> ResultCache:
+        return self._cache
+
+    def failures(self) -> List[ReplicaFailure]:
+        """Replica failures recorded during routing (newest last)."""
+        return list(self._failures)
+
+    def known_generations(self) -> Dict[int, int]:
+        """Latest generation token seen from each shard."""
+        return dict(self._generations)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False)
+        for client in self._clients.values():
+            client.close()
+        self._clients.clear()
+
+    def __enter__(self) -> "ClusterRouter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query(
+        self, start: int, end: int, *, count_only: bool = False
+    ) -> Dict[str, object]:
+        """One range query; same response shape as the single-node server."""
+        return self.batch([(start, end)], count_only=count_only)[0]
+
+    def stab(self, point: int) -> Dict[str, object]:
+        return self.query(point, point)
+
+    def exists(self, start: int, end: int) -> bool:
+        """Existence probe: true as soon as any overlapping shard matches."""
+        shards = self._shards_for(start, end)
+        responses = self._fanout(
+            shards, {shard: [[start, end]] for shard in shards}, "exists", None
+        )
+        return any(response["results"][0] for response in responses.values())
+
+    def batch(
+        self, pairs: Sequence[Tuple[int, int]], *, count_only: bool = False
+    ) -> List[Dict[str, object]]:
+        """A workload of range queries, each planned/merged independently.
+
+        Queries fan out per shard in one ``/shard-batch`` round-trip per
+        shard covering every cache-missed query that touches it.
+        """
+        kind = "count" if count_only else "ids"
+        self._queries += len(pairs)
+        answers: List[Optional[Dict[str, object]]] = [None] * len(pairs)
+        missed: List[int] = []
+        plans: List[List[int]] = []
+        for position, (start, end) in enumerate(pairs):
+            shards = self._shards_for(start, end)
+            plans.append(shards)
+            key = normalize_query_key(int(start), int(end), kind)
+            cached = self._cache.get(key, self._stamp(shards))
+            if cached is not self._cache.MISS:
+                value = getattr(cached, "value", cached)  # unwrap SWR stales
+                answers[position] = dict(value)
+            else:
+                missed.append(position)
+        if missed:
+            per_shard: Dict[int, List[Tuple[int, Optional[int]]]] = {}
+            for position in missed:
+                start, end = pairs[position]
+                for order, shard in enumerate(plans[position]):
+                    home = None if order == 0 else int(self._plan.cuts[shard - 1])
+                    per_shard.setdefault(shard, []).append((position, home))
+            payload_queries = {
+                shard: [[int(pairs[p][0]), int(pairs[p][1])] for p, _ in rows]
+                for shard, rows in per_shard.items()
+            }
+            homes = (
+                {shard: [home for _, home in rows] for shard, rows in per_shard.items()}
+                if count_only
+                else None
+            )
+            responses = self._fanout(
+                sorted(per_shard), payload_queries, kind, homes
+            )
+            stamps = {
+                shard: int(response["generation"])
+                for shard, response in responses.items()
+            }
+            # per-query slices of each shard response, in shard order
+            slots: Dict[int, Dict[int, object]] = {p: {} for p in missed}
+            for shard, response in responses.items():
+                for (position, _), value in zip(per_shard[shard], response["results"]):
+                    slots[position][shard] = value
+            for position in missed:
+                shards = plans[position]
+                parts = [slots[position][shard] for shard in shards]
+                if count_only:
+                    answer: Dict[str, object] = {"count": int(sum(parts))}
+                else:
+                    ids = merge_unique_ids([list(part) for part in parts])
+                    answer = {"ids": ids, "count": len(ids)}
+                answers[position] = answer
+                start, end = pairs[position]
+                key = normalize_query_key(int(start), int(end), kind)
+                # stamp with the generations these probes actually saw --
+                # the pre-probe tokens -- so a racing update invalidates
+                # the entry instead of the entry masking the update
+                self._cache.put(
+                    key,
+                    tuple((shard, stamps[shard]) for shard in shards),
+                    answer,
+                )
+        return [answer for answer in answers if answer is not None]
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def insert(self, interval_id: int, start: int, end: int) -> Dict[str, object]:
+        """Insert on every replica of every shard the interval overlaps."""
+        first, last = self._plan.shard_range(int(start), int(end))
+        failures: List[ReplicaFailure] = []
+        acks = 0
+        for shard in range(first, last + 1):
+            for replica_id, _ in enumerate(self._topology.replicas_for(shard)):
+                try:
+                    response = self._client(shard, replica_id).insert(
+                        interval_id, start, end
+                    )
+                except (ServerUnavailableError, ServerError) as exc:
+                    failures.append(self._record_failure(shard, replica_id, exc))
+                    continue
+                self._note_generation(shard, response.get("generation"))
+                acks += 1
+        if failures:
+            raise ClusterUpdateError(failures)
+        return {"inserted": int(interval_id), "replicas": acks}
+
+    def delete(self, interval_id: int) -> Dict[str, object]:
+        """Delete everywhere: the span is unknown, so every shard is asked."""
+        failures: List[ReplicaFailure] = []
+        deleted = False
+        for shard in range(self._topology.num_shards):
+            for replica_id, _ in enumerate(self._topology.replicas_for(shard)):
+                try:
+                    response = self._client(shard, replica_id).delete(interval_id)
+                except (ServerUnavailableError, ServerError) as exc:
+                    failures.append(self._record_failure(shard, replica_id, exc))
+                    continue
+                self._note_generation(shard, response.get("generation"))
+                deleted = deleted or bool(response.get("deleted"))
+        if failures:
+            raise ClusterUpdateError(failures)
+        return {"deleted": deleted, "id": int(interval_id)}
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        return {
+            "queries": self._queries,
+            "probes": self._probes,
+            "failovers": self._failovers,
+            "failures": len(self._failures),
+            "generations": {
+                str(shard): generation
+                for shard, generation in sorted(self._generations.items())
+            },
+            "cache": dataclasses.asdict(self._cache.stats()),
+        }
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _shards_for(self, start: int, end: int) -> List[int]:
+        first, last = self._plan.shard_range(int(start), int(end))
+        return list(range(first, last + 1))
+
+    def _stamp(self, shards: Sequence[int]) -> Tuple[Tuple[int, int], ...]:
+        return tuple((shard, self._generations.get(shard, -1)) for shard in shards)
+
+    def _note_generation(self, shard: int, generation: object) -> None:
+        if generation is None:
+            return
+        value = int(generation)
+        if value > self._generations.get(shard, -1):
+            self._generations[shard] = value
+
+    def _client(self, shard: int, replica_id: int) -> ServeClient:
+        key = (shard, replica_id)
+        client = self._clients.get(key)
+        if client is None:
+            endpoint: Endpoint = self._topology.replicas_for(shard)[replica_id]
+            client = ServeClient(
+                endpoint.host,
+                endpoint.port,
+                timeout=self._timeout,
+                retries=self._retries,
+            )
+            self._clients[key] = client
+        return client
+
+    def _record_failure(
+        self, shard: int, replica_id: int, exc: Exception
+    ) -> ReplicaFailure:
+        failure = ReplicaFailure(
+            shard_id=shard, replica_id=replica_id, error=f"{type(exc).__name__}: {exc}"
+        )
+        self._failures.append(failure)
+        self._failed_until[(shard, replica_id)] = time.monotonic() + self._cooldown
+        return failure
+
+    def _fanout(
+        self,
+        shards: Sequence[int],
+        queries: Dict[int, List[List[int]]],
+        kind: str,
+        homes: Optional[Dict[int, List[Optional[int]]]],
+    ) -> Dict[int, Dict[str, object]]:
+        """Probe every shard concurrently; responses keyed by shard."""
+
+        def probe(shard: int) -> Dict[str, object]:
+            payload: Dict[str, object] = {"queries": queries[shard], "kind": kind}
+            if homes is not None:
+                payload["home_starts"] = homes[shard]
+            return self._probe_shard(shard, payload)
+
+        if len(shards) == 1:
+            return {shards[0]: probe(shards[0])}
+        futures = {shard: self._pool.submit(probe, shard) for shard in shards}
+        return {shard: future.result() for shard, future in futures.items()}
+
+    def _probe_shard(
+        self, shard: int, payload: Dict[str, object]
+    ) -> Dict[str, object]:
+        """One probe with replica failover (round-robin + cooldown skip)."""
+        replica_count = len(self._topology.replicas_for(shard))
+        cursor = self._rr[shard]
+        self._rr[shard] = (cursor + 1) % replica_count
+        order = [(cursor + step) % replica_count for step in range(replica_count)]
+        now = time.monotonic()
+        candidates = [
+            replica_id
+            for replica_id in order
+            if self._failed_until.get((shard, replica_id), 0.0) <= now
+        ]
+        if not candidates:
+            # every replica is cooling down: try them all anyway rather
+            # than fail a query a recovered replica could answer
+            candidates = order
+        attempt_failures: List[ReplicaFailure] = []
+        for replica_id in candidates:
+            self._probes += 1
+            try:
+                response = self._client(shard, replica_id).request(
+                    "POST", "/shard-batch", payload
+                )
+            except (ServerUnavailableError, ServerOverloaded) as exc:
+                attempt_failures.append(self._record_failure(shard, replica_id, exc))
+                self._failovers += 1
+                continue
+            except ServerError as exc:
+                if exc.status >= 500:
+                    attempt_failures.append(
+                        self._record_failure(shard, replica_id, exc)
+                    )
+                    self._failovers += 1
+                    continue
+                raise  # 4xx: the request itself is wrong; failover cannot help
+            self._failed_until.pop((shard, replica_id), None)
+            self._note_generation(shard, response.get("generation"))
+            return response
+        raise NoHealthyReplicaError(shard, attempt_failures)

@@ -1,0 +1,433 @@
+"""Shard server: one node of the cluster tier.
+
+A :class:`ShardServer` is a :class:`~repro.serve.server.QueryServer` whose
+store holds exactly one shard's residents (slice the collection with
+:func:`repro.engine.sharding.shard_mask` before opening the store).  On top
+of the full single-node protocol it speaks the cluster protocol:
+
+* ``POST /shard-batch`` -- the router's probe endpoint: a batch of range
+  queries answered as ids, counts or existence flags in one round-trip,
+  with the response stamped by the shard's ``result_generation`` *read
+  before the probes* (the same cache-safety discipline as the local
+  batcher).  Count probes carry an optional per-query ``home_start``:
+  intervals duplicated across a shard cut are counted only by the shard
+  that is their *home* (``interval.start >= home_start``), so the router
+  can sum per-shard counts without shipping ids (see
+  :meth:`_execute_shard_batch` for why a rank query over the resident
+  start points answers this exactly).
+* ``GET /cluster-info`` -- role, shard id, generation, sizes; the router
+  and operators read this to see what a node thinks it is.
+* ``POST /checkpoint`` -- run the store's durability checkpoint and return
+  the published snapshot (intervals + generation + subscriptions +
+  ``wal_seq``); a follower bootstraps from exactly this payload.
+* ``POST /wal-feed`` -- long-poll WAL shipping: stream committed frames
+  from ``(segment, offset)`` onward; answers ``resync_required`` once a
+  checkpoint has unlinked the requested segment (the follower re-bootstraps).
+* ``POST /promote`` -- flip a read-only follower into the serving leader
+  (wired by :class:`~repro.cluster.follower.ClusterFollower`).
+
+A read-only server (a follower) answers every read endpoint but refuses
+``/insert``, ``/delete`` and ``/maintain`` with 403 until promoted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+import numpy as np
+
+from repro.core.interval import Query
+from repro.durability.checkpoint import load_checkpoint
+from repro.durability.wal import WalRecord, list_segments, read_segment_tail
+from repro.engine.sharding import ShardPlan
+from repro.engine.store import IntervalStore
+from repro.serve.server import (
+    ServerHandle,
+    QueryServer,
+    _Reject,
+    _decode,
+    _encode,
+    start_server_thread,
+)
+
+__all__ = ["SHARD_BATCH_KINDS", "ShardServer", "start_shard_server_thread"]
+
+#: probe kinds the /shard-batch endpoint answers
+SHARD_BATCH_KINDS = ("ids", "count", "exists")
+
+#: extra endpoints the cluster protocol adds on top of the base server
+_CLUSTER_POSTS = ("/shard-batch", "/checkpoint", "/wal-feed", "/promote")
+
+
+class ShardServer(QueryServer):
+    """One cluster node: a query server plus the shard/replication protocol.
+
+    Args:
+        store: the shard's resident intervals (slice with ``shard_mask``).
+        shard_id: which shard of the topology this node serves.
+        plan: the topology's :class:`ShardPlan` (optional; echoed by
+            ``/cluster-info`` so operators can spot a node booted against
+            the wrong cuts).
+        role: ``"leader"`` or ``"follower"`` (display + promotion state).
+        read_only: refuse mutations with 403 until promoted; a follower
+            must not accept writes its leader never shipped.
+        promote_hook: zero-argument callable flipping this node to leader
+            (installed by :class:`~repro.cluster.follower.ClusterFollower`);
+            ``/promote`` answers 409 without one.
+
+    Remaining keyword arguments go to :class:`QueryServer`.
+    """
+
+    def __init__(
+        self,
+        store: IntervalStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        shard_id: int = 0,
+        plan: Optional[ShardPlan] = None,
+        role: str = "leader",
+        read_only: bool = False,
+        promote_hook=None,
+        **kwargs: object,
+    ) -> None:
+        super().__init__(store, host, port, **kwargs)
+        self._shard_id = int(shard_id)
+        self._plan = plan
+        self._role = role
+        self._read_only = bool(read_only)
+        self._promote_hook = promote_hook
+        #: (generation, sorted resident starts) for home-start counting
+        self._starts_cache: Tuple[Optional[int], Optional[np.ndarray]] = (None, None)
+        self._starts_lock = threading.Lock()
+        self._shard_batches = 0
+        self._wal_polls = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def shard_id(self) -> int:
+        return self._shard_id
+
+    @property
+    def role(self) -> str:
+        return self._role
+
+    @property
+    def read_only(self) -> bool:
+        return self._read_only
+
+    def adopt_store(self, store: IntervalStore) -> IntervalStore:
+        """Swap the served store (a follower re-bootstrapping after a
+        ``resync_required``); clears the cache and the starts cache so no
+        answer from the abandoned store survives the swap."""
+        previous = self._store
+        self._store = store
+        self._stream = None  # subscriptions were against the old store
+        self._cache.clear()
+        with self._starts_lock:
+            self._starts_cache = (None, None)
+        return previous
+
+    def promote(self) -> Dict[str, object]:
+        """Flip this node into the serving leader (idempotent)."""
+        self._role = "leader"
+        self._read_only = False
+        return {"role": self._role, "read_only": self._read_only}
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, method: str, target: str, body: bytes):
+        parts = urlsplit(target)
+        path = parts.path.rstrip("/") or "/"
+        if path == "/cluster-info":
+            return 200, _encode(self.cluster_info())
+        if path in _CLUSTER_POSTS:
+            if method != "POST":
+                return 405, _encode({"error": f"{path} requires POST, got {method}"})
+            payload = _decode(body)
+            if parts.query:
+                for key, values in parse_qs(parts.query).items():
+                    payload.setdefault(key, values[0])
+            handler = {
+                "/shard-batch": self._handle_shard_batch,
+                "/checkpoint": self._handle_checkpoint,
+                "/wal-feed": self._handle_wal_feed,
+                "/promote": self._handle_promote,
+            }[path]
+            return await handler(payload)
+        if self._read_only and path in ("/insert", "/delete", "/maintain"):
+            return 403, _encode(
+                {
+                    "error": "read-only follower refuses writes; "
+                    "promote it first (POST /promote)",
+                    "role": self._role,
+                }
+            )
+        return await super()._dispatch(method, target, body)
+
+    def cluster_info(self) -> Dict[str, object]:
+        durability = getattr(self._store, "durability", None)
+        info: Dict[str, object] = {
+            "role": self._role,
+            "shard": self._shard_id,
+            "read_only": self._read_only,
+            "backend": self._store.backend,
+            "generation": int(self._store.result_generation()),
+            "intervals": len(self._store),
+            "durable": durability is not None,
+            "shard_batches": self._shard_batches,
+            "wal_polls": self._wal_polls,
+        }
+        if self._plan is not None:
+            info["cuts"] = list(self._plan.cuts)
+        return info
+
+    # ------------------------------------------------------------------ #
+    # /shard-batch
+    # ------------------------------------------------------------------ #
+    async def _handle_shard_batch(self, payload: Dict[str, object]):
+        raw = payload.get("queries")
+        if not isinstance(raw, list) or not raw:
+            raise _Reject(400, "shard-batch needs a non-empty 'queries' list")
+        kind = payload.get("kind", "ids")
+        if kind not in SHARD_BATCH_KINDS:
+            raise _Reject(
+                400, f"unknown shard-batch kind {kind!r}; choose from {SHARD_BATCH_KINDS}"
+            )
+        home_starts = payload.get("home_starts")
+        if home_starts is not None and (
+            not isinstance(home_starts, list) or len(home_starts) != len(raw)
+        ):
+            raise _Reject(400, "home_starts must align one-to-one with queries")
+        try:
+            queries = [Query(int(pair[0]), int(pair[1])) for pair in raw]
+        except (TypeError, ValueError, IndexError) as exc:
+            raise _Reject(400, f"malformed query pair: {exc}") from exc
+        # admission weight mirrors what the same queries would cost the
+        # local batcher: one slot per max_batch-sized chunk
+        weight = max(1, -(-len(queries) // self._max_batch))
+        self._admit(weight)
+        try:
+            self._queries += len(queries)
+            self._shard_batches += 1
+            generation, results = await self._loop.run_in_executor(
+                None, self._execute_shard_batch, queries, kind, home_starts
+            )
+        finally:
+            self._release(weight)
+        return 200, _encode(
+            {"shard": self._shard_id, "generation": generation, "results": results}
+        )
+
+    def _execute_shard_batch(
+        self,
+        queries: List[Query],
+        kind: str,
+        home_starts: Optional[Sequence[Optional[int]]],
+    ) -> Tuple[int, List[object]]:
+        # generation before probes: a racing update stamps answers with the
+        # pre-update token, never the other way around (see _execute_batch)
+        generation = int(self._store.result_generation())
+        if kind == "ids":
+            result = self._store.run_batch(queries, count_only=False)
+            return generation, [list(map(int, ids)) for ids in result.ids]
+        if kind == "exists":
+            return generation, [bool(flag) for flag in self._store.exists_batch(queries)]
+        # counts with home-start dedup.  A query spanning shards f..l counts
+        # each interval exactly once: shard f counts every resident match
+        # (home_start None); shard j > f counts only residents with
+        # start >= cuts[j-1] -- those are precisely the intervals whose home
+        # shard is j, and since home_start > query.start, "start in
+        # [home_start, query.end]" already implies overlap, so the count is
+        # a pure rank query over the shard's sorted resident starts.
+        results: List[object] = [0] * len(queries)
+        if home_starts is None:
+            home_starts = [None] * len(queries)
+        plain = [i for i, home in enumerate(home_starts) if home is None]
+        if plain:
+            counts = self._store.count_batch([queries[i] for i in plain])
+            for position, count in zip(plain, counts):
+                results[position] = int(count)
+        homed = [i for i, home in enumerate(home_starts) if home is not None]
+        if homed:
+            starts = self._sorted_starts(generation)
+            for position in homed:
+                home = int(home_starts[position])
+                query = queries[position]
+                lo = int(np.searchsorted(starts, home, side="left"))
+                hi = int(np.searchsorted(starts, query.end, side="right"))
+                results[position] = max(0, hi - lo)
+        return generation, results
+
+    def _sorted_starts(self, generation: int) -> np.ndarray:
+        """Sorted resident start points, cached per generation."""
+        with self._starts_lock:
+            cached_generation, cached = self._starts_cache
+            if cached_generation == generation and cached is not None:
+                return cached
+        index = self._store.index
+        if hasattr(index, "live_collection"):
+            starts = np.array(index.live_collection().starts, dtype=np.int64)
+        else:
+            lookup = index._interval_lookup()
+            starts = np.fromiter(
+                (interval.start for interval in lookup.values()),
+                dtype=np.int64,
+                count=len(lookup),
+            )
+        starts.sort()
+        with self._starts_lock:
+            self._starts_cache = (generation, starts)
+        return starts
+
+    # ------------------------------------------------------------------ #
+    # /checkpoint + /wal-feed: the replication feed
+    # ------------------------------------------------------------------ #
+    def _durability(self):
+        durability = getattr(self._store, "durability", None)
+        if durability is None:
+            raise _Reject(
+                409, "store has no durability manager; open it with a wal_dir"
+            )
+        return durability
+
+    async def _handle_checkpoint(self, payload: Dict[str, object]):
+        durability = self._durability()
+        self._admit()
+        try:
+            summary = await self._loop.run_in_executor(None, durability.checkpoint)
+            snapshot = await self._loop.run_in_executor(
+                None, load_checkpoint, durability.directory
+            )
+        finally:
+            self._release()
+        if snapshot is None:  # pragma: no cover - published but unreadable
+            raise _Reject(500, "checkpoint published but not readable back")
+        body = dict(snapshot)
+        body["summary"] = summary
+        return 200, _encode(body)
+
+    async def _handle_wal_feed(self, payload: Dict[str, object]):
+        durability = self._durability()
+        try:
+            segment = int(payload.get("segment", 0))
+            offset = int(payload.get("offset", 0))
+        except (TypeError, ValueError) as exc:
+            raise _Reject(400, f"wal-feed needs integer segment/offset: {exc}") from exc
+        try:
+            timeout = float(payload.get("timeout", 10.0))
+        except (TypeError, ValueError):
+            timeout = 10.0
+        timeout = max(0.0, min(timeout, self._poll_timeout))
+        if self._pollers >= self._max_pollers:
+            raise _Reject(503, "too many pollers", retry_after=1)
+        self._pollers += 1
+        self._wal_polls += 1
+        try:
+            deadline = self._loop.time() + timeout
+            while True:
+                segment, offset, records, resync = await self._loop.run_in_executor(
+                    None, self._read_feed, durability.directory, segment, offset
+                )
+                if resync:
+                    # a checkpoint unlinked the requested segment: the
+                    # follower cannot replay the gap; it re-bootstraps
+                    return 200, _encode(
+                        {
+                            "resync_required": True,
+                            "segment": segment,
+                            "offset": offset,
+                            "records": [],
+                        }
+                    )
+                if records or self._loop.time() >= deadline:
+                    return 200, _encode(
+                        {
+                            "resync_required": False,
+                            "segment": segment,
+                            "offset": offset,
+                            "records": [
+                                [r.op, r.interval_id, r.start, r.end, r.generation]
+                                for r in records
+                            ],
+                        }
+                    )
+                await asyncio.sleep(0.05)
+        finally:
+            self._pollers -= 1
+
+    @staticmethod
+    def _read_feed(
+        directory: Path, segment: int, offset: int
+    ) -> Tuple[int, int, List[WalRecord], bool]:
+        """Read committed frames from ``(segment, offset)`` onward.
+
+        Returns ``(segment, offset, records, resync_required)`` with the
+        cursor advanced past everything shipped.  Sealed segments are
+        drained fully and the cursor steps to the next on-disk sequence;
+        the live tail stops cleanly at a torn/in-flight frame (the next
+        poll re-reads from the same offset).
+        """
+        segments = list_segments(directory)
+        if not segments:
+            return segment, offset, [], False
+        sequences = [seq for seq, _ in segments]
+        if segment < sequences[0]:
+            return segment, offset, [], True
+        paths = dict(segments)
+        records: List[WalRecord] = []
+        while True:
+            path = paths.get(segment)
+            if path is None:
+                # the writer has not created this segment yet
+                break
+            try:
+                batch, offset = read_segment_tail(path, offset)
+            except FileNotFoundError:
+                # checkpoint retention raced us; re-plan on the next poll
+                return segment, offset, records, not records
+            records.extend(batch)
+            later = [seq for seq in sequences if seq > segment]
+            if not later:
+                break
+            # a later segment exists, so this one is sealed and fully read:
+            # advance to the next sequence from its very start
+            segment = later[0]
+            offset = 0
+        return segment, offset, records, False
+
+    # ------------------------------------------------------------------ #
+    # /promote
+    # ------------------------------------------------------------------ #
+    async def _handle_promote(self, payload: Dict[str, object]):
+        if self._promote_hook is None:
+            if self._role == "leader" and not self._read_only:
+                return 200, _encode({"role": self._role, "read_only": False})
+            raise _Reject(409, "this node has no follower attached to promote")
+        result = await self._loop.run_in_executor(None, self._promote_hook)
+        body = {"role": self._role, "read_only": self._read_only}
+        if isinstance(result, dict):
+            body.update(result)
+        return 200, _encode(body)
+
+    # ------------------------------------------------------------------ #
+    def serving_stats(self) -> Dict[str, object]:
+        stats = super().serving_stats()
+        stats["cluster"] = {
+            "role": self._role,
+            "shard": self._shard_id,
+            "read_only": self._read_only,
+            "shard_batches": self._shard_batches,
+            "wal_polls": self._wal_polls,
+        }
+        return stats
+
+
+def start_shard_server_thread(store: IntervalStore, **kwargs: object) -> ServerHandle:
+    """Start a :class:`ShardServer` on a daemon-thread event loop."""
+    return start_server_thread(store, server_cls=ShardServer, **kwargs)

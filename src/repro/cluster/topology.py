@@ -1,0 +1,199 @@
+"""Cluster topology: which shard servers own which time-range shards.
+
+A topology is the static registry the front-tier router plans against: the
+same domain cut points a :class:`~repro.engine.sharding.ShardPlan` uses
+in-process, plus one replica endpoint list per shard.  It round-trips to a
+JSON file so every node of a deployment (shard servers, routers, followers)
+can be pointed at the same description::
+
+    {
+      "version": 1,
+      "cuts": [5000],
+      "strategy": "equi_width",
+      "shards": [
+        {"shard": 0, "replicas": [{"host": "10.0.0.1", "port": 9000},
+                                  {"host": "10.0.0.2", "port": 9000}]},
+        {"shard": 1, "replicas": [{"host": "10.0.0.3", "port": 9000}]}
+      ]
+    }
+
+Shard ``j`` owns the half-open domain slice ``[cuts[j-1], cuts[j])`` --
+identical semantics to the in-process partitioner, so a query's overlapping
+shard range comes straight from :meth:`ShardPlan.shard_range` and an
+interval duplicated across a cut is resident on every server whose slice it
+overlaps.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.errors import ReproError
+from repro.engine.sharding import PARTITION_STRATEGIES, ShardPlan
+
+__all__ = ["ClusterTopology", "Endpoint", "TOPOLOGY_VERSION", "TopologyError"]
+
+TOPOLOGY_VERSION = 1
+
+
+class TopologyError(ReproError):
+    """A malformed or inconsistent cluster topology."""
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One shard-server address (one replica of one shard)."""
+
+    host: str
+    port: int
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"host": self.host, "port": self.port}
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """The cut points plus one replica endpoint list per shard.
+
+    Attributes:
+        cuts: sorted interior domain boundaries (``K - 1`` of them for
+            ``K`` shards; empty means one unbounded shard).
+        replicas: ``replicas[j]`` is shard ``j``'s endpoint tuple, in
+            replica-id order; every shard needs at least one.
+        strategy: the partitioning strategy that produced the cuts (for
+            display and for re-partitioning with the same discipline).
+    """
+
+    cuts: Tuple[int, ...]
+    replicas: Tuple[Tuple[Endpoint, ...], ...]
+    strategy: str = "equi_width"
+
+    def __post_init__(self) -> None:
+        if self.strategy not in PARTITION_STRATEGIES:
+            raise TopologyError(
+                f"unknown partitioning strategy {self.strategy!r}; "
+                f"choose from {PARTITION_STRATEGIES}"
+            )
+        expected = len(self.cuts) + 1
+        if len(self.replicas) != expected:
+            raise TopologyError(
+                f"{len(self.cuts)} cuts describe {expected} shards but the "
+                f"topology lists {len(self.replicas)} replica sets"
+            )
+        for shard, endpoints in enumerate(self.replicas):
+            if not endpoints:
+                raise TopologyError(f"shard {shard} has no replicas")
+        # the plan validates cut monotonicity
+        self.plan()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        return len(self.cuts) + 1
+
+    def plan(self) -> ShardPlan:
+        """The :class:`ShardPlan` the router plans queries with."""
+        return ShardPlan(cuts=tuple(int(c) for c in self.cuts), strategy=self.strategy)
+
+    def replicas_for(self, shard: int) -> Tuple[Endpoint, ...]:
+        if not 0 <= shard < self.num_shards:
+            raise TopologyError(
+                f"shard {shard} out of range for {self.num_shards}-shard topology"
+            )
+        return self.replicas[shard]
+
+    def endpoints(self) -> List[Tuple[int, int, Endpoint]]:
+        """Flat ``(shard, replica_id, endpoint)`` rows, plan order."""
+        return [
+            (shard, replica_id, endpoint)
+            for shard, endpoints in enumerate(self.replicas)
+            for replica_id, endpoint in enumerate(endpoints)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # construction / persistence
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        cuts: Sequence[int],
+        replica_addresses: Sequence[Sequence[Tuple[str, int]]],
+        strategy: str = "equi_width",
+    ) -> "ClusterTopology":
+        """Assemble a topology from plain cut/address sequences."""
+        return cls(
+            cuts=tuple(int(c) for c in cuts),
+            replicas=tuple(
+                tuple(Endpoint(str(host), int(port)) for host, port in endpoints)
+                for endpoints in replica_addresses
+            ),
+            strategy=strategy,
+        )
+
+    @classmethod
+    def load(cls, path: "Path | str") -> "ClusterTopology":
+        """Parse a topology JSON file (format in the module docstring)."""
+        path = Path(path)
+        try:
+            raw = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise TopologyError(f"cannot read topology {path}: {exc}") from exc
+        if not isinstance(raw, dict):
+            raise TopologyError(f"{path}: topology must be a JSON object")
+        version = raw.get("version", TOPOLOGY_VERSION)
+        if version != TOPOLOGY_VERSION:
+            raise TopologyError(
+                f"{path}: unsupported topology version {version!r} "
+                f"(this build reads version {TOPOLOGY_VERSION})"
+            )
+        shards_raw = raw.get("shards")
+        if not isinstance(shards_raw, list) or not shards_raw:
+            raise TopologyError(f"{path}: topology needs a non-empty 'shards' list")
+        by_shard: Dict[int, Tuple[Endpoint, ...]] = {}
+        for row in shards_raw:
+            try:
+                shard = int(row["shard"])
+                endpoints = tuple(
+                    Endpoint(str(r["host"]), int(r["port"])) for r in row["replicas"]
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise TopologyError(f"{path}: malformed shard row {row!r}") from exc
+            if shard in by_shard:
+                raise TopologyError(f"{path}: shard {shard} listed twice")
+            by_shard[shard] = endpoints
+        expected = len(raw.get("cuts", ())) + 1
+        missing = sorted(set(range(expected)) - set(by_shard))
+        if missing:
+            raise TopologyError(f"{path}: shards {missing} have no replica rows")
+        return cls(
+            cuts=tuple(int(c) for c in raw.get("cuts", ())),
+            replicas=tuple(by_shard[shard] for shard in range(expected)),
+            strategy=str(raw.get("strategy", "equi_width")),
+        )
+
+    def save(self, path: "Path | str") -> Path:
+        """Write the topology JSON file; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.as_dict(), indent=2) + "\n")
+        return path
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": TOPOLOGY_VERSION,
+            "cuts": list(self.cuts),
+            "strategy": self.strategy,
+            "shards": [
+                {
+                    "shard": shard,
+                    "replicas": [endpoint.as_dict() for endpoint in endpoints],
+                }
+                for shard, endpoints in enumerate(self.replicas)
+            ],
+        }

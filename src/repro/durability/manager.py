@@ -289,9 +289,13 @@ class DurabilityManager:
         registry = self._stream.registry
         for subscription_id in registry.ids():
             subscription = registry.get(subscription_id)
-            if subscription is None or subscription.predicate is not None:
-                # python predicates are not serialisable; such subscriptions
-                # do not survive a restart (the client re-subscribes)
+            if subscription is None or (
+                subscription.predicate is not None
+                and subscription.filter_spec is None
+            ):
+                # opaque python predicates are not serialisable; such
+                # subscriptions do not survive a restart (the client
+                # re-subscribes).  DSL filters persist via their spec.
                 continue
             rows.append(
                 {
@@ -305,6 +309,7 @@ class DurabilityManager:
                     ),
                     "min_duration": subscription.min_duration,
                     "max_duration": subscription.max_duration,
+                    "filter": subscription.filter_spec,
                 }
             )
         return rows

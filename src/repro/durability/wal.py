@@ -59,6 +59,7 @@ __all__ = [
     "WalWriter",
     "encode_frame",
     "list_segments",
+    "read_segment_tail",
     "replay_wal",
     "segment_path",
     "wal_state",
@@ -214,6 +215,53 @@ def _read_segment(
             return damaged("undecodable record")
         offset += _FRAME.size + length
     return records, None, 0
+
+
+def read_segment_tail(
+    path: Path, offset: int = 0
+) -> Tuple[List[WalRecord], int]:
+    """Incrementally decode complete frames from a *live* segment.
+
+    The WAL-shipping feed reads the leader's current segment while the
+    writer is still appending to it, so unlike :func:`_read_segment` this
+    never treats an incomplete tail as damage: parsing simply stops at the
+    first torn/implausible frame and the caller retries from the returned
+    offset once more bytes are on disk.  Under the ``always``/``interval``
+    fsync policies flush and fsync happen together, so every byte visible
+    here is (to within one in-flight fsync window) durable on the leader --
+    shipping naturally batches per fsync window.
+
+    Returns ``(records, next_offset)``.  An ``offset`` inside the magic
+    header re-verifies the magic first (raising
+    :class:`WalCorruptionError` on a mismatch once all 8 bytes exist) and
+    reports no records until it is complete.
+    """
+    with open(path, "rb") as handle:
+        if offset < len(MAGIC):
+            head = handle.read(len(MAGIC))
+            if len(head) < len(MAGIC):
+                return [], 0
+            if head != MAGIC:
+                raise WalCorruptionError(f"{path.name}: bad segment magic")
+            offset = len(MAGIC)
+        else:
+            handle.seek(offset)
+        data = handle.read()
+    records: List[WalRecord] = []
+    cursor = 0
+    while cursor + _FRAME.size <= len(data):
+        length, crc = _FRAME.unpack(data[cursor : cursor + _FRAME.size])
+        if not 0 < length <= _MAX_PAYLOAD:
+            break
+        payload = data[cursor + _FRAME.size : cursor + _FRAME.size + length]
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            break
+        try:
+            records.append(_decode_payload(payload))
+        except (WalCorruptionError, struct.error):
+            break
+        cursor += _FRAME.size + length
+    return records, offset + cursor
 
 
 def replay_wal(

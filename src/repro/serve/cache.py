@@ -19,9 +19,10 @@ lock (every operation is O(1), so the lock is never held across a probe).
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Optional, Tuple
+from typing import Callable, Hashable, Optional, Tuple
 
 __all__ = [
     "CacheStats",
@@ -75,6 +76,8 @@ class CacheStats:
         capacity: the LRU bound.
         stale_served: lookups answered with a stale body under
             stale-while-revalidate (counted as neither hit nor miss).
+        ttl_expired: misses caused specifically by the entry's age exceeding
+            the cache TTL (the generation may still have been current).
     """
 
     hits: int
@@ -84,6 +87,7 @@ class CacheStats:
     size: int
     capacity: int
     stale_served: int = 0
+    ttl_expired: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -105,6 +109,14 @@ class ResultCache:
             recompute) instead of dropping it -- trading one
             generation-stale answer for not paying recompute latency on the
             first post-update touch of a hot query.
+        ttl: optional wall-clock bound (seconds) on entry age for
+            time-sensitive consumers.  An entry older than ``ttl`` misses
+            and is dropped even when its generation stamp is still current,
+            and an expired entry is never served stale under SWR -- TTL
+            composes with (and overrides) both generation invalidation and
+            stale-while-revalidate.  ``None`` (the default) disables the
+            bound.
+        clock: monotonic time source for TTL bookkeeping (tests override).
     """
 
     __slots__ = (
@@ -117,22 +129,31 @@ class ResultCache:
         "_evictions",
         "_swr",
         "_stale_served",
+        "_ttl",
+        "_ttl_expired",
+        "_clock",
     )
 
     #: sentinel distinguishing "miss" from a cached falsy value
     MISS = object()
 
     def __init__(
-        self, capacity: int = 1024, stale_while_revalidate: bool = False
+        self,
+        capacity: int = 1024,
+        stale_while_revalidate: bool = False,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if capacity < 0:
             raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"cache ttl must be > 0 seconds, got {ttl}")
         self._capacity = capacity
         # entry: (generation stamp, value, generation the entry was last
-        # served stale at -- None until SWR touches it)
-        self._entries: "OrderedDict[Hashable, Tuple[int, object, Optional[int]]]" = (
-            OrderedDict()
-        )
+        # served stale at -- None until SWR touches it, fill timestamp)
+        self._entries: (
+            "OrderedDict[Hashable, Tuple[object, object, Optional[object], float]]"
+        ) = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
@@ -140,6 +161,9 @@ class ResultCache:
         self._evictions = 0
         self._swr = stale_while_revalidate
         self._stale_served = 0
+        self._ttl = ttl
+        self._ttl_expired = 0
+        self._clock = clock
 
     # ------------------------------------------------------------------ #
     @property
@@ -166,16 +190,22 @@ class ResultCache:
         """Lifetime stale-serve count (lock-free gauge read)."""
         return self._stale_served
 
+    @property
+    def ttl(self) -> Optional[float]:
+        """The entry-age bound in seconds (``None``: no TTL)."""
+        return self._ttl
+
     def __len__(self) -> int:
         return len(self._entries)
 
     # ------------------------------------------------------------------ #
-    def get(self, key: Hashable, generation: int) -> object:
+    def get(self, key: Hashable, generation: Hashable) -> object:
         """The cached value, :attr:`MISS`, or a :class:`StaleResult`.
 
         A hit requires the entry's generation stamp to equal ``generation``
         (the store's *current* token, read by the caller just before the
-        lookup).  A stale entry normally counts as an invalidation, is
+        lookup; the cluster router stamps with a tuple of per-shard tokens
+        -- any hashable equality-comparable stamp works).  A stale entry normally counts as an invalidation, is
         dropped, and misses; under stale-while-revalidate it is instead
         served once per generation as a :class:`StaleResult` -- the caller
         serves the wrapped body and schedules the recompute that will
@@ -186,13 +216,20 @@ class ResultCache:
             if entry is None:
                 self._misses += 1
                 return self.MISS
-            stamped, value, served_stale_at = entry
+            stamped, value, served_stale_at, stamped_at = entry
+            if self._ttl is not None and self._clock() - stamped_at > self._ttl:
+                # too old for a time-sensitive consumer regardless of the
+                # generation; expired entries are not SWR-eligible either
+                del self._entries[key]
+                self._ttl_expired += 1
+                self._misses += 1
+                return self.MISS
             if stamped != generation:
                 if self._swr and served_stale_at != generation:
                     # serve the stale body exactly once per generation; the
                     # marker makes the next same-generation lookup miss, so
                     # a lost revalidation cannot pin this answer forever
-                    self._entries[key] = (stamped, value, generation)
+                    self._entries[key] = (stamped, value, generation, stamped_at)
                     self._entries.move_to_end(key)
                     self._stale_served += 1
                     return StaleResult(value)
@@ -207,7 +244,7 @@ class ResultCache:
             self._hits += 1
             return value
 
-    def put(self, key: Hashable, generation: int, value: object) -> None:
+    def put(self, key: Hashable, generation: Hashable, value: object) -> None:
         """Store ``value`` under ``key`` stamped with ``generation``.
 
         Callers must read the generation *before* running the query they are
@@ -218,7 +255,7 @@ class ResultCache:
         if self._capacity == 0:
             return
         with self._lock:
-            self._entries[key] = (generation, value, None)
+            self._entries[key] = (generation, value, None, self._clock())
             self._entries.move_to_end(key)
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
@@ -238,6 +275,7 @@ class ResultCache:
                 size=len(self._entries),
                 capacity=self._capacity,
                 stale_served=self._stale_served,
+                ttl_expired=self._ttl_expired,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -190,6 +190,22 @@ class ServeClient:
                 raise ServerError(response.status, decoded)
             return decoded
 
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]] = None,
+        *,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """One raw request to an arbitrary endpoint (cluster extensions).
+
+        Retry semantics follow the path: only the idempotent read paths in
+        ``_RETRYABLE_PATHS`` (plus any GET) are re-sent after a dropped
+        connection.
+        """
+        return self._request(method, path, payload, timeout=timeout)
+
     # ------------------------------------------------------------------ #
     # endpoints
     # ------------------------------------------------------------------ #
@@ -274,12 +290,14 @@ class ServeClient:
         relation: Optional[str] = None,
         min_duration: int = 0,
         max_duration: Optional[int] = None,
+        filter: Optional[Dict[str, object]] = None,
         subscription_id: Optional[int] = None,
     ) -> Dict[str, object]:
         """Register a standing query (or resync one via ``subscription_id``).
 
-        Returns ``{"subscription_id", "generation", "ids", "count"}`` -- the
-        consistent snapshot deltas are folded onto.
+        ``filter`` is a JSON predicate spec (see :mod:`repro.stream.filters`)
+        compiled server-side.  Returns ``{"subscription_id", "generation",
+        "ids", "count"}`` -- the consistent snapshot deltas are folded onto.
         """
         if subscription_id is not None:
             return self._request(
@@ -297,6 +315,8 @@ class ServeClient:
             payload["min_duration"] = min_duration
         if max_duration is not None:
             payload["max_duration"] = max_duration
+        if filter is not None:
+            payload["filter"] = filter
         return self._request("POST", "/subscribe", payload)
 
     def unsubscribe(self, subscription_id: int) -> Dict[str, object]:
@@ -404,6 +424,7 @@ class StreamClient:
         relation: Optional[str] = None,
         min_duration: int = 0,
         max_duration: Optional[int] = None,
+        filter: Optional[Dict[str, object]] = None,
     ) -> Dict[str, object]:
         """Install the standing query and adopt its snapshot."""
         self._spec = {
@@ -413,6 +434,7 @@ class StreamClient:
             "relation": relation,
             "min_duration": min_duration,
             "max_duration": max_duration,
+            "filter": filter,
         }
         response = self._client.subscribe(
             start,
@@ -421,6 +443,7 @@ class StreamClient:
             relation=relation,
             min_duration=min_duration,
             max_duration=max_duration,
+            filter=filter,
         )
         self._adopt(response)
         return response
@@ -538,6 +561,7 @@ class StreamClient:
                 relation=spec["relation"],
                 min_duration=spec["min_duration"],
                 max_duration=spec["max_duration"],
+                filter=spec.get("filter"),
             )
         self._adopt(response)
         result = dict(response)

@@ -139,6 +139,11 @@ class QueryServer:
         poll_timeout: hard cap in seconds on one long-poll wait (and on one
             chunked streaming response); clients ask for less via
             ``timeout``.
+        max_poller_lag: backpressure bound handed to the lazily created
+            :class:`~repro.stream.deltas.StandingQueryManager`: a
+            subscription whose poller lags past this many retained records
+            has its log dropped and is forced through ``resync_required``
+            (``None``: lag gauges observe but never act).
     """
 
     def __init__(
@@ -156,6 +161,7 @@ class QueryServer:
         streaming: bool = False,
         max_pollers: int = 256,
         poll_timeout: float = 30.0,
+        max_poller_lag: Optional[int] = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
@@ -175,6 +181,7 @@ class QueryServer:
         self._streaming = streaming
         self._max_pollers = max_pollers
         self._poll_timeout = poll_timeout
+        self._max_poller_lag = max_poller_lag
 
         self._server: Optional[asyncio.base_events.Server] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -266,6 +273,8 @@ class QueryServer:
                 "hit_rate": cache.hit_rate,
                 "stale_served": cache.stale_served,
                 "stale_while_revalidate": self._cache.stale_while_revalidate,
+                "ttl": self._cache.ttl,
+                "ttl_expired": cache.ttl_expired,
             },
             "stream": (
                 self._stream.gauges()
@@ -277,6 +286,7 @@ class QueryServer:
                     "catchup_resyncs": 0.0,
                     "poller_lag": 0.0,
                     "slowest_poller_lag": 0.0,
+                    "backpressure_drops": 0.0,
                 }
             ),
         }
@@ -721,15 +731,18 @@ class QueryServer:
                 generation, answer = await self._loop.run_in_executor(
                     None, self._execute_refined, query, count_only, relation, with_stats
                 )
+                answer["generation"] = generation
                 body = _encode(answer)
             else:
                 future: asyncio.Future = self._loop.create_future()
                 await self._pending.put((query, count_only, future))
                 generation, answer = await future
+                # the generation rides on every answer: the cluster router
+                # keys its distributed cache off this token alone
                 body = _encode(
-                    {"count": answer}
+                    {"count": answer, "generation": generation}
                     if count_only
-                    else {"ids": answer, "count": len(answer)}
+                    else {"ids": answer, "count": len(answer), "generation": generation}
                 )
         finally:
             self._release()
@@ -806,15 +819,20 @@ class QueryServer:
                         relation,
                         with_stats,
                     )
+                    answer["generation"] = generation
                     body = _encode(answer)
                 else:
                     future: asyncio.Future = self._loop.create_future()
                     await self._pending.put((query, count_only, future))
                     generation, answer = await future
                     body = _encode(
-                        {"count": answer}
+                        {"count": answer, "generation": generation}
                         if count_only
-                        else {"ids": answer, "count": len(answer)}
+                        else {
+                            "ids": answer,
+                            "count": len(answer),
+                            "generation": generation,
+                        }
                     )
                 self._cache.put(key, generation, body)
             except Exception:  # noqa: BLE001 - a lost refresh only costs a miss
@@ -895,12 +913,17 @@ class QueryServer:
                 self._release(len(chunks))
             for position, (fill_generation, value) in zip(missing, filled):
                 if refined:
+                    value["generation"] = fill_generation
                     body = _encode(value)  # already a full answer dict
                 else:
                     body = _encode(
-                        {"count": value}
+                        {"count": value, "generation": fill_generation}
                         if count_only
-                        else {"ids": value, "count": len(value)}
+                        else {
+                            "ids": value,
+                            "count": len(value),
+                            "generation": fill_generation,
+                        }
                     )
                 answers[position] = body
                 self._cache.put(
@@ -983,7 +1006,9 @@ class QueryServer:
     def _stream_manager(self) -> StandingQueryManager:
         """The manager, created lazily on the first /subscribe."""
         if self._stream is None:
-            self._stream = StandingQueryManager(self._store)
+            self._stream = StandingQueryManager(
+                self._store, max_poller_lag=self._max_poller_lag
+            )
             self._stream.add_notifier(self._on_deltas)
         return self._stream
 
@@ -1025,6 +1050,15 @@ class QueryServer:
                     min_duration = int(payload.get("min_duration", 0))
                     raw_max = payload.get("max_duration")
                     max_duration = int(raw_max) if raw_max is not None else None
+                    filter_spec = payload.get("filter")
+                    if isinstance(filter_spec, str):
+                        # query-string transport: the spec arrives JSON-encoded
+                        try:
+                            filter_spec = json.loads(filter_spec)
+                        except ValueError as exc:
+                            raise _Reject(
+                                400, f"invalid JSON in 'filter': {exc}"
+                            ) from exc
                     result = await self._loop.run_in_executor(
                         None,
                         lambda: manager.subscribe(
@@ -1033,6 +1067,7 @@ class QueryServer:
                             relation=relation,
                             min_duration=min_duration,
                             max_duration=max_duration,
+                            filter_spec=filter_spec,
                         ),
                     )
         except UnknownSubscriptionError as exc:
@@ -1051,6 +1086,7 @@ class QueryServer:
                     if result.subscription.relation is not None
                     else None
                 ),
+                "filter": result.subscription.filter_spec,
             }
         )
 
@@ -1305,10 +1341,20 @@ class ServerHandle:
         return self.server.address
 
     def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
-        """Drain and stop the server, then stop and join the loop thread."""
-        future = asyncio.run_coroutine_threadsafe(
-            self.server.stop(drain=drain), self._loop
-        )
+        """Drain and stop the server, then stop and join the loop thread.
+
+        Idempotent: stopping an already-stopped handle is a no-op, so
+        teardown code can stop every member of a cluster without tracking
+        which replicas a test already killed.
+        """
+        if self._loop.is_closed():
+            return
+        try:
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.stop(drain=drain), self._loop
+            )
+        except RuntimeError:
+            return  # loop shut down between the check and the submit
         try:
             future.result(timeout=timeout)
         finally:
@@ -1322,13 +1368,17 @@ class ServerHandle:
         self.stop()
 
 
-def start_server_thread(store: IntervalStore, **kwargs) -> ServerHandle:
+def start_server_thread(
+    store: IntervalStore, *, server_cls: "type | None" = None, **kwargs
+) -> ServerHandle:
     """Start a :class:`QueryServer` on a fresh daemon-thread event loop.
 
     Returns once the listener is bound (so :attr:`ServerHandle.port` is
     real); stop with :meth:`ServerHandle.stop` or use as a context manager.
+    ``server_cls`` swaps in a subclass (the cluster tier's
+    :class:`~repro.cluster.shard_server.ShardServer`).
     """
-    server = QueryServer(store, **kwargs)
+    server = (server_cls or QueryServer)(store, **kwargs)
     started = threading.Event()
     failure: List[BaseException] = []
     holder: Dict[str, asyncio.AbstractEventLoop] = {}

@@ -28,17 +28,27 @@ from repro.stream.deltas import (
     SubscribeResult,
     UnknownSubscriptionError,
 )
+from repro.stream.filters import (
+    FilterSpecError,
+    compile_filter,
+    describe_filter,
+    normalize_filter,
+)
 from repro.stream.log import DeltaLog, DeltaRecord
 from repro.stream.registry import Subscription, SubscriptionRegistry, parse_relation
 
 __all__ = [
     "DeltaLog",
     "DeltaRecord",
+    "FilterSpecError",
     "PollResult",
     "StandingQueryManager",
     "SubscribeResult",
     "Subscription",
     "SubscriptionRegistry",
     "UnknownSubscriptionError",
+    "compile_filter",
+    "describe_filter",
+    "normalize_filter",
     "parse_relation",
 ]

@@ -92,6 +92,12 @@ class StandingQueryManager:
             :class:`~repro.stream.registry.SubscriptionRegistry`.
         log_capacity / max_coalesced_ids: per-subscription
             :class:`~repro.stream.log.DeltaLog` bounds.
+        max_poller_lag: optional backpressure bound on per-subscription lag
+            (retained records).  When a laggard's log grows past it, the
+            log is dropped outright and the subscription is forced into
+            ``resync_required`` on its next poll -- bounding the memory a
+            slow or absent consumer can pin, instead of coalescing forever.
+            ``None`` (the default) keeps the observe-only behaviour.
     """
 
     def __init__(
@@ -101,11 +107,18 @@ class StandingQueryManager:
         registry: Optional[SubscriptionRegistry] = None,
         log_capacity: int = 256,
         max_coalesced_ids: int = 4096,
+        max_poller_lag: Optional[int] = None,
     ) -> None:
+        if max_poller_lag is not None and max_poller_lag < 1:
+            raise ReproError(
+                f"max_poller_lag must be >= 1 (or None), got {max_poller_lag}"
+            )
         self._store = store
         self._registry = registry if registry is not None else SubscriptionRegistry()
         self._log_capacity = log_capacity
         self._max_coalesced_ids = max_coalesced_ids
+        self._max_poller_lag = max_poller_lag
+        self._backpressure_drops = 0
         self._logs: Dict[int, DeltaLog] = {}
         self._lock = threading.RLock()
         self._notifiers: List[Callable[[int], None]] = []
@@ -135,6 +148,7 @@ class StandingQueryManager:
         generation: int,
         log_capacity: int = 256,
         max_coalesced_ids: int = 4096,
+        max_poller_lag: Optional[int] = None,
     ) -> "StandingQueryManager":
         """Rebuild a manager from a checkpoint's subscription rows.
 
@@ -149,6 +163,7 @@ class StandingQueryManager:
             store,
             log_capacity=log_capacity,
             max_coalesced_ids=max_coalesced_ids,
+            max_poller_lag=max_poller_lag,
         )
         with manager._lock:
             for row in subscriptions:
@@ -159,6 +174,7 @@ class StandingQueryManager:
                     relation=row.get("relation"),
                     min_duration=int(row.get("min_duration", 0) or 0),
                     max_duration=row.get("max_duration"),
+                    filter_spec=row.get("filter"),
                 )
                 log = DeltaLog(
                     capacity=log_capacity, max_coalesced_ids=max_coalesced_ids
@@ -255,6 +271,15 @@ class StandingQueryManager:
                     log.append(generation, (), (interval.id,))
                 self._coalesced_live += log.coalesce_ops - before
                 self._deltas_emitted += 1
+                if (
+                    self._max_poller_lag is not None
+                    and len(log) > self._max_poller_lag
+                ):
+                    # the consumer lagged past the bound: act on the gauge
+                    # instead of growing the log -- drop it and force the
+                    # poller through an explicit resync
+                    log.drop(generation)
+                    self._backpressure_drops += 1
                 notify.append(subscription.subscription_id)
             self._publish_gauges_locked()
         for subscription_id in notify:
@@ -291,6 +316,7 @@ class StandingQueryManager:
         min_duration: int = 0,
         max_duration: Optional[int] = None,
         predicate=None,
+        filter_spec=None,
     ) -> SubscribeResult:
         """Register a standing query; returns it with a consistent snapshot."""
         if stab is not None:
@@ -307,6 +333,7 @@ class StandingQueryManager:
                     min_duration=min_duration,
                     max_duration=max_duration,
                     predicate=predicate,
+                    filter_spec=filter_spec,
                 )
                 self._logs[subscription.subscription_id] = DeltaLog(
                     capacity=self._log_capacity,
@@ -435,6 +462,7 @@ class StandingQueryManager:
             "catchup_resyncs": float(self._catchup_resyncs),
             "poller_lag": float(total_lag),
             "slowest_poller_lag": float(slowest),
+            "backpressure_drops": float(self._backpressure_drops),
         }
 
     def _publish_gauges_locked(self) -> None:

@@ -1,0 +1,158 @@
+"""A small JSON predicate grammar for wire-transported subscription filters.
+
+Predicate subscriptions were Python-API-only: an arbitrary callable cannot
+cross the HTTP surface.  This module defines the subset that can -- field
+comparisons over ``start``, ``end`` and ``duration`` (``end - start``)
+combined with ``and`` / ``or`` / ``not`` -- as plain JSON, compiled
+server-side into the same ``Callable[[Interval], bool]`` shape the registry
+already refines candidates with.
+
+Grammar (one dict per node)::
+
+    {"field": "duration", "op": ">=", "value": 10}          # leaf
+    {"and": [spec, ...]}    {"or": [spec, ...]}             # n-ary
+    {"not": spec}                                           # unary
+
+Operators: ``eq ne lt le gt ge`` or their symbol forms
+(``== != < <= > >=``).  Specs are validated and normalised (symbol ops
+canonicalised) before compilation, so a spec that round-trips through a
+checkpoint or the wire compares equal to the one that was registered.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Dict, List
+
+from repro.core.errors import ReproError
+from repro.core.interval import Interval
+
+__all__ = [
+    "FILTER_FIELDS",
+    "FILTER_OPS",
+    "FilterSpecError",
+    "compile_filter",
+    "describe_filter",
+    "normalize_filter",
+]
+
+#: fields a leaf comparison may reference
+FILTER_FIELDS = ("start", "end", "duration")
+
+_SYMBOL_OPS = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+
+#: canonical operator names
+FILTER_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+_OP_FUNCS: Dict[str, Callable[[int, int], bool]] = {
+    "eq": operator.eq,
+    "ne": operator.ne,
+    "lt": operator.lt,
+    "le": operator.le,
+    "gt": operator.gt,
+    "ge": operator.ge,
+}
+
+#: combinator nesting bound -- deep enough for any sane predicate, shallow
+#: enough that a hostile spec cannot blow the recursion limit
+_MAX_DEPTH = 16
+
+
+class FilterSpecError(ReproError):
+    """A filter spec that does not parse under the grammar."""
+
+
+def _fail(message: str) -> "FilterSpecError":
+    return FilterSpecError(f"bad filter spec: {message}")
+
+
+def normalize_filter(spec: object, _depth: int = 0) -> Dict[str, object]:
+    """Validate ``spec`` and return its canonical form.
+
+    Raises :class:`FilterSpecError` on unknown fields/operators/combinators,
+    non-integer values, empty combinator lists, or excessive nesting.  The
+    canonical form uses named operators and is JSON-serialisable, which is
+    what checkpoints persist and ``/subscribe`` echoes back.
+    """
+    if _depth > _MAX_DEPTH:
+        raise _fail(f"nesting deeper than {_MAX_DEPTH}")
+    if not isinstance(spec, dict):
+        raise _fail(f"expected an object, got {type(spec).__name__}")
+    combinators = [k for k in ("and", "or", "not") if k in spec]
+    if combinators:
+        if len(spec) != 1:
+            raise _fail(
+                f"combinator node must have exactly one key, got {sorted(spec)}"
+            )
+        kind = combinators[0]
+        if kind == "not":
+            return {"not": normalize_filter(spec["not"], _depth + 1)}
+        children = spec[kind]
+        if not isinstance(children, (list, tuple)) or not children:
+            raise _fail(f'"{kind}" takes a non-empty list of specs')
+        return {kind: [normalize_filter(child, _depth + 1) for child in children]}
+    missing = [k for k in ("field", "op", "value") if k not in spec]
+    if missing:
+        raise _fail(f"leaf is missing {missing} (keys: {sorted(spec)})")
+    extra = set(spec) - {"field", "op", "value"}
+    if extra:
+        raise _fail(f"leaf has unknown keys {sorted(extra)}")
+    fieldname = spec["field"]
+    if fieldname not in FILTER_FIELDS:
+        raise _fail(
+            f"unknown field {fieldname!r}; expected one of {FILTER_FIELDS}"
+        )
+    op = _SYMBOL_OPS.get(spec["op"], spec["op"])
+    if op not in _OP_FUNCS:
+        raise _fail(
+            f"unknown operator {spec['op']!r}; expected one of "
+            f"{FILTER_OPS} or {tuple(_SYMBOL_OPS)}"
+        )
+    value = spec["value"]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _fail(f"value must be an integer, got {value!r}")
+    return {"field": fieldname, "op": op, "value": int(value)}
+
+
+def compile_filter(spec: object) -> Callable[[Interval], bool]:
+    """Compile a (raw or normalised) spec into a predicate callable.
+
+    The compiled closure is what :class:`~repro.stream.registry.Subscription`
+    carries as its ``predicate``; the normalised spec rides alongside so the
+    subscription survives checkpoints and the wire.
+    """
+    return _compile(normalize_filter(spec))
+
+
+def _compile(spec: Dict[str, object]) -> Callable[[Interval], bool]:
+    if "and" in spec:
+        children = [_compile(child) for child in spec["and"]]
+        return lambda interval: all(child(interval) for child in children)
+    if "or" in spec:
+        children = [_compile(child) for child in spec["or"]]
+        return lambda interval: any(child(interval) for child in children)
+    if "not" in spec:
+        child = _compile(spec["not"])
+        return lambda interval: not child(interval)
+    fieldname, op, value = spec["field"], spec["op"], spec["value"]
+    func = _OP_FUNCS[op]
+    if fieldname == "duration":
+        return lambda interval: func(interval.end - interval.start, value)
+    if fieldname == "start":
+        return lambda interval: func(interval.start, value)
+    return lambda interval: func(interval.end, value)
+
+
+def _describe(spec: Dict[str, object]) -> str:
+    if "and" in spec:
+        return "(" + " and ".join(_describe(c) for c in spec["and"]) + ")"
+    if "or" in spec:
+        return "(" + " or ".join(_describe(c) for c in spec["or"]) + ")"
+    if "not" in spec:
+        return f"(not {_describe(spec['not'])})"
+    return f"{spec['field']} {spec['op']} {spec['value']}"
+
+
+def describe_filter(spec: object) -> str:
+    """Human-readable rendering (CLI/stats use this, not the wire)."""
+    return _describe(normalize_filter(spec))

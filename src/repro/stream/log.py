@@ -201,6 +201,23 @@ class DeltaLog:
         """
         self._truncated_generation = max(self._truncated_generation, int(generation))
 
+    def drop(self, generation: int) -> int:
+        """Backpressure: discard every retained record outright.
+
+        Used when a consumer has lagged past the manager's
+        ``max_poller_lag`` bound: instead of coalescing an ever-larger head
+        for a poller that is not coming back soon, the whole log is dropped
+        and its span marked unreplayable -- the next poll reports
+        ``resync_required``, and appends restart from empty.  Returns how
+        many records were discarded.
+        """
+        dropped = len(self._records)
+        floor = max(int(generation), self.last_generation)
+        self._records.clear()
+        self.mark_truncated(floor)
+        self.truncations += 1
+        return dropped
+
     def ack(self, acked_generation: int) -> int:
         """Drop records the client confirmed; returns how many were pruned."""
         pruned = 0

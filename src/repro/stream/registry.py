@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional
 from repro.core.allen import RANGE_QUERY_RELATIONS, AllenRelation, satisfies_relation
 from repro.core.errors import ReproError
 from repro.core.interval import Interval, IntervalCollection, Query
+from repro.stream.filters import compile_filter, normalize_filter
 
 __all__ = ["Subscription", "SubscriptionRegistry", "parse_relation"]
 
@@ -59,8 +60,14 @@ class Subscription:
             query", as in :meth:`repro.engine.store.QueryBuilder.relation`).
         min_duration / max_duration: optional bounds on the matched
             interval's length (``end - start``).
-        predicate: optional extra filter over matched intervals (Python API
-            only -- not expressible over the wire).
+        predicate: optional extra filter over matched intervals.  Arbitrary
+            callables are Python-API-only; filters registered through the
+            JSON DSL compile to a predicate *and* keep their spec in
+            ``filter_spec``.
+        filter_spec: the normalised JSON filter this predicate was compiled
+            from (:mod:`repro.stream.filters`), or ``None`` for a plain
+            callable.  A subscription with a ``filter_spec`` survives the
+            wire and checkpoints; one with only a callable does not.
     """
 
     subscription_id: int
@@ -71,6 +78,7 @@ class Subscription:
     predicate: Optional[Callable[[Interval], bool]] = field(
         default=None, compare=False
     )
+    filter_spec: Optional[dict] = field(default=None, compare=False)
 
     @property
     def range_prunable(self) -> bool:
@@ -92,6 +100,21 @@ class Subscription:
         ):
             return False
         return self.predicate is None or bool(self.predicate(interval))
+
+
+def _resolve_filter(
+    predicate: Optional[Callable[[Interval], bool]],
+    filter_spec: Optional[dict],
+):
+    """Normalise/compile a filter spec into the predicate slot."""
+    if filter_spec is None:
+        return predicate, None
+    if predicate is not None:
+        raise ReproError(
+            "pass either a predicate callable or a filter spec, not both"
+        )
+    spec = normalize_filter(filter_spec)
+    return compile_filter(spec), spec
 
 
 class SubscriptionRegistry:
@@ -143,9 +166,16 @@ class SubscriptionRegistry:
         min_duration: int = 0,
         max_duration: Optional[int] = None,
         predicate: Optional[Callable[[Interval], bool]] = None,
+        filter_spec: Optional[dict] = None,
     ) -> Subscription:
-        """Add one standing query; returns the assigned subscription."""
+        """Add one standing query; returns the assigned subscription.
+
+        ``filter_spec`` (a JSON predicate, :mod:`repro.stream.filters`) and
+        ``predicate`` (an arbitrary callable) are mutually exclusive: the
+        spec compiles *into* the predicate slot.
+        """
         relation = parse_relation(relation)
+        predicate, filter_spec = _resolve_filter(predicate, filter_spec)
         with self._lock:
             subscription = Subscription(
                 subscription_id=self._next_id,
@@ -154,6 +184,7 @@ class SubscriptionRegistry:
                 min_duration=min_duration,
                 max_duration=max_duration,
                 predicate=predicate,
+                filter_spec=filter_spec,
             )
             self._next_id += 1
             self._subscriptions[subscription.subscription_id] = subscription
@@ -178,15 +209,18 @@ class SubscriptionRegistry:
         relation: "AllenRelation | str | None" = None,
         min_duration: int = 0,
         max_duration: Optional[int] = None,
+        filter_spec: Optional[dict] = None,
     ) -> Subscription:
         """Re-register a checkpointed subscription under its original id.
 
         The recovery path replays the subscription registry from a
         checkpoint; keeping the pre-crash ids is what lets a reconnecting
         client keep polling the subscription it already holds.  Fresh
-        registrations continue past the highest restored id.
+        registrations continue past the highest restored id.  A persisted
+        ``filter_spec`` is recompiled into the predicate it came from.
         """
         relation = parse_relation(relation)
+        predicate, filter_spec = _resolve_filter(None, filter_spec)
         with self._lock:
             if subscription_id in self._subscriptions:
                 raise ReproError(
@@ -199,6 +233,8 @@ class SubscriptionRegistry:
                 relation=relation,
                 min_duration=min_duration,
                 max_duration=max_duration,
+                predicate=predicate,
+                filter_spec=filter_spec,
             )
             self._next_id = max(self._next_id, subscription.subscription_id + 1)
             self._subscriptions[subscription.subscription_id] = subscription

@@ -1,0 +1,139 @@
+"""Follower takeover oracle: kill the shipping leader, promote, exact state.
+
+Drives the failover soak (``scripts/cluster_failover_soak.py``) one round at
+a time: a child process serves a durable shard over HTTP while streaming a
+deterministic op mix; the parent attaches an in-process
+:class:`~repro.cluster.follower.ClusterFollower` whose applied generation
+gates every semi-synchronous ack; then the leader is SIGKILLed -- at a
+named durability crash point or on a timer -- the follower is promoted over
+HTTP, and both the promoted follower's served live set AND an independent
+reopen of the leader's WAL directory must equal the acked prefix plus at
+most the single in-flight op.
+
+Covered here: every named crash point (one mid-shipping round each), a raw
+timer-kill round per backend pairing, and consecutive rounds proving the
+durable state feeds the next leader after each takeover.
+"""
+
+import importlib.util
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import ClusterFollower
+from repro.cluster.shard_server import start_shard_server_thread
+from repro.durability.faults import CRASH_POINTS
+from repro.engine import IntervalStore
+from repro.serve.client import ServeClient
+
+_SOAK_PATH = Path(__file__).resolve().parents[1] / "scripts" / "cluster_failover_soak.py"
+_spec = importlib.util.spec_from_file_location("cluster_failover_soak", _SOAK_PATH)
+soak = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(soak)
+
+OPS = 36
+
+
+def _args(backend="hintm_hybrid", ops=OPS):
+    import argparse
+
+    return argparse.Namespace(
+        backend=backend,
+        shards=1,
+        fsync="always",
+        seed=4242,
+        ops=ops,
+        maintain_every=ops // 3,
+        id_base=soak.STREAM_ID_BASE,
+    )
+
+
+def _fresh_oracle():
+    collection = soak.base_collection()
+    return {
+        int(i): (int(s), int(e))
+        for i, s, e in zip(collection.ids, collection.starts, collection.ends)
+    }
+
+
+def _run_round(tmp_path, args, round_no, oracle=None, budget=240):
+    oracle = _fresh_oracle() if oracle is None else oracle
+    # run_round raises SystemExit with a diagnostic on any divergence --
+    # follower-side or leader-side
+    assert soak.run_round(args, tmp_path, round_no, oracle, time.monotonic() + budget)
+    return oracle
+
+
+@pytest.mark.parametrize("point", CRASH_POINTS)
+def test_takeover_at_named_crash_point(tmp_path, point):
+    # even round numbers select crash points in order: 2*i -> CRASH_POINTS[i]
+    round_no = 2 * CRASH_POINTS.index(point)
+    _run_round(tmp_path, _args(), round_no)
+
+
+@pytest.mark.parametrize("backend", ["hintm", "hintm_hybrid", "timeline"])
+def test_takeover_after_raw_kill(tmp_path, backend):
+    # odd round numbers are raw mid-stream SIGKILLs (no crash point armed);
+    # the follower replays through the store API, so leader and standby
+    # backends need not match -- the parent side always uses args.backend
+    _run_round(tmp_path, _args(backend=backend), round_no=1)
+
+
+def test_noop_delete_never_overreports_catchup(tmp_path):
+    """A no-op delete must not let the follower's generation outrun its state.
+
+    The router broadcasts deletes to every shard, so a shard's leader
+    routinely WALs a delete for an id it never held: the record carries the
+    predicted generation current+1, the apply fails, the leader's generation
+    stays put and the NEXT record reuses the same value.  If the follower
+    floors to a skipped record's generation, its reported catch-up runs one
+    op ahead of its contents -- and a promotion gated on generation equality
+    in that window silently loses the in-flight op.
+    """
+    store = IntervalStore.open(
+        soak.base_collection(),
+        "hintm_hybrid",
+        wal_dir=str(tmp_path / "wal"),
+        fsync="always",
+    )
+    handle = start_shard_server_thread(store, host="127.0.0.1", port=0, shard_id=0)
+    follower = None
+    try:
+        follower = ClusterFollower(
+            "127.0.0.1", handle.port, backend="hintm_hybrid", poll_timeout=1.0
+        ).start()
+        with ServeClient("127.0.0.1", handle.port) as client:
+            client.insert(soak.STREAM_ID_BASE, 5, 9)
+            client.delete(77_777_777)  # never existed on this shard
+            deadline = time.monotonic() + 30.0
+            while follower.records_applied < 2:
+                assert time.monotonic() < deadline, "feed never shipped the ops"
+                time.sleep(0.01)
+            # the no-op delete moved the generation on neither side
+            assert follower.applied_generation() <= int(store.result_generation())
+            # the generation the no-op predicted belongs to the NEXT real op;
+            # catch-up must wait for it, not assume it already shipped
+            client.insert(soak.STREAM_ID_BASE + 1, 6, 8)
+            target = int(store.result_generation())
+            deadline = time.monotonic() + 30.0
+            while follower.applied_generation() < target:
+                assert time.monotonic() < deadline, "follower never caught up"
+                time.sleep(0.01)
+        assert soak.live_set(follower.store) == soak.live_set(store)
+    finally:
+        if follower is not None:
+            follower.stop()
+        handle.stop()
+        store.close()
+
+
+def test_consecutive_takeovers_accumulate_durable_state(tmp_path):
+    """Each recovered state seeds the next leader; nothing leaks or drifts."""
+    args = _args()
+    oracle = _fresh_oracle()
+    deadline = time.monotonic() + 240
+    for round_no in (1, 3, 5):
+        assert soak.run_round(args, tmp_path, round_no, oracle, deadline)
+    # three net-positive rounds must have grown the durable live set
+    assert len(oracle) > soak.BASE_ROWS

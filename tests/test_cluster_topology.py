@@ -1,0 +1,97 @@
+"""The static cluster topology: JSON round-trip, validation, planning."""
+
+import json
+
+import pytest
+
+from repro.cluster.topology import (
+    TOPOLOGY_VERSION,
+    ClusterTopology,
+    Endpoint,
+    TopologyError,
+)
+
+
+def _topology():
+    return ClusterTopology.build(
+        (1_000, 2_000),
+        [
+            [("127.0.0.1", 9000), ("127.0.0.1", 9001)],
+            [("127.0.0.1", 9010)],
+            [("10.0.0.5", 9020)],
+        ],
+    )
+
+
+class TestConstruction:
+    def test_plan_matches_cuts(self):
+        topology = _topology()
+        assert topology.num_shards == 3
+        plan = topology.plan()
+        assert plan.cuts == (1_000, 2_000)
+        assert plan.shard_range(500, 1_500) == (0, 1)
+
+    def test_replicas_for(self):
+        topology = _topology()
+        assert len(topology.replicas_for(0)) == 2
+        assert topology.replicas_for(2)[0] == Endpoint("10.0.0.5", 9020)
+        with pytest.raises(TopologyError, match="out of range"):
+            topology.replicas_for(3)
+
+    def test_endpoints_are_flat_plan_order(self):
+        rows = _topology().endpoints()
+        assert [(shard, replica) for shard, replica, _ in rows] == [
+            (0, 0), (0, 1), (1, 0), (2, 0),
+        ]
+
+    def test_every_shard_needs_a_replica(self):
+        with pytest.raises(TopologyError, match="no replicas"):
+            ClusterTopology.build((100,), [[("h", 1)], []])
+
+    def test_replica_rows_must_cover_every_shard(self):
+        with pytest.raises(TopologyError, match="shard"):
+            ClusterTopology.build((100,), [[("h", 1)]])
+
+    def test_cuts_must_be_increasing(self):
+        with pytest.raises(Exception):
+            ClusterTopology.build((200, 100), [[("h", 1)]] * 3)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        topology = _topology()
+        path = tmp_path / "topology.json"
+        topology.save(path)
+        assert ClusterTopology.load(path) == topology
+
+    def test_file_format_is_the_documented_shape(self, tmp_path):
+        path = tmp_path / "topology.json"
+        _topology().save(path)
+        raw = json.loads(path.read_text())
+        assert raw["version"] == TOPOLOGY_VERSION
+        assert raw["cuts"] == [1_000, 2_000]
+        assert raw["shards"][0]["replicas"][0] == {"host": "127.0.0.1", "port": 9000}
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "topology.json"
+        raw = _topology().as_dict()
+        raw["version"] = 99
+        path.write_text(json.dumps(raw))
+        with pytest.raises(TopologyError, match="version"):
+            ClusterTopology.load(path)
+
+    def test_duplicate_shard_rows_rejected(self, tmp_path):
+        path = tmp_path / "topology.json"
+        raw = _topology().as_dict()
+        raw["shards"][1]["shard"] = 0
+        path.write_text(json.dumps(raw))
+        with pytest.raises(TopologyError):
+            ClusterTopology.load(path)
+
+    def test_unreadable_file_is_a_topology_error(self, tmp_path):
+        with pytest.raises(TopologyError, match="cannot read"):
+            ClusterTopology.load(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(TopologyError, match="cannot read"):
+            ClusterTopology.load(bad)

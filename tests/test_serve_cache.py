@@ -120,3 +120,60 @@ class TestResolveCache:
             resolve_cache(True)
         with pytest.raises(TypeError):
             resolve_cache("big")
+
+
+class TestTtl:
+    """Wall-clock bounds compose with (and trump) generation keying + SWR."""
+
+    def _cache(self, **kwargs):
+        clock = {"now": 0.0}
+        cache = ResultCache(capacity=8, clock=lambda: clock["now"], **kwargs)
+        return cache, clock
+
+    def test_fresh_entry_hits_until_ttl(self):
+        cache, clock = self._cache(ttl=10.0)
+        cache.put("a", 0, "answer")
+        clock["now"] = 9.9
+        assert cache.get("a", 0) == "answer"
+        clock["now"] = 10.1
+        assert cache.get("a", 0) is ResultCache.MISS
+        stats = cache.stats()
+        assert stats.ttl_expired == 1
+        assert stats.size == 0  # expired entries are dropped, not retained
+
+    def test_refill_restarts_the_clock(self):
+        cache, clock = self._cache(ttl=5.0)
+        cache.put("a", 0, "v1")
+        clock["now"] = 6.0
+        assert cache.get("a", 0) is ResultCache.MISS
+        cache.put("a", 0, "v2")
+        clock["now"] = 10.0
+        assert cache.get("a", 0) == "v2"
+
+    def test_expired_entries_are_not_swr_eligible(self):
+        # generation moved AND the entry aged out: TTL wins -- a
+        # time-sensitive consumer never sees the stale body
+        cache, clock = self._cache(ttl=5.0, stale_while_revalidate=True)
+        cache.put("a", 0, "old")
+        clock["now"] = 6.0
+        assert cache.get("a", 1) is ResultCache.MISS
+        assert cache.stats().ttl_expired == 1
+        assert cache.stats().stale_served == 0
+
+    def test_within_ttl_generation_keying_is_unchanged(self):
+        cache, clock = self._cache(ttl=100.0)
+        cache.put("a", 0, "old")
+        clock["now"] = 1.0
+        assert cache.get("a", 1) is ResultCache.MISS  # plain invalidation
+        assert cache.stats().invalidated == 1
+        assert cache.stats().ttl_expired == 0
+
+    def test_no_ttl_means_no_expiry(self):
+        cache, clock = self._cache()
+        cache.put("a", 0, "forever")
+        clock["now"] = 1e9
+        assert cache.get("a", 0) == "forever"
+
+    def test_ttl_validation(self):
+        with pytest.raises(ValueError, match="ttl"):
+            ResultCache(capacity=4, ttl=0)

@@ -55,7 +55,11 @@ class TestEndpoints:
     def test_count_only(self, served):
         collection, _, client = served
         response = client.query(0, 6_000, count_only=True)
-        assert response == {"count": len(_oracle(collection, 0, 6_000))}
+        assert response["count"] == len(_oracle(collection, 0, 6_000))
+        assert "ids" not in response
+        # every answer carries the generation token the cluster router
+        # keys its distributed cache off
+        assert isinstance(response["generation"], int)
 
     def test_stabbing(self, served):
         collection, _, client = served

@@ -1,0 +1,207 @@
+"""The subscription filter DSL and poller backpressure.
+
+Covers the JSON predicate grammar (``stream.filters``) at three layers:
+normalisation/compilation as pure functions, server-side enforcement on a
+:class:`StandingQueryManager`, and the HTTP transport (``/subscribe`` with
+a ``filter`` payload, both JSON-body and query-string encodings).  Also
+covers the laggard-poller bound (``max_poller_lag``): a consumer that stops
+draining gets an explicit ``resync_required`` instead of unbounded server
+memory.
+"""
+
+import json
+
+import pytest
+
+from repro.core.interval import Interval, IntervalCollection
+from repro.engine import IntervalStore
+from repro.serve.client import ServeClient
+from repro.serve.server import QueryServer, start_server_thread
+from repro.stream.deltas import StandingQueryManager
+from repro.stream.filters import (
+    FilterSpecError,
+    compile_filter,
+    describe_filter,
+    normalize_filter,
+)
+
+
+def _interval(start, end, interval_id=0):
+    return Interval(interval_id, start, end)
+
+
+class TestNormalize:
+    def test_symbol_ops_canonicalise_to_names(self):
+        spec = normalize_filter({"field": "duration", "op": ">=", "value": 10})
+        assert spec == {"field": "duration", "op": "ge", "value": 10}
+
+    def test_named_ops_pass_through(self):
+        spec = {"field": "start", "op": "lt", "value": 5}
+        assert normalize_filter(spec) == spec
+
+    def test_canonical_form_is_json_round_trippable(self):
+        spec = normalize_filter(
+            {"and": [{"field": "start", "op": ">", "value": 1},
+                     {"not": {"field": "end", "op": "==", "value": 9}}]}
+        )
+        assert json.loads(json.dumps(spec)) == spec
+
+    @pytest.mark.parametrize("bad", [
+        42,                                                   # not an object
+        {"field": "colour", "op": "eq", "value": 1},          # unknown field
+        {"field": "start", "op": "~=", "value": 1},           # unknown op
+        {"field": "start", "op": "eq", "value": True},        # bool is not int
+        {"field": "start", "op": "eq", "value": "soon"},      # non-integer
+        {"field": "start", "op": "eq"},                       # missing value
+        {"field": "start", "op": "eq", "value": 1, "x": 2},   # stray key
+        {"and": []},                                          # empty combinator
+        {"and": [{"field": "start", "op": "eq", "value": 1}],
+         "or": [{"field": "start", "op": "eq", "value": 1}]},  # two combinators
+    ])
+    def test_grammar_violations_raise(self, bad):
+        with pytest.raises(FilterSpecError):
+            normalize_filter(bad)
+
+    def test_excessive_nesting_raises(self):
+        spec = {"field": "start", "op": "eq", "value": 1}
+        for _ in range(40):
+            spec = {"not": spec}
+        with pytest.raises(FilterSpecError, match="nesting"):
+            normalize_filter(spec)
+
+
+class TestCompile:
+    def test_duration_leaf(self):
+        keep_long = compile_filter({"field": "duration", "op": ">=", "value": 100})
+        assert keep_long(_interval(0, 150))
+        assert not keep_long(_interval(0, 99))
+
+    def test_boolean_combinators(self):
+        spec = {
+            "or": [
+                {"and": [{"field": "start", "op": ">=", "value": 10},
+                         {"field": "end", "op": "<", "value": 20}]},
+                {"not": {"field": "duration", "op": ">", "value": 1}},
+            ]
+        }
+        predicate = compile_filter(spec)
+        assert predicate(_interval(12, 18))   # first branch
+        assert predicate(_interval(500, 501))  # second branch (duration 1)
+        assert not predicate(_interval(5, 50))
+
+    def test_describe_is_readable(self):
+        text = describe_filter(
+            {"and": [{"field": "start", "op": ">", "value": 1},
+                     {"field": "duration", "op": "<=", "value": 7}]}
+        )
+        assert text == "(start gt 1 and duration le 7)"
+
+
+def _store(rows=8):
+    collection = IntervalCollection.from_intervals(
+        [Interval(i, i * 100, i * 100 + 50) for i in range(rows)]
+    )
+    return IntervalStore.open(collection, "hintm_hybrid")
+
+
+class TestManagerEnforcement:
+    def test_filtered_subscription_snapshot_and_deltas(self):
+        store = _store()
+        manager = StandingQueryManager(store)
+        result = manager.subscribe(
+            0, 10_000,
+            filter_spec={"field": "duration", "op": ">=", "value": 100},
+        )
+        # the seed rows all have duration 50: filtered out of the snapshot
+        assert result.ids == ()
+        sid = result.subscription.subscription_id
+        assert result.subscription.filter_spec == {
+            "field": "duration", "op": "ge", "value": 100,
+        }
+        store.insert(Interval(900, 100, 300))  # duration 200: matches
+        store.insert(Interval(901, 100, 120))  # duration 20: filtered
+        poll = manager.poll(sid, after_generation=result.generation)
+        added = [i for record in poll.records for i in record.added]
+        assert added == [900]
+
+    def test_invalid_filter_rejected_at_subscribe(self):
+        manager = StandingQueryManager(_store())
+        with pytest.raises(FilterSpecError):
+            manager.subscribe(0, 100, filter_spec={"field": "nope", "op": "eq",
+                                                   "value": 1})
+
+
+class TestBackpressure:
+    def test_laggard_poller_forced_to_resync(self):
+        store = _store()
+        manager = StandingQueryManager(store, max_poller_lag=4)
+        result = manager.subscribe(0, 100_000)
+        sid = result.subscription.subscription_id
+        for k in range(10):  # never polled: lag grows past the bound
+            store.insert(Interval(1_000 + k, 10, 500))
+        assert manager.gauges()["backpressure_drops"] > 0
+        assert manager.gauges()["slowest_poller_lag"] <= 4
+        poll = manager.poll(sid, after_generation=result.generation)
+        assert poll.resync_required
+        # the documented recovery: resync replaces the client's world
+        resynced = manager.resync(sid)
+        assert set(resynced.ids) >= {1_000 + k for k in range(10)}
+        # an up-to-date poller is back to exact deltas
+        store.insert(Interval(2_000, 10, 500))
+        poll = manager.poll(sid, after_generation=resynced.generation)
+        assert not poll.resync_required
+        assert [i for r in poll.records for i in r.added] == [2_000]
+
+    def test_lag_bound_validated(self):
+        from repro.core.errors import ReproError
+
+        with pytest.raises(ReproError, match="max_poller_lag"):
+            StandingQueryManager(_store(), max_poller_lag=0)
+
+
+class TestOverHttp:
+    @pytest.fixture()
+    def served(self):
+        store = _store()
+        handle = start_server_thread(store, max_poller_lag=4)
+        client = ServeClient(port=handle.port)
+        yield store, client
+        client.close()
+        handle.stop()
+        store.close()
+
+    def test_subscribe_with_filter_routes_exactly(self, served):
+        store, client = served
+        sub = client.subscribe(
+            0, 100_000,
+            filter={"field": "duration", "op": ">=", "value": 100},
+        )
+        assert sub["filter"] == {"field": "duration", "op": "ge", "value": 100}
+        assert sub["ids"] == []  # seed rows are all shorter than 100
+        client.insert(900, 100, 300)
+        client.insert(901, 100, 120)
+        poll = client.poll_deltas(
+            sub["subscription_id"], after=sub["generation"], timeout=5
+        )
+        assert [i for d in poll["deltas"] for i in d["added"]] == [900]
+
+    def test_bad_filter_is_a_400(self, served):
+        from repro.serve.client import ServerError
+
+        _, client = served
+        with pytest.raises(ServerError) as excinfo:
+            client.subscribe(0, 100, filter={"field": "start", "op": "??",
+                                             "value": 1})
+        assert excinfo.value.status == 400
+
+    def test_served_laggard_gets_resync_required(self, served):
+        store, client = served
+        sub = client.subscribe(0, 100_000)
+        for k in range(10):
+            client.insert(1_000 + k, 10, 500)
+        poll = client.poll_deltas(
+            sub["subscription_id"], after=sub["generation"], timeout=5
+        )
+        assert poll["resync_required"]
+        stats = client.stats()
+        assert stats["stream"]["backpressure_drops"] > 0

@@ -26,7 +26,12 @@ Rounds then alternate read and fault phases:
   fail over), and stopping a leader outright followed by HTTP promotion of
   its follower (reads fail over to the promoted node; writes re-route to
   it).  Dead endpoints stay in the read topology on purpose -- every later
-  read exercises failover past them.
+  read exercises failover past them;
+* **metrics smoke** -- every round scrapes ``GET /metrics`` on each live
+  shard server (strictly Prometheus-parseable, ``_total`` counters
+  monotone across scrapes, ``repro_shard_id`` matching the node) and
+  reconciles the client routers' own query counters against the workload
+  they were handed.
 
 Any divergence raises, failing the job.
 
@@ -54,7 +59,43 @@ from repro.core.interval import Query  # noqa: E402
 from repro.datasets.real_like import REAL_DATASET_PROFILES, generate_real_like  # noqa: E402
 from repro.engine import IntervalStore  # noqa: E402
 from repro.engine.sharding import ShardPlan, shard_mask  # noqa: E402
+from repro.obs import parse_prometheus_text  # noqa: E402
 from repro.serve.client import ServeClient  # noqa: E402
+
+
+def _scrape_shard_metrics(shards, previous, round_no):
+    """Scrape every live shard server: parseable, monotone, right shard id."""
+    scrapes = {}
+    for shard in shards:
+        endpoints = []
+        if shard.leader_alive:
+            endpoints.append(("leader", shard.leader.port))
+        if shard.spare_alive:
+            endpoints.append(("spare", shard.spare.port))
+        for role, port in endpoints:
+            key = (shard.shard_id, role)
+            with ServeClient("127.0.0.1", port) as client:
+                samples = parse_prometheus_text(client.metrics())  # raises if bad
+            if samples.get("repro_shard_id") != float(shard.shard_id):
+                raise SystemExit(
+                    f"round {round_no}: {role} of shard {shard.shard_id} "
+                    f"exposes repro_shard_id {samples.get('repro_shard_id')}"
+                )
+            old = previous.get(key)
+            if old:
+                for name, value in samples.items():
+                    if (
+                        name.endswith("_total")
+                        and name in old
+                        and value < old[name]
+                    ):
+                        raise SystemExit(
+                            f"round {round_no}: shard {shard.shard_id} {role} "
+                            f"counter {name} went backwards "
+                            f"({old[name]:g} -> {value:g})"
+                        )
+            scrapes[key] = samples
+    return scrapes
 
 
 def _oracle_ids(live: dict, query: Query) -> set:
@@ -159,7 +200,8 @@ class _Shard:
         self.spare_store.close()
 
 
-def _read_worker(topology, workload, live, counters, failures, cache_size):
+def _read_worker(topology, workload, live, counters, failures, cache_size,
+                 router_stats):
     try:
         with ClusterRouter(topology, cache=cache_size, cooldown=0.1) as router:
             for query, mode in workload:
@@ -183,6 +225,7 @@ def _read_worker(topology, workload, live, counters, failures, cache_size):
                         diff = set(got["ids"]) ^ expected
                         failures.append(f"ids({query}) diverged on {sorted(diff)[:5]}")
                 counters.append(1)
+            router_stats.append(router.stats())
     except Exception as exc:  # noqa: BLE001 - surfaced by the main thread
         failures.append(f"client crashed: {exc!r}")
 
@@ -253,6 +296,7 @@ def main(argv=None) -> int:
     started = time.perf_counter()
     served_total = 0
     failovers_total = 0
+    scrapes = {}
     try:
         for round_no in range(args.rounds):
             workload = []
@@ -265,13 +309,13 @@ def main(argv=None) -> int:
                 mode = ("ids", "count", "exists")[int(rng.integers(0, 3))]
                 workload.append((query, mode))
 
-            counters, failures = [], []
+            counters, failures, router_stats = [], [], []
             topology = read_topology()
             threads = [
                 threading.Thread(
                     target=_read_worker,
                     args=(topology, workload, live, counters, failures,
-                          args.cache_size),
+                          args.cache_size, router_stats),
                 )
                 for _ in range(args.clients)
             ]
@@ -282,6 +326,20 @@ def main(argv=None) -> int:
             if failures:
                 raise SystemExit(f"round {round_no}: {failures[0]}")
             served_total += len(counters)
+
+            # metrics smoke: every live shard server must scrape clean, and
+            # the client routers' own counters must tally the workload they
+            # routed (exists() probes shards directly, outside batch())
+            scrapes = _scrape_shard_metrics(shards, scrapes, round_no)
+            routed = args.clients * sum(
+                1 for _, mode in workload if mode != "exists"
+            )
+            tallied = sum(stats["queries"] for stats in router_stats)
+            if tallied != routed:
+                raise SystemExit(
+                    f"round {round_no}: routers tallied {tallied} queries, "
+                    f"workload routed {routed}"
+                )
 
             # update phase: broadcast through the write router; every
             # writable replica of the covering shards must ack

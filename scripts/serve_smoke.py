@@ -12,6 +12,11 @@ store goes up behind the query server, then rounds of
   between read phases (so cached answers must invalidate via the generation
   key), with a forced maintenance pass and a replica kill thrown in on
   alternating rounds;
+* **metrics smoke** -- every round scrapes ``GET /metrics``, asserts the
+  exposition stays strictly Prometheus-parseable, that every ``_total``
+  counter is monotone across scrapes, and that the server's query counter
+  moved by exactly the clients' tally (successes plus 503-retried
+  attempts -- the server counts a query before admission rejects it);
 
 run until the round budget is spent.  Any divergence -- ids, counts, cache
 serving a stale answer, failover dropping results -- raises, failing the
@@ -35,8 +40,23 @@ import numpy as np
 from repro.core.interval import IntervalCollection, Query
 from repro.datasets.real_like import REAL_DATASET_PROFILES, generate_real_like
 from repro.engine import IntervalStore
+from repro.obs import parse_prometheus_text
 from repro.serve.client import ServeClient, ServerOverloaded
 from repro.serve.server import start_server_thread
+
+
+def _check_scrape(admin, previous, round_no):
+    """One /metrics scrape: parseable, counters monotone vs ``previous``."""
+    scrape = parse_prometheus_text(admin.metrics())  # raises on malformed
+    if previous is not None:
+        for name, value in scrape.items():
+            if name.endswith("_total") and name in previous:
+                if value < previous[name]:
+                    raise SystemExit(
+                        f"round {round_no}: counter {name} went backwards "
+                        f"({previous[name]:g} -> {value:g})"
+                    )
+    return scrape
 
 
 def _oracle_ids(live: dict, query: Query) -> set:
@@ -126,6 +146,7 @@ def main(argv=None) -> int:
     served_total = 0
     retries_total = 0
     try:
+        scrape = _check_scrape(admin, None, -1)
         for round_no in range(args.rounds):
             workload = []
             for _ in range(args.queries_per_client):
@@ -152,6 +173,17 @@ def main(argv=None) -> int:
                 raise SystemExit(f"round {round_no}: {failures[0]}")
             served_total += len(counters)
             retries_total += len(retries)
+
+            # metrics smoke: parseable scrape, monotone counters, and the
+            # query counter reconciling exactly with the client-side tally
+            previous, scrape = scrape, _check_scrape(admin, scrape, round_no)
+            moved = scrape["repro_queries_total"] - previous["repro_queries_total"]
+            tallied = len(counters) + len(retries)
+            if int(moved) != tallied:
+                raise SystemExit(
+                    f"round {round_no}: repro_queries_total moved by "
+                    f"{moved:g}, clients tallied {tallied}"
+                )
 
             # update phase: inserts + deletes through the server, so every
             # cached hot answer must invalidate via the generation key

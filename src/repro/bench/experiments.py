@@ -1247,29 +1247,38 @@ def _serve_workloads(
     return hot, streams
 
 
-def _drive_clients(port: int, streams: Sequence[Sequence[Query]]) -> Tuple[float, int]:
-    """Fire every client stream concurrently; ``(seconds, requests)``.
+def _drive_clients(
+    port: int, streams: Sequence[Sequence[Query]]
+) -> Tuple[float, int, "Histogram"]:
+    """Fire every client stream concurrently; ``(seconds, requests, latency)``.
 
     Each client thread owns one keep-alive connection and backs off briefly
     on an admission-control 503 (that rejected request still counts as
-    server work, not client progress).
+    server work, not client progress).  Per-request wall times -- including
+    any 503 backoff rounds, the latency the client actually experienced --
+    land in a shared observability :class:`~repro.obs.Histogram` so callers
+    can report the same p50/p95/p99 the serving tier's ``/stats`` exposes.
     """
     import threading
 
+    from repro.obs import Histogram
     from repro.serve.client import ServeClient, ServerOverloaded
 
     errors: List[BaseException] = []
+    latency = Histogram()
 
     def _worker(stream: Sequence[Query]) -> None:
         client = ServeClient(port=port)
         try:
             for query in stream:
+                t0 = time.perf_counter()
                 while True:
                     try:
                         client.query(query.start, query.end)
                         break
                     except ServerOverloaded:
                         time.sleep(0.002)
+                latency.observe(time.perf_counter() - t0)
         except BaseException as exc:  # noqa: BLE001 - surfaced after join
             errors.append(exc)
         finally:
@@ -1287,7 +1296,7 @@ def _drive_clients(port: int, streams: Sequence[Sequence[Query]]) -> Tuple[float
     seconds = time.perf_counter() - started
     if errors:
         raise RuntimeError(f"serving client failed: {errors[0]!r}") from errors[0]
-    return seconds, sum(len(stream) for stream in streams)
+    return seconds, sum(len(stream) for stream in streams), latency
 
 
 def serving_throughput(
@@ -1352,7 +1361,7 @@ def serving_throughput(
                     f"served ids diverged from the store on {hot[0]} "
                     f"({len(served)} vs {len(direct)} ids)"
                 )
-            seconds, requests = _drive_clients(handle.port, streams)
+            seconds, requests, latency = _drive_clients(handle.port, streams)
             stats = probe.stats()
             probe.close()
         finally:
@@ -1361,6 +1370,7 @@ def serving_throughput(
         throughput = requests / seconds if seconds else 0.0
         if mode == "uncached":
             baseline = throughput
+        quantiles = latency.summary()
         serving_rows.append(
             {
                 "mode": mode,
@@ -1368,6 +1378,9 @@ def serving_throughput(
                 "qps": throughput,
                 "hit_rate": stats["cache"]["hit_rate"],
                 "speedup": throughput / baseline if baseline else 0.0,
+                "p50_ms": quantiles["p50"] * 1000.0,
+                "p95_ms": quantiles["p95"] * 1000.0,
+                "p99_ms": quantiles["p99"] * 1000.0,
             }
         )
 
@@ -1388,13 +1401,13 @@ def serving_throughput(
             (stream[: len(stream) // 2], stream[len(stream) // 2 :])
             for stream in streams
         ]
-        first_seconds, first_requests = _drive_clients(
+        first_seconds, first_requests, _ = _drive_clients(
             handle.port, [first for first, _ in halves]
         )
         # kill one replica of the busiest shard mid-workload
         victim_shard = store.index.plan.shard_of(hot[0].start)
         survivors = store.index.kill_replica(victim_shard, replica_id=0)
-        second_seconds, second_requests = _drive_clients(
+        second_seconds, second_requests, _ = _drive_clients(
             handle.port, [second for _, second in halves]
         )
         correct = all(

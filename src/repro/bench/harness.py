@@ -18,6 +18,7 @@ from repro.core.base import IntervalIndex
 from repro.core.interval import IntervalCollection, Query
 from repro.engine.executor import Executor, split_chunks
 from repro.engine.registry import backend_specs, create_index
+from repro.obs import Histogram
 
 __all__ = [
     "BenchmarkResult",
@@ -25,6 +26,7 @@ __all__ = [
     "build_index",
     "measure_build_time",
     "measure_index_size",
+    "measure_latency",
     "measure_throughput",
 ]
 
@@ -123,3 +125,24 @@ def measure_throughput(
             continue
         best = max(best, len(workload) / elapsed)
     return best
+
+
+def measure_latency(
+    index: IntervalIndex, queries: Sequence[Query], repeats: int = 1
+) -> Dict[str, float]:
+    """Per-query latency quantiles over ``queries``.
+
+    Runs the workload one query at a time through an observability
+    :class:`~repro.obs.Histogram` (the same quantile machinery the serving
+    tier's ``/stats`` reports) and returns its summary:
+    ``{"count", "sum", "mean", "p50", "p95", "p99"}`` in seconds.
+    Throughput stays a batch measurement (:func:`measure_throughput`);
+    this measures the single-query tail the batch number hides.
+    """
+    histogram = Histogram()
+    for _ in range(max(1, repeats)):
+        for query in queries:
+            t0 = time.perf_counter()
+            index.query(query)
+            histogram.observe(time.perf_counter() - t0)
+    return histogram.summary()

@@ -198,10 +198,13 @@ def render_serving_throughput(result: Mapping[str, Sequence[Mapping]]) -> str:
     """
     serving = format_table(
         "Serving throughput -- skewed workload through the query server "
-        "(speedup of the generation-keyed cache vs uncached)",
-        ["mode", "requests", "req/s", "cache hit rate", "speedup"],
+        "(speedup of the generation-keyed cache vs uncached; latency "
+        "quantiles are client-observed per-request wall times in ms)",
+        ["mode", "requests", "req/s", "cache hit rate", "speedup",
+         "p50[ms]", "p95[ms]", "p99[ms]"],
         [
-            [r["mode"], r["requests"], r["qps"], r["hit_rate"], r["speedup"]]
+            [r["mode"], r["requests"], r["qps"], r["hit_rate"], r["speedup"],
+             r.get("p50_ms", 0.0), r.get("p95_ms", 0.0), r.get("p99_ms", 0.0)]
             for r in result["serving"]
         ],
     )

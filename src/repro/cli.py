@@ -33,6 +33,9 @@ Examples::
     # register a standing query on a running server and follow its deltas
     python -m repro subscribe --port 8080 --start 100 --end 200
 
+    # inspect a running server's slow-query log (cross-tier span trees)
+    python -m repro slow-queries --port 8080 --limit 5
+
     # serve one shard of a cluster topology (slices the CSV to the shard's
     # residents), route queries across the whole cluster, keep a follower
     # warm off the leader's WAL, and promote it after a leader failure
@@ -416,6 +419,19 @@ def build_parser() -> argparse.ArgumentParser:
     promote.add_argument("--port", type=int, required=True,
                          help="follower server port")
 
+    slow = subparsers.add_parser(
+        "slow-queries",
+        help="dump a running server's slow-query log (per-query span trees)",
+    )
+    slow.add_argument("--host", default="127.0.0.1",
+                      help="server address (default: %(default)s)")
+    slow.add_argument("--port", type=int, default=8080,
+                      help="server port (default: %(default)s)")
+    slow.add_argument("--limit", type=int, default=None, metavar="N",
+                      help="most recent N entries (default: everything retained)")
+    slow.add_argument("--json", action="store_true",
+                      help="raw JSON body instead of rendered span trees")
+
     subparsers.add_parser("list-backends", help="list the registered index backends")
 
     stats = subparsers.add_parser("stats", help="dataset statistics and model-recommended m")
@@ -608,7 +624,7 @@ def _describe_store(store: IntervalStore) -> str:
 
 
 def _command_bench(args: argparse.Namespace) -> int:
-    from repro.bench.harness import measure_throughput
+    from repro.bench.harness import measure_latency, measure_throughput
     from repro.queries.generator import QueryWorkloadConfig, generate_queries
 
     collection = _load(args.csv, args.header)
@@ -635,21 +651,29 @@ def _command_bench(args: argparse.Namespace) -> int:
         )
         build_seconds = time.perf_counter() - build_start
         throughput = measure_throughput(store.index, queries, repeats=args.repeats)
+        latency = measure_latency(store.index, queries)
         executor_name = store.index.executor.name if shards > 1 else "serial"
         workers = store.index.executor.workers if shards > 1 else 1
-        rows.append((shards, executor_name, workers, build_seconds, throughput))
+        rows.append(
+            (shards, executor_name, workers, build_seconds, throughput, latency)
+        )
         maintenance_line = _run_maintenance(store, args.maintenance)
         if maintenance_line:
             print(f"# K={shards} {maintenance_line[2:]}")
         store.close()
     # speedups are relative to the K=1 row (first row when 1 wasn't swept)
     baseline = next((r[4] for r in rows if r[0] == 1), rows[0][4] if rows else 0.0)
-    print("shards  executor   workers   build[s]      q/s  speedup")
-    for shards, executor_name, workers, build_seconds, throughput in rows:
+    print(
+        "shards  executor   workers   build[s]      q/s  speedup  "
+        "p50[ms]  p95[ms]  p99[ms]"
+    )
+    for shards, executor_name, workers, build_seconds, throughput, latency in rows:
         speedup = throughput / baseline if baseline else 0.0
         print(
             f"{shards:6d}  {executor_name:>8s}  {workers:7d}  {build_seconds:9.3f}  "
-            f"{throughput:7,.0f}  {speedup:6.2f}x"
+            f"{throughput:7,.0f}  {speedup:6.2f}x  "
+            f"{latency['p50'] * 1000:7.3f}  {latency['p95'] * 1000:7.3f}  "
+            f"{latency['p99'] * 1000:7.3f}"
         )
     return 0
 
@@ -1015,6 +1039,44 @@ def _command_promote(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_span(node: dict, depth: int) -> None:
+    tags = node.get("tags") or {}
+    tag_text = " ".join(f"{key}={value}" for key, value in tags.items())
+    line = f"{'  ' * depth}{node.get('name')}  {node.get('duration_ms', 0.0):.2f}ms"
+    print(f"{line}  [{tag_text}]" if tag_text else line)
+    for child in node.get("children") or []:
+        _print_span(child, depth + 1)
+
+
+def _command_slow_queries(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(args.host, args.port, timeout=10.0)
+    try:
+        body = client.slow_queries(limit=args.limit)
+    finally:
+        client.close()
+    if args.json:
+        print(json.dumps(body, indent=2))
+        return 0
+    entries = body.get("slow_queries") or []
+    print(
+        f"# slow-query log: threshold {body.get('threshold_s')}s, "
+        f"{body.get('recorded')} recorded, showing {len(entries)}"
+    )
+    for entry in entries:
+        print(
+            f"{entry.get('endpoint')}  {entry.get('duration_ms', 0.0):.1f}ms  "
+            f"args={json.dumps(entry.get('args') or {})}  "
+            f"tags={json.dumps(entry.get('tags') or {})}"
+        )
+        for root in entry.get("trace") or []:
+            _print_span(root, 1)
+    return 0
+
+
 def _command_list_backends(args: argparse.Namespace) -> int:
     rows = [
         (
@@ -1125,6 +1187,7 @@ _COMMANDS = {
     "route": _command_route,
     "follow": _command_follow,
     "promote": _command_promote,
+    "slow-queries": _command_slow_queries,
     "list-backends": _command_list_backends,
     "stats": _command_stats,
     "generate": _command_generate,

@@ -38,14 +38,19 @@ fan-out pool is only ever used by the single caller's query.
 from __future__ import annotations
 
 import dataclasses
+import http.server
+import json
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
 
 from repro.core.errors import ReproError
 from repro.engine.replication import ReplicaFailure
 from repro.engine.results import merge_unique_ids
 from repro.cluster.topology import ClusterTopology, Endpoint
+from repro.obs import MetricsRegistry, SlowQueryLog, global_registry, tracing
 from repro.serve.cache import ResultCache, normalize_query_key, resolve_cache
 from repro.serve.client import (
     ServeClient,
@@ -54,7 +59,12 @@ from repro.serve.client import (
     ServerUnavailableError,
 )
 
-__all__ = ["ClusterRouter", "ClusterUpdateError", "NoHealthyReplicaError"]
+__all__ = [
+    "ClusterRouter",
+    "ClusterUpdateError",
+    "NoHealthyReplicaError",
+    "RouterAdminHandle",
+]
 
 
 class NoHealthyReplicaError(ReproError, ConnectionError):
@@ -100,6 +110,12 @@ class ClusterRouter:
             again (all-failed shards retry immediately -- a wrongly
             condemned replica must be able to resurrect).
         max_workers: fan-out pool width; default covers every shard.
+        instrument: trace every routed query end to end (router root span,
+            per-shard probe spans, remote subtrees absorbed from the
+            ``/shard-batch`` responses) and feed the slow-query log.
+        slow_threshold: seconds a routed batch must take to be recorded in
+            the slow-query log (0 records everything).
+        slow_capacity: slow-query ring-buffer size.
     """
 
     def __init__(
@@ -111,6 +127,9 @@ class ClusterRouter:
         retries: int = 1,
         cooldown: float = 5.0,
         max_workers: Optional[int] = None,
+        instrument: bool = True,
+        slow_threshold: float = 0.25,
+        slow_capacity: int = 64,
     ) -> None:
         self._topology = topology
         self._plan = topology.plan()
@@ -128,9 +147,38 @@ class ClusterRouter:
         self._failures: List[ReplicaFailure] = []
         #: highest generation seen per shard (from response piggybacks)
         self._generations: Dict[int, int] = {}
-        self._queries = 0
-        self._probes = 0
-        self._failovers = 0
+        self._instrument = bool(instrument)
+        self.slow_log = SlowQueryLog(threshold=slow_threshold, capacity=slow_capacity)
+        #: the most recent routed query's trace (None until instrumented
+        #: traffic flows) -- tests and operators dump it via to_json()
+        self.last_trace: Optional[tracing.Trace] = None
+        self.metrics = MetricsRegistry(parent=global_registry())
+        self._m_queries = self.metrics.counter(
+            "repro_router_queries_total", "queries routed (incl. per-batch-member)"
+        )
+        self._m_probes = self.metrics.counter(
+            "repro_router_probes_total", "shard-batch probes issued"
+        )
+        self._m_failovers = self.metrics.counter(
+            "repro_router_failovers_total", "probes moved to another replica"
+        )
+        self._m_replica_failures = self.metrics.counter(
+            "repro_router_replica_failures_total",
+            "replica failures recorded during routing",
+            labelnames=("shard", "replica"),
+        )
+        self.metrics.counter_function(
+            "repro_router_slow_queries_total",
+            "routed queries recorded by the slow-query log",
+            lambda: self.slow_log.recorded,
+        )
+        self.metrics.gauge_function(
+            "repro_router_known_generation", "latest generation seen per shard",
+            lambda: {(str(s),): float(g) for s, g in self._generations.items()},
+            labelnames=("shard",),
+        )
+        self._cache.register_metrics(self.metrics)
+        self._admin: Optional[RouterAdminHandle] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -150,6 +198,9 @@ class ClusterRouter:
         return dict(self._generations)
 
     def close(self) -> None:
+        if self._admin is not None:
+            self._admin.close()
+            self._admin = None
         self._pool.shutdown(wait=False)
         for client in self._clients.values():
             client.close()
@@ -188,22 +239,55 @@ class ClusterRouter:
 
         Queries fan out per shard in one ``/shard-batch`` round-trip per
         shard covering every cache-missed query that touches it.
+
+        When instrumented, every call originates a fresh trace -- a
+        ``router_batch`` root over ``plan``/``shard_probe``/``merge``
+        spans, with each probed shard's remote subtree absorbed from its
+        ``/shard-batch`` response body.  The completed trace lands on
+        :attr:`last_trace` and, past the threshold, in :attr:`slow_log`.
         """
         kind = "count" if count_only else "ids"
-        self._queries += len(pairs)
+        self._m_queries.inc(len(pairs))
+        if not self._instrument:
+            return self._route_batch(pairs, kind, count_only)
+        trace = tracing.Trace()
+        started = time.perf_counter()
+        with tracing.start_span(
+            trace, "router_batch", queries=len(pairs), kind=kind
+        ):
+            answers = self._route_batch(pairs, kind, count_only)
+        self.last_trace = trace
+        self.slow_log.record(
+            "router:/batch",
+            time.perf_counter() - started,
+            args={
+                "queries": [[int(start), int(end)] for start, end in pairs],
+                "kind": kind,
+            },
+            tags={"queries": len(pairs)},
+            trace=trace,
+        )
+        return answers
+
+    def _route_batch(
+        self, pairs: Sequence[Tuple[int, int]], kind: str, count_only: bool
+    ) -> List[Dict[str, object]]:
         answers: List[Optional[Dict[str, object]]] = [None] * len(pairs)
         missed: List[int] = []
         plans: List[List[int]] = []
-        for position, (start, end) in enumerate(pairs):
-            shards = self._shards_for(start, end)
-            plans.append(shards)
-            key = normalize_query_key(int(start), int(end), kind)
-            cached = self._cache.get(key, self._stamp(shards))
-            if cached is not self._cache.MISS:
-                value = getattr(cached, "value", cached)  # unwrap SWR stales
-                answers[position] = dict(value)
-            else:
-                missed.append(position)
+        with tracing.span("plan", queries=len(pairs)) as plan_span:
+            for position, (start, end) in enumerate(pairs):
+                shards = self._shards_for(start, end)
+                plans.append(shards)
+                key = normalize_query_key(int(start), int(end), kind)
+                cached = self._cache.get(key, self._stamp(shards))
+                if cached is not self._cache.MISS:
+                    value = getattr(cached, "value", cached)  # unwrap SWR stales
+                    answers[position] = dict(value)
+                else:
+                    missed.append(position)
+            if plan_span is not None:
+                plan_span["tags"]["missed"] = len(missed)
         if missed:
             per_shard: Dict[int, List[Tuple[int, Optional[int]]]] = {}
             for position in missed:
@@ -227,30 +311,33 @@ class ClusterRouter:
                 shard: int(response["generation"])
                 for shard, response in responses.items()
             }
-            # per-query slices of each shard response, in shard order
-            slots: Dict[int, Dict[int, object]] = {p: {} for p in missed}
-            for shard, response in responses.items():
-                for (position, _), value in zip(per_shard[shard], response["results"]):
-                    slots[position][shard] = value
-            for position in missed:
-                shards = plans[position]
-                parts = [slots[position][shard] for shard in shards]
-                if count_only:
-                    answer: Dict[str, object] = {"count": int(sum(parts))}
-                else:
-                    ids = merge_unique_ids([list(part) for part in parts])
-                    answer = {"ids": ids, "count": len(ids)}
-                answers[position] = answer
-                start, end = pairs[position]
-                key = normalize_query_key(int(start), int(end), kind)
-                # stamp with the generations these probes actually saw --
-                # the pre-probe tokens -- so a racing update invalidates
-                # the entry instead of the entry masking the update
-                self._cache.put(
-                    key,
-                    tuple((shard, stamps[shard]) for shard in shards),
-                    answer,
-                )
+            with tracing.span("merge", queries=len(missed)):
+                # per-query slices of each shard response, in shard order
+                slots: Dict[int, Dict[int, object]] = {p: {} for p in missed}
+                for shard, response in responses.items():
+                    for (position, _), value in zip(
+                        per_shard[shard], response["results"]
+                    ):
+                        slots[position][shard] = value
+                for position in missed:
+                    shards = plans[position]
+                    parts = [slots[position][shard] for shard in shards]
+                    if count_only:
+                        answer: Dict[str, object] = {"count": int(sum(parts))}
+                    else:
+                        ids = merge_unique_ids([list(part) for part in parts])
+                        answer = {"ids": ids, "count": len(ids)}
+                    answers[position] = answer
+                    start, end = pairs[position]
+                    key = normalize_query_key(int(start), int(end), kind)
+                    # stamp with the generations these probes actually saw --
+                    # the pre-probe tokens -- so a racing update invalidates
+                    # the entry instead of the entry masking the update
+                    self._cache.put(
+                        key,
+                        tuple((shard, stamps[shard]) for shard in shards),
+                        answer,
+                    )
         return [answer for answer in answers if answer is not None]
 
     # ------------------------------------------------------------------ #
@@ -297,17 +384,33 @@ class ClusterRouter:
     # introspection
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, object]:
+        """Router telemetry -- a view over the same registry ``/metrics`` serves."""
         return {
-            "queries": self._queries,
-            "probes": self._probes,
-            "failovers": self._failovers,
+            "queries": int(self._m_queries.value),
+            "probes": int(self._m_probes.value),
+            "failovers": int(self._m_failovers.value),
             "failures": len(self._failures),
+            "slow_queries": self.slow_log.recorded,
             "generations": {
                 str(shard): generation
                 for shard, generation in sorted(self._generations.items())
             },
             "cache": dataclasses.asdict(self._cache.stats()),
         }
+
+    def start_admin(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> "RouterAdminHandle":
+        """Serve ``/metrics``, ``/stats``, ``/slow-queries`` and ``/health``.
+
+        The router itself is a client-side library with no listening
+        socket; this hangs a read-only admin surface off it so the front
+        tier is scrapeable like the servers it routes to.  Idempotent --
+        repeated calls return the already-running handle.
+        """
+        if self._admin is None:
+            self._admin = RouterAdminHandle(self, host=host, port=port)
+        return self._admin
 
     # ------------------------------------------------------------------ #
     # internals
@@ -347,6 +450,7 @@ class ClusterRouter:
             shard_id=shard, replica_id=replica_id, error=f"{type(exc).__name__}: {exc}"
         )
         self._failures.append(failure)
+        self._m_replica_failures.labels(shard=shard, replica=replica_id).inc()
         self._failed_until[(shard, replica_id)] = time.monotonic() + self._cooldown
         return failure
 
@@ -358,12 +462,15 @@ class ClusterRouter:
         homes: Optional[Dict[int, List[Optional[int]]]],
     ) -> Dict[int, Dict[str, object]]:
         """Probe every shard concurrently; responses keyed by shard."""
+        # captured here, on the submitting thread -- probe() runs on pool
+        # threads where the thread-local context would be empty
+        ctx = tracing.current()
 
         def probe(shard: int) -> Dict[str, object]:
             payload: Dict[str, object] = {"queries": queries[shard], "kind": kind}
             if homes is not None:
                 payload["home_starts"] = homes[shard]
-            return self._probe_shard(shard, payload)
+            return self._probe_shard(shard, payload, ctx)
 
         if len(shards) == 1:
             return {shards[0]: probe(shards[0])}
@@ -371,9 +478,27 @@ class ClusterRouter:
         return {shard: future.result() for shard, future in futures.items()}
 
     def _probe_shard(
-        self, shard: int, payload: Dict[str, object]
+        self,
+        shard: int,
+        payload: Dict[str, object],
+        ctx: "Optional[Tuple[tracing.Trace, str]]" = None,
     ) -> Dict[str, object]:
-        """One probe with replica failover (round-robin + cooldown skip)."""
+        """One probe with replica failover (round-robin + cooldown skip).
+
+        When traced, the probe opens a ``shard_probe`` span, ships the
+        trace context downstream as request headers, and absorbs the span
+        records the shard server piggybacks on its response -- stitching
+        the remote subtree under this probe in one connected tree.
+        """
+        record = None
+        headers = None
+        if ctx is not None:
+            trace, parent_id = ctx
+            record = tracing.new_span_record(
+                trace.trace_id, parent_id, "shard_probe", {"shard": shard}
+            )
+            headers = tracing.headers_for(trace, record["span_id"])
+        probe_started = time.perf_counter()
         replica_count = len(self._topology.replicas_for(shard))
         cursor = self._rr[shard]
         self._rr[shard] = (cursor + 1) % replica_count
@@ -390,24 +515,132 @@ class ClusterRouter:
             candidates = order
         attempt_failures: List[ReplicaFailure] = []
         for replica_id in candidates:
-            self._probes += 1
+            self._m_probes.inc()
             try:
                 response = self._client(shard, replica_id).request(
-                    "POST", "/shard-batch", payload
+                    "POST", "/shard-batch", payload, headers=headers
                 )
             except (ServerUnavailableError, ServerOverloaded) as exc:
                 attempt_failures.append(self._record_failure(shard, replica_id, exc))
-                self._failovers += 1
+                self._m_failovers.inc()
                 continue
             except ServerError as exc:
                 if exc.status >= 500:
                     attempt_failures.append(
                         self._record_failure(shard, replica_id, exc)
                     )
-                    self._failovers += 1
+                    self._m_failovers.inc()
                     continue
                 raise  # 4xx: the request itself is wrong; failover cannot help
             self._failed_until.pop((shard, replica_id), None)
             self._note_generation(shard, response.get("generation"))
+            if record is not None:
+                record["duration_ms"] = (
+                    time.perf_counter() - probe_started
+                ) * 1000.0
+                record["tags"]["replica"] = replica_id
+                record["tags"]["failovers"] = len(attempt_failures)
+                ctx[0].absorb(response.get("spans") or [])
+                ctx[0].add(record)
             return response
         raise NoHealthyReplicaError(shard, attempt_failures)
+
+class RouterAdminHandle:
+    """A read-only HTTP admin surface over one router's observability state.
+
+    The router is a client-side library -- it has no listening socket of
+    its own -- so operators could not scrape it the way they scrape the
+    query and shard servers.  This handle runs a stdlib threading HTTP
+    server on a daemon thread serving:
+
+    * ``GET /metrics`` -- the router's registry in Prometheus text,
+    * ``GET /stats`` -- :meth:`ClusterRouter.stats` as JSON,
+    * ``GET /slow-queries`` (``?limit=N``) -- the slow-query ring buffer,
+    * ``GET /health`` -- liveness.
+
+    Obtain one via :meth:`ClusterRouter.start_admin`; stop it with
+    :meth:`close` (also closed by ``router.close()``).
+    """
+
+    def __init__(
+        self, router: "ClusterRouter", *, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        admin_router = router
+
+        class _Handler(http.server.BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
+                parts = urlsplit(self.path)
+                try:
+                    status, content_type, body = self._route(parts)
+                except Exception as exc:  # noqa: BLE001 - surface, don't die
+                    status = 500
+                    content_type = "application/json"
+                    body = json.dumps({"error": str(exc)}).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def _route(self, parts) -> Tuple[int, str, bytes]:
+                if parts.path == "/metrics":
+                    return (
+                        200,
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        admin_router.metrics.render().encode("utf-8"),
+                    )
+                if parts.path == "/stats":
+                    body = json.dumps(admin_router.stats()).encode("utf-8")
+                    return 200, "application/json", body
+                if parts.path == "/slow-queries":
+                    limit = None
+                    for pair in parts.query.split("&"):
+                        name, _, value = pair.partition("=")
+                        if name == "limit" and value:
+                            limit = max(0, int(value))
+                    body = json.dumps(
+                        {
+                            "threshold_s": admin_router.slow_log.threshold,
+                            "recorded": admin_router.slow_log.recorded,
+                            "slow_queries": admin_router.slow_log.entries(limit),
+                        }
+                    ).encode("utf-8")
+                    return 200, "application/json", body
+                if parts.path == "/health":
+                    return 200, "application/json", b'{"status": "ok"}'
+                body = json.dumps({"error": f"no route {parts.path}"}).encode(
+                    "utf-8"
+                )
+                return 404, "application/json", body
+
+            def log_message(self, *args: object) -> None:
+                return  # admin scrapes should not spam stderr
+
+        self.router = router
+        self._server = http.server.ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self.host = self._server.server_address[0]
+        self.port = int(self._server.server_address[1])
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-router-admin",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "RouterAdminHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

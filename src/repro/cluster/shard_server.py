@@ -45,10 +45,12 @@ from repro.durability.checkpoint import load_checkpoint
 from repro.durability.wal import WalRecord, list_segments, read_segment_tail
 from repro.engine.sharding import ShardPlan
 from repro.engine.store import IntervalStore
+from repro.obs import tracing
 from repro.serve.server import (
     ServerHandle,
     QueryServer,
     _Reject,
+    _RequestContext,
     _decode,
     _encode,
     start_server_thread,
@@ -106,6 +108,22 @@ class ShardServer(QueryServer):
         self._starts_lock = threading.Lock()
         self._shard_batches = 0
         self._wal_polls = 0
+        self.metrics.counter_function(
+            "repro_shard_batches_total", "router probe batches answered",
+            lambda: self._shard_batches,
+        )
+        self.metrics.counter_function(
+            "repro_wal_polls_total", "follower WAL-feed polls answered",
+            lambda: self._wal_polls,
+        )
+        self.metrics.gauge_function(
+            "repro_shard_id", "which shard of the topology this node serves",
+            lambda: self._shard_id,
+        )
+        self.metrics.gauge_function(
+            "repro_read_only", "1 while this node is an unpromoted follower",
+            lambda: int(self._read_only),
+        )
 
     # ------------------------------------------------------------------ #
     @property
@@ -141,7 +159,9 @@ class ShardServer(QueryServer):
     # ------------------------------------------------------------------ #
     # dispatch
     # ------------------------------------------------------------------ #
-    async def _dispatch(self, method: str, target: str, body: bytes):
+    async def _dispatch(
+        self, method: str, target: str, body: bytes, ctx: _RequestContext
+    ):
         parts = urlsplit(target)
         path = parts.path.rstrip("/") or "/"
         if path == "/cluster-info":
@@ -153,8 +173,9 @@ class ShardServer(QueryServer):
             if parts.query:
                 for key, values in parse_qs(parts.query).items():
                     payload.setdefault(key, values[0])
+            if path == "/shard-batch":
+                return await self._handle_shard_batch(payload, ctx)
             handler = {
-                "/shard-batch": self._handle_shard_batch,
                 "/checkpoint": self._handle_checkpoint,
                 "/wal-feed": self._handle_wal_feed,
                 "/promote": self._handle_promote,
@@ -168,7 +189,7 @@ class ShardServer(QueryServer):
                     "role": self._role,
                 }
             )
-        return await super()._dispatch(method, target, body)
+        return await super()._dispatch(method, target, body, ctx)
 
     def cluster_info(self) -> Dict[str, object]:
         durability = getattr(self._store, "durability", None)
@@ -190,7 +211,9 @@ class ShardServer(QueryServer):
     # ------------------------------------------------------------------ #
     # /shard-batch
     # ------------------------------------------------------------------ #
-    async def _handle_shard_batch(self, payload: Dict[str, object]):
+    async def _handle_shard_batch(
+        self, payload: Dict[str, object], ctx: _RequestContext
+    ):
         raw = payload.get("queries")
         if not isinstance(raw, list) or not raw:
             raise _Reject(400, "shard-batch needs a non-empty 'queries' list")
@@ -211,18 +234,32 @@ class ShardServer(QueryServer):
         # admission weight mirrors what the same queries would cost the
         # local batcher: one slot per max_batch-sized chunk
         weight = max(1, -(-len(queries) // self._max_batch))
+        ctx.args = {"queries": len(queries), "kind": kind}
+        ctx.tags["shard"] = self._shard_id
         self._admit(weight)
         try:
-            self._queries += len(queries)
+            self._m_queries.inc(len(queries))
             self._shard_batches += 1
             generation, results = await self._loop.run_in_executor(
-                None, self._execute_shard_batch, queries, kind, home_starts
+                None,
+                tracing.bind(ctx.child(), self._execute_shard_batch),
+                queries,
+                kind,
+                home_starts,
             )
         finally:
             self._release(weight)
-        return 200, _encode(
-            {"shard": self._shard_id, "generation": generation, "results": results}
-        )
+        body: Dict[str, object] = {
+            "shard": self._shard_id,
+            "generation": generation,
+            "results": results,
+        }
+        if ctx.remote:
+            # the caller (the router) holds the rest of the tree: close our
+            # root now and ship the complete subtree in the response body
+            ctx.finish_root(200)
+            body["spans"] = ctx.trace.spans()
+        return 200, _encode(body)
 
     def _execute_shard_batch(
         self,

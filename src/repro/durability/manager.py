@@ -50,6 +50,15 @@ from repro.durability.wal import (
     segment_path,
     wal_state,
 )
+from repro.obs import global_registry
+
+#: process-global durability counters, exposed on every server's /metrics
+_WAL_RECORDS = global_registry().counter(
+    "repro_wal_records_total", "insert/delete records appended to the WAL"
+)
+_WAL_CHECKPOINTS = global_registry().counter(
+    "repro_wal_checkpoints_total", "durability checkpoints published"
+)
 
 __all__ = ["DurabilityManager", "open_durable"]
 
@@ -223,6 +232,7 @@ class DurabilityManager:
                     f"WAL append failed ({exc}); store is now degraded and "
                     "refuses further writes"
                 ) from exc
+            _WAL_RECORDS.inc()
 
     def log_delete(self, interval_id: int, victim: Optional[Interval]) -> None:
         """Append the delete record (span recorded when resolvable)."""
@@ -245,6 +255,7 @@ class DurabilityManager:
                     f"WAL append failed ({exc}); store is now degraded and "
                     "refuses further writes"
                 ) from exc
+            _WAL_RECORDS.inc()
 
     def sync(self) -> None:
         """Force-fsync the current segment (e.g. before acknowledging a
@@ -347,6 +358,7 @@ class DurabilityManager:
                 removed = self._retain(boundary)
                 self.last_checkpoint_generation = generation
                 self.checkpoints += 1
+                _WAL_CHECKPOINTS.inc()
         return {
             "generation": generation,
             "intervals": len(rows),

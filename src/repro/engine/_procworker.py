@@ -28,6 +28,7 @@ the parent's memory).
 from __future__ import annotations
 
 import os
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -35,6 +36,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.interval import Query, SharedCollectionHandle, attach_shared_collection
+from repro.obs import tracing
 
 __all__ = [
     "KERNEL_KINDS",
@@ -290,34 +292,51 @@ def run_kernel_task(task: Tuple) -> Tuple[int, np.ndarray, object]:
       ``exists_batch`` clamps each per-shard contribution to 0/1 (the
       parent ORs contributions across shards).
 
-    Returns ``(shard_id, positions, answers)``.
+    A traced task carries an optional 9th element ``(trace_id,
+    parent_span_id)``; the worker then returns ``(shard_id, positions,
+    answers, span_record)`` -- the span is built locally and shipped back
+    in the result, so fork and spawn pools trace identically.  Untraced
+    tasks return the plain 3-tuple.
     """
-    spec, kind, shard_id, positions, a, b, modes, deltas = task
+    spec, kind, shard_id, positions, a, b, modes, deltas = task[:8]
+    trace_ctx = task[8] if len(task) > 8 else None
+    started = time.perf_counter()
     residency = _residency_for(spec)
     if kind == "ids_batch":
         index = residency.shard_index(shard_id)
-        answers = [
+        answers: object = [
             np.asarray(index.query(Query(int(start), int(end))), dtype=np.int64)
             for start, end in zip(a, b)
         ]
-        return shard_id, positions, answers
-    if kind not in ("count_batch", "exists_batch"):
+    elif kind not in ("count_batch", "exists_batch"):
         raise ValueError(f"unknown kernel kind {kind!r}")
-    starts, ends = residency.count_columns(shard_id, deltas)
-    counts = np.zeros(len(positions), dtype=np.int64)
-    mask = modes == MODE_OVERLAP
-    if mask.any():
-        counts[mask] = np.searchsorted(starts, b[mask], side="right") - np.searchsorted(
-            ends, a[mask], side="left"
-        )
-    mask = modes == MODE_ENDS_GE
-    if mask.any():
-        counts[mask] = len(ends) - np.searchsorted(ends, a[mask], side="left")
-    mask = modes == MODE_STARTS_IN
-    if mask.any():
-        counts[mask] = np.searchsorted(starts, b[mask], side="right") - np.searchsorted(
-            starts, a[mask], side="left"
-        )
-    if kind == "exists_batch":
-        counts = (counts > 0).astype(np.int64)
-    return shard_id, positions, counts
+    else:
+        starts, ends = residency.count_columns(shard_id, deltas)
+        counts = np.zeros(len(positions), dtype=np.int64)
+        mask = modes == MODE_OVERLAP
+        if mask.any():
+            counts[mask] = np.searchsorted(
+                starts, b[mask], side="right"
+            ) - np.searchsorted(ends, a[mask], side="left")
+        mask = modes == MODE_ENDS_GE
+        if mask.any():
+            counts[mask] = len(ends) - np.searchsorted(ends, a[mask], side="left")
+        mask = modes == MODE_STARTS_IN
+        if mask.any():
+            counts[mask] = np.searchsorted(
+                starts, b[mask], side="right"
+            ) - np.searchsorted(starts, a[mask], side="left")
+        if kind == "exists_batch":
+            counts = (counts > 0).astype(np.int64)
+        answers = counts
+    if trace_ctx is None:
+        return shard_id, positions, answers
+    trace_id, parent_id = trace_ctx
+    record = tracing.new_span_record(
+        trace_id,
+        parent_id,
+        f"kernel:{kind}",
+        {"pid": os.getpid(), "shard": shard_id, "queries": len(positions)},
+    )
+    record["duration_ms"] = (time.perf_counter() - started) * 1000.0
+    return shard_id, positions, answers, record

@@ -36,6 +36,14 @@ from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from concurrent.futures import ThreadPoolExecutor as _ThreadPool
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar, Union
 
+from repro.obs import global_registry
+
+#: process-global healing counter: every coordinated pool replacement,
+#: whoever triggered it (shared executors heal each other)
+_POOL_RESPAWNS = global_registry().counter(
+    "repro_pool_respawns_total", "worker pools replaced by per-worker healing"
+)
+
 __all__ = [
     "EXECUTOR_KINDS",
     "Executor",
@@ -314,6 +322,7 @@ class ProcessExecutor(Executor):
                 return
             self._pool_epoch += 1
             pool, self._pool = self._pool, None
+        _POOL_RESPAWNS.inc()
         if pool is not None:
             pool.shutdown(wait=True)
 

@@ -59,6 +59,15 @@ import numpy as np
 from repro.core.interval import IntervalCollection
 from repro.engine.executor import available_cores
 from repro.engine.registry import resolve_backend
+from repro.obs import global_registry
+
+#: process-global maintenance health: pass count and wall-time distribution
+_MAINTENANCE_PASSES = global_registry().counter(
+    "repro_maintenance_passes_total", "maintenance passes completed"
+)
+_MAINTENANCE_SECONDS = global_registry().histogram(
+    "repro_maintenance_seconds", "wall time of one maintenance pass"
+)
 
 __all__ = [
     "CostModelRebuildPolicy",
@@ -866,6 +875,8 @@ class MaintenanceCoordinator:
                 self._checkpoint(report)
             report.seconds = time.perf_counter() - started
             self._reports.append(report)
+            _MAINTENANCE_PASSES.inc()
+            _MAINTENANCE_SECONDS.observe(report.seconds)
             return report
 
     def _durability_manager(self):

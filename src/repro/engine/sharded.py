@@ -131,11 +131,29 @@ from repro.engine.replication import ReplicaFailure, ShardReplicaSet
 from repro.engine.results import MergedResultSet, ResultSet, merge_unique_ids
 from repro.engine.sharding import ShardPlan, partition_collection, shard_mask
 from repro.engine.store import DEFAULT_BACKEND, IntervalStore
+from repro.obs import global_registry, tracing
 
 __all__ = ["Epoch", "ShardedIndex", "ShardedStore"]
 
 #: process-unique source of residency tokens (see :mod:`repro.engine._procworker`)
 _TOKENS = itertools.count()
+
+#: engine-wide health counters on the process-global registry -- every
+#: server's /metrics shows them via parent-chaining, and tests/operators
+#: can watch replica failures without holding a reference to any index
+_REPLICA_FAILURES = global_registry().counter(
+    "repro_replica_failures_total",
+    "replica probe/kernel failures recorded (shard/replica -1: a pool-level failure)",
+    labelnames=("shard", "replica"),
+)
+_KERNEL_RETRIES = global_registry().counter(
+    "repro_kernel_retries_total",
+    "kernel tasks resubmitted after a worker-pool failure",
+)
+_FANOUT_TRIPS = global_registry().counter(
+    "repro_fanout_disabled_total",
+    "times kernel fan-out tripped off after healing was exhausted",
+)
 
 #: how many replica/worker failures the index keeps for diagnostics
 _FAILURE_HISTORY = 64
@@ -714,7 +732,7 @@ class ShardedIndex(IntervalIndex):
                 "index: no locator exists to rebuild it from"
             )
         survivors = self._epoch.replica_sets[shard_id].mark_failed(replica_id)
-        self._failures.append(ReplicaFailure(shard_id, replica_id, "killed"))
+        self._record_failure(ReplicaFailure(shard_id, replica_id, "killed"))
         return survivors
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
@@ -923,11 +941,18 @@ class ShardedIndex(IntervalIndex):
         """
         return epoch.replica_sets[shard_id].probe(
             op,
-            on_failure=lambda replica_id, exc: self._failures.append(
+            on_failure=lambda replica_id, exc: self._record_failure(
                 ReplicaFailure(shard_id, replica_id, f"{type(exc).__name__}: {exc}")
             ),
             semantic=(ReproError,),
         )
+
+    def _record_failure(self, failure: ReplicaFailure) -> None:
+        """Keep the diagnostic ring AND count the failure on the registry."""
+        self._failures.append(failure)
+        _REPLICA_FAILURES.labels(
+            shard=failure.shard_id, replica=failure.replica_id
+        ).inc()
 
     def query(self, query: Query) -> List[int]:
         self._touch()
@@ -1177,40 +1202,74 @@ class ShardedIndex(IntervalIndex):
         """
         results: List[Optional[Tuple]] = [None] * len(tasks)
         pending = list(range(len(tasks)))
-        for attempt in (0, 1):
-            pool_token = self._executor.pool_token()
-            failed: List[int] = []
-            error: Optional[str] = None
-            try:
-                futures = [
-                    (index, self._executor.submit(run_kernel_task, tasks[index]))
-                    for index in pending
-                ]
-            except ReproError:
-                raise
-            except Exception as exc:  # pool already broken at submit time
-                failed = list(pending)
-                error = f"{type(exc).__name__}: {exc}"
-            else:
-                for index, future in futures:
-                    try:
-                        results[index] = future.result()
-                    except ReproError:
-                        raise
-                    except Exception as exc:
-                        failed.append(index)
-                        if error is None:
-                            error = f"{type(exc).__name__}: {exc}"
-            if not failed:
-                return results, []
-            self._failures.append(
-                ReplicaFailure(-1, -1, error or "worker kernel task failed")
-            )
-            pending = failed
-            if attempt == 0:
-                self.kernel_retries += len(failed)
-                self._executor.respawn(pool_token)
+        # trace context at submit time: tasks stay 8-tuples in `tasks` (the
+        # failed-task fallback unpacks them), the optional 9th element rides
+        # only on the submitted copy.  The retry round gets its own
+        # "kernel_retry" parent span, so a SIGKILLed worker's resubmission
+        # shows up as a distinct subtree in the query's trace.
+        trace_ctx = tracing.current()
+        with tracing.span("kernel_dispatch", tasks=len(tasks)) as dispatch_span:
+            for attempt in (0, 1):
+                if trace_ctx is None:
+                    task_ctx = None
+                elif attempt == 0:
+                    task_ctx = (trace_ctx[0].trace_id, dispatch_span["span_id"])
+                else:
+                    retry_record = tracing.new_span_record(
+                        trace_ctx[0].trace_id,
+                        dispatch_span["span_id"],
+                        "kernel_retry",
+                        {"tasks": len(pending)},
+                    )
+                    trace_ctx[0].add(retry_record)
+                    task_ctx = (trace_ctx[0].trace_id, retry_record["span_id"])
+                pool_token = self._executor.pool_token()
+                failed: List[int] = []
+                error: Optional[str] = None
+                try:
+                    futures = [
+                        (
+                            index,
+                            self._executor.submit(
+                                run_kernel_task,
+                                tasks[index] + (task_ctx,)
+                                if task_ctx is not None
+                                else tasks[index],
+                            ),
+                        )
+                        for index in pending
+                    ]
+                except ReproError:
+                    raise
+                except Exception as exc:  # pool already broken at submit time
+                    failed = list(pending)
+                    error = f"{type(exc).__name__}: {exc}"
+                else:
+                    for index, future in futures:
+                        try:
+                            result = future.result()
+                        except ReproError:
+                            raise
+                        except Exception as exc:
+                            failed.append(index)
+                            if error is None:
+                                error = f"{type(exc).__name__}: {exc}"
+                        else:
+                            if trace_ctx is not None and len(result) > 3:
+                                trace_ctx[0].absorb([result[3]])
+                            results[index] = result[:3]
+                if not failed:
+                    return results, []
+                self._record_failure(
+                    ReplicaFailure(-1, -1, error or "worker kernel task failed")
+                )
+                pending = failed
+                if attempt == 0:
+                    self.kernel_retries += len(failed)
+                    _KERNEL_RETRIES.inc(len(failed))
+                    self._executor.respawn(pool_token)
         self._fanout_disabled = True
+        _FANOUT_TRIPS.inc()
         return results, pending
 
     def _query_batch_processes(
@@ -1753,9 +1812,12 @@ class ShardedStore(IntervalStore):
             if count_only and not isinstance(self.index.executor, ProcessExecutor)
             else None
         )
-        return execute_batch(
-            self.index, queries, count_only=count_only, executor=executor
-        )
+        with tracing.span(
+            "run_batch", queries=len(queries), count_only=count_only
+        ):
+            return execute_batch(
+                self.index, queries, count_only=count_only, executor=executor
+            )
 
     def close(self) -> None:
         """Release the index's pooled workers and shared-memory snapshot."""

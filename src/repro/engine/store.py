@@ -29,6 +29,7 @@ from repro.engine.batch import BatchResult, execute_batch
 from repro.engine.executor import Executor, resolve_executor
 from repro.engine.registry import create_index, get_spec, resolve_backend
 from repro.engine.results import ResultSet
+from repro.obs import tracing
 
 __all__ = ["DEFAULT_BACKEND", "IntervalStore", "QueryBuilder"]
 
@@ -395,9 +396,12 @@ class IntervalStore:
         self, queries: Sequence[Query], count_only: bool = False
     ) -> BatchResult:
         """Answer a whole workload in one batched call (via the store's executor)."""
-        return execute_batch(
-            self._index, queries, count_only=count_only, executor=self._executor
-        )
+        with tracing.span(
+            "run_batch", queries=len(queries), count_only=count_only
+        ):
+            return execute_batch(
+                self._index, queries, count_only=count_only, executor=self._executor
+            )
 
     def count_batch(self, queries: Sequence[Query]) -> List[int]:
         """Per-query overlap counts for a workload, positionally aligned.

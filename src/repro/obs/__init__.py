@@ -1,0 +1,62 @@
+"""``repro.obs`` -- the unified observability layer.
+
+Three pieces, deliberately cutting across every tier of the stack:
+
+* :mod:`repro.obs.metrics` -- thread-safe counters, gauges and
+  log-bucketed histograms on a :class:`MetricsRegistry` (one process-global
+  registry plus per-server views), rendered as Prometheus text by
+  ``GET /metrics`` and snapshotted by ``/stats``;
+* :mod:`repro.obs.tracing` -- ``trace_id``/``span_id`` context propagated
+  from the cluster router through HTTP headers, executor threads and
+  process-pool kernel tasks, producing one connected span tree per query;
+* :mod:`repro.obs.slowlog` -- a threshold-gated ring buffer of completed
+  span trees behind ``GET /slow-queries`` and ``repro slow-queries``.
+
+See the README's "Observability" section for the exported metric table.
+"""
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    parse_prometheus_text,
+)
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.tracing import (
+    PARENT_HEADER,
+    TRACE_HEADER,
+    Trace,
+    activate,
+    bind,
+    context_from_headers,
+    current,
+    headers_for,
+    new_span_record,
+    span,
+    start_span,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "PARENT_HEADER",
+    "TRACE_HEADER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SlowQueryLog",
+    "Trace",
+    "activate",
+    "bind",
+    "context_from_headers",
+    "current",
+    "global_registry",
+    "headers_for",
+    "new_span_record",
+    "parse_prometheus_text",
+    "span",
+    "start_span",
+]

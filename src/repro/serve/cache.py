@@ -195,6 +195,68 @@ class ResultCache:
         """The entry-age bound in seconds (``None``: no TTL)."""
         return self._ttl
 
+    @property
+    def misses(self) -> int:
+        """Lifetime miss count (lock-free gauge read)."""
+        return self._misses
+
+    @property
+    def invalidated(self) -> int:
+        """Lifetime generation-invalidation count (lock-free gauge read)."""
+        return self._invalidated
+
+    @property
+    def evictions(self) -> int:
+        """Lifetime capacity-eviction count (lock-free gauge read)."""
+        return self._evictions
+
+    @property
+    def ttl_expired(self) -> int:
+        """Lifetime TTL-expiry count (lock-free gauge read)."""
+        return self._ttl_expired
+
+    def register_metrics(self, registry) -> None:
+        """Expose this cache on a :class:`~repro.obs.MetricsRegistry`.
+
+        Everything is registered as *pull* metrics reading the existing
+        counters at scrape time, so the cache hot path pays nothing for the
+        registry -- the counters it already maintained are the metrics.
+        """
+        registry.counter_function(
+            "repro_cache_hits_total", "Result-cache hits.", lambda: self._hits
+        )
+        registry.counter_function(
+            "repro_cache_misses_total", "Result-cache misses.", lambda: self._misses
+        )
+        registry.counter_function(
+            "repro_cache_invalidated_total",
+            "Entries dropped because their generation stamp went stale.",
+            lambda: self._invalidated,
+        )
+        registry.counter_function(
+            "repro_cache_evictions_total",
+            "Entries evicted by the LRU capacity bound.",
+            lambda: self._evictions,
+        )
+        registry.counter_function(
+            "repro_cache_stale_served_total",
+            "Stale bodies served under stale-while-revalidate.",
+            lambda: self._stale_served,
+        )
+        registry.counter_function(
+            "repro_cache_ttl_expired_total",
+            "Entries dropped by the TTL age bound.",
+            lambda: self._ttl_expired,
+        )
+        registry.gauge_function(
+            "repro_cache_size", "Entries currently cached.", lambda: len(self._entries)
+        )
+        registry.gauge_function(
+            "repro_cache_capacity",
+            "Configured cache capacity (0: disabled).",
+            lambda: self._capacity,
+        )
+
     def __len__(self) -> int:
         return len(self._entries)
 

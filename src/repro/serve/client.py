@@ -137,9 +137,13 @@ class ServeClient:
         payload: Optional[Dict[str, object]] = None,
         *,
         timeout: Optional[float] = None,
+        headers: Optional[Dict[str, str]] = None,
+        raw_body: bool = False,
     ) -> Dict[str, object]:
         body = json.dumps(payload).encode() if payload is not None else None
-        headers = {"Content-Type": "application/json"} if body else {}
+        request_headers = {"Content-Type": "application/json"} if body else {}
+        if headers:
+            request_headers.update(headers)
         retryable = method == "GET" or any(
             path.split("?", 1)[0] == prefix for prefix in self._RETRYABLE_PATHS
         )
@@ -161,7 +165,9 @@ class ServeClient:
                 if self._connection.sock is not None:
                     self._connection.sock.settimeout(request_timeout)
             try:
-                self._connection.request(method, path, body=body, headers=headers)
+                self._connection.request(
+                    method, path, body=body, headers=request_headers
+                )
                 response = self._connection.getresponse()
                 raw = response.read()
             except (http.client.HTTPException, ConnectionError, OSError) as exc:
@@ -177,6 +183,10 @@ class ServeClient:
                     ) from exc
                 self._sleep_backoff(attempt - 1)
                 continue
+            if raw_body:
+                if response.status >= 400:
+                    raise ServerError(response.status, {"error": raw.decode()})
+                return raw.decode()
             decoded = json.loads(raw) if raw else {}
             if response.status == 503:
                 if self._retry_overloaded and attempt + 1 < attempts:
@@ -197,14 +207,16 @@ class ServeClient:
         payload: Optional[Dict[str, object]] = None,
         *,
         timeout: Optional[float] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Dict[str, object]:
         """One raw request to an arbitrary endpoint (cluster extensions).
 
         Retry semantics follow the path: only the idempotent read paths in
         ``_RETRYABLE_PATHS`` (plus any GET) are re-sent after a dropped
-        connection.
+        connection.  ``headers`` adds request headers (the cluster router
+        uses this to propagate trace context).
         """
-        return self._request(method, path, payload, timeout=timeout)
+        return self._request(method, path, payload, timeout=timeout, headers=headers)
 
     # ------------------------------------------------------------------ #
     # endpoints
@@ -274,6 +286,15 @@ class ServeClient:
 
     def stats(self) -> Dict[str, object]:
         return self._request("GET", "/stats")
+
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition, verbatim (``/metrics``)."""
+        return self._request("GET", "/metrics", raw_body=True)
+
+    def slow_queries(self, limit: Optional[int] = None) -> Dict[str, object]:
+        """The server's slow-query log (``/slow-queries``)."""
+        path = f"/slow-queries?limit={limit}" if limit is not None else "/slow-queries"
+        return self._request("GET", path)
 
     def health(self) -> Dict[str, object]:
         return self._request("GET", "/health")

@@ -50,7 +50,11 @@ Endpoints (all JSON):
                              switches to the chunked variant when the
                              server enables it)
 ``GET /stats``               serving counters, cache stats, epoch + replica
-                             health, subscription gauges
+                             health, subscription gauges, latency quantiles
+                             (every number sourced from the metrics registry)
+``GET /metrics``             the same registry in Prometheus text format
+``GET /slow-queries``        the slow-query log: span trees of completed
+                             requests over the configured threshold
 ``GET /health``              liveness (``200``, or ``503`` while draining)
 ===========================  ==================================================
 
@@ -79,6 +83,7 @@ from repro.core.base import QueryStats
 from repro.core.errors import DurabilityDegradedError, ReproError
 from repro.core.interval import Interval, Query
 from repro.engine.store import IntervalStore
+from repro.obs import MetricsRegistry, SlowQueryLog, global_registry, tracing
 from repro.serve.cache import (
     ResultCache,
     StaleResult,
@@ -106,6 +111,67 @@ class _Reject(Exception):
         self.status = status
         self.message = message
         self.retry_after = retry_after
+
+
+#: endpoint -> latency-histogram operation label; everything else is "other"
+_ENDPOINT_OPS = {
+    "/query": "query",
+    "/batch": "batch",
+    "/shard-batch": "shard_batch",
+    "/insert": "update",
+    "/delete": "update",
+    "/maintain": "update",
+}
+
+#: endpoints whose completed requests feed the slow-query log
+_SLOW_ENDPOINTS = frozenset(("/query", "/batch", "/shard-batch"))
+
+
+class _RequestContext:
+    """Per-request observability state threaded through ``_dispatch``.
+
+    Created once per request in :meth:`QueryServer._begin_request`; handlers
+    use :meth:`child` to hand the trace across executor-thread hops and fill
+    ``args``/``tags`` for the slow-query log.  ``remote`` marks requests
+    that arrived with trace headers -- their span records are shipped back
+    in the response body so the caller can assemble one connected tree.
+    """
+
+    __slots__ = (
+        "endpoint", "method", "started", "trace", "root", "remote",
+        "args", "tags", "root_recorded",
+    )
+
+    def __init__(self, endpoint: str, method: str) -> None:
+        self.endpoint = endpoint
+        self.method = method
+        self.started = time.perf_counter()
+        self.trace: Optional[tracing.Trace] = None
+        self.root: Optional[Dict[str, object]] = None
+        self.remote = False
+        self.args: Dict[str, object] = {}
+        self.tags: Dict[str, object] = {}
+        self.root_recorded = False
+
+    def child(self):
+        """The ``(trace, parent span id)`` context for downstream work."""
+        if self.trace is None:
+            return None
+        return self.trace, self.root["span_id"]
+
+    def finish_root(self, status: int) -> None:
+        """Close the root span (idempotent; normally done post-request)."""
+        if self.trace is None or self.root_recorded:
+            return
+        self.root["duration_ms"] = (time.perf_counter() - self.started) * 1000.0
+        self.root["tags"]["status"] = status
+        self.root["tags"].update(self.tags)
+        self.trace.add(self.root)
+        self.root_recorded = True
+
+
+class _TextBody(bytes):
+    """Internal: a response body to be written as ``text/plain`` (/metrics)."""
 
 
 class QueryServer:
@@ -144,6 +210,14 @@ class QueryServer:
             subscription whose poller lags past this many retained records
             has its log dropped and is forced through ``resync_required``
             (``None``: lag gauges observe but never act).
+        instrument: enable per-request tracing, latency histograms and the
+            slow-query log.  Off, the server still serves ``/metrics`` and
+            counts requests, but skips all per-request span bookkeeping --
+            the uninstrumented leg of the overhead benchmark.
+        slow_threshold: seconds a ``/query``/``/batch``/``/shard-batch``
+            request must take to land in the slow-query log (0 records
+            every completed request).
+        slow_capacity: slow-query ring-buffer size.
     """
 
     def __init__(
@@ -162,6 +236,9 @@ class QueryServer:
         max_pollers: int = 256,
         poll_timeout: float = 30.0,
         max_poller_lag: Optional[int] = None,
+        instrument: bool = True,
+        slow_threshold: float = 0.25,
+        slow_capacity: int = 64,
     ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
@@ -202,14 +279,119 @@ class QueryServer:
         #: event loop cannot garbage-collect them mid-flight
         self._revalidations: set = set()
 
-        # serving counters (loop thread only; snapshotted by /stats)
-        self._requests = 0
-        self._queries = 0
-        self._batches = 0
-        self._batched_queries = 0
-        self._rejected = 0
-        self._updates = 0
-        self._errors = 0
+        self._instrument = instrument
+        self.slow_log = SlowQueryLog(threshold=slow_threshold, capacity=slow_capacity)
+        #: per-server registry chained to the process-global one, so one
+        #: scrape shows serving counters AND engine-wide state
+        self.metrics = MetricsRegistry(parent=global_registry())
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Every serving metric lives on the registry; nothing is kept twice.
+
+        Push counters are incremented inline on the request path; values the
+        system already maintains elsewhere (cache counters, stream gauges,
+        WAL state, kernel fan-out health) are registered as pull callbacks
+        read at scrape time.
+        """
+        metrics = self.metrics
+        self._m_requests = metrics.counter(
+            "repro_requests_total", "HTTP requests received"
+        )
+        self._m_queries = metrics.counter(
+            "repro_queries_total", "queries received (incl. per-batch-member)"
+        )
+        self._m_batches = metrics.counter(
+            "repro_batches_total", "store.run_batch calls issued by the batcher"
+        )
+        self._m_batched_queries = metrics.counter(
+            "repro_batched_queries_total", "queries executed through coalesced batches"
+        )
+        self._m_rejected = metrics.counter(
+            "repro_rejected_total", "requests rejected by admission control (503)"
+        )
+        self._m_updates = metrics.counter(
+            "repro_updates_total", "inserts and deletes applied"
+        )
+        self._m_errors = metrics.counter(
+            "repro_errors_total", "requests answered with a 4xx/5xx error"
+        )
+        self._m_latency = metrics.histogram(
+            "repro_request_seconds",
+            "request wall time by operation class",
+            labelnames=("op",),
+        )
+        # pre-bound per-op children: the post-request hook runs on the
+        # cache-hit hot path, where the labels() key lookup is measurable
+        self._m_latency_ops = {
+            op: self._m_latency.labels(op=op)
+            for op in set(_ENDPOINT_OPS.values()) | {"other"}
+        }
+        metrics.gauge_function(
+            "repro_inflight_requests", "admitted requests in flight",
+            lambda: self._inflight,
+        )
+        metrics.gauge_function(
+            "repro_draining", "1 while the server refuses new work",
+            lambda: int(self._draining),
+        )
+        metrics.gauge_function(
+            "repro_intervals", "live intervals in the served store",
+            lambda: len(self._store),
+        )
+        metrics.gauge_function(
+            "repro_result_generation", "the store's result generation token",
+            lambda: self._store.result_generation(),
+        )
+        metrics.counter_function(
+            "repro_slow_queries_total", "requests recorded by the slow-query log",
+            lambda: self.slow_log.recorded,
+        )
+        self._cache.register_metrics(metrics)
+        metrics.gauge_function(
+            "repro_stream_gauges", "standing-query gauges by name",
+            self._stream_gauge_samples, labelnames=("gauge",),
+        )
+        metrics.gauge_function(
+            "repro_wal_segments", "live WAL segment files",
+            lambda: self._durability_value("wal_segments"),
+        )
+        metrics.gauge_function(
+            "repro_wal_bytes", "bytes across live WAL segments",
+            lambda: self._durability_value("wal_bytes"),
+        )
+        metrics.gauge_function(
+            "repro_durability_degraded", "1 when the WAL can no longer persist",
+            lambda: int(getattr(self._store, "durability", None) is not None
+                        and self._store.durability.degraded),
+        )
+        metrics.gauge_function(
+            "repro_fanout_disabled", "1 when kernel fan-out tripped off",
+            lambda: int(bool(getattr(self._store.index, "_fanout_disabled", False))),
+        )
+        metrics.gauge_function(
+            "repro_kernel_delta_depth", "pending-update records in the kernel delta log",
+            lambda: int(self._store.index.kernel_delta_depth())
+            if hasattr(self._store.index, "kernel_delta_depth") else 0,
+        )
+        metrics.gauge_function(
+            "repro_failed_replicas", "replicas currently marked failed",
+            lambda: len(self._store.index.failed_replicas())
+            if hasattr(self._store.index, "failed_replicas") else 0,
+        )
+
+    def _stream_gauge_samples(self) -> Dict[tuple, float]:
+        if self._stream is None:
+            return {}
+        return {
+            (name,): float(value) for name, value in self._stream.gauges().items()
+        }
+
+    def _durability_value(self, key: str) -> float:
+        durability = getattr(self._store, "durability", None)
+        if durability is None:
+            return 0.0
+        return float(durability.state().get(key, 0.0))
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -246,16 +428,30 @@ class QueryServer:
         return self._draining
 
     def serving_stats(self) -> Dict[str, object]:
-        """Serving + cache + engine state as one JSON-friendly dict."""
+        """Serving + cache + engine state as one JSON-friendly dict.
+
+        Every counter here *is* the registry's value (``/stats`` is a
+        named view over the same snapshot ``/metrics`` renders -- nothing
+        is maintained twice), plus exact latency quantiles per operation
+        class under ``"latency"``.
+        """
         cache = self._cache.stats()
         state: Dict[str, object] = {
-            "requests": self._requests,
-            "queries": self._queries,
-            "batches": self._batches,
-            "batched_queries": self._batched_queries,
-            "rejected": self._rejected,
-            "updates": self._updates,
-            "errors": self._errors,
+            "requests": int(self._m_requests.value),
+            "queries": int(self._m_queries.value),
+            "batches": int(self._m_batches.value),
+            "batched_queries": int(self._m_batched_queries.value),
+            "rejected": int(self._m_rejected.value),
+            "updates": int(self._m_updates.value),
+            "errors": int(self._m_errors.value),
+            "slow_queries": int(self.slow_log.recorded),
+            "latency": {
+                op: histogram.summary()
+                for op, histogram in (
+                    (labels[0], metric)
+                    for labels, metric in self._m_latency.samples()
+                )
+            },
             "inflight": self._inflight,
             "max_pending": self._max_pending,
             "draining": self._draining,
@@ -438,20 +634,20 @@ class QueryServer:
                     await self._pending.put(_SHUTDOWN)  # re-deliver for the outer loop
                     break
                 batch.append(extra)
-            self._batches += 1
-            self._batched_queries += len(batch)
+            self._m_batches.inc()
+            self._m_batched_queries.inc(len(batch))
             try:
                 generation, answers = await self._loop.run_in_executor(
                     None, self._execute_batch, batch
                 )
             except Exception as exc:  # pragma: no cover - store failure path
-                for _, _, future in batch:
-                    if not future.done():
-                        future.set_exception(exc)
+                for item in batch:
+                    if not item[2].done():
+                        item[2].set_exception(exc)
                 continue
-            for (_, _, future), answer in zip(batch, answers):
-                if not future.done():
-                    future.set_result((generation, answer))
+            for item, answer in zip(batch, answers):
+                if not item[2].done():
+                    item[2].set_result((generation, answer))
 
     def _execute_batch(self, batch) -> Tuple[int, List[object]]:
         """Worker-thread execution of one coalesced batch.
@@ -460,19 +656,42 @@ class QueryServer:
         batch then stamps cached answers with the pre-update token, which
         the bumped current generation invalidates on the next lookup --
         never the other way around.
+
+        Batch items are ``(query, count_only, future, trace_ctx)``.  The
+        batcher coalesces queries from *different* requests, so one store
+        call may serve several traces: the engine's spans attach to the
+        first traced item's context, and every traced item gets a flat
+        ``batched_execute`` span tagged with the shared batch size.
         """
         generation = self._store.result_generation()
-        queries = [query for query, _, _ in batch]
-        kinds = [count_only for _, count_only, _ in batch]
+        contexts = [item[3] for item in batch if len(item) > 3 and item[3] is not None]
+        queries = [item[0] for item in batch]
+        kinds = [item[1] for item in batch]
         answers: List[object] = [None] * len(batch)
-        for count_only in set(kinds):
-            positions = [i for i, kind in enumerate(kinds) if kind is count_only]
-            result = self._store.run_batch(
-                [queries[i] for i in positions], count_only=count_only
-            )
-            values = result.counts if count_only else result.ids
-            for position, value in zip(positions, values):
-                answers[position] = value
+
+        def _run() -> None:
+            for count_only in set(kinds):
+                positions = [i for i, kind in enumerate(kinds) if kind is count_only]
+                result = self._store.run_batch(
+                    [queries[i] for i in positions], count_only=count_only
+                )
+                values = result.counts if count_only else result.ids
+                for position, value in zip(positions, values):
+                    answers[position] = value
+
+        if contexts:
+            started = time.perf_counter()
+            tracing.bind(contexts[0], _run)()
+            duration_ms = (time.perf_counter() - started) * 1000.0
+            for trace, parent_id in contexts:
+                record = tracing.new_span_record(
+                    trace.trace_id, parent_id, "batched_execute",
+                    {"batch_size": len(batch), "shared": len(contexts) > 1},
+                )
+                record["duration_ms"] = duration_ms
+                trace.add(record)
+        else:
+            _run()
         return generation, answers
 
     # ------------------------------------------------------------------ #
@@ -492,7 +711,7 @@ class QueryServer:
                 except _Reject as reject:
                     # an oversized body cannot be skipped safely on a
                     # keep-alive stream: answer and close the connection
-                    self._errors += 1
+                    self._m_errors.inc()
                     payload = _encode({"error": reject.message})
                     writer.write(
                         b"HTTP/1.1 %d %s\r\n"
@@ -507,39 +726,47 @@ class QueryServer:
                     break
                 if request is None:
                     break
-                method, path, body = request
-                self._requests += 1
+                method, path, body, headers = request
+                self._m_requests.inc()
+                ctx = self._begin_request(method, path, headers)
                 try:
-                    status, payload = await self._dispatch(method, path, body)
+                    status, payload = await self._dispatch(method, path, body, ctx)
                 except _Reject as reject:
                     # only admission pressure counts as "rejected" -- a 400
                     # from a malformed request is a client error, and mixing
                     # them would inflate the overload signal operators (and
                     # client backoff) key on
                     if reject.status == 503:
-                        self._rejected += 1
+                        self._m_rejected.inc()
                     else:
-                        self._errors += 1
+                        self._m_errors.inc()
                     status = reject.status
                     payload = _encode(
                         {"error": reject.message, "retry_after": reject.retry_after}
                     )
                 except ReproError as exc:
-                    self._errors += 1
+                    self._m_errors.inc()
                     status, payload = 400, _encode({"error": str(exc)})
                 except Exception as exc:  # noqa: BLE001 - the server must answer
-                    self._errors += 1
+                    self._m_errors.inc()
                     status, payload = 500, _encode(
                         {"error": f"{type(exc).__name__}: {exc}"}
                     )
                 if isinstance(payload, _StreamBody):
                     await self._stream_response(writer, payload)
                     continue
+                self._finish_request(ctx, status)
+                content_type = (
+                    b"text/plain; version=0.0.4; charset=utf-8"
+                    if isinstance(payload, _TextBody)
+                    else b"application/json"
+                )
                 writer.write(
                     b"HTTP/1.1 %d %s\r\n"
-                    b"Content-Type: application/json\r\n"
+                    b"Content-Type: %s\r\n"
                     b"Content-Length: %d\r\n"
-                    b"\r\n" % (status, _REASONS.get(status, b"OK"), len(payload))
+                    b"\r\n"
+                    % (status, _REASONS.get(status, b"OK"), content_type, len(payload))
                 )
                 writer.write(payload)
                 await writer.drain()
@@ -557,7 +784,7 @@ class QueryServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, bytes]]:
+    ) -> Optional[Tuple[str, str, bytes, Dict[str, str]]]:
         line = await reader.readline()
         if not line:
             return None
@@ -566,12 +793,15 @@ class QueryServer:
         except ValueError:
             return None
         length = 0
+        headers: Dict[str, str] = {}
         while True:
             header = await reader.readline()
             if header in (b"\r\n", b"\n", b""):
                 break
             name, _, value = header.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
+            key = name.strip().lower()
+            headers[key] = value.strip()
+            if key == "content-length":
                 try:
                     length = int(value.strip())
                 except ValueError:
@@ -579,15 +809,74 @@ class QueryServer:
         if length > MAX_BODY_BYTES:
             raise _Reject(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
         body = await reader.readexactly(length) if length else b""
-        return method.upper(), target, body
+        return method.upper(), target, body, headers
 
-    async def _dispatch(self, method: str, target: str, body: bytes):
+    def _begin_request(
+        self, method: str, target: str, headers: Dict[str, str]
+    ) -> _RequestContext:
+        """Open the per-request observability context (cheap when off)."""
+        endpoint = target.split("?", 1)[0].rstrip("/") or "/"
+        ctx = _RequestContext(endpoint, method)
+        if not self._instrument:
+            return ctx
+        remote = tracing.context_from_headers(headers)
+        if remote is not None:
+            trace_id, parent_id = remote
+            ctx.trace = tracing.Trace(trace_id)
+            ctx.remote = True
+        else:
+            ctx.trace = tracing.Trace()
+            parent_id = None
+        ctx.root = tracing.new_span_record(
+            ctx.trace.trace_id, parent_id, f"server:{endpoint}",
+            {"method": method},
+        )
+        return ctx
+
+    def _finish_request(self, ctx: _RequestContext, status: int) -> None:
+        """The single post-request hook: root span, latency, extras, slow log.
+
+        Replaces the per-handler ``_publish_stats_extras`` call sites: every
+        request path funnels through here exactly once, after the response
+        body is final.
+        """
+        if not self._instrument:
+            self._publish_stats_extras()
+            return
+        duration = time.perf_counter() - ctx.started
+        ctx.finish_root(status)
+        op = _ENDPOINT_OPS.get(ctx.endpoint, "other")
+        self._m_latency_ops[op].observe(duration)
+        self._publish_stats_extras()
+        if ctx.endpoint in _SLOW_ENDPOINTS:
+            tags = dict(ctx.tags)
+            tags["status"] = status
+            self.slow_log.record(
+                ctx.endpoint, duration, args=ctx.args, tags=tags, trace=ctx.trace
+            )
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes, ctx: _RequestContext
+    ):
         parts = urlsplit(target)
         path = parts.path.rstrip("/") or "/"
         payload = _decode(body)
         if parts.query:
             for key, values in parse_qs(parts.query).items():
                 payload.setdefault(key, values[0])
+        if path == "/metrics":
+            return 200, _TextBody(self.metrics.render().encode())
+        if path == "/slow-queries":
+            limit = payload.get("limit")
+            return 200, _encode(
+                {
+                    "threshold_s": self.slow_log.threshold,
+                    "recorded": self.slow_log.recorded,
+                    "slow_queries": self.slow_log.entries(
+                        int(limit) if limit is not None else None
+                    ),
+                }
+            )
         if path == "/health":
             # degraded (WAL can no longer persist writes) stays 200: reads
             # still work, so load balancers keep routing them -- the flag
@@ -606,9 +895,9 @@ class QueryServer:
         if path == "/stats":
             return 200, _encode(self.serving_stats())
         if path == "/query":
-            return await self._handle_query(payload)
+            return await self._handle_query(payload, ctx)
         if path == "/batch":
-            return await self._handle_batch(payload)
+            return await self._handle_batch(payload, ctx)
         if path == "/poll-deltas":
             return await self._handle_poll(payload)
         if path in ("/insert", "/delete", "/maintain", "/subscribe", "/unsubscribe"):
@@ -705,10 +994,11 @@ class QueryServer:
             kind += ":stats"
         return kind
 
-    async def _handle_query(self, payload: Dict[str, object]):
+    async def _handle_query(self, payload: Dict[str, object], ctx: _RequestContext):
         query, count_only = self._parse_query(payload)
         relation, with_stats = self._parse_refinement(payload)
-        self._queries += 1
+        self._m_queries.inc()
+        ctx.args = {"start": query.start, "end": query.end, "count_only": count_only}
         key = normalize_query_key(
             query.start, query.end, self._query_kind(count_only, relation, with_stats)
         )
@@ -718,24 +1008,30 @@ class QueryServer:
                 # stale-while-revalidate: answer with the stale body now,
                 # recompute off the request path (admission willing)
                 self._schedule_revalidation(key, query, count_only, relation, with_stats)
-                self._publish_stats_extras()
+                ctx.tags["cache"] = "stale"
                 return 200, cached.value
             if cached is not ResultCache.MISS:
-                self._publish_stats_extras()
+                ctx.tags["cache"] = "hit"
                 return 200, cached
+            ctx.tags["cache"] = "miss"
         self._admit()
         try:
             if relation is not None or with_stats:
                 # relation/instrumented queries bypass the batcher: they run
                 # through the fluent builder, which run_batch has no lane for
                 generation, answer = await self._loop.run_in_executor(
-                    None, self._execute_refined, query, count_only, relation, with_stats
+                    None,
+                    tracing.bind(ctx.child(), self._execute_refined),
+                    query,
+                    count_only,
+                    relation,
+                    with_stats,
                 )
                 answer["generation"] = generation
                 body = _encode(answer)
             else:
                 future: asyncio.Future = self._loop.create_future()
-                await self._pending.put((query, count_only, future))
+                await self._pending.put((query, count_only, future, ctx.child()))
                 generation, answer = await future
                 # the generation rides on every answer: the cluster router
                 # keys its distributed cache off this token alone
@@ -747,7 +1043,6 @@ class QueryServer:
         finally:
             self._release()
         self._cache.put(key, generation, body)
-        self._publish_stats_extras()
         return 200, body
 
     def _refined_answer(
@@ -823,7 +1118,7 @@ class QueryServer:
                     body = _encode(answer)
                 else:
                     future: asyncio.Future = self._loop.create_future()
-                    await self._pending.put((query, count_only, future))
+                    await self._pending.put((query, count_only, future, None))
                     generation, answer = await future
                     body = _encode(
                         {"count": answer, "generation": generation}
@@ -844,7 +1139,7 @@ class QueryServer:
         self._revalidations.add(task)
         task.add_done_callback(self._revalidations.discard)
 
-    async def _handle_batch(self, payload: Dict[str, object]):
+    async def _handle_batch(self, payload: Dict[str, object], ctx: _RequestContext):
         pairs = payload.get("queries")
         if not isinstance(pairs, list) or not pairs:
             raise _Reject(400, "batch needs a non-empty 'queries' list")
@@ -854,7 +1149,8 @@ class QueryServer:
         relation, with_stats = self._parse_refinement(payload)
         refined = relation is not None or with_stats
         queries = [Query(int(start), int(end)) for start, end in pairs]
-        self._queries += len(queries)
+        self._m_queries.inc(len(queries))
+        ctx.args = {"queries": len(queries), "count_only": count_only}
         kind = self._query_kind(count_only, relation, with_stats)
         generation = self._store.result_generation()
         answers: List[object] = [None] * len(queries)
@@ -895,20 +1191,28 @@ class QueryServer:
                     if refined:
                         chunk_generation, chunk_values = await self._loop.run_in_executor(
                             None,
-                            self._execute_refined_chunk,
+                            tracing.bind(ctx.child(), self._execute_refined_chunk),
                             [queries[i] for i in chunk],
                             count_only,
                             relation,
                             with_stats,
                         )
                     else:
-                        batch = [(queries[i], count_only, None) for i in chunk]
+                        # one ctx per chunk (on the first item), not one per
+                        # query: _execute_batch adds one batched_execute span
+                        # per traced item, and N copies of the same span
+                        # would bloat the tree without adding information
+                        batch = [
+                            (queries[i], count_only, None,
+                             ctx.child() if j == 0 else None)
+                            for j, i in enumerate(chunk)
+                        ]
                         chunk_generation, chunk_values = await self._loop.run_in_executor(
                             None, self._execute_batch, batch
                         )
                     filled.extend((chunk_generation, value) for value in chunk_values)
-                    self._batches += 1
-                    self._batched_queries += len(chunk)
+                    self._m_batches.inc()
+                    self._m_batched_queries.inc(len(chunk))
             finally:
                 self._release(len(chunks))
             for position, (fill_generation, value) in zip(missing, filled):
@@ -933,7 +1237,6 @@ class QueryServer:
                     fill_generation,
                     body,
                 )
-        self._publish_stats_extras()
         # answers hold per-query encoded bodies; splice them into one array
         return 200, b'{"results": [' + b", ".join(answers) + b"]}"
 
@@ -955,7 +1258,7 @@ class QueryServer:
             raise _Reject(503, str(exc)) from exc
         finally:
             self._release()
-        self._updates += 1
+        self._m_updates.inc()
         return 200, _encode(
             {"inserted": interval.id, "generation": self._store.result_generation()}
         )
@@ -974,7 +1277,7 @@ class QueryServer:
             raise _Reject(503, str(exc)) from exc
         finally:
             self._release()
-        self._updates += 1
+        self._m_updates.inc()
         return 200, _encode(
             {
                 "deleted": bool(found),
@@ -1071,7 +1374,7 @@ class QueryServer:
                         ),
                     )
         except UnknownSubscriptionError as exc:
-            self._errors += 1
+            self._m_errors.inc()
             return 404, _encode({"error": str(exc), "resync_required": True})
         finally:
             self._release()
@@ -1111,7 +1414,7 @@ class QueryServer:
             float(payload.get("timeout", self._poll_timeout)), self._poll_timeout
         )
         if self._stream is None:
-            self._errors += 1
+            self._m_errors.inc()
             return 404, _encode(
                 {
                     "error": f"unknown subscription {subscription_id}",
@@ -1143,7 +1446,7 @@ class QueryServer:
                         subscription_id, after_generation=after
                     )
                 except UnknownSubscriptionError as exc:
-                    self._errors += 1
+                    self._m_errors.inc()
                     return 404, _encode(
                         {"error": str(exc), "resync_required": True}
                     )

@@ -30,7 +30,14 @@ from typing import Callable, Dict, List, Optional
 from repro.core.allen import RANGE_QUERY_RELATIONS, AllenRelation, satisfies_relation
 from repro.core.errors import ReproError
 from repro.core.interval import Interval, IntervalCollection, Query
+from repro.obs import global_registry
 from repro.stream.filters import compile_filter, normalize_filter
+
+#: process-global: standing queries ever registered (active counts are
+#: gauges on the owning manager, surfaced via the servers' /metrics)
+_SUBSCRIPTIONS = global_registry().counter(
+    "repro_subscriptions_total", "standing queries registered"
+)
 
 __all__ = ["Subscription", "SubscriptionRegistry", "parse_relation"]
 
@@ -188,6 +195,7 @@ class SubscriptionRegistry:
             )
             self._next_id += 1
             self._subscriptions[subscription.subscription_id] = subscription
+            _SUBSCRIPTIONS.inc()
             if not subscription.range_prunable:
                 self._unbounded[subscription.subscription_id] = subscription
             elif self._store is not None:
